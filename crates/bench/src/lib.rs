@@ -1,0 +1,52 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! Benches live in `benches/pipeline.rs` and cover the signal chain
+//! (FFT, CFAR, frame simulation), the preprocessing stage (segmentation,
+//! DBSCAN, full preprocess — the paper's §VI-B5 "preprocessing time"),
+//! and the classifiers (inference and one training step).
+
+use gp_kinematics::gestures::{GestureId, GestureSet};
+use gp_kinematics::{Performance, UserProfile};
+use gp_pipeline::{LabeledSample, Preprocessor, PreprocessorConfig};
+use gp_radar::{Backend, Environment, Frame, RadarConfig, RadarSimulator, Scene};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A canonical captured gesture: user 0, ASL 'push', 1.2 m, office.
+pub fn capture_fixture() -> Vec<Frame> {
+    let profile = UserProfile::generate(0, 42);
+    let mut rng = StdRng::seed_from_u64(5);
+    let perf = Performance::new(&profile, GestureSet::Asl15, GestureId(12), 1.2, &mut rng);
+    let scene = Scene::for_performance(perf, Environment::Office, 5);
+    let mut sim = RadarSimulator::new(RadarConfig::default(), Backend::Geometric, 5);
+    sim.capture_scene(&scene)
+}
+
+/// A preprocessed, labeled sample derived from [`capture_fixture`].
+///
+/// # Panics
+///
+/// Panics if the canonical capture yields no segment (would indicate a
+/// pipeline regression).
+pub fn sample_fixture() -> LabeledSample {
+    let frames = capture_fixture();
+    let samples = Preprocessor::new(PreprocessorConfig::default()).process(&frames);
+    let best = samples
+        .into_iter()
+        .max_by_key(|s| s.duration_frames)
+        .expect("canonical capture must segment");
+    LabeledSample::from_sample(best, 12, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let frames = capture_fixture();
+        assert!(frames.len() > 30);
+        let sample = sample_fixture();
+        assert!(sample.cloud.len() >= 8);
+    }
+}

@@ -1,0 +1,45 @@
+//! The end-to-end GesturePrint system (paper Fig. 4).
+//!
+//! This crate glues the preprocessed samples from `gp-pipeline` to the
+//! models in `gp-models` and exposes the paper's two-task API:
+//!
+//! * [`train::train_classifier`] — trains one classifier (GesIDNet or a
+//!   baseline) on labeled gesture clouds with the paper's training-time
+//!   augmentation,
+//! * [`GesturePrint`] — the full system: a gesture-recognition model plus
+//!   user-identification model(s), in **serialized** mode (per-gesture
+//!   identifiers selected by the recognised gesture — the paper's
+//!   default) or **parallel** mode (one identifier across all gestures),
+//! * [`report`] — classification reports (accuracy / macro-F1 /
+//!   macro-AUC) and verification scores for EER, matching §VI-A3.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use gestureprint_core::{GesturePrint, GesturePrintConfig, IdentificationMode};
+//! use gp_datasets::{presets, BuildOptions, Scale};
+//! use gp_radar::Environment;
+//!
+//! let spec = presets::gestureprint(Environment::Office, Scale::Small);
+//! let data = gp_datasets::build(&spec, &BuildOptions::default());
+//! let samples: Vec<_> = data.samples.iter().map(|s| &s.labeled).collect();
+//! let system = GesturePrint::train(
+//!     &samples,
+//!     spec.set.gesture_count(),
+//!     spec.users,
+//!     &GesturePrintConfig::default(),
+//! );
+//! let out = system.infer(samples[0]);
+//! println!("gesture {} by user {}", out.gesture, out.user);
+//! ```
+
+pub mod crossval;
+pub mod persist;
+pub mod report;
+pub mod system;
+pub mod train;
+
+pub use crossval::kfold_reports;
+pub use report::{classification_report, ClassificationReport};
+pub use system::{GesturePrint, GesturePrintConfig, IdentificationMode, Inference};
+pub use train::{train_classifier, ModelKind, TrainConfig, TrainedModel};

@@ -1,0 +1,109 @@
+//! Model persistence: save and restore trained classifiers.
+//!
+//! Architectures are reconstructed from `(kind, classes, feature)` and
+//! the flat parameter stream of `gp_nn::serialize`; the loader verifies
+//! tensor shapes, so loading into the wrong architecture fails cleanly.
+
+use crate::train::{ModelKind, TrainedModel};
+use gp_models::features::FeatureConfig;
+use gp_nn::serialize::{load_params, save_params, LoadParamsError};
+
+impl TrainedModel {
+    /// Serialises the model parameters into a byte buffer.
+    pub fn save(&mut self) -> Vec<u8> {
+        save_params(self.model_mut()).to_vec()
+    }
+
+    /// Restores a model saved by [`TrainedModel::save`].
+    ///
+    /// The architecture is rebuilt from `(kind, classes, feature)`; the
+    /// stream only holds weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadParamsError`] if the stream is malformed or was
+    /// saved from a different architecture.
+    pub fn load(
+        kind: ModelKind,
+        classes: usize,
+        feature: FeatureConfig,
+        bytes: &[u8],
+    ) -> Result<TrainedModel, LoadParamsError> {
+        let mut model = TrainedModel::untrained(kind, classes, feature);
+        load_params(model.model_mut(), bytes)?;
+        Ok(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::{train_classifier, TrainConfig};
+    use gp_pipeline::LabeledSample;
+    use gp_pointcloud::{Point, PointCloud, Vec3};
+
+    fn samples() -> Vec<LabeledSample> {
+        (0..8)
+            .map(|i| {
+                let user = i % 2;
+                let shift = if user == 0 { -0.3 } else { 0.3 };
+                let cloud: PointCloud = (0..20)
+                    .map(|k| {
+                        let t = k as f64 * 0.3 + i as f64 * 0.05;
+                        Point::new(
+                            Vec3::new(shift + t.sin() * 0.2, 1.2, 1.0 + t.cos() * 0.2),
+                            (t * 1.2).sin(),
+                            10.0,
+                        )
+                    })
+                    .collect();
+                LabeledSample {
+                    cloud: cloud.clone(),
+                    frame_clouds: vec![cloud; 3],
+                    duration_frames: 18,
+                    gesture: 0,
+                    user,
+                }
+            })
+            .collect()
+    }
+
+    fn quick() -> TrainConfig {
+        TrainConfig {
+            epochs: 6,
+            augment: None,
+            feature: FeatureConfig { num_points: 20, ..FeatureConfig::default() },
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_predictions() {
+        let data = samples();
+        let pairs: Vec<(&LabeledSample, usize)> = data.iter().map(|s| (s, s.user)).collect();
+        for kind in [ModelKind::GesIdNet, ModelKind::PointNet, ModelKind::Lstm] {
+            let mut model = train_classifier(&pairs, 2, &TrainConfig { model: kind, ..quick() });
+            let bytes = model.save();
+            let restored =
+                TrainedModel::load(kind, 2, quick().feature, &bytes).expect("load");
+            for s in &data {
+                assert_eq!(
+                    model.probabilities(s),
+                    restored.probabilities(s),
+                    "{} roundtrip mismatch",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn loading_into_wrong_architecture_fails() {
+        let data = samples();
+        let pairs: Vec<(&LabeledSample, usize)> = data.iter().map(|s| (s, s.user)).collect();
+        let mut model = train_classifier(&pairs, 2, &quick());
+        let bytes = model.save();
+        assert!(TrainedModel::load(ModelKind::PointNet, 2, quick().feature, &bytes).is_err());
+        assert!(TrainedModel::load(ModelKind::GesIdNet, 5, quick().feature, &bytes).is_err());
+    }
+}

@@ -1,0 +1,353 @@
+//! The full GesturePrint system: gesture recognition + user
+//! identification in serialized or parallel mode (paper §IV-C).
+
+use crate::train::{train_classifier, TrainConfig, TrainedModel};
+use gp_pipeline::LabeledSample;
+
+/// Runtime identification mode (paper §IV-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IdentificationMode {
+    /// One identification model *per gesture*; the recogniser's output
+    /// selects which identifier runs. The paper's default (GP-S).
+    Serialized,
+    /// A single identification model trained across all gestures (GP-P).
+    Parallel,
+}
+
+/// System configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GesturePrintConfig {
+    /// Identification mode.
+    pub mode: IdentificationMode,
+    /// Training configuration shared by all models.
+    pub train: TrainConfig,
+    /// Number of worker threads for training the per-gesture identifiers
+    /// (`0` = available parallelism).
+    pub threads: usize,
+}
+
+impl Default for GesturePrintConfig {
+    fn default() -> Self {
+        GesturePrintConfig {
+            mode: IdentificationMode::Serialized,
+            train: TrainConfig::default(),
+            threads: 0,
+        }
+    }
+}
+
+/// The inference result for one gesture sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Inference {
+    /// Recognised gesture class.
+    pub gesture: usize,
+    /// Identified user.
+    pub user: usize,
+    /// Gesture class probabilities.
+    pub gesture_probs: Vec<f64>,
+    /// User class probabilities (from the identifier that ran).
+    pub user_probs: Vec<f64>,
+}
+
+/// A trained GesturePrint system.
+#[derive(Debug)]
+pub struct GesturePrint {
+    gesture_model: TrainedModel,
+    /// Serialized: one per gesture (index = gesture id). Parallel: one.
+    identifiers: Vec<TrainedModel>,
+    mode: IdentificationMode,
+    gestures: usize,
+    users: usize,
+}
+
+impl GesturePrint {
+    /// Trains the system on labeled samples.
+    ///
+    /// In serialized mode one identifier is trained per gesture (on that
+    /// gesture's samples only); gestures with no training samples fall
+    /// back to a global identifier. Identifier training runs in parallel
+    /// across gestures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or labels exceed the class counts.
+    pub fn train(
+        samples: &[&LabeledSample],
+        gestures: usize,
+        users: usize,
+        config: &GesturePrintConfig,
+    ) -> Self {
+        assert!(!samples.is_empty(), "cannot train on an empty sample set");
+        let gesture_pairs: Vec<(&LabeledSample, usize)> =
+            samples.iter().map(|s| (*s, s.gesture)).collect();
+        let gesture_model = train_classifier(&gesture_pairs, gestures, &config.train);
+
+        let identifiers = match config.mode {
+            IdentificationMode::Parallel => {
+                let user_pairs: Vec<(&LabeledSample, usize)> =
+                    samples.iter().map(|s| (*s, s.user)).collect();
+                vec![train_classifier(&user_pairs, users, &config.train)]
+            }
+            IdentificationMode::Serialized => {
+                // Group samples per gesture.
+                let mut groups: Vec<Vec<(&LabeledSample, usize)>> = vec![Vec::new(); gestures];
+                for s in samples {
+                    groups[s.gesture].push((*s, s.user));
+                }
+                let all_pairs: Vec<(&LabeledSample, usize)> =
+                    samples.iter().map(|s| (*s, s.user)).collect();
+
+                // Train per-gesture identifiers in parallel.
+                let threads = if config.threads == 0 {
+                    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+                } else {
+                    config.threads
+                };
+                let mut results: Vec<(usize, TrainedModel)> = Vec::with_capacity(gestures);
+                let train_cfg = &config.train;
+                crossbeam_scope(threads, gestures, |g| {
+                    let pairs: &[(&LabeledSample, usize)] = if groups[g].is_empty() {
+                        &all_pairs
+                    } else {
+                        &groups[g]
+                    };
+                    let mut cfg = train_cfg.clone();
+                    cfg.seed = cfg.seed.wrapping_add(g as u64 * 0x1009);
+                    // Per-gesture identifiers see a fraction of the data;
+                    // scale epochs (capped at 3×) so each model gets a
+                    // comparable optimisation budget.
+                    let ratio = (samples.len() as f64 / pairs.len().max(1) as f64).min(3.0);
+                    cfg.epochs = ((cfg.epochs as f64) * ratio).round() as usize;
+                    (g, train_classifier(pairs, users, &cfg))
+                })
+                .into_iter()
+                .for_each(|r| results.push(r));
+                results.sort_by_key(|(g, _)| *g);
+                results.into_iter().map(|(_, m)| m).collect()
+            }
+        };
+
+        GesturePrint { gesture_model, identifiers, mode: config.mode, gestures, users }
+    }
+
+    /// The identification mode.
+    pub fn mode(&self) -> IdentificationMode {
+        self.mode
+    }
+
+    /// Gesture class count.
+    pub fn gestures(&self) -> usize {
+        self.gestures
+    }
+
+    /// User class count.
+    pub fn users(&self) -> usize {
+        self.users
+    }
+
+    /// The gesture-recognition model.
+    pub fn gesture_model(&self) -> &TrainedModel {
+        &self.gesture_model
+    }
+
+    /// The identifier that runs for `gesture`.
+    pub fn identifier_for(&self, gesture: usize) -> &TrainedModel {
+        match self.mode {
+            IdentificationMode::Parallel => &self.identifiers[0],
+            IdentificationMode::Serialized => &self.identifiers[gesture.min(self.identifiers.len() - 1)],
+        }
+    }
+
+    /// Recognises the gesture only.
+    pub fn recognize(&self, sample: &LabeledSample) -> usize {
+        self.gesture_model.predict(sample)
+    }
+
+    /// Full inference: gesture, then user via the mode's identifier.
+    pub fn infer(&self, sample: &LabeledSample) -> Inference {
+        let gesture_probs = self.gesture_model.probabilities(sample);
+        let gesture = argmax_f64(&gesture_probs);
+        let identifier = self.identifier_for(gesture);
+        let user_probs = identifier.probabilities(sample);
+        let user = argmax_f64(&user_probs);
+        Inference { gesture, user, gesture_probs, user_probs }
+    }
+
+    /// Open-set inference: rejects samples whose identity confidence is
+    /// below `threshold` (`None` = unauthorized person or random motion).
+    ///
+    /// The serialized mode enables exactly this capability — the paper
+    /// cites "handling random gestures and unauthorized people" as a
+    /// reason serialized is the default (§IV-C): a per-gesture identifier
+    /// sees an impostor's style as out-of-distribution and spreads its
+    /// probability mass.
+    pub fn infer_verified(&self, sample: &LabeledSample, threshold: f64) -> Option<Inference> {
+        let out = self.infer(sample);
+        let confidence = out.user_probs[out.user];
+        (confidence >= threshold).then_some(out)
+    }
+}
+
+fn argmax_f64(v: &[f64]) -> usize {
+    v.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// Minimal indexed parallel map over `0..n` using crossbeam scoped
+/// threads.
+fn crossbeam_scope<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let indices: Vec<usize> = (0..n).collect();
+    let chunk = n.div_ceil(threads.max(1)).max(1);
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = indices
+            .chunks(chunk)
+            .map(|ids| {
+                let f = &f;
+                scope.spawn(move |_| ids.iter().map(|&i| f(i)).collect::<Vec<T>>())
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("training worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::ModelKind;
+    use gp_models::features::FeatureConfig;
+    use gp_pointcloud::{Point, PointCloud, Vec3};
+
+    /// 2 gestures × 2 users toy world: gesture controls motion axis,
+    /// user controls lateral offset and Doppler magnitude.
+    fn toy_samples(reps: usize) -> Vec<LabeledSample> {
+        let mut out = Vec::new();
+        for gesture in 0..2usize {
+            for user in 0..2usize {
+                for rep in 0..reps {
+                    let shift = if user == 0 { -0.3 } else { 0.3 };
+                    let cloud: PointCloud = (0..24)
+                        .map(|i| {
+                            let t = i as f64 * 0.3 + rep as f64 * 0.07;
+                            let (dx, dz) = if gesture == 0 {
+                                (t.sin() * 0.35, 0.02) // lateral sweep
+                            } else {
+                                (0.02, t.sin() * 0.35) // vertical sweep
+                            };
+                            Point::new(
+                                Vec3::new(shift + dx, 1.2 + t.cos() * 0.1, 1.0 + dz),
+                                (t * 1.3).sin() * (0.8 + user as f64 * 0.6),
+                                14.0,
+                            )
+                        })
+                        .collect();
+                    out.push(LabeledSample {
+                        cloud: cloud.clone(),
+                        frame_clouds: vec![cloud; 4],
+                        duration_frames: 18 + 4 * user,
+                        gesture,
+                        user,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn quick_config(mode: IdentificationMode) -> GesturePrintConfig {
+        GesturePrintConfig {
+            mode,
+            train: TrainConfig {
+                model: ModelKind::GesIdNet,
+                epochs: 12,
+                augment: None,
+                feature: FeatureConfig { num_points: 24, ..FeatureConfig::default() },
+                ..TrainConfig::default()
+            },
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn serialized_system_learns_both_tasks() {
+        let samples = toy_samples(6);
+        let refs: Vec<&LabeledSample> = samples.iter().collect();
+        let system = GesturePrint::train(&refs, 2, 2, &quick_config(IdentificationMode::Serialized));
+        let mut g_ok = 0;
+        let mut u_ok = 0;
+        for s in &samples {
+            let out = system.infer(s);
+            if out.gesture == s.gesture {
+                g_ok += 1;
+            }
+            if out.user == s.user {
+                u_ok += 1;
+            }
+        }
+        assert!(g_ok >= 20, "gesture recognition weak: {g_ok}/24");
+        assert!(u_ok >= 20, "user identification weak: {u_ok}/24");
+    }
+
+    #[test]
+    fn parallel_mode_uses_single_identifier() {
+        let samples = toy_samples(4);
+        let refs: Vec<&LabeledSample> = samples.iter().collect();
+        let system = GesturePrint::train(&refs, 2, 2, &quick_config(IdentificationMode::Parallel));
+        assert!(std::ptr::eq(system.identifier_for(0), system.identifier_for(1)));
+        let out = system.infer(&samples[0]);
+        assert_eq!(out.user_probs.len(), 2);
+    }
+
+    #[test]
+    fn serialized_mode_has_one_identifier_per_gesture() {
+        let samples = toy_samples(4);
+        let refs: Vec<&LabeledSample> = samples.iter().collect();
+        let system = GesturePrint::train(&refs, 2, 2, &quick_config(IdentificationMode::Serialized));
+        assert!(!std::ptr::eq(system.identifier_for(0), system.identifier_for(1)));
+    }
+
+    #[test]
+    fn inference_probabilities_normalised() {
+        let samples = toy_samples(4);
+        let refs: Vec<&LabeledSample> = samples.iter().collect();
+        let system = GesturePrint::train(&refs, 2, 2, &quick_config(IdentificationMode::Serialized));
+        let out = system.infer(&samples[0]);
+        assert!((out.gesture_probs.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        assert!((out.user_probs.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample set")]
+    fn empty_training_rejected() {
+        GesturePrint::train(&[], 2, 2, &quick_config(IdentificationMode::Serialized));
+    }
+
+    #[test]
+    fn open_set_threshold_rejects_and_accepts() {
+        let samples = toy_samples(6);
+        let refs: Vec<&LabeledSample> = samples.iter().collect();
+        let system = GesturePrint::train(&refs, 2, 2, &quick_config(IdentificationMode::Serialized));
+        // A permissive threshold accepts enrolled users...
+        let accepted = samples
+            .iter()
+            .filter(|s| system.infer_verified(s, 0.5).is_some())
+            .count();
+        assert!(accepted > samples.len() / 2, "accepted {accepted}");
+        // ...and an impossible threshold rejects everything.
+        assert!(samples.iter().all(|s| system.infer_verified(s, 1.01).is_none()));
+    }
+}

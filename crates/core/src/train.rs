@@ -1,0 +1,335 @@
+//! Classifier training with the paper's augmentation scheme.
+
+use gp_models::features::{encode, FeatureConfig, ModelInput};
+use gp_models::{GesIDNet, GesIDNetConfig, LstmNet, PointModel, PointNet, ProfileCnn};
+use gp_nn::{softmax, Adam};
+use gp_pipeline::{Augmenter, AugmenterConfig, LabeledSample};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Which architecture to train.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// The paper's GesIDNet.
+    GesIdNet,
+    /// GesIDNet with the attention fusion disabled (ablation arm).
+    GesIdNetNoFusion,
+    /// PointNet-style baseline.
+    PointNet,
+    /// Position–Doppler profile CNN baseline.
+    ProfileCnn,
+    /// Temporal LSTM baseline.
+    Lstm,
+}
+
+impl ModelKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::GesIdNet => "GesIDNet",
+            ModelKind::GesIdNetNoFusion => "GesIDNet w/o fusion",
+            ModelKind::PointNet => "PointNet",
+            ModelKind::ProfileCnn => "ProfileCNN",
+            ModelKind::Lstm => "LSTM",
+        }
+    }
+}
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// Architecture.
+    pub model: ModelKind,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Mini-batch size (gradients accumulate across the batch before the
+    /// optimizer step).
+    pub batch_size: usize,
+    /// Training-time augmentation (paper: ×3 copies, σ = 0.02); `None`
+    /// for the "w/o DA" ablation arm.
+    pub augment: Option<AugmenterConfig>,
+    /// Feature encoding options.
+    pub feature: FeatureConfig,
+    /// Master seed (initialisation, shuffling, augmentation, resampling).
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            model: ModelKind::GesIdNet,
+            epochs: 24,
+            learning_rate: 2e-3,
+            batch_size: 8,
+            augment: Some(AugmenterConfig::default()),
+            feature: FeatureConfig::default(),
+            seed: 7,
+        }
+    }
+}
+
+/// A trained classifier bundled with its encoding configuration.
+pub struct TrainedModel {
+    model: Box<dyn PointModel>,
+    feature: FeatureConfig,
+    kind: ModelKind,
+    classes: usize,
+    encode_seed: u64,
+}
+
+impl std::fmt::Debug for TrainedModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrainedModel")
+            .field("kind", &self.kind)
+            .field("classes", &self.classes)
+            .finish()
+    }
+}
+
+impl TrainedModel {
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// The architecture kind.
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    /// Encodes a sample with the model's feature configuration
+    /// (deterministic).
+    pub fn encode_input(&self, sample: &LabeledSample) -> ModelInput {
+        let mut rng = StdRng::seed_from_u64(self.encode_seed);
+        encode(&sample.cloud, &sample.frame_clouds, &self.feature, &mut rng)
+    }
+
+    /// Class probabilities for a sample.
+    pub fn probabilities(&self, sample: &LabeledSample) -> Vec<f64> {
+        let input = self.encode_input(sample);
+        softmax(&self.model.logits(&input))
+            .into_iter()
+            .map(|v| v as f64)
+            .collect()
+    }
+
+    /// Predicted class for a sample.
+    pub fn predict(&self, sample: &LabeledSample) -> usize {
+        let input = self.encode_input(sample);
+        gp_nn::argmax(&self.model.logits(&input))
+    }
+
+    /// Feature taps for visualisation (GesIDNet only).
+    pub fn feature_taps(&self, sample: &LabeledSample) -> Option<(Vec<f32>, Vec<f32>, Vec<f32>)> {
+        let input = self.encode_input(sample);
+        self.model.feature_taps(&input)
+    }
+
+    /// Builds an untrained model shell (used when loading saved weights).
+    pub fn untrained(kind: ModelKind, classes: usize, feature: FeatureConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(0);
+        TrainedModel {
+            model: make_model(kind, classes, &feature, &mut rng),
+            feature,
+            kind,
+            classes,
+            encode_seed: TrainConfig::default().seed ^ 0xEEC0DE,
+        }
+    }
+
+    pub(crate) fn model_mut(&mut self) -> &mut dyn gp_nn::Parameterized {
+        &mut *self.model
+    }
+}
+
+fn make_model(kind: ModelKind, classes: usize, feature: &FeatureConfig, rng: &mut StdRng) -> Box<dyn PointModel> {
+    match kind {
+        ModelKind::GesIdNet => Box::new(GesIDNet::new(GesIDNetConfig::for_classes(classes), rng)),
+        ModelKind::GesIdNetNoFusion => Box::new(GesIDNet::new(
+            GesIDNetConfig { fusion: false, ..GesIDNetConfig::for_classes(classes) },
+            rng,
+        )),
+        ModelKind::PointNet => Box::new(PointNet::new(classes, rng)),
+        ModelKind::ProfileCnn => Box::new(ProfileCnn::new(classes, feature.profile_shape, rng)),
+        ModelKind::Lstm => Box::new(LstmNet::new(classes, rng)),
+    }
+}
+
+/// Trains a classifier on `(sample, label)` pairs.
+///
+/// Labels need not equal `sample.gesture`/`sample.user` — the caller
+/// chooses the task by supplying the label (this is exactly how the
+/// paper trains the same architecture for both tasks on the same data).
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or any label is `>= classes`.
+pub fn train_classifier(
+    samples: &[(&LabeledSample, usize)],
+    classes: usize,
+    config: &TrainConfig,
+) -> TrainedModel {
+    assert!(!samples.is_empty(), "cannot train on an empty sample set");
+    assert!(
+        samples.iter().all(|(_, l)| *l < classes),
+        "label out of range"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut model = make_model(config.model, classes, &config.feature, &mut rng);
+
+    // Encode the training set once: original + augmented copies.
+    let mut encoded: Vec<(ModelInput, usize)> = Vec::new();
+    for (i, (sample, label)) in samples.iter().enumerate() {
+        let mut enc_rng = StdRng::seed_from_u64(config.seed ^ (i as u64).wrapping_mul(0x9E37));
+        encoded.push((
+            encode(&sample.cloud, &sample.frame_clouds, &config.feature, &mut enc_rng),
+            *label,
+        ));
+        if let Some(aug_cfg) = config.augment {
+            let augmenter = Augmenter::new(aug_cfg);
+            for copy in augmenter.augment(&sample.cloud, &mut enc_rng) {
+                encoded.push((
+                    encode(&copy, &sample.frame_clouds, &config.feature, &mut enc_rng),
+                    *label,
+                ));
+            }
+        }
+    }
+
+    let mut adam = Adam::new(config.learning_rate);
+    let mut order: Vec<usize> = (0..encoded.len()).collect();
+    for _epoch in 0..config.epochs {
+        order.shuffle(&mut rng);
+        let mut in_batch = 0usize;
+        for &i in &order {
+            let (input, label) = &encoded[i];
+            model.train_step(input, *label);
+            in_batch += 1;
+            if in_batch == config.batch_size {
+                adam.begin_step();
+                model.for_each_param(&mut |p, g| adam.update(p, g));
+                in_batch = 0;
+            }
+        }
+        if in_batch > 0 {
+            adam.begin_step();
+            model.for_each_param(&mut |p, g| adam.update(p, g));
+        }
+    }
+
+    TrainedModel {
+        model,
+        feature: config.feature.clone(),
+        kind: config.model,
+        classes,
+        encode_seed: config.seed ^ 0xEEC0DE,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_pointcloud::{Point, PointCloud, Vec3};
+
+    /// Two synthetic "users": one gestures left of centre, one right.
+    fn toy_samples() -> Vec<LabeledSample> {
+        let mut out = Vec::new();
+        for user in 0..2usize {
+            for rep in 0..6usize {
+                let shift = if user == 0 { -0.3 } else { 0.3 };
+                let cloud: PointCloud = (0..24)
+                    .map(|i| {
+                        let t = i as f64 * 0.35 + rep as f64 * 0.1;
+                        Point::new(
+                            Vec3::new(shift + t.sin() * 0.2, 1.2 + t.cos() * 0.15, 1.0),
+                            (t * 1.1).sin() * (1.0 + user as f64 * 0.4),
+                            14.0,
+                        )
+                    })
+                    .collect();
+                out.push(LabeledSample {
+                    cloud: cloud.clone(),
+                    frame_clouds: vec![cloud; 4],
+                    duration_frames: 20,
+                    gesture: 0,
+                    user,
+                });
+            }
+        }
+        out
+    }
+
+    fn quick_config(model: ModelKind) -> TrainConfig {
+        TrainConfig {
+            model,
+            epochs: 12,
+            augment: None,
+            feature: FeatureConfig { num_points: 24, ..FeatureConfig::default() },
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn trains_and_separates_users() {
+        let samples = toy_samples();
+        let pairs: Vec<(&LabeledSample, usize)> = samples.iter().map(|s| (s, s.user)).collect();
+        let model = train_classifier(&pairs, 2, &quick_config(ModelKind::GesIdNet));
+        let correct = samples
+            .iter()
+            .filter(|s| model.predict(s) == s.user)
+            .count();
+        assert!(correct >= 10, "GesIDNet user split failed: {correct}/12");
+    }
+
+    #[test]
+    fn probabilities_are_normalised() {
+        let samples = toy_samples();
+        let pairs: Vec<(&LabeledSample, usize)> = samples.iter().map(|s| (s, s.user)).collect();
+        let model = train_classifier(&pairs, 2, &quick_config(ModelKind::PointNet));
+        let p = model.probabilities(&samples[0]);
+        assert_eq!(p.len(), 2);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn augmentation_inflates_training_set_without_breaking() {
+        let samples = toy_samples();
+        let pairs: Vec<(&LabeledSample, usize)> = samples.iter().map(|s| (s, s.user)).collect();
+        let config = TrainConfig {
+            augment: Some(AugmenterConfig::default()),
+            ..quick_config(ModelKind::GesIdNet)
+        };
+        let model = train_classifier(&pairs, 2, &config);
+        let correct = samples.iter().filter(|s| model.predict(s) == s.user).count();
+        assert!(correct >= 10, "augmented training failed: {correct}/12");
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let samples = toy_samples();
+        let pairs: Vec<(&LabeledSample, usize)> = samples.iter().map(|s| (s, s.user)).collect();
+        let cfg = quick_config(ModelKind::PointNet);
+        let a = train_classifier(&pairs, 2, &cfg);
+        let b = train_classifier(&pairs, 2, &cfg);
+        for s in &samples {
+            assert_eq!(a.probabilities(s), b.probabilities(s));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample set")]
+    fn empty_training_panics() {
+        train_classifier(&[], 2, &TrainConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn label_range_checked() {
+        let samples = toy_samples();
+        let pairs: Vec<(&LabeledSample, usize)> = samples.iter().map(|s| (s, 5)).collect();
+        train_classifier(&pairs, 2, &TrainConfig::default());
+    }
+}

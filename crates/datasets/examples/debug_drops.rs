@@ -1,0 +1,25 @@
+//! Reports which (user, gesture) cells drop samples — builder tuning aid.
+
+use gp_datasets::{build, presets, BuildOptions, Scale};
+use gp_kinematics::gestures::{GestureId, GestureSet};
+
+fn main() {
+    let spec = presets::mtranssee(Scale::Custom { users: 2, reps: 2 }, &[1.2]);
+    let ds = build(&spec, &BuildOptions::default());
+    println!("{} samples, {} dropped", ds.samples.len(), ds.dropped);
+    let mut have = std::collections::HashMap::new();
+    for s in &ds.samples {
+        *have.entry((s.labeled.user, s.labeled.gesture)).or_insert(0usize) += 1;
+    }
+    for u in 0..2 {
+        for g in 0..5 {
+            let n = have.get(&(u, g)).copied().unwrap_or(0);
+            if n < 2 {
+                println!(
+                    "user {u} gesture {g} ({}): {n}/2",
+                    GestureSet::MTransSee5.gesture_name(GestureId(g))
+                );
+            }
+        }
+    }
+}

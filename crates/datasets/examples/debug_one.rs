@@ -1,0 +1,38 @@
+//! Prints frame counts for one failing (user, gesture) capture cell.
+
+use gp_kinematics::gestures::{GestureId, GestureSet};
+use gp_kinematics::performance::PerformanceConfig;
+use gp_kinematics::{Performance, UserProfile};
+use gp_pipeline::Segmenter;
+use gp_radar::{Backend, Environment, RadarConfig, RadarSimulator, Scene};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let user: usize = args.get(1).map(|v| v.parse().unwrap()).unwrap_or(1);
+    let gesture: usize = args.get(2).map(|v| v.parse().unwrap()).unwrap_or(0);
+    let seed: u64 = args.get(3).map(|v| v.parse().unwrap()).unwrap_or(12345);
+
+    let profile = UserProfile::generate(user, 0x3E55);
+    println!(
+        "user {user}: speed={:.2} gamma={:.2} rom={:.2} height={:.2}",
+        profile.speed_factor, profile.timing_gamma, profile.rom_scale, profile.height
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let perf = Performance::with_config(
+        &profile,
+        GestureSet::MTransSee5,
+        GestureId(gesture),
+        PerformanceConfig::default(),
+        &mut rng,
+    );
+    let (gs, ge) = perf.gesture_interval();
+    println!("gesture interval: {gs:.2}..{ge:.2}");
+    let scene = Scene::for_performance(perf, Environment::Home, seed ^ 0xE57);
+    let mut sim = RadarSimulator::new(RadarConfig::default(), Backend::Geometric, seed ^ 0x51B);
+    let frames = sim.capture_scene(&scene);
+    let counts: Vec<usize> = frames.iter().map(|f| f.len()).collect();
+    println!("counts: {counts:?}");
+    println!("segments: {:?}", Segmenter::default().segment(&frames));
+}

@@ -1,0 +1,156 @@
+//! ROC curves and equal error rate (paper Fig. 10).
+
+/// One operating point of a ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// Decision threshold.
+    pub threshold: f64,
+    /// False-positive rate at the threshold.
+    pub fpr: f64,
+    /// True-positive rate at the threshold.
+    pub tpr: f64,
+}
+
+/// Computes the ROC curve for verification scores (higher = more likely
+/// positive). Points are ordered from the strictest threshold (0, 0) to
+/// the loosest (1, 1).
+pub fn roc_curve(scores: &[f64], positives: &[bool]) -> Vec<RocPoint> {
+    assert_eq!(scores.len(), positives.len(), "length mismatch");
+    let pos = positives.iter().filter(|p| **p).count();
+    let neg = positives.len() - pos;
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+    let mut curve = vec![RocPoint { threshold: f64::INFINITY, fpr: 0.0, tpr: 0.0 }];
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut i = 0;
+    while i < order.len() {
+        let thr = scores[order[i]];
+        // Consume all samples at this threshold together.
+        while i < order.len() && scores[order[i]] == thr {
+            if positives[order[i]] {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        curve.push(RocPoint {
+            threshold: thr,
+            fpr: if neg > 0 { fp as f64 / neg as f64 } else { 0.0 },
+            tpr: if pos > 0 { tp as f64 / pos as f64 } else { 0.0 },
+        });
+    }
+    curve
+}
+
+/// Equal error rate: the rate where `FPR = FNR = 1 − TPR`, linearly
+/// interpolated between the two ROC points that bracket the crossing.
+pub fn eer(scores: &[f64], positives: &[bool]) -> f64 {
+    let curve = roc_curve(scores, positives);
+    let mut prev = curve[0];
+    for &pt in &curve[1..] {
+        let prev_diff = prev.fpr - (1.0 - prev.tpr);
+        let diff = pt.fpr - (1.0 - pt.tpr);
+        if diff >= 0.0 {
+            // Crossing between prev and pt.
+            if (diff - prev_diff).abs() < 1e-15 {
+                return (pt.fpr + (1.0 - pt.tpr)) / 2.0;
+            }
+            let t = -prev_diff / (diff - prev_diff);
+            let fpr = prev.fpr + t * (pt.fpr - prev.fpr);
+            let fnr = (1.0 - prev.tpr) + t * ((1.0 - pt.tpr) - (1.0 - prev.tpr));
+            return (fpr + fnr) / 2.0;
+        }
+        prev = pt;
+    }
+    // No crossing found (degenerate input).
+    let last = curve.last().expect("curve non-empty");
+    (last.fpr + (1.0 - last.tpr)) / 2.0
+}
+
+/// Pools per-class one-vs-rest verification scores from probability
+/// vectors: for every (sample, class) pair, the score is `p[class]` and
+/// the pair is positive when `label == class`. This is the standard way
+/// to compute one aggregate EER from a multiclass classifier.
+pub fn one_vs_rest_scores(
+    probabilities: &[Vec<f64>],
+    labels: &[usize],
+    classes: usize,
+) -> (Vec<f64>, Vec<bool>) {
+    assert_eq!(probabilities.len(), labels.len(), "length mismatch");
+    let mut scores = Vec::with_capacity(probabilities.len() * classes);
+    let mut positives = Vec::with_capacity(probabilities.len() * classes);
+    for (p, &l) in probabilities.iter().zip(labels) {
+        for c in 0..classes {
+            scores.push(p[c]);
+            positives.push(c == l);
+        }
+    }
+    (scores, positives)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_endpoints() {
+        let scores = [0.9, 0.8, 0.3, 0.1];
+        let pos = [true, true, false, false];
+        let curve = roc_curve(&scores, &pos);
+        assert_eq!(curve.first().map(|p| (p.fpr, p.tpr)), Some((0.0, 0.0)));
+        assert_eq!(curve.last().map(|p| (p.fpr, p.tpr)), Some((1.0, 1.0)));
+    }
+
+    #[test]
+    fn curve_monotone() {
+        let scores = [0.9, 0.7, 0.8, 0.3, 0.5, 0.1];
+        let pos = [true, false, true, false, true, false];
+        let curve = roc_curve(&scores, &pos);
+        for w in curve.windows(2) {
+            assert!(w[1].fpr >= w[0].fpr);
+            assert!(w[1].tpr >= w[0].tpr);
+        }
+    }
+
+    #[test]
+    fn perfect_separation_has_zero_eer() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let pos = [true, true, false, false];
+        assert!(eer(&scores, &pos) < 1e-12);
+    }
+
+    #[test]
+    fn inverted_separation_has_eer_one() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let pos = [true, true, false, false];
+        assert!((eer(&scores, &pos) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_scores_give_half() {
+        let scores = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
+        let pos = [true, false, true, false, true, false, true, false];
+        let e = eer(&scores, &pos);
+        assert!((e - 0.5).abs() < 0.26, "eer = {e}");
+    }
+
+    #[test]
+    fn partial_overlap_eer_between_zero_and_half() {
+        let scores = [0.9, 0.8, 0.55, 0.45, 0.2, 0.1];
+        let pos = [true, true, false, true, false, false];
+        let e = eer(&scores, &pos);
+        assert!(e > 0.0 && e < 0.5, "eer = {e}");
+    }
+
+    #[test]
+    fn one_vs_rest_pooling() {
+        let probs = vec![vec![0.7, 0.3], vec![0.2, 0.8]];
+        let labels = vec![0, 1];
+        let (scores, pos) = one_vs_rest_scores(&probs, &labels, 2);
+        assert_eq!(scores.len(), 4);
+        assert_eq!(pos, vec![true, false, false, true]);
+        assert!(eer(&scores, &pos) < 1e-12);
+    }
+}

@@ -1,0 +1,99 @@
+//! Train/test splitting and k-fold cross-validation indices.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Returns shuffled `(train, test)` index sets with `test_fraction` of
+/// the data in the test set (at least one sample each when `n >= 2`).
+///
+/// # Panics
+///
+/// Panics if `test_fraction` is outside `(0, 1)`.
+pub fn train_test_split(n: usize, test_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!(
+        test_fraction > 0.0 && test_fraction < 1.0,
+        "test_fraction must be in (0, 1)"
+    );
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let mut test_len = ((n as f64) * test_fraction).round() as usize;
+    if n >= 2 {
+        test_len = test_len.clamp(1, n - 1);
+    }
+    let test = idx.split_off(n - test_len);
+    (idx, test)
+}
+
+/// Returns `k` folds of indices for cross-validation; fold `i` is the
+/// test set of round `i` and the folds partition `0..n`.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > n`.
+pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(k > 0 && k <= n, "need 0 < k <= n");
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let mut folds = vec![Vec::with_capacity(n / k + 1); k];
+    for (i, v) in idx.into_iter().enumerate() {
+        folds[i % k].push(v);
+    }
+    folds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn split_partitions() {
+        let (train, test) = train_test_split(100, 0.2, 1);
+        assert_eq!(train.len(), 80);
+        assert_eq!(test.len(), 20);
+        let all: HashSet<usize> = train.iter().chain(test.iter()).copied().collect();
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn split_deterministic_per_seed() {
+        assert_eq!(train_test_split(50, 0.2, 7), train_test_split(50, 0.2, 7));
+        assert_ne!(train_test_split(50, 0.2, 7).1, train_test_split(50, 0.2, 8).1);
+    }
+
+    #[test]
+    fn tiny_sets_keep_both_sides_nonempty() {
+        let (train, test) = train_test_split(2, 0.2, 0);
+        assert_eq!(train.len(), 1);
+        assert_eq!(test.len(), 1);
+    }
+
+    #[test]
+    fn kfold_partitions_everything() {
+        let folds = kfold_indices(23, 5, 3);
+        assert_eq!(folds.len(), 5);
+        let total: usize = folds.iter().map(Vec::len).sum();
+        assert_eq!(total, 23);
+        let all: HashSet<usize> = folds.iter().flatten().copied().collect();
+        assert_eq!(all.len(), 23);
+        // Balanced within one element.
+        let min = folds.iter().map(Vec::len).min().unwrap();
+        let max = folds.iter().map(Vec::len).max().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "test_fraction")]
+    fn split_fraction_validated() {
+        train_test_split(10, 1.5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < k <= n")]
+    fn kfold_validated() {
+        kfold_indices(3, 5, 0);
+    }
+}

@@ -1,0 +1,230 @@
+//! A compact t-SNE implementation (van der Maaten & Hinton, 2008) for
+//! the feature visualisations of paper Fig. 6.
+//!
+//! Exact (non-Barnes-Hut) t-SNE with binary-search perplexity
+//! calibration, early exaggeration and momentum gradient descent — ample
+//! for the few hundred feature vectors the figure plots.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// t-SNE options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TsneConfig {
+    /// Target perplexity of the conditional distributions.
+    pub perplexity: f64,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Random seed for the initial embedding.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        TsneConfig { perplexity: 15.0, iterations: 300, learning_rate: 100.0, seed: 0 }
+    }
+}
+
+/// Embeds `data` (n × d, row-major) into 2-D.
+///
+/// Returns an `n × 2` embedding. Inputs with fewer than 3 rows are
+/// returned as zero/trivial embeddings.
+pub fn tsne_2d(data: &[Vec<f64>], config: &TsneConfig) -> Vec<[f64; 2]> {
+    let n = data.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n < 3 {
+        return (0..n).map(|i| [i as f64, 0.0]).collect();
+    }
+
+    // Pairwise squared distances.
+    let mut d2 = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in i + 1..n {
+            let dist: f64 = data[i]
+                .iter()
+                .zip(&data[j])
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            d2[i * n + j] = dist;
+            d2[j * n + i] = dist;
+        }
+    }
+
+    // Conditional probabilities with per-point bandwidth from perplexity.
+    let target_entropy = config.perplexity.max(2.0).ln();
+    let mut p = vec![0.0f64; n * n];
+    for i in 0..n {
+        let mut beta = 1.0f64;
+        let (mut beta_min, mut beta_max) = (f64::NEG_INFINITY, f64::INFINITY);
+        for _ in 0..50 {
+            let mut sum = 0.0;
+            let mut sum_dp = 0.0;
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let pj = (-beta * d2[i * n + j]).exp();
+                sum += pj;
+                sum_dp += pj * d2[i * n + j];
+            }
+            if sum <= 0.0 {
+                break;
+            }
+            let entropy = beta * sum_dp / sum + sum.ln();
+            let diff = entropy - target_entropy;
+            if diff.abs() < 1e-5 {
+                break;
+            }
+            if diff > 0.0 {
+                beta_min = beta;
+                beta = if beta_max.is_finite() { (beta + beta_max) / 2.0 } else { beta * 2.0 };
+            } else {
+                beta_max = beta;
+                beta = if beta_min.is_finite() { (beta + beta_min) / 2.0 } else { beta / 2.0 };
+            }
+        }
+        let mut sum = 0.0;
+        for j in 0..n {
+            if j != i {
+                let v = (-beta * d2[i * n + j]).exp();
+                p[i * n + j] = v;
+                sum += v;
+            }
+        }
+        if sum > 0.0 {
+            for j in 0..n {
+                p[i * n + j] /= sum;
+            }
+        }
+    }
+    // Symmetrise.
+    let mut pij = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            pij[i * n + j] = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f64)).max(1e-12);
+        }
+    }
+
+    // Gradient descent on the embedding.
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut y: Vec<[f64; 2]> = (0..n)
+        .map(|_| [rng.gen_range(-1e-2..1e-2), rng.gen_range(-1e-2..1e-2)])
+        .collect();
+    let mut vel = vec![[0.0f64; 2]; n];
+    for iter in 0..config.iterations {
+        let exaggeration = if iter < config.iterations / 4 { 4.0 } else { 1.0 };
+        // Student-t affinities in the embedding.
+        let mut q = vec![0.0f64; n * n];
+        let mut qsum = 0.0;
+        for i in 0..n {
+            for j in i + 1..n {
+                let dx = y[i][0] - y[j][0];
+                let dy = y[i][1] - y[j][1];
+                let v = 1.0 / (1.0 + dx * dx + dy * dy);
+                q[i * n + j] = v;
+                q[j * n + i] = v;
+                qsum += 2.0 * v;
+            }
+        }
+        let qsum = qsum.max(1e-12);
+        // Gradient.
+        let momentum = if iter < 60 { 0.5 } else { 0.8 };
+        for i in 0..n {
+            let mut g = [0.0f64; 2];
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let qu = q[i * n + j];
+                let coeff =
+                    4.0 * (exaggeration * pij[i * n + j] - qu / qsum) * qu;
+                g[0] += coeff * (y[i][0] - y[j][0]);
+                g[1] += coeff * (y[i][1] - y[j][1]);
+            }
+            for k in 0..2 {
+                vel[i][k] = momentum * vel[i][k] - config.learning_rate * g[k];
+            }
+        }
+        for i in 0..n {
+            y[i][0] += vel[i][0];
+            y[i][1] += vel[i][1];
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(center: (f64, f64, f64), n: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                vec![
+                    center.0 + rng.gen_range(-0.1..0.1),
+                    center.1 + rng.gen_range(-0.1..0.1),
+                    center.2 + rng.gen_range(-0.1..0.1),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn separates_two_distant_blobs() {
+        let mut data = blob((0.0, 0.0, 0.0), 15, 1);
+        data.extend(blob((10.0, 10.0, 10.0), 15, 2));
+        let emb = tsne_2d(&data, &TsneConfig { iterations: 250, ..TsneConfig::default() });
+        assert_eq!(emb.len(), 30);
+        // Mean intra-blob distance must be far below the inter-blob
+        // centroid distance.
+        let centroid = |pts: &[[f64; 2]]| {
+            let n = pts.len() as f64;
+            [
+                pts.iter().map(|p| p[0]).sum::<f64>() / n,
+                pts.iter().map(|p| p[1]).sum::<f64>() / n,
+            ]
+        };
+        let c1 = centroid(&emb[..15]);
+        let c2 = centroid(&emb[15..]);
+        let inter = ((c1[0] - c2[0]).powi(2) + (c1[1] - c2[1]).powi(2)).sqrt();
+        let intra: f64 = emb[..15]
+            .iter()
+            .map(|p| ((p[0] - c1[0]).powi(2) + (p[1] - c1[1]).powi(2)).sqrt())
+            .sum::<f64>()
+            / 15.0;
+        assert!(
+            inter > 2.0 * intra,
+            "blobs not separated: inter {inter:.3} vs intra {intra:.3}"
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(tsne_2d(&[], &TsneConfig::default()).is_empty());
+        let one = tsne_2d(&[vec![1.0, 2.0]], &TsneConfig::default());
+        assert_eq!(one.len(), 1);
+        let two = tsne_2d(&[vec![1.0], vec![2.0]], &TsneConfig::default());
+        assert_eq!(two.len(), 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        let data = blob((0.0, 0.0, 0.0), 10, 3);
+        let cfg = TsneConfig { iterations: 50, ..TsneConfig::default() };
+        assert_eq!(tsne_2d(&data, &cfg), tsne_2d(&data, &cfg));
+    }
+
+    #[test]
+    fn embedding_is_finite() {
+        let mut data = blob((0.0, 0.0, 0.0), 8, 4);
+        data.extend(blob((5.0, 0.0, 0.0), 8, 5));
+        for p in tsne_2d(&data, &TsneConfig::default()) {
+            assert!(p[0].is_finite() && p[1].is_finite());
+        }
+    }
+}

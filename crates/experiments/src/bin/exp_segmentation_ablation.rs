@@ -1,0 +1,109 @@
+//! Extra ablation (DESIGN.md §4): adaptive vs fixed segmentation
+//! threshold.
+//!
+//! The paper motivates the parameter-adaptive sliding window but does not
+//! ablate it; we compare segmentation success rates in a quiet room vs a
+//! cluttered one under both threshold policies.
+
+use gp_kinematics::gestures::{GestureId, GestureSet};
+use gp_kinematics::{Performance, UserProfile};
+use gp_pipeline::{Segmenter, SegmenterConfig};
+use gp_radar::environment::SwayingReflector;
+use gp_radar::scene::SceneEntity;
+use gp_radar::{Backend, Environment, RadarConfig, RadarSimulator, Scene};
+use gp_pointcloud::Vec3;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("== Extra ablation: adaptive vs fixed segmentation threshold ==");
+    let adaptive = Segmenter::new(SegmenterConfig::default());
+    // Fixed policy: same machinery, but the threshold cannot adapt
+    // upward (quantiles collapse onto the floor).
+    let fixed = Segmenter::new(SegmenterConfig {
+        quantiles: (0.0, 0.0),
+        spread_fraction: 0.0,
+        min_threshold: 3,
+        ..SegmenterConfig::default()
+    });
+
+    println!(
+        "{:<14} {:>12} {:>12} {:>14}",
+        "environment", "adaptive ok", "fixed ok", "fixed spurious"
+    );
+    for (env, heavy_clutter) in [
+        (Environment::OpenSpace, false),
+        (Environment::Office, false),
+        (Environment::Office, true),
+    ] {
+        let mut ok_adaptive = 0;
+        let mut ok_fixed = 0;
+        let mut spurious_fixed = 0;
+        let trials = 40;
+        for t in 0..trials {
+            let user = UserProfile::generate(t % 5, 42);
+            let seed = 5_000 + t as u64;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let perf = Performance::new(
+                &user,
+                GestureSet::Asl15,
+                GestureId(t % 15),
+                1.2,
+                &mut rng,
+            );
+            let (true_start, true_end) = perf.gesture_interval();
+            let mut scene = Scene::for_performance(perf, env, seed);
+            if heavy_clutter {
+                // A fan-blown curtain wall: strong, fast-swaying
+                // reflectors that keep the idle baseline at several
+                // points per frame.
+                for k in 0..10 {
+                    scene.push(SceneEntity::Reflector(SwayingReflector {
+                        anchor: Vec3::new(
+                            if k % 2 == 0 { -1.0 } else { 1.0 },
+                            0.8 + 0.3 * k as f64,
+                            0.5 + 0.1 * k as f64,
+                        ),
+                        amplitude: 0.05,
+                        frequency: 1.5 + 0.2 * k as f64,
+                        phase: k as f64,
+                        rcs: 0.6,
+                    }));
+                }
+            }
+            let mut sim = RadarSimulator::new(RadarConfig::default(), Backend::Geometric, seed);
+            let frames = sim.capture_scene(&scene);
+            // A segmentation is correct when it yields exactly one
+            // segment whose boundaries track the true gesture interval
+            // (a threshold that never releases produces one giant
+            // segment covering the whole capture — that is a failure).
+            let correct = |segs: &[gp_pipeline::GestureSegment]| -> bool {
+                segs.len() == 1 && {
+                    let s = segs[0].start as f64 / 10.0;
+                    let e = segs[0].end as f64 / 10.0;
+                    (s - true_start).abs() < 1.0 && (e - true_end).abs() < 1.2
+                }
+            };
+            let sa = adaptive.segment(&frames);
+            let sf = fixed.segment(&frames);
+            if correct(&sa) {
+                ok_adaptive += 1;
+            }
+            if correct(&sf) {
+                ok_fixed += 1;
+            }
+            if sf.len() > 1 {
+                spurious_fixed += sf.len() - 1;
+            }
+        }
+        println!(
+            "{:<14} {:>9}/{trials} {:>9}/{trials} {:>14}",
+            if heavy_clutter { "Office+clutter" } else { env.name() },
+            ok_adaptive,
+            ok_fixed,
+            spurious_fixed
+        );
+    }
+    println!("\nexpectation: the adaptive threshold tracks the room's baseline clutter,");
+    println!("keeping single-segment detection high in both quiet and noisy rooms.");
+}

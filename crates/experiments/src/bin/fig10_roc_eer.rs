@@ -1,0 +1,48 @@
+//! E4 — Fig. 10: user-identification ROC curves and EER per dataset.
+//!
+//! Trains the parallel-mode identifier on each scenario and pools
+//! one-vs-rest verification scores into a ROC curve + EER (paper reports
+//! an average EER of 0.75%, none exceeding 1.6%).
+
+use gestureprint_core::{classification_report, train_classifier};
+use gp_datasets::presets;
+use gp_experiments::{build_dataset, default_train, parse_scale, scale_name, split80, write_csv};
+use gp_eval::roc::{eer, one_vs_rest_scores, roc_curve};
+use gp_pipeline::LabeledSample;
+use gp_radar::Environment;
+
+fn main() {
+    let scale = parse_scale();
+    println!("== Fig. 10: ROC / EER for user identification (scale: {}) ==", scale_name(scale));
+    let specs = vec![
+        presets::gestureprint(Environment::Office, scale),
+        presets::gestureprint(Environment::MeetingRoom, scale),
+        presets::pantomime(Environment::Office, scale),
+        presets::pantomime(Environment::OpenSpace, scale),
+        presets::mhomeges(scale, &[1.2]),
+        presets::mtranssee(scale, &[1.2]),
+    ];
+    let mut rows = Vec::new();
+    let mut eers = Vec::new();
+    for spec in specs {
+        let ds = build_dataset(&spec);
+        let samples: Vec<&LabeledSample> = ds.samples.iter().map(|s| &s.labeled).collect();
+        let (train, test) = split80(&samples, 0xF1610);
+        let ui_train: Vec<(&LabeledSample, usize)> = train.iter().map(|s| (*s, s.user)).collect();
+        let model = train_classifier(&ui_train, spec.users, &default_train());
+        let ui_test: Vec<(&LabeledSample, usize)> = test.iter().map(|s| (*s, s.user)).collect();
+        let report = classification_report(&model, &ui_test);
+        let (scores, positives) = one_vs_rest_scores(&report.probabilities, &report.labels, spec.users);
+        let curve = roc_curve(&scores, &positives);
+        let e = eer(&scores, &positives);
+        println!("{:<28} EER {:.3}%  ({} ROC points)", spec.name, e * 100.0, curve.len());
+        for pt in curve.iter().step_by((curve.len() / 60).max(1)) {
+            rows.push(format!("{},{:.5},{:.5}", spec.name, pt.fpr, pt.tpr));
+        }
+        eers.push(e);
+    }
+    let avg = eers.iter().sum::<f64>() / eers.len() as f64;
+    println!("\naverage EER: {:.3}% (paper: 0.75%, max 1.58%)", avg * 100.0);
+    let p = write_csv("fig10_roc.csv", "scenario,fpr,tpr", &rows).expect("csv");
+    println!("csv: {}", p.display());
+}

@@ -1,0 +1,48 @@
+//! E7 — Fig. 13: gesture lasting time (segment length in frames) per
+//! gesture and environment, for one user's repetitions.
+//!
+//! The paper shows users vary their motion speed across repetitions; the
+//! segment-length distributions per gesture make that visible.
+
+use gp_datasets::{build, presets, BuildOptions, Scale};
+use gp_experiments::{parse_scale, write_csv};
+use gp_kinematics::gestures::GestureSet;
+use gp_radar::Environment;
+
+fn main() {
+    let scale = match parse_scale() {
+        Scale::Paper => Scale::Custom { users: 1, reps: 20 },
+        _ => Scale::Custom { users: 1, reps: 12 },
+    };
+    println!("== Fig. 13: gesture lasting time (frames) ==");
+    let mut rows = Vec::new();
+    for env in [Environment::MeetingRoom, Environment::Office] {
+        let spec = presets::gestureprint(env, scale);
+        let ds = build(&spec, &BuildOptions::default());
+        println!("\n--- {} ---", env.name());
+        println!("{:<14} {:>6} {:>6} {:>6}", "gesture", "min", "mean", "max");
+        for g in 0..spec.set.gesture_count() {
+            let durations: Vec<usize> = ds
+                .samples
+                .iter()
+                .filter(|s| s.labeled.gesture == g)
+                .map(|s| s.labeled.duration_frames)
+                .collect();
+            if durations.is_empty() {
+                continue;
+            }
+            let min = *durations.iter().min().expect("non-empty");
+            let max = *durations.iter().max().expect("non-empty");
+            let mean = durations.iter().sum::<usize>() as f64 / durations.len() as f64;
+            let name = GestureSet::Asl15.gesture_name(gp_kinematics::gestures::GestureId(g));
+            println!("{name:<14} {min:>6} {mean:>6.1} {max:>6}");
+            rows.push(format!("{},{name},{min},{mean:.1},{max}", env.name()));
+        }
+        let all: Vec<usize> = ds.samples.iter().map(|s| s.labeled.duration_frames).collect();
+        let mean_s = all.iter().sum::<usize>() as f64 / all.len().max(1) as f64 / 10.0;
+        println!("average gesture duration: {mean_s:.2} s (paper: 2.43 s)");
+    }
+    let p = write_csv("fig13_duration.csv", "environment,gesture,min,mean,max", &rows).expect("csv");
+    println!("\ncsv: {}", p.display());
+    println!("paper shape: lasting time varies across repetitions (≈15–35 frames) and by gesture.");
+}

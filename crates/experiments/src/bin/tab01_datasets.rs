@@ -1,0 +1,35 @@
+//! E2 — Table I: dataset summary.
+//!
+//! Builds (at the selected scale) the four datasets and prints the
+//! paper's summary table plus realised sample counts.
+
+use gp_datasets::presets;
+use gp_experiments::{build_dataset, parse_scale, scale_name};
+use gp_radar::Environment;
+
+fn main() {
+    let scale = parse_scale();
+    println!("== Table I: dataset summary (scale: {}) ==", scale_name(scale));
+    println!("{:<28} {:>9} {:>8} {:>8} {:>9}", "Dataset", "Gestures", "Users", "Samples", "Dropped");
+    let specs = vec![
+        presets::gestureprint(Environment::Office, scale),
+        presets::gestureprint(Environment::MeetingRoom, scale),
+        presets::pantomime(Environment::Office, scale),
+        presets::pantomime(Environment::OpenSpace, scale),
+        presets::mhomeges(scale, &[1.2]),
+        presets::mtranssee(scale, &[1.2]),
+    ];
+    for spec in specs {
+        let ds = build_dataset(&spec);
+        println!(
+            "{:<28} {:>9} {:>8} {:>8} {:>9}",
+            spec.name,
+            spec.set.gesture_count(),
+            spec.users,
+            ds.samples.len(),
+            ds.dropped
+        );
+    }
+    println!("\npaper: GesturePrint 15×17 (9,332 samples over 2 rooms), Pantomime 21×26/14,");
+    println!("       mHomeGes 10×(8-14), mTransSee 5×32.");
+}

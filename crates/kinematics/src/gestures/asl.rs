@@ -1,0 +1,219 @@
+//! The 15 ASL signs of the self-collected GesturePrint dataset
+//! (paper Fig. 9): 'ahead', 'and', 'another', 'appoint', 'away',
+//! 'connect', 'cross', 'every Sunday', 'face', 'finish', 'forget',
+//! 'front', 'push', 'table', 'zigzag'.
+//!
+//! Trajectories are stylised reconstructions of the cited ASLLVD signs:
+//! what matters for the reproduction is that each sign has a distinct,
+//! repeatable spatio-temporal envelope mixing hand/forearm/elbow/arm
+//! motion, with the paper's 9-single / 6-bimanual split.
+
+use super::GestureMotion;
+use crate::path::{primitives, HandPath};
+use gp_pointcloud::Vec3;
+
+pub(super) fn motion(index: usize) -> GestureMotion {
+    match index {
+        // --- single-arm signs -------------------------------------------
+        0 => GestureMotion {
+            name: "ahead",
+            // Fist advances straight ahead from the chest.
+            right: primitives::out_and_back(Vec3::new(0.08, 0.85, 0.02)),
+            left: None,
+            base_duration: 2.2,
+        },
+        1 => GestureMotion {
+            name: "and",
+            // Open hand sweeps right-to-left, closing toward the body.
+            right: primitives::swipe(
+                Vec3::new(0.42, 0.55, -0.04),
+                Vec3::new(-0.12, 0.42, -0.08),
+            ),
+            left: None,
+            base_duration: 2.2,
+        },
+        2 => GestureMotion {
+            name: "another",
+            // Thumb-up hand arcs up and outward.
+            right: HandPath::from_tuples(&[
+                (0.0, 0.05, 0.12, -0.92),
+                (0.30, 0.12, 0.50, -0.22),
+                (0.62, 0.45, 0.48, 0.16),
+                (1.0, 0.05, 0.12, -0.92),
+            ]),
+            left: None,
+            base_duration: 2.2,
+        },
+        3 => GestureMotion {
+            name: "appoint",
+            // Index pokes forward then retracts sharply.
+            right: HandPath::from_tuples(&[
+                (0.0, 0.05, 0.12, -0.92),
+                (0.28, 0.10, 0.55, 0.05),
+                (0.45, 0.10, 0.82, 0.06),
+                (0.62, 0.12, 0.50, -0.04),
+                (1.0, 0.05, 0.12, -0.92),
+            ]),
+            left: None,
+            base_duration: 2.3,
+        },
+        4 => GestureMotion {
+            name: "away",
+            // Hand flicks outward to the side and up.
+            right: primitives::swipe(
+                Vec3::new(0.18, 0.50, 0.00),
+                Vec3::new(0.62, 0.42, 0.26),
+            ),
+            left: None,
+            base_duration: 2.2,
+        },
+        5 => GestureMotion {
+            name: "connect",
+            // Both hands travel inward and meet at the chest centre.
+            right: HandPath::from_tuples(&[
+                (0.0, 0.05, 0.12, -0.92),
+                (0.30, 0.38, 0.52, -0.10),
+                (0.55, 0.06, 0.58, -0.05),
+                (0.68, 0.06, 0.58, -0.05),
+                (1.0, 0.05, 0.12, -0.92),
+            ]),
+            left: Some(
+                HandPath::from_tuples(&[
+                    (0.0, 0.05, 0.12, -0.92),
+                    (0.30, 0.38, 0.52, -0.10),
+                    (0.55, 0.06, 0.58, -0.05),
+                    (0.68, 0.06, 0.58, -0.05),
+                    (1.0, 0.05, 0.12, -0.92),
+                ])
+                .mirrored(),
+            ),
+            base_duration: 2.4,
+        },
+        6 => GestureMotion {
+            name: "cross",
+            // Forearms cross in front of the torso.
+            right: HandPath::from_tuples(&[
+                (0.0, 0.05, 0.12, -0.92),
+                (0.32, 0.30, 0.52, 0.02),
+                (0.60, -0.28, 0.55, -0.06),
+                (1.0, 0.05, 0.12, -0.92),
+            ]),
+            left: Some(
+                HandPath::from_tuples(&[
+                    (0.0, 0.05, 0.12, -0.92),
+                    (0.32, 0.30, 0.52, -0.10),
+                    (0.60, -0.28, 0.55, 0.06),
+                    (1.0, 0.05, 0.12, -0.92),
+                ])
+                .mirrored(),
+            ),
+            base_duration: 2.3,
+        },
+        7 => GestureMotion {
+            name: "every Sunday",
+            // Both hands roll forward in parallel sagittal circles.
+            right: primitives::sagittal_circle(Vec3::new(0.22, 0.55, 0.05), 0.24, false),
+            left: Some(
+                primitives::sagittal_circle(Vec3::new(0.22, 0.55, 0.05), 0.24, false).mirrored(),
+            ),
+            base_duration: 2.6,
+        },
+        8 => GestureMotion {
+            name: "face",
+            // Index circles in front of the face.
+            right: primitives::frontal_circle(Vec3::new(0.04, 0.52, 0.38), 0.17, true),
+            left: None,
+            base_duration: 2.2,
+        },
+        9 => GestureMotion {
+            name: "finish",
+            // Both hands flip outward from the centre.
+            right: HandPath::from_tuples(&[
+                (0.0, 0.05, 0.12, -0.92),
+                (0.30, 0.12, 0.55, 0.06),
+                (0.58, 0.48, 0.48, -0.06),
+                (1.0, 0.05, 0.12, -0.92),
+            ]),
+            left: Some(
+                HandPath::from_tuples(&[
+                    (0.0, 0.05, 0.12, -0.92),
+                    (0.30, 0.12, 0.55, 0.06),
+                    (0.58, 0.48, 0.48, -0.06),
+                    (1.0, 0.05, 0.12, -0.92),
+                ])
+                .mirrored(),
+            ),
+            base_duration: 2.2,
+        },
+        10 => GestureMotion {
+            name: "forget",
+            // Flat hand wipes across the forehead.
+            right: primitives::swipe(
+                Vec3::new(-0.16, 0.42, 0.44),
+                Vec3::new(0.32, 0.42, 0.40),
+            ),
+            left: None,
+            base_duration: 2.2,
+        },
+        11 => GestureMotion {
+            name: "front",
+            // Flat hand drops vertically in front of the body.
+            right: HandPath::from_tuples(&[
+                (0.0, 0.05, 0.12, -0.92),
+                (0.30, 0.06, 0.60, 0.30),
+                (0.62, 0.06, 0.60, -0.26),
+                (1.0, 0.05, 0.12, -0.92),
+            ]),
+            left: None,
+            base_duration: 2.3,
+        },
+        12 => GestureMotion {
+            name: "push",
+            // Both palms push forward together.
+            right: HandPath::from_tuples(&[
+                (0.0, 0.05, 0.12, -0.92),
+                (0.28, 0.20, 0.42, 0.02),
+                (0.52, 0.22, 0.88, 0.02),
+                (0.64, 0.22, 0.88, 0.02),
+                (1.0, 0.05, 0.12, -0.92),
+            ]),
+            left: Some(
+                HandPath::from_tuples(&[
+                    (0.0, 0.05, 0.12, -0.92),
+                    (0.28, 0.20, 0.42, 0.02),
+                    (0.52, 0.22, 0.88, 0.02),
+                    (0.64, 0.22, 0.88, 0.02),
+                    (1.0, 0.05, 0.12, -0.92),
+                ])
+                .mirrored(),
+            ),
+            base_duration: 2.2,
+        },
+        13 => GestureMotion {
+            name: "table",
+            // Horizontal forearms pat downward twice.
+            right: primitives::pat(
+                Vec3::new(0.26, 0.52, -0.02),
+                Vec3::new(0.26, 0.52, -0.18),
+                2,
+            ),
+            left: Some(
+                primitives::pat(
+                    Vec3::new(0.26, 0.52, -0.02),
+                    Vec3::new(0.26, 0.52, -0.18),
+                    2,
+                )
+                .mirrored(),
+            ),
+            base_duration: 2.8,
+        },
+        14 => GestureMotion {
+            name: "zigzag",
+            // Hand traces a descending zigzag.
+            right: primitives::zigzag(Vec3::new(0.10, 0.58, 0.28), 0.42, 0.52, 4),
+            left: None,
+            base_duration: 2.8,
+        },
+        other => unreachable!("ASL-15 index out of range: {other}"),
+    }
+}

@@ -1,0 +1,94 @@
+//! mHomeGes-style vocabulary: 10 self-defined large arm movements
+//! (paper §VI-A), all single-arm, designed for smart-home control at
+//! living-room distances.
+
+use super::GestureMotion;
+use crate::path::{primitives, HandPath};
+use gp_pointcloud::Vec3;
+
+pub(super) fn motion(index: usize) -> GestureMotion {
+    match index {
+        0 => GestureMotion {
+            name: "arm raise",
+            right: HandPath::from_tuples(&[
+                (0.0, 0.05, 0.12, -0.92),
+                (0.40, 0.12, 0.45, 0.72),
+                (0.60, 0.12, 0.45, 0.72),
+                (1.0, 0.05, 0.12, -0.92),
+            ]),
+            left: None,
+            base_duration: 2.2,
+        },
+        1 => GestureMotion {
+            name: "arm drop",
+            right: HandPath::from_tuples(&[
+                (0.0, 0.05, 0.12, -0.92),
+                (0.28, 0.12, 0.45, 0.70),
+                (0.62, 0.15, 0.50, -0.55),
+                (1.0, 0.05, 0.12, -0.92),
+            ]),
+            left: None,
+            base_duration: 2.2,
+        },
+        2 => GestureMotion {
+            name: "push forward",
+            right: primitives::out_and_back(Vec3::new(0.15, 0.92, 0.05)),
+            left: None,
+            base_duration: 2.2,
+        },
+        3 => GestureMotion {
+            name: "pull back",
+            right: HandPath::from_tuples(&[
+                (0.0, 0.05, 0.12, -0.92),
+                (0.25, 0.15, 0.88, 0.05),
+                (0.62, 0.15, 0.25, -0.08),
+                (1.0, 0.05, 0.12, -0.92),
+            ]),
+            left: None,
+            base_duration: 2.2,
+        },
+        4 => GestureMotion {
+            name: "left swing",
+            right: primitives::swipe(Vec3::new(0.55, 0.50, 0.10), Vec3::new(-0.45, 0.50, 0.10)),
+            left: None,
+            base_duration: 2.2,
+        },
+        5 => GestureMotion {
+            name: "right swing",
+            right: primitives::swipe(Vec3::new(-0.45, 0.50, 0.10), Vec3::new(0.55, 0.50, 0.10)),
+            left: None,
+            base_duration: 2.2,
+        },
+        6 => GestureMotion {
+            name: "arm circle",
+            right: primitives::frontal_circle(Vec3::new(0.12, 0.55, 0.10), 0.32, false),
+            left: None,
+            base_duration: 2.4,
+        },
+        7 => GestureMotion {
+            name: "wave hand",
+            right: primitives::wave(Vec3::new(0.18, 0.52, 0.35), 0.30, 3),
+            left: None,
+            base_duration: 2.8,
+        },
+        8 => GestureMotion {
+            name: "forward punch",
+            right: HandPath::from_tuples(&[
+                (0.0, 0.05, 0.12, -0.92),
+                (0.30, 0.15, 0.30, 0.00),
+                (0.46, 0.15, 0.95, 0.04),
+                (0.60, 0.15, 0.35, -0.02),
+                (1.0, 0.05, 0.12, -0.92),
+            ]),
+            left: None,
+            base_duration: 2.2,
+        },
+        9 => GestureMotion {
+            name: "diagonal slash",
+            right: primitives::swipe(Vec3::new(-0.30, 0.52, 0.45), Vec3::new(0.45, 0.55, -0.35)),
+            left: None,
+            base_duration: 2.2,
+        },
+        other => unreachable!("mHomeGes-10 index out of range: {other}"),
+    }
+}

@@ -1,0 +1,221 @@
+//! Gesture vocabularies for the four evaluation datasets.
+//!
+//! Each gesture is a [`GestureMotion`]: a named wrist trajectory for the
+//! dominant hand, an optional second trajectory for bimanual gestures, and
+//! a nominal duration. The four sets mirror the datasets in paper Tab. I:
+//!
+//! * [`GestureSet::Asl15`] — the self-collected GesturePrint dataset's 15
+//!   ASL signs (paper Fig. 9; 9 single-arm + 6 bimanual),
+//! * [`GestureSet::Pantomime21`] — Pantomime-style 21 self-defined
+//!   gestures (9 easy single-arm + 12 bimanual complex),
+//! * [`GestureSet::MHomeGes10`] — mHomeGes-style 10 large arm movements,
+//! * [`GestureSet::MTransSee5`] — mTransSee-style 5 arm motions.
+
+use crate::path::HandPath;
+use serde::{Deserialize, Serialize};
+
+mod asl;
+mod mhomeges;
+mod mtranssee;
+mod pantomime;
+
+/// Index of a gesture within a [`GestureSet`] (also its class label).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GestureId(pub usize);
+
+/// One of the four gesture vocabularies used in the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GestureSet {
+    /// 15 ASL signs (self-collected GesturePrint dataset).
+    Asl15,
+    /// 21 self-defined gestures (Pantomime dataset style).
+    Pantomime21,
+    /// 10 large arm movements (mHomeGes dataset style).
+    MHomeGes10,
+    /// 5 arm motions (mTransSee dataset style).
+    MTransSee5,
+}
+
+/// A fully specified gesture trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GestureMotion {
+    /// Human-readable gesture name.
+    pub name: &'static str,
+    /// Dominant-hand wrist path.
+    pub right: HandPath,
+    /// Off-hand wrist path for bimanual gestures.
+    pub left: Option<HandPath>,
+    /// Nominal execution time in seconds at unit speed factor.
+    pub base_duration: f64,
+}
+
+impl GestureMotion {
+    /// Whether both arms move.
+    pub fn is_bimanual(&self) -> bool {
+        self.left.is_some()
+    }
+}
+
+impl GestureSet {
+    /// All four sets, in paper Tab. I order.
+    pub const ALL: [GestureSet; 4] = [
+        GestureSet::Asl15,
+        GestureSet::Pantomime21,
+        GestureSet::MHomeGes10,
+        GestureSet::MTransSee5,
+    ];
+
+    /// Number of gestures in the vocabulary.
+    pub fn gesture_count(self) -> usize {
+        match self {
+            GestureSet::Asl15 => 15,
+            GestureSet::Pantomime21 => 21,
+            GestureSet::MHomeGes10 => 10,
+            GestureSet::MTransSee5 => 5,
+        }
+    }
+
+    /// Display name of the set.
+    pub fn name(self) -> &'static str {
+        match self {
+            GestureSet::Asl15 => "ASL-15 (GesturePrint)",
+            GestureSet::Pantomime21 => "Pantomime-21",
+            GestureSet::MHomeGes10 => "mHomeGes-10",
+            GestureSet::MTransSee5 => "mTransSee-5",
+        }
+    }
+
+    /// Iterates over all gesture ids in the set.
+    pub fn gesture_ids(self) -> impl Iterator<Item = GestureId> {
+        (0..self.gesture_count()).map(GestureId)
+    }
+
+    /// Name of gesture `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for the set.
+    pub fn gesture_name(self, id: GestureId) -> &'static str {
+        self.motion(id).name
+    }
+
+    /// Builds the trajectory of gesture `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for the set.
+    pub fn motion(self, id: GestureId) -> GestureMotion {
+        let n = self.gesture_count();
+        assert!(id.0 < n, "{:?} has {n} gestures, got index {}", self, id.0);
+        match self {
+            GestureSet::Asl15 => asl::motion(id.0),
+            GestureSet::Pantomime21 => pantomime::motion(id.0),
+            GestureSet::MHomeGes10 => mhomeges::motion(id.0),
+            GestureSet::MTransSee5 => mtranssee::motion(id.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_paper_table1() {
+        assert_eq!(GestureSet::Asl15.gesture_count(), 15);
+        assert_eq!(GestureSet::Pantomime21.gesture_count(), 21);
+        assert_eq!(GestureSet::MHomeGes10.gesture_count(), 10);
+        assert_eq!(GestureSet::MTransSee5.gesture_count(), 5);
+    }
+
+    #[test]
+    fn all_motions_construct() {
+        for set in GestureSet::ALL {
+            for id in set.gesture_ids() {
+                let m = set.motion(id);
+                assert!(!m.name.is_empty());
+                assert!(m.base_duration > 0.5 && m.base_duration < 5.0, "{}", m.name);
+            }
+        }
+    }
+
+    #[test]
+    fn names_unique_within_set() {
+        for set in GestureSet::ALL {
+            let mut names: Vec<&str> = set.gesture_ids().map(|id| set.gesture_name(id)).collect();
+            names.sort_unstable();
+            let before = names.len();
+            names.dedup();
+            assert_eq!(names.len(), before, "duplicate names in {set:?}");
+        }
+    }
+
+    #[test]
+    fn asl_has_nine_single_and_six_bimanual() {
+        let set = GestureSet::Asl15;
+        let bimanual = set
+            .gesture_ids()
+            .filter(|&id| set.motion(id).is_bimanual())
+            .count();
+        assert_eq!(bimanual, 6, "paper: 6 bimanual ASL gestures");
+        assert_eq!(set.gesture_count() - bimanual, 9);
+    }
+
+    #[test]
+    fn pantomime_has_nine_single_and_twelve_bimanual() {
+        let set = GestureSet::Pantomime21;
+        let bimanual = set
+            .gesture_ids()
+            .filter(|&id| set.motion(id).is_bimanual())
+            .count();
+        assert_eq!(bimanual, 12, "paper: 12 bimanual complex gestures");
+    }
+
+    #[test]
+    fn motions_move_the_hand() {
+        // Every gesture should produce a path with meaningful travel.
+        for set in GestureSet::ALL {
+            for id in set.gesture_ids() {
+                let m = set.motion(id);
+                assert!(
+                    m.right.arc_length(100) > 0.3,
+                    "{} barely moves ({})",
+                    m.name,
+                    m.right.arc_length(100)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gestures_are_pairwise_distinct() {
+        // Sample each ASL gesture at mid-motion and check trajectories are
+        // not identical (gesture recognition would be ill-posed otherwise).
+        let set = GestureSet::Asl15;
+        let samples: Vec<_> = set
+            .gesture_ids()
+            .map(|id| {
+                let m = set.motion(id);
+                (0..10)
+                    .map(|i| m.right.sample(0.25 + 0.05 * i as f64))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for i in 0..samples.len() {
+            for j in i + 1..samples.len() {
+                let max_gap = samples[i]
+                    .iter()
+                    .zip(&samples[j])
+                    .map(|(a, b)| a.distance(*b))
+                    .fold(0.0f64, f64::max);
+                assert!(max_gap > 0.01, "gestures {i} and {j} look identical");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gestures")]
+    fn out_of_range_id_panics() {
+        GestureSet::MTransSee5.motion(GestureId(5));
+    }
+}

@@ -1,0 +1,52 @@
+//! mTransSee-style vocabulary: 5 self-defined arm motions (paper §VI-A),
+//! single-arm, used across 13 anchor distances from 1.2 m to 4.8 m.
+
+use super::GestureMotion;
+use crate::path::{primitives, HandPath};
+use gp_pointcloud::Vec3;
+
+pub(super) fn motion(index: usize) -> GestureMotion {
+    match index {
+        0 => GestureMotion {
+            name: "push",
+            right: primitives::out_and_back(Vec3::new(0.12, 0.90, 0.03)),
+            left: None,
+            base_duration: 2.2,
+        },
+        1 => GestureMotion {
+            name: "pull",
+            right: HandPath::from_tuples(&[
+                (0.0, 0.05, 0.12, -0.92),
+                (0.25, 0.14, 0.86, 0.03),
+                (0.60, 0.14, 0.28, -0.06),
+                (1.0, 0.05, 0.12, -0.92),
+            ]),
+            left: None,
+            base_duration: 2.2,
+        },
+        2 => GestureMotion {
+            name: "left slide",
+            right: primitives::swipe(Vec3::new(0.48, 0.55, 0.06), Vec3::new(-0.38, 0.55, 0.06)),
+            left: None,
+            base_duration: 2.2,
+        },
+        3 => GestureMotion {
+            name: "right slide",
+            right: primitives::swipe(Vec3::new(-0.38, 0.55, 0.06), Vec3::new(0.48, 0.55, 0.06)),
+            left: None,
+            base_duration: 2.2,
+        },
+        4 => GestureMotion {
+            name: "lift",
+            right: HandPath::from_tuples(&[
+                (0.0, 0.05, 0.12, -0.92),
+                (0.32, 0.15, 0.55, -0.30),
+                (0.60, 0.15, 0.55, 0.45),
+                (1.0, 0.05, 0.12, -0.92),
+            ]),
+            left: None,
+            base_duration: 2.3,
+        },
+        other => unreachable!("mTransSee-5 index out of range: {other}"),
+    }
+}

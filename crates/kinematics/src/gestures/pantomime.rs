@@ -1,0 +1,188 @@
+//! Pantomime-style vocabulary: 21 self-defined gestures — 9 easy
+//! single-arm gestures and 12 bimanual complex gestures (paper §VI-A).
+//!
+//! The public Pantomime dataset does not publish trajectory definitions,
+//! so these are representative mid-air gestures of matching arity and
+//! complexity.
+
+use super::GestureMotion;
+use crate::path::{primitives, HandPath};
+use gp_pointcloud::Vec3;
+
+pub(super) fn motion(index: usize) -> GestureMotion {
+    match index {
+        // --- 9 easy single-arm gestures ----------------------------------
+        0 => GestureMotion {
+            name: "swipe left",
+            right: primitives::swipe(Vec3::new(0.45, 0.55, 0.05), Vec3::new(-0.35, 0.55, 0.05)),
+            left: None,
+            base_duration: 2.3,
+        },
+        1 => GestureMotion {
+            name: "swipe right",
+            right: primitives::swipe(Vec3::new(-0.35, 0.55, 0.05), Vec3::new(0.45, 0.55, 0.05)),
+            left: None,
+            base_duration: 2.3,
+        },
+        2 => GestureMotion {
+            name: "swipe up",
+            right: primitives::swipe(Vec3::new(0.10, 0.58, -0.30), Vec3::new(0.10, 0.58, 0.38)),
+            left: None,
+            base_duration: 2.2,
+        },
+        3 => GestureMotion {
+            name: "swipe down",
+            right: primitives::swipe(Vec3::new(0.10, 0.58, 0.38), Vec3::new(0.10, 0.58, -0.30)),
+            left: None,
+            base_duration: 2.2,
+        },
+        4 => GestureMotion {
+            name: "push forward",
+            right: primitives::out_and_back(Vec3::new(0.12, 0.90, 0.04)),
+            left: None,
+            base_duration: 2.2,
+        },
+        5 => GestureMotion {
+            name: "pull back",
+            right: HandPath::from_tuples(&[
+                (0.0, 0.05, 0.12, -0.92),
+                (0.25, 0.12, 0.85, 0.02),
+                (0.60, 0.12, 0.30, -0.05),
+                (1.0, 0.05, 0.12, -0.92),
+            ]),
+            left: None,
+            base_duration: 2.2,
+        },
+        6 => GestureMotion {
+            name: "circle clockwise",
+            right: primitives::frontal_circle(Vec3::new(0.10, 0.58, 0.08), 0.26, true),
+            left: None,
+            base_duration: 2.2,
+        },
+        7 => GestureMotion {
+            name: "circle counter-clockwise",
+            right: primitives::frontal_circle(Vec3::new(0.10, 0.58, 0.08), 0.26, false),
+            left: None,
+            base_duration: 2.2,
+        },
+        8 => GestureMotion {
+            name: "wave",
+            right: primitives::wave(Vec3::new(0.15, 0.55, 0.30), 0.28, 3),
+            left: None,
+            base_duration: 2.8,
+        },
+        // --- 12 bimanual complex gestures ---------------------------------
+        9 => bimanual_symmetric(
+            "lateral raise",
+            HandPath::from_tuples(&[
+                (0.0, 0.05, 0.12, -0.92),
+                (0.40, 0.70, 0.25, 0.05),
+                (0.60, 0.70, 0.25, 0.05),
+                (1.0, 0.05, 0.12, -0.92),
+            ]),
+            2.4,
+        ),
+        10 => bimanual_symmetric(
+            "frontal raise",
+            HandPath::from_tuples(&[
+                (0.0, 0.05, 0.12, -0.92),
+                (0.40, 0.15, 0.75, 0.30),
+                (0.60, 0.15, 0.75, 0.30),
+                (1.0, 0.05, 0.12, -0.92),
+            ]),
+            2.4,
+        ),
+        11 => bimanual_symmetric(
+            "both push",
+            primitives::out_and_back(Vec3::new(0.20, 0.88, 0.02)),
+            2.2,
+        ),
+        12 => bimanual_symmetric(
+            "both pull",
+            HandPath::from_tuples(&[
+                (0.0, 0.05, 0.12, -0.92),
+                (0.25, 0.18, 0.85, 0.02),
+                (0.60, 0.18, 0.28, -0.06),
+                (1.0, 0.05, 0.12, -0.92),
+            ]),
+            2.2,
+        ),
+        13 => bimanual_symmetric(
+            "clap",
+            HandPath::from_tuples(&[
+                (0.0, 0.05, 0.12, -0.92),
+                (0.30, 0.35, 0.55, 0.00),
+                (0.45, 0.04, 0.58, 0.00),
+                (0.58, 0.30, 0.55, 0.00),
+                (0.70, 0.04, 0.58, 0.00),
+                (1.0, 0.05, 0.12, -0.92),
+            ]),
+            2.6,
+        ),
+        14 => bimanual_symmetric(
+            "open arms",
+            HandPath::from_tuples(&[
+                (0.0, 0.05, 0.12, -0.92),
+                (0.30, 0.08, 0.60, 0.02),
+                (0.62, 0.62, 0.40, 0.04),
+                (1.0, 0.05, 0.12, -0.92),
+            ]),
+            2.3,
+        ),
+        15 => bimanual_symmetric(
+            "close arms",
+            HandPath::from_tuples(&[
+                (0.0, 0.05, 0.12, -0.92),
+                (0.30, 0.62, 0.40, 0.04),
+                (0.62, 0.08, 0.60, 0.02),
+                (1.0, 0.05, 0.12, -0.92),
+            ]),
+            2.3,
+        ),
+        16 => bimanual_symmetric(
+            "double pat",
+            primitives::pat(Vec3::new(0.28, 0.55, 0.02), Vec3::new(0.28, 0.55, -0.20), 2),
+            2.7,
+        ),
+        17 => bimanual_symmetric(
+            "lift",
+            HandPath::from_tuples(&[
+                (0.0, 0.05, 0.12, -0.92),
+                (0.30, 0.25, 0.55, -0.35),
+                (0.62, 0.25, 0.55, 0.40),
+                (1.0, 0.05, 0.12, -0.92),
+            ]),
+            2.5,
+        ),
+        18 => bimanual_symmetric(
+            "throw",
+            HandPath::from_tuples(&[
+                (0.0, 0.05, 0.12, -0.92),
+                (0.30, 0.20, 0.25, 0.35),
+                (0.55, 0.25, 0.92, 0.10),
+                (1.0, 0.05, 0.12, -0.92),
+            ]),
+            2.1,
+        ),
+        19 => GestureMotion {
+            name: "cross swing",
+            // Arms swing in opposite phases across the body.
+            right: primitives::wave(Vec3::new(0.10, 0.55, 0.05), 0.50, 2),
+            left: Some(primitives::wave(Vec3::new(-0.10, 0.55, 0.05), 0.50, 2)),
+            base_duration: 3.0,
+        },
+        20 => GestureMotion {
+            name: "steering",
+            // Hands hold an imaginary wheel and rotate it.
+            right: primitives::frontal_circle(Vec3::new(0.0, 0.60, 0.05), 0.24, true),
+            left: Some(primitives::frontal_circle(Vec3::new(0.0, 0.60, 0.05), 0.24, true)),
+            base_duration: 2.4,
+        },
+        other => unreachable!("Pantomime-21 index out of range: {other}"),
+    }
+}
+
+fn bimanual_symmetric(name: &'static str, right: HandPath, base_duration: f64) -> GestureMotion {
+    let left = right.mirrored();
+    GestureMotion { name, right, left: Some(left), base_duration }
+}

@@ -1,0 +1,368 @@
+//! Keyframe paths: the declarative language gestures are defined in.
+//!
+//! A [`HandPath`] is a sequence of `(time, offset)` keyframes describing
+//! where the wrist travels relative to the shoulder, in *reach units*
+//! (multiples of the user's arm reach) so one definition fits every body
+//! size. Paths are interpolated with a centripetal-flavoured Catmull–Rom
+//! spline for smooth, natural motion through the keyframes.
+//!
+//! The gesture coordinate convention (body frame):
+//! * `+x` — to the user's right (the radar's left; mirrored on mapping),
+//! * `+y` — forward, toward the radar,
+//! * `+z` — up.
+
+use gp_pointcloud::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// One control point of a hand path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Keyframe {
+    /// Normalised time in `[0, 1]`.
+    pub t: f64,
+    /// Wrist offset from the shoulder in reach units.
+    pub offset: Vec3,
+}
+
+impl Keyframe {
+    /// Creates a keyframe.
+    pub const fn new(t: f64, x: f64, y: f64, z: f64) -> Self {
+        Keyframe { t, offset: Vec3::new(x, y, z) }
+    }
+}
+
+/// A smooth wrist trajectory defined by keyframes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HandPath {
+    keyframes: Vec<Keyframe>,
+}
+
+impl HandPath {
+    /// Builds a path from keyframes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two keyframes are given or times are not
+    /// strictly increasing within `[0, 1]`.
+    pub fn new(keyframes: Vec<Keyframe>) -> Self {
+        assert!(keyframes.len() >= 2, "a path needs at least two keyframes");
+        for w in keyframes.windows(2) {
+            assert!(
+                w[1].t > w[0].t,
+                "keyframe times must be strictly increasing: {} then {}",
+                w[0].t,
+                w[1].t
+            );
+        }
+        assert!(
+            keyframes.first().expect("non-empty").t >= 0.0
+                && keyframes.last().expect("non-empty").t <= 1.0,
+            "keyframe times must lie in [0, 1]"
+        );
+        HandPath { keyframes }
+    }
+
+    /// Convenience constructor from `(t, x, y, z)` tuples.
+    pub fn from_tuples(points: &[(f64, f64, f64, f64)]) -> Self {
+        HandPath::new(
+            points
+                .iter()
+                .map(|&(t, x, y, z)| Keyframe::new(t, x, y, z))
+                .collect(),
+        )
+    }
+
+    /// The keyframes defining this path.
+    pub fn keyframes(&self) -> &[Keyframe] {
+        &self.keyframes
+    }
+
+    /// Samples the wrist offset at normalised phase `t ∈ [0, 1]` using
+    /// Catmull–Rom interpolation (endpoints clamped).
+    pub fn sample(&self, t: f64) -> Vec3 {
+        let t = t.clamp(
+            self.keyframes.first().expect("non-empty").t,
+            self.keyframes.last().expect("non-empty").t,
+        );
+        // Find segment [i, i+1] containing t.
+        let n = self.keyframes.len();
+        let mut i = 0;
+        while i + 2 < n && self.keyframes[i + 1].t < t {
+            i += 1;
+        }
+        let k1 = self.keyframes[i];
+        let k2 = self.keyframes[i + 1];
+        let k0 = if i == 0 { k1 } else { self.keyframes[i - 1] };
+        let k3 = if i + 2 >= n { k2 } else { self.keyframes[i + 2] };
+        let span = (k2.t - k1.t).max(1e-9);
+        let u = ((t - k1.t) / span).clamp(0.0, 1.0);
+        catmull_rom(k0.offset, k1.offset, k2.offset, k3.offset, u)
+    }
+
+    /// Returns a copy with every offset transformed by `f`.
+    pub fn map_offsets<F: Fn(Vec3) -> Vec3>(&self, f: F) -> HandPath {
+        HandPath {
+            keyframes: self
+                .keyframes
+                .iter()
+                .map(|k| Keyframe { t: k.t, offset: f(k.offset) })
+                .collect(),
+        }
+    }
+
+    /// Returns a mirrored copy (x → −x), used to derive left-hand paths
+    /// for symmetric bimanual gestures and left-handed users.
+    pub fn mirrored(&self) -> HandPath {
+        self.map_offsets(|o| Vec3::new(-o.x, o.y, o.z))
+    }
+
+    /// Approximate path length in reach units (polyline over `steps`
+    /// samples).
+    pub fn arc_length(&self, steps: usize) -> f64 {
+        let steps = steps.max(1);
+        let mut len = 0.0;
+        let mut prev = self.sample(0.0);
+        for s in 1..=steps {
+            let cur = self.sample(s as f64 / steps as f64);
+            len += prev.distance(cur);
+            prev = cur;
+        }
+        len
+    }
+}
+
+/// Standard (uniform) Catmull–Rom spline through `p1`..`p2` with
+/// neighbours `p0`, `p3`, at local parameter `u ∈ [0, 1]`.
+fn catmull_rom(p0: Vec3, p1: Vec3, p2: Vec3, p3: Vec3, u: f64) -> Vec3 {
+    let u2 = u * u;
+    let u3 = u2 * u;
+    (p1 * 2.0
+        + (p2 - p0) * u
+        + (p0 * 2.0 - p1 * 5.0 + p2 * 4.0 - p3) * u2
+        + (p1 * 3.0 - p0 - p2 * 3.0 + p3) * u3)
+        * 0.5
+}
+
+/// The neutral rest offset: hand hanging by the hip, slightly forward.
+/// In reach units relative to the shoulder.
+pub const REST_OFFSET: Vec3 = Vec3::new(0.05, 0.12, -0.92);
+
+/// Builders for common path primitives; gesture tables compose these.
+pub mod primitives {
+    use super::*;
+
+    /// Hold at `offset` for the whole phase (used for the off hand).
+    pub fn hold(offset: Vec3) -> HandPath {
+        HandPath::new(vec![
+            Keyframe { t: 0.0, offset },
+            Keyframe { t: 1.0, offset },
+        ])
+    }
+
+    /// Rest → target → rest, pausing briefly at the target.
+    pub fn out_and_back(target: Vec3) -> HandPath {
+        HandPath::new(vec![
+            Keyframe { t: 0.0, offset: REST_OFFSET },
+            Keyframe { t: 0.40, offset: target },
+            Keyframe { t: 0.48, offset: target },
+            Keyframe { t: 1.0, offset: REST_OFFSET },
+        ])
+    }
+
+    /// Rest → `a` → `b` → rest (a swipe through the body frame).
+    pub fn swipe(a: Vec3, b: Vec3) -> HandPath {
+        HandPath::new(vec![
+            Keyframe { t: 0.0, offset: REST_OFFSET },
+            Keyframe { t: 0.30, offset: a },
+            Keyframe { t: 0.62, offset: b },
+            Keyframe { t: 1.0, offset: REST_OFFSET },
+        ])
+    }
+
+    /// A full circle of radius `r` in the frontal (x–z) plane centred at
+    /// `center`, clockwise when `cw` (as seen by the user).
+    pub fn frontal_circle(center: Vec3, r: f64, cw: bool) -> HandPath {
+        circle(center, r, cw, |ang| Vec3::new(ang.cos() * r, 0.0, ang.sin() * r))
+    }
+
+    /// A full circle of radius `r` in the sagittal (y–z) plane centred at
+    /// `center` (wheel-like forward rolling motion).
+    pub fn sagittal_circle(center: Vec3, r: f64, cw: bool) -> HandPath {
+        circle(center, r, cw, |ang| Vec3::new(0.0, ang.cos() * r, ang.sin() * r))
+    }
+
+    fn circle<F: Fn(f64) -> Vec3>(center: Vec3, _r: f64, cw: bool, point: F) -> HandPath {
+        let mut keyframes = vec![Keyframe { t: 0.0, offset: REST_OFFSET }];
+        let n = 8;
+        for k in 0..=n {
+            let ang = 2.0 * std::f64::consts::PI * k as f64 / n as f64
+                * if cw { -1.0 } else { 1.0 };
+            keyframes.push(Keyframe {
+                t: 0.15 + 0.7 * k as f64 / n as f64,
+                offset: center + point(ang),
+            });
+        }
+        keyframes.push(Keyframe { t: 1.0, offset: REST_OFFSET });
+        HandPath::new(keyframes)
+    }
+
+    /// A zigzag: alternating lateral motion while descending.
+    pub fn zigzag(top: Vec3, width: f64, drop: f64, legs: usize) -> HandPath {
+        let legs = legs.max(2);
+        let mut keyframes = vec![Keyframe { t: 0.0, offset: REST_OFFSET }];
+        for leg in 0..=legs {
+            let frac = leg as f64 / legs as f64;
+            let x = top.x + if leg % 2 == 0 { -width / 2.0 } else { width / 2.0 };
+            keyframes.push(Keyframe {
+                t: 0.2 + 0.6 * frac,
+                offset: Vec3::new(x, top.y, top.z - drop * frac),
+            });
+        }
+        keyframes.push(Keyframe { t: 1.0, offset: REST_OFFSET });
+        HandPath::new(keyframes)
+    }
+
+    /// Repeated patting: rest → up/down `taps` times between `hi` and `lo`
+    /// → rest.
+    pub fn pat(hi: Vec3, lo: Vec3, taps: usize) -> HandPath {
+        let taps = taps.max(1);
+        let mut keyframes = vec![Keyframe { t: 0.0, offset: REST_OFFSET }];
+        let steps = taps * 2;
+        for s in 0..=steps {
+            let frac = s as f64 / steps as f64;
+            let offset = if s % 2 == 0 { hi } else { lo };
+            keyframes.push(Keyframe { t: 0.18 + 0.64 * frac, offset });
+        }
+        keyframes.push(Keyframe { t: 1.0, offset: REST_OFFSET });
+        HandPath::new(keyframes)
+    }
+
+    /// Wave: lateral oscillation around a centre point. The hand arcs
+    /// slightly forward at each extreme (the arm pivots at the elbow), so
+    /// the motion carries a radial component the radar can see.
+    pub fn wave(center: Vec3, width: f64, cycles: usize) -> HandPath {
+        let cycles = cycles.max(1);
+        let mut keyframes = vec![Keyframe { t: 0.0, offset: REST_OFFSET }];
+        let steps = cycles * 2;
+        for s in 0..=steps {
+            let frac = s as f64 / steps as f64;
+            let x = center.x + if s % 2 == 0 { -width / 2.0 } else { width / 2.0 };
+            let y = center.y + if s % 2 == 0 { -0.06 } else { 0.06 };
+            keyframes.push(Keyframe {
+                t: 0.18 + 0.64 * frac,
+                offset: Vec3::new(x, y, center.z),
+            });
+        }
+        keyframes.push(Keyframe { t: 1.0, offset: REST_OFFSET });
+        HandPath::new(keyframes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_hits_keyframes() {
+        let path = HandPath::from_tuples(&[
+            (0.0, 0.0, 0.0, 0.0),
+            (0.5, 1.0, 0.0, 0.0),
+            (1.0, 0.0, 0.0, 0.0),
+        ]);
+        assert!(path.sample(0.0).distance(Vec3::ZERO) < 1e-12);
+        assert!(path.sample(0.5).distance(Vec3::new(1.0, 0.0, 0.0)) < 1e-12);
+        assert!(path.sample(1.0).distance(Vec3::ZERO) < 1e-12);
+    }
+
+    #[test]
+    fn sample_is_continuous() {
+        let path = primitives::out_and_back(Vec3::new(0.0, 0.9, 0.1));
+        let mut prev = path.sample(0.0);
+        for i in 1..=200 {
+            let cur = path.sample(i as f64 / 200.0);
+            assert!(prev.distance(cur) < 0.1, "jump at step {i}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn clamps_out_of_range_phase() {
+        let path = primitives::hold(Vec3::new(0.2, 0.2, 0.2));
+        assert_eq!(path.sample(-1.0), path.sample(0.0));
+        assert_eq!(path.sample(2.0), path.sample(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_keyframe() {
+        HandPath::new(vec![Keyframe::new(0.0, 0.0, 0.0, 0.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_non_monotonic_times() {
+        HandPath::from_tuples(&[(0.0, 0.0, 0.0, 0.0), (0.5, 1.0, 0.0, 0.0), (0.4, 0.0, 0.0, 0.0)]);
+    }
+
+    #[test]
+    fn mirror_flips_x_only() {
+        let path = primitives::swipe(Vec3::new(-0.4, 0.5, 0.0), Vec3::new(0.4, 0.5, 0.0));
+        let m = path.mirrored();
+        let p = path.sample(0.5);
+        let q = m.sample(0.5);
+        assert!((p.x + q.x).abs() < 1e-12);
+        assert!((p.y - q.y).abs() < 1e-12);
+        assert!((p.z - q.z).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circle_returns_to_start() {
+        let path = primitives::frontal_circle(Vec3::new(0.0, 0.6, 0.1), 0.25, false);
+        let a = path.sample(0.15);
+        let b = path.sample(0.85);
+        assert!(a.distance(b) < 1e-9, "circle should close: {a:?} vs {b:?}");
+    }
+
+    #[test]
+    fn hold_never_moves() {
+        let path = primitives::hold(REST_OFFSET);
+        for i in 0..=10 {
+            assert!(path.sample(i as f64 / 10.0).distance(REST_OFFSET) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn arc_length_positive_for_moving_paths() {
+        let path = primitives::out_and_back(Vec3::new(0.0, 0.95, 0.0));
+        assert!(path.arc_length(100) > 1.0);
+        assert!(primitives::hold(REST_OFFSET).arc_length(50) < 1e-9);
+    }
+
+    #[test]
+    fn zigzag_alternates_sides() {
+        let path = primitives::zigzag(Vec3::new(0.0, 0.6, 0.3), 0.4, 0.5, 4);
+        // Mid-leg samples should alternate in x sign.
+        let xs: Vec<f64> = (0..5)
+            .map(|leg| path.sample(0.2 + 0.6 * leg as f64 / 4.0).x)
+            .collect();
+        assert!(xs[0] < 0.0 && xs[1] > 0.0 && xs[2] < 0.0, "{xs:?}");
+    }
+
+    #[test]
+    fn pat_touches_both_levels() {
+        let hi = Vec3::new(0.1, 0.5, 0.1);
+        let lo = Vec3::new(0.1, 0.5, -0.1);
+        let path = primitives::pat(hi, lo, 2);
+        let mut saw_hi = false;
+        let mut saw_lo = false;
+        for i in 0..=100 {
+            let p = path.sample(i as f64 / 100.0);
+            if p.distance(hi) < 0.02 {
+                saw_hi = true;
+            }
+            if p.distance(lo) < 0.02 {
+                saw_lo = true;
+            }
+        }
+        assert!(saw_hi && saw_lo);
+    }
+}

@@ -1,0 +1,422 @@
+//! A timed gesture performance: rest → gesture → rest.
+//!
+//! [`Performance`] binds a [`UserProfile`] to a gesture trajectory and a
+//! place in the room, applies the user's biometric transforms (amplitude,
+//! speed, timing warp, biases, tremor) plus per-repetition variation, and
+//! exposes the body pose / radar scatterers at any time instant. This is
+//! the object the radar simulator animates.
+
+use crate::gestures::{GestureId, GestureMotion, GestureSet};
+use crate::path::{HandPath, REST_OFFSET};
+use crate::profile::{Handedness, UserProfile};
+use crate::scatter::{differentiate, Scatterer};
+use crate::skeleton::{ArmPose, BodyPose};
+use gp_pointcloud::Vec3;
+use rand::Rng;
+
+/// Placement and timing options for a performance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerformanceConfig {
+    /// Distance from the radar to the user along `y` (m).
+    pub distance: f64,
+    /// Lateral offset of the user from the radar boresight (m).
+    pub lateral_offset: f64,
+    /// Idle time before the gesture starts (s).
+    pub pre_idle: f64,
+    /// Idle time after the gesture ends (s).
+    pub post_idle: f64,
+    /// External speed multiplier (1.0 = the user's natural speed). Used by
+    /// the articulation-speed experiments (paper §VI-B3).
+    pub speed_scale: f64,
+}
+
+impl Default for PerformanceConfig {
+    fn default() -> Self {
+        PerformanceConfig {
+            distance: 1.2,
+            lateral_offset: 0.0,
+            pre_idle: 1.0,
+            post_idle: 1.0,
+            speed_scale: 1.0,
+        }
+    }
+}
+
+/// Per-repetition stochastic variation, drawn once per performance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct RepVariation {
+    speed_mult: f64,
+    amp_mult: f64,
+    start_delay: f64,
+    tremor_phase: [f64; 3],
+    sway_phase: f64,
+}
+
+impl RepVariation {
+    fn draw<R: Rng>(rng: &mut R) -> Self {
+        RepVariation {
+            speed_mult: rng.gen_range(0.90..1.10),
+            amp_mult: rng.gen_range(0.95..1.05),
+            start_delay: rng.gen_range(0.0..0.35),
+            tremor_phase: [
+                rng.gen_range(0.0..std::f64::consts::TAU),
+                rng.gen_range(0.0..std::f64::consts::TAU),
+                rng.gen_range(0.0..std::f64::consts::TAU),
+            ],
+            sway_phase: rng.gen_range(0.0..std::f64::consts::TAU),
+        }
+    }
+}
+
+/// One execution of one gesture by one user at one spot in the room.
+#[derive(Debug, Clone)]
+pub struct Performance {
+    profile: UserProfile,
+    motion: GestureMotion,
+    config: PerformanceConfig,
+    variation: RepVariation,
+    torso_center: Vec3,
+    torso_radius: f64,
+    gesture_duration: f64,
+}
+
+impl Performance {
+    /// Creates a performance at `distance` metres with default timing.
+    ///
+    /// The `rng` drives per-repetition variation only — two calls with the
+    /// same arguments but different RNG states model two repetitions of
+    /// the same gesture by the same user.
+    pub fn new<R: Rng>(
+        profile: &UserProfile,
+        set: GestureSet,
+        gesture: GestureId,
+        distance: f64,
+        rng: &mut R,
+    ) -> Self {
+        let config = PerformanceConfig { distance, ..PerformanceConfig::default() };
+        Self::with_config(profile, set, gesture, config, rng)
+    }
+
+    /// Creates a performance with full placement/timing control.
+    pub fn with_config<R: Rng>(
+        profile: &UserProfile,
+        set: GestureSet,
+        gesture: GestureId,
+        config: PerformanceConfig,
+        rng: &mut R,
+    ) -> Self {
+        let mut motion = set.motion(gesture);
+        // Left-handed users mirror single-arm gestures.
+        if profile.handedness == Handedness::Left && motion.left.is_none() {
+            motion.right = motion.right.mirrored();
+        }
+        let variation = RepVariation::draw(rng);
+        let speed = profile.speed_factor * config.speed_scale * variation.speed_mult;
+        let gesture_duration = motion.base_duration / speed.max(0.1);
+        let torso_center = Vec3::new(
+            config.lateral_offset,
+            config.distance,
+            profile.shoulder_height - 0.18,
+        );
+        Performance {
+            profile: profile.clone(),
+            motion,
+            config,
+            variation,
+            torso_center,
+            torso_radius: 0.16,
+            gesture_duration,
+        }
+    }
+
+    /// The user profile performing this gesture.
+    pub fn profile(&self) -> &UserProfile {
+        &self.profile
+    }
+
+    /// The gesture name.
+    pub fn gesture_name(&self) -> &'static str {
+        self.motion.name
+    }
+
+    /// Total timeline length: pre-idle + start delay + gesture + post-idle.
+    pub fn total_duration(&self) -> f64 {
+        self.config.pre_idle + self.variation.start_delay + self.gesture_duration + self.config.post_idle
+    }
+
+    /// The `[start, end)` interval of actual gesture motion (s).
+    pub fn gesture_interval(&self) -> (f64, f64) {
+        let start = self.config.pre_idle + self.variation.start_delay;
+        (start, start + self.gesture_duration)
+    }
+
+    /// Body pose at time `t` seconds from the start of the timeline.
+    pub fn pose_at(&self, t: f64) -> BodyPose {
+        let (gs, ge) = self.gesture_interval();
+        let phase = if t < gs {
+            0.0
+        } else if t >= ge {
+            1.0
+        } else {
+            self.profile.warp_phase((t - gs) / self.gesture_duration)
+        };
+
+        // Torso sway (idle micro-motion) keeps static clutter realistic.
+        let sway = self.profile.sway_amplitude;
+        let torso = self.torso_center
+            + Vec3::new(
+                sway * (0.4 * std::f64::consts::TAU * t + self.variation.sway_phase).sin(),
+                sway * 0.6 * (0.27 * std::f64::consts::TAU * t + self.variation.sway_phase * 0.7).cos(),
+                0.0,
+            );
+        let shoulder_z = self.profile.shoulder_height;
+        let head = Vec3::new(torso.x, torso.y, self.profile.height - 0.10);
+
+        // The user faces the radar (−y direction), so the body frame maps
+        // to the world as (x, y, z) → (−x, −y, z) relative to the torso.
+        let right_shoulder = Vec3::new(torso.x - self.profile.shoulder_half_width, torso.y, shoulder_z);
+        let left_shoulder = Vec3::new(torso.x + self.profile.shoulder_half_width, torso.y, shoulder_z);
+
+        let right_target = self.wrist_world(&self.motion.right, phase, right_shoulder, t);
+        let right = ArmPose::from_wrist_target(
+            right_shoulder,
+            right_target,
+            self.profile.upper_arm,
+            self.profile.forearm,
+            self.profile.hand,
+            self.profile.elbow_swivel,
+        );
+
+        let left_path_rest;
+        let left_path: &HandPath = match &self.motion.left {
+            Some(p) => p,
+            None => {
+                left_path_rest = crate::path::primitives::hold(REST_OFFSET);
+                &left_path_rest
+            }
+        };
+        // The off hand of a single-arm gesture stays at rest (phase fixed).
+        let left_phase = if self.motion.left.is_some() { phase } else { 0.0 };
+        let left_target = self.wrist_world(
+            &left_path.mirrored(), // stored paths are right-hand frames
+            left_phase,
+            left_shoulder,
+            t,
+        );
+        let left = ArmPose::from_wrist_target(
+            left_shoulder,
+            left_target,
+            self.profile.upper_arm,
+            self.profile.forearm,
+            self.profile.hand,
+            -self.profile.elbow_swivel,
+        );
+
+        BodyPose { torso_center: torso, head, right, left }
+    }
+
+    /// Radar scatterers at time `t` (finite-difference velocities over
+    /// 5 ms). Arm and hand scatterer RCS is scaled by the user's
+    /// reflectivity signature.
+    pub fn scatterers_at(&self, t: f64) -> Vec<Scatterer> {
+        let dt = 0.005;
+        let now = self.pose_at(t);
+        let next = self.pose_at(t + dt);
+        let mut scatterers = differentiate(&now, &next, dt, self.torso_radius);
+        // The first 8 scatterers are torso + head; the rest are limbs.
+        for s in scatterers.iter_mut().skip(8) {
+            s.rcs *= self.profile.rcs_scale;
+        }
+        scatterers
+    }
+
+    fn wrist_world(&self, path: &HandPath, phase: f64, shoulder: Vec3, t: f64) -> Vec3 {
+        let p = &self.profile;
+        let amp = p.rom_scale * self.variation.amp_mult;
+        let offset = path.sample(phase);
+        // Body → world: user faces the radar, so body +x (user's right)
+        // is world −x, and body +y (forward) is world −y.
+        let scaled = Vec3::new(
+            -offset.x * amp * p.lateral_rom * p.reach(),
+            -offset.y * amp * p.reach(),
+            offset.z * amp * p.reach(),
+        );
+        let bias = Vec3::new(-p.lateral_bias, -p.depth_bias, p.vertical_bias);
+        let tremor = Vec3::new(
+            (std::f64::consts::TAU * p.tremor_frequency * t + self.variation.tremor_phase[0]).sin(),
+            (std::f64::consts::TAU * p.tremor_frequency * t + self.variation.tremor_phase[1]).sin(),
+            (std::f64::consts::TAU * p.tremor_frequency * t + self.variation.tremor_phase[2]).sin(),
+        ) * p.tremor_amplitude;
+        shoulder + scaled + bias + tremor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn make_perf(user: usize, gesture: usize, seed: u64) -> Performance {
+        let profile = UserProfile::generate(user, 42);
+        let mut rng = StdRng::seed_from_u64(seed);
+        Performance::new(&profile, GestureSet::Asl15, GestureId(gesture), 1.2, &mut rng)
+    }
+
+    #[test]
+    fn timeline_structure() {
+        let perf = make_perf(0, 12, 1);
+        let (gs, ge) = perf.gesture_interval();
+        assert!(gs >= 1.0, "pre-idle respected");
+        assert!(ge > gs);
+        assert!(perf.total_duration() >= ge + 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn rest_pose_before_and_after() {
+        let perf = make_perf(0, 12, 1);
+        let (gs, _) = perf.gesture_interval();
+        let p0 = perf.pose_at(0.0);
+        let p1 = perf.pose_at(gs * 0.5);
+        // Hands should be near the hips and barely moving before start.
+        let drift = p0.right.wrist.distance(p1.right.wrist);
+        assert!(drift < 0.05, "rest drift {drift}");
+        assert!(p0.right.wrist.z < p0.torso_center.z, "hand hangs below chest");
+    }
+
+    #[test]
+    fn gesture_moves_dominant_hand() {
+        let perf = make_perf(0, 0, 1); // 'ahead' — forward punch
+        let (gs, ge) = perf.gesture_interval();
+        let rest = perf.pose_at(0.0).right.wrist;
+        let mut min_y = f64::INFINITY;
+        for i in 0..=50 {
+            let t = gs + (ge - gs) * i as f64 / 50.0;
+            min_y = min_y.min(perf.pose_at(t).right.wrist.y);
+        }
+        // Forward = toward the radar = smaller world y.
+        assert!(min_y < rest.y - 0.25, "hand should approach the radar: {min_y} vs {}", rest.y);
+    }
+
+    #[test]
+    fn single_arm_gesture_keeps_off_hand_at_rest() {
+        let perf = make_perf(0, 14, 1); // 'zigzag' — single arm
+        let (gs, ge) = perf.gesture_interval();
+        let rest = perf.pose_at(0.0).left.wrist;
+        let mid = perf.pose_at((gs + ge) / 2.0).left.wrist;
+        assert!(rest.distance(mid) < 0.06, "off hand moved {}", rest.distance(mid));
+    }
+
+    #[test]
+    fn bimanual_gesture_moves_both_hands() {
+        let perf = make_perf(0, 12, 1); // 'push' — bimanual
+        let (gs, ge) = perf.gesture_interval();
+        let rest = perf.pose_at(0.0);
+        let mid = perf.pose_at(gs + (ge - gs) * 0.5);
+        assert!(rest.right.wrist.distance(mid.right.wrist) > 0.15);
+        assert!(rest.left.wrist.distance(mid.left.wrist) > 0.15);
+    }
+
+    #[test]
+    fn different_users_trace_different_paths() {
+        let a = make_perf(0, 12, 1);
+        let b = make_perf(1, 12, 1);
+        let (gs_a, ge_a) = a.gesture_interval();
+        let (gs_b, ge_b) = b.gesture_interval();
+        let mut max_gap = 0.0f64;
+        for i in 0..=20 {
+            let f = i as f64 / 20.0;
+            let pa = a.pose_at(gs_a + (ge_a - gs_a) * f).right.wrist;
+            let pb = b.pose_at(gs_b + (ge_b - gs_b) * f).right.wrist;
+            max_gap = max_gap.max(pa.distance(pb));
+        }
+        assert!(max_gap > 0.03, "users too similar: {max_gap}");
+    }
+
+    #[test]
+    fn repetitions_vary_but_resemble() {
+        let a = make_perf(0, 12, 1);
+        let b = make_perf(0, 12, 2);
+        // Durations differ slightly (speed variation)...
+        assert!(a.total_duration() != b.total_duration());
+        let ratio = a.total_duration() / b.total_duration();
+        // ...but not wildly.
+        assert!((0.7..1.4).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn speed_scale_shortens_gesture() {
+        let profile = UserProfile::generate(0, 42);
+        let mut rng = StdRng::seed_from_u64(5);
+        let slow = Performance::with_config(
+            &profile,
+            GestureSet::Asl15,
+            GestureId(0),
+            PerformanceConfig { speed_scale: 0.5, ..PerformanceConfig::default() },
+            &mut rng,
+        );
+        let mut rng = StdRng::seed_from_u64(5);
+        let fast = Performance::with_config(
+            &profile,
+            GestureSet::Asl15,
+            GestureId(0),
+            PerformanceConfig { speed_scale: 2.0, ..PerformanceConfig::default() },
+            &mut rng,
+        );
+        let slow_len = {
+            let (s, e) = slow.gesture_interval();
+            e - s
+        };
+        let fast_len = {
+            let (s, e) = fast.gesture_interval();
+            e - s
+        };
+        assert!((slow_len / fast_len - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scatterers_move_during_gesture() {
+        let perf = make_perf(0, 12, 1);
+        let (gs, ge) = perf.gesture_interval();
+        let mid = perf.scatterers_at(gs + (ge - gs) * 0.4);
+        let max_speed = mid.iter().map(|s| s.velocity.norm()).fold(0.0f64, f64::max);
+        assert!(max_speed > 0.3, "expected visible Doppler, got {max_speed} m/s");
+        let idle = perf.scatterers_at(0.1);
+        let idle_speed = idle.iter().map(|s| s.velocity.norm()).fold(0.0f64, f64::max);
+        assert!(idle_speed < 0.25, "idle should be slow, got {idle_speed} m/s");
+    }
+
+    #[test]
+    fn user_stands_at_configured_distance() {
+        let profile = UserProfile::generate(0, 42);
+        let mut rng = StdRng::seed_from_u64(5);
+        let perf = Performance::new(&profile, GestureSet::MTransSee5, GestureId(0), 3.0, &mut rng);
+        let pose = perf.pose_at(0.0);
+        assert!((pose.torso_center.y - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn left_handed_user_mirrors_single_arm() {
+        // Find a left-handed user.
+        let lefty = (0..200)
+            .map(|id| UserProfile::generate(id, 13))
+            .find(|p| p.handedness == Handedness::Left)
+            .expect("some lefty in 200 users");
+        let righty = UserProfile::generate(
+            (0..200)
+                .find(|&id| UserProfile::generate(id, 13).handedness == Handedness::Right)
+                .unwrap(),
+            13,
+        );
+        let mut rng = StdRng::seed_from_u64(5);
+        // 'away' flicks outward to the user's right → world −x for
+        // right-handers, +x for left-handers.
+        let lp = Performance::new(&lefty, GestureSet::Asl15, GestureId(4), 1.2, &mut rng);
+        let rp = Performance::new(&righty, GestureSet::Asl15, GestureId(4), 1.2, &mut rng);
+        let sample_x = |perf: &Performance| {
+            let (gs, ge) = perf.gesture_interval();
+            perf.pose_at(gs + (ge - gs) * 0.6).right.wrist.x - perf.pose_at(0.0).torso_center.x
+        };
+        assert!(sample_x(&lp) * sample_x(&rp) < 0.0, "mirrored gestures should oppose in x");
+    }
+}

@@ -1,0 +1,192 @@
+//! The shoulder–elbow–wrist kinematic chain.
+//!
+//! Gestures specify *wrist* trajectories; the elbow position follows from
+//! a standard two-link inverse-kinematics solve with a user-specific
+//! swivel angle (some people gesture with the elbow tucked, others flared
+//! — a visible biometric in side-view point clouds).
+
+use gp_pointcloud::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// The pose of one arm in world coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArmPose {
+    /// Shoulder joint.
+    pub shoulder: Vec3,
+    /// Elbow joint.
+    pub elbow: Vec3,
+    /// Wrist joint.
+    pub wrist: Vec3,
+    /// Fingertip (straight-hand extension of the forearm).
+    pub hand_tip: Vec3,
+}
+
+/// The pose of the whole upper body in world coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BodyPose {
+    /// Torso reference point (chest centre).
+    pub torso_center: Vec3,
+    /// Head centre.
+    pub head: Vec3,
+    /// Right arm.
+    pub right: ArmPose,
+    /// Left arm.
+    pub left: ArmPose,
+}
+
+/// Solves the elbow position for a two-link arm.
+///
+/// * `shoulder`, `wrist` — joint positions in world coordinates,
+/// * `upper`, `fore` — segment lengths (m),
+/// * `swivel` — rotation of the elbow around the shoulder→wrist axis
+///   (radians); `0` places the elbow at its lowest (most natural) point.
+///
+/// If the wrist is out of reach it is pulled back onto the reachable
+/// sphere; if it is degenerate (at the shoulder) the arm folds straight
+/// down. The returned tuple is `(elbow, clamped_wrist)`.
+pub fn solve_elbow(shoulder: Vec3, wrist: Vec3, upper: f64, fore: f64, swivel: f64) -> (Vec3, Vec3) {
+    let max_reach = (upper + fore) * 0.999;
+    let min_reach = (upper - fore).abs() * 1.001 + 1e-6;
+    let mut delta = wrist - shoulder;
+    let mut d = delta.norm();
+    if d < 1e-9 {
+        // Degenerate: fold the arm straight down.
+        d = min_reach.max(1e-3);
+        delta = Vec3::new(0.0, 0.0, -d);
+    }
+    let d_clamped = d.clamp(min_reach, max_reach);
+    let dir = delta * (1.0 / d);
+    let wrist_c = shoulder + dir * d_clamped;
+
+    // Distance from the shoulder, along the axis, of the elbow circle.
+    let a = (upper * upper - fore * fore + d_clamped * d_clamped) / (2.0 * d_clamped);
+    let r2 = upper * upper - a * a;
+    let r = r2.max(0.0).sqrt();
+
+    // Basis perpendicular to the axis with `v` pointing as far "down" as
+    // possible, so swivel = 0 drops the elbow naturally.
+    let down = Vec3::new(0.0, 0.0, -1.0);
+    let mut v = down - dir * down.dot(dir);
+    if v.norm() < 1e-6 {
+        // Axis is vertical; fall back to pointing toward the body rear.
+        v = Vec3::new(0.0, 1.0, 0.0) - dir * Vec3::new(0.0, 1.0, 0.0).dot(dir);
+    }
+    let v = v.normalized();
+    let w = dir.cross(v);
+    let elbow = shoulder + dir * a + (v * swivel.cos() + w * swivel.sin()) * r;
+    (elbow, wrist_c)
+}
+
+impl ArmPose {
+    /// Builds an arm pose from a wrist target using [`solve_elbow`] and a
+    /// straight-hand extension of length `hand`.
+    pub fn from_wrist_target(
+        shoulder: Vec3,
+        wrist_target: Vec3,
+        upper: f64,
+        fore: f64,
+        hand: f64,
+        swivel: f64,
+    ) -> ArmPose {
+        let (elbow, wrist) = solve_elbow(shoulder, wrist_target, upper, fore, swivel);
+        let fore_dir = (wrist - elbow).normalized();
+        let hand_tip = wrist + fore_dir * hand;
+        ArmPose { shoulder, elbow, wrist, hand_tip }
+    }
+
+    /// Sum of segment-length errors against the given limb lengths; used
+    /// by tests to check IK consistency.
+    pub fn segment_error(&self, upper: f64, fore: f64) -> f64 {
+        (self.shoulder.distance(self.elbow) - upper).abs()
+            + (self.elbow.distance(self.wrist) - fore).abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const UPPER: f64 = 0.31;
+    const FORE: f64 = 0.25;
+
+    #[test]
+    fn ik_preserves_segment_lengths() {
+        let shoulder = Vec3::new(0.2, 2.0, 1.4);
+        for target in [
+            Vec3::new(0.2, 1.6, 1.4),
+            Vec3::new(0.5, 2.0, 1.2),
+            Vec3::new(0.2, 2.0, 0.9),
+            Vec3::new(-0.1, 1.7, 1.6),
+        ] {
+            let pose = ArmPose::from_wrist_target(shoulder, target, UPPER, FORE, 0.18, 0.2);
+            assert!(
+                pose.segment_error(UPPER, FORE) < 1e-9,
+                "segment error too large for target {target:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reachable_wrist_is_hit_exactly() {
+        let shoulder = Vec3::new(0.0, 0.0, 1.4);
+        let target = Vec3::new(0.2, 0.3, 1.2); // well within reach
+        let pose = ArmPose::from_wrist_target(shoulder, target, UPPER, FORE, 0.18, 0.0);
+        assert!(pose.wrist.distance(target) < 1e-9);
+    }
+
+    #[test]
+    fn unreachable_wrist_is_clamped_to_sphere() {
+        let shoulder = Vec3::new(0.0, 0.0, 1.4);
+        let target = Vec3::new(0.0, 5.0, 1.4); // far out of reach
+        let pose = ArmPose::from_wrist_target(shoulder, target, UPPER, FORE, 0.18, 0.0);
+        let reach = pose.wrist.distance(shoulder);
+        assert!(reach <= UPPER + FORE + 1e-9);
+        assert!(reach >= (UPPER + FORE) * 0.99);
+        // Direction preserved.
+        let dir = (pose.wrist - shoulder).normalized();
+        assert!((dir.y - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_swivel_drops_elbow() {
+        let shoulder = Vec3::new(0.0, 0.0, 1.4);
+        let target = Vec3::new(0.0, 0.4, 1.4); // horizontal reach forward
+        let (elbow, _) = solve_elbow(shoulder, target, UPPER, FORE, 0.0);
+        assert!(elbow.z < shoulder.z, "elbow should hang below the axis");
+    }
+
+    #[test]
+    fn swivel_rotates_elbow() {
+        let shoulder = Vec3::new(0.0, 0.0, 1.4);
+        let target = Vec3::new(0.0, 0.4, 1.4);
+        let (e0, _) = solve_elbow(shoulder, target, UPPER, FORE, 0.0);
+        let (e1, _) = solve_elbow(shoulder, target, UPPER, FORE, 0.8);
+        assert!(e0.distance(e1) > 0.01);
+        // Both still satisfy the segment constraints.
+        for e in [e0, e1] {
+            assert!((shoulder.distance(e) - UPPER).abs() < 1e-9);
+            assert!((target.distance(e) - FORE).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn degenerate_target_at_shoulder() {
+        let shoulder = Vec3::new(0.0, 0.0, 1.4);
+        let (elbow, wrist) = solve_elbow(shoulder, shoulder, UPPER, FORE, 0.0);
+        assert!((shoulder.distance(elbow) - UPPER).abs() < 1e-9);
+        assert!((wrist.distance(elbow) - FORE).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hand_tip_extends_forearm() {
+        let shoulder = Vec3::new(0.0, 0.0, 1.4);
+        let target = Vec3::new(0.1, 0.35, 1.3);
+        let hand = 0.18;
+        let pose = ArmPose::from_wrist_target(shoulder, target, UPPER, FORE, hand, 0.0);
+        assert!((pose.hand_tip.distance(pose.wrist) - hand).abs() < 1e-9);
+        // Collinear with the forearm.
+        let a = (pose.wrist - pose.elbow).normalized();
+        let b = (pose.hand_tip - pose.wrist).normalized();
+        assert!(a.distance(b) < 1e-9);
+    }
+}

@@ -1,0 +1,379 @@
+//! Baseline classifiers representing the comparison systems' input
+//! families (paper §VI-A2).
+//!
+//! The exact PanArch / Tesla / mGesNet / mSeeNet networks are built for
+//! their authors' chirp configurations; what the comparison in Tab. II
+//! needs is a representative of each *input format family* trained on the
+//! same preprocessed samples:
+//!
+//! * [`PointNet`] — raw point set, shared MLP + global max pool (the
+//!   PointNet core inside PanArch/Tesla),
+//! * [`ProfileCnn`] — concentrated position–Doppler profile + small CNN
+//!   (the mHomeGes/mTransSee family),
+//! * [`LstmNet`] — per-frame summary features + LSTM (the temporal
+//!   modelling in Pantomime/Tesla).
+
+use crate::features::{ModelInput, POINT_FEATURES, SEQUENCE_FEATURES};
+use crate::PointModel;
+use gp_nn::conv::{maxpool2x2, maxpool2x2_backward};
+use gp_nn::{softmax_cross_entropy, Conv2d, Linear, Lstm, Matrix, MaxPool, Parameterized, Relu};
+use rand::Rng;
+
+/// PointNet-style classifier: shared MLP per point, global max pool, FC
+/// head.
+#[derive(Debug, Clone)]
+pub struct PointNet {
+    classes: usize,
+    l1: Linear,
+    l2: Linear,
+    head_a: Linear,
+    head_b: Linear,
+}
+
+impl PointNet {
+    /// Creates the model.
+    pub fn new<R: Rng>(classes: usize, rng: &mut R) -> Self {
+        PointNet {
+            classes,
+            l1: Linear::new(POINT_FEATURES, 48, rng),
+            l2: Linear::new(48, 96, rng),
+            head_a: Linear::new(96, 48, rng),
+            head_b: Linear::new(48, classes, rng),
+        }
+    }
+
+    fn forward(&self, input: &ModelInput) -> PointNetTrace {
+        let pre1 = self.l1.forward(&input.points);
+        let act1 = Relu.forward(&pre1);
+        let pre2 = self.l2.forward(&act1);
+        let act2 = Relu.forward(&pre2);
+        let (global, arg) = MaxPool.forward(&act2);
+        let g_m = Matrix::from_rows(&[global.clone()]);
+        let hpre = self.head_a.forward(&g_m);
+        let hact = Relu.forward(&hpre);
+        let logits = self.head_b.forward(&hact).row(0).to_vec();
+        PointNetTrace { pre1, act1, pre2, act2, global, arg, hpre, hact, logits }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PointNetTrace {
+    pre1: Matrix,
+    act1: Matrix,
+    pre2: Matrix,
+    act2: Matrix,
+    global: Vec<f32>,
+    arg: Vec<usize>,
+    hpre: Matrix,
+    hact: Matrix,
+    logits: Vec<f32>,
+}
+
+impl PointModel for PointNet {
+    fn classes(&self) -> usize {
+        self.classes
+    }
+
+    fn logits(&self, input: &ModelInput) -> Vec<f32> {
+        self.forward(input).logits
+    }
+
+    fn train_step(&mut self, input: &ModelInput, label: usize) -> f32 {
+        let t = self.forward(input);
+        let (loss, grad) = softmax_cross_entropy(&t.logits, label);
+        let g = Matrix::from_rows(&[grad]);
+        let g = self.head_b.backward(&t.hact, &g);
+        let g = Relu.backward(&t.hpre, &g);
+        let g_m = Matrix::from_rows(&[t.global.clone()]);
+        let dglobal = self.head_a.backward(&g_m, &g);
+        let g = MaxPool.backward(t.act2.rows(), &t.arg, dglobal.row(0));
+        let g = Relu.backward(&t.pre2, &g);
+        let g = self.l2.backward(&t.act1, &g);
+        let g = Relu.backward(&t.pre1, &g);
+        let _ = self.l1.backward(&input.points, &g);
+        loss
+    }
+
+    fn name(&self) -> &'static str {
+        "PointNet"
+    }
+}
+
+impl Parameterized for PointNet {
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        self.l1.for_each_param(f);
+        self.l2.for_each_param(f);
+        self.head_a.for_each_param(f);
+        self.head_b.for_each_param(f);
+    }
+}
+
+/// Profile CNN: two 3×3 conv + 2×2 pool stages over the Doppler×range
+/// histogram, then an FC head.
+#[derive(Debug, Clone)]
+pub struct ProfileCnn {
+    classes: usize,
+    shape: (usize, usize),
+    conv1: Conv2d,
+    conv2: Conv2d,
+    head_a: Linear,
+    head_b: Linear,
+}
+
+impl ProfileCnn {
+    /// Creates the model for profiles of `shape` (rows, cols). Both
+    /// dimensions must be divisible by 4 (two pooling stages).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is not divisible by 4.
+    pub fn new<R: Rng>(classes: usize, shape: (usize, usize), rng: &mut R) -> Self {
+        assert!(shape.0 % 4 == 0 && shape.1 % 4 == 0, "profile shape must be divisible by 4");
+        let flat = 12 * (shape.0 / 4) * (shape.1 / 4);
+        ProfileCnn {
+            classes,
+            shape,
+            conv1: Conv2d::new(1, 6, rng),
+            conv2: Conv2d::new(6, 12, rng),
+            head_a: Linear::new(flat, 48, rng),
+            head_b: Linear::new(48, classes, rng),
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn forward(&self, input: &ModelInput) -> ProfileTrace {
+        let (h, w) = self.shape;
+        let c1 = self.conv1.forward(&input.profile, h, w);
+        let a1: Vec<f32> = c1.iter().map(|v| v.max(0.0)).collect();
+        let (p1, arg1) = maxpool2x2(&a1, 6, h, w);
+        let (h2, w2) = (h / 2, w / 2);
+        let c2 = self.conv2.forward(&p1, h2, w2);
+        let a2: Vec<f32> = c2.iter().map(|v| v.max(0.0)).collect();
+        let (p2, arg2) = maxpool2x2(&a2, 12, h2, w2);
+        let flat = Matrix::from_rows(&[p2.clone()]);
+        let hpre = self.head_a.forward(&flat);
+        let hact = Relu.forward(&hpre);
+        let logits = self.head_b.forward(&hact).row(0).to_vec();
+        ProfileTrace { c1, a1, p1, arg1, c2, a2, p2, arg2, hpre, hact, logits }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ProfileTrace {
+    c1: Vec<f32>,
+    a1: Vec<f32>,
+    p1: Vec<f32>,
+    arg1: Vec<usize>,
+    c2: Vec<f32>,
+    a2: Vec<f32>,
+    p2: Vec<f32>,
+    arg2: Vec<usize>,
+    hpre: Matrix,
+    hact: Matrix,
+    logits: Vec<f32>,
+}
+
+impl PointModel for ProfileCnn {
+    fn classes(&self) -> usize {
+        self.classes
+    }
+
+    fn logits(&self, input: &ModelInput) -> Vec<f32> {
+        self.forward(input).logits
+    }
+
+    fn train_step(&mut self, input: &ModelInput, label: usize) -> f32 {
+        let (h, w) = self.shape;
+        let (h2, w2) = (h / 2, w / 2);
+        let t = self.forward(input);
+        let (loss, grad) = softmax_cross_entropy(&t.logits, label);
+        let g = Matrix::from_rows(&[grad]);
+        let g = self.head_b.backward(&t.hact, &g);
+        let g = Relu.backward(&t.hpre, &g);
+        let flat = Matrix::from_rows(&[t.p2.clone()]);
+        let dflat = self.head_a.backward(&flat, &g);
+        let dp2 = dflat.row(0);
+        let da2 = maxpool2x2_backward(dp2, &t.arg2, t.a2.len());
+        let dc2: Vec<f32> = da2
+            .iter()
+            .zip(t.c2.iter())
+            .map(|(g, &c)| if c > 0.0 { *g } else { 0.0 })
+            .collect();
+        let dp1 = self.conv2.backward(&t.p1, &dc2, h2, w2);
+        let da1 = maxpool2x2_backward(&dp1, &t.arg1, t.a1.len());
+        let dc1: Vec<f32> = da1
+            .iter()
+            .zip(t.c1.iter())
+            .map(|(g, &c)| if c > 0.0 { *g } else { 0.0 })
+            .collect();
+        let _ = self.conv1.backward(&input.profile, &dc1, h, w);
+        loss
+    }
+
+    fn name(&self) -> &'static str {
+        "ProfileCNN"
+    }
+}
+
+impl Parameterized for ProfileCnn {
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        self.conv1.for_each_param(f);
+        self.conv2.for_each_param(f);
+        self.head_a.for_each_param(f);
+        self.head_b.for_each_param(f);
+    }
+}
+
+/// Temporal baseline: per-frame features through an LSTM, classifying
+/// from the final hidden state.
+#[derive(Debug, Clone)]
+pub struct LstmNet {
+    classes: usize,
+    lstm: Lstm,
+    head: Linear,
+}
+
+impl LstmNet {
+    /// Creates the model.
+    pub fn new<R: Rng>(classes: usize, rng: &mut R) -> Self {
+        LstmNet {
+            classes,
+            lstm: Lstm::new(SEQUENCE_FEATURES, 32, rng),
+            head: Linear::new(32, classes, rng),
+        }
+    }
+}
+
+impl PointModel for LstmNet {
+    fn classes(&self) -> usize {
+        self.classes
+    }
+
+    fn logits(&self, input: &ModelInput) -> Vec<f32> {
+        let (h, _) = self.lstm.forward(&input.sequence);
+        self.head.forward(&Matrix::from_rows(&[h])).row(0).to_vec()
+    }
+
+    fn train_step(&mut self, input: &ModelInput, label: usize) -> f32 {
+        let (h, trace) = self.lstm.forward(&input.sequence);
+        let h_m = Matrix::from_rows(&[h]);
+        let logits = self.head.forward(&h_m).row(0).to_vec();
+        let (loss, grad) = softmax_cross_entropy(&logits, label);
+        let dh = self.head.backward(&h_m, &Matrix::from_rows(&[grad]));
+        self.lstm.backward(&trace, dh.row(0));
+        loss
+    }
+
+    fn name(&self) -> &'static str {
+        "LSTM"
+    }
+}
+
+impl Parameterized for LstmNet {
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        self.lstm.for_each_param(f);
+        self.head.for_each_param(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{encode, FeatureConfig};
+    use gp_nn::{argmax, Adam};
+    use gp_pointcloud::{Point, PointCloud, Vec3};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_input(seed: u64, doppler: f64) -> ModelInput {
+        let cloud: PointCloud = (0..20)
+            .map(|i| {
+                let t = i as f64 * 0.4 + seed as f64;
+                Point::new(
+                    Vec3::new(t.sin() * 0.3, 1.2 + t.cos() * 0.2, 1.0),
+                    doppler + (t * 1.3).sin() * 0.2,
+                    12.0,
+                )
+            })
+            .collect();
+        let frames = vec![cloud.clone(); 6];
+        let mut rng = StdRng::seed_from_u64(seed);
+        encode(
+            &cloud,
+            &frames,
+            &FeatureConfig { num_points: 20, ..FeatureConfig::default() },
+            &mut rng,
+        )
+    }
+
+    fn train_to_separate<M: PointModel>(model: &mut M, epochs: usize) -> usize {
+        let data: Vec<(ModelInput, usize)> = (0..8)
+            .map(|i| {
+                let label = i % 2;
+                (toy_input(i as u64, if label == 0 { -1.2 } else { 1.2 }), label)
+            })
+            .collect();
+        let mut adam = Adam::new(5e-3);
+        for _ in 0..epochs {
+            for (x, y) in &data {
+                model.train_step(x, *y);
+                adam.begin_step();
+                model.for_each_param(&mut |p, g| adam.update(p, g));
+            }
+        }
+        data.iter()
+            .filter(|(x, y)| argmax(&model.logits(x)) == *y)
+            .count()
+    }
+
+    #[test]
+    fn pointnet_learns_doppler_split() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = PointNet::new(2, &mut rng);
+        let correct = train_to_separate(&mut model, 60);
+        assert!(correct >= 7, "PointNet: {correct}/8");
+    }
+
+    #[test]
+    fn profile_cnn_learns_doppler_split() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut model = ProfileCnn::new(2, (16, 24), &mut rng);
+        let correct = train_to_separate(&mut model, 40);
+        assert!(correct >= 7, "ProfileCNN: {correct}/8");
+    }
+
+    #[test]
+    fn lstm_learns_doppler_split() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut model = LstmNet::new(2, &mut rng);
+        let correct = train_to_separate(&mut model, 80);
+        assert!(correct >= 7, "LSTM: {correct}/8");
+    }
+
+    #[test]
+    fn logits_have_class_count() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let input = toy_input(5, 0.0);
+        assert_eq!(PointNet::new(9, &mut rng).logits(&input).len(), 9);
+        assert_eq!(ProfileCnn::new(5, (16, 24), &mut rng).logits(&input).len(), 5);
+        assert_eq!(LstmNet::new(4, &mut rng).logits(&input).len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by 4")]
+    fn profile_shape_validated() {
+        let mut rng = StdRng::seed_from_u64(0);
+        ProfileCnn::new(2, (15, 24), &mut rng);
+    }
+
+    #[test]
+    fn names_distinct() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let names = [
+            PointNet::new(2, &mut rng).name(),
+            ProfileCnn::new(2, (16, 24), &mut rng).name(),
+            LstmNet::new(2, &mut rng).name(),
+        ];
+        assert_eq!(names.iter().collect::<std::collections::HashSet<_>>().len(), 3);
+    }
+}

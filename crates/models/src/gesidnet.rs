@@ -1,0 +1,782 @@
+//! GesIDNet: multiscale set abstraction + attention-based multilevel
+//! feature fusion (paper §IV-C, Fig. 5).
+//!
+//! The same architecture is trained twice — once with gesture labels for
+//! recognition, once with user labels for identification. Its pieces:
+//!
+//! 1. **Set abstraction (SA1)** — farthest-point-sample `n₁` centroids;
+//!    per centroid and per scale, group the nearest points within radius
+//!    `dᵢ`, run a shared MLP and max-pool (PointNet++ MSG block). The
+//!    per-scale features are concatenated (`f^s`).
+//! 2. **Low level (l₁)** — a shared projection over SA1 features,
+//!    max-pooled into the low-level global feature `F¹`.
+//! 3. **SA2 + high level (l₂)** — a second abstraction over SA1
+//!    centroids, pooled into the high-level global feature `F²`.
+//! 4. **Attention fusion (Eqs. 2–3)** — at each level the *other* level's
+//!    feature is resized by a Resizing Block (Linear+ReLU); a learned
+//!    scoring layer `g(·)` assigns each candidate a logit and the
+//!    softmax-weighted sum forms the fusion feature `Y^k`.
+//! 5. **Heads + auxiliary loss** — `Y¹` feeds the primary classifier
+//!    (P1), `Y²` the auxiliary one (P2); training minimises
+//!    `CE(P1) + aux_weight·CE(P2)`, inference uses P1 (paper uses plain
+//!    sum, i.e. `aux_weight = 1`).
+
+use crate::features::{ModelInput, POINT_FEATURES};
+use crate::PointModel;
+use gp_nn::{softmax, softmax_cross_entropy, Linear, Matrix, MaxPool, Parameterized, Relu};
+use gp_pointcloud::sampling::farthest_point_indices;
+use gp_pointcloud::{neighbors, PointCloud, Vec3};
+use rand::Rng;
+
+/// One grouping scale of a set-abstraction block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaScale {
+    /// Ball-query radius `d` (m).
+    pub radius: f64,
+    /// Points per group `m`.
+    pub max_points: usize,
+    /// Hidden width of the shared MLP.
+    pub hidden: usize,
+    /// Output width of the shared MLP.
+    pub out: usize,
+}
+
+/// GesIDNet hyperparameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GesIDNetConfig {
+    /// Number of classes (gestures or users).
+    pub classes: usize,
+    /// SA1 centroid count `n₁`.
+    pub sa1_centroids: usize,
+    /// SA1 multiscale grouping configuration.
+    pub sa1_scales: Vec<SaScale>,
+    /// SA2 centroid count `n₂`.
+    pub sa2_centroids: usize,
+    /// SA2 grouping configuration.
+    pub sa2_scale: SaScale,
+    /// Low-level global feature width (`F¹`).
+    pub low_dim: usize,
+    /// High-level global feature width (`F²`).
+    pub high_dim: usize,
+    /// Hidden width of the classification heads.
+    pub head_hidden: usize,
+    /// Enables the attention fusion module (ablation: `false` uses
+    /// `Y^k = F^k` directly, the paper's "w/o Feature Fusion" arm).
+    pub fusion: bool,
+    /// Weight of the auxiliary loss.
+    pub aux_weight: f32,
+}
+
+impl GesIDNetConfig {
+    /// The default configuration for `classes` outputs.
+    pub fn for_classes(classes: usize) -> Self {
+        GesIDNetConfig {
+            classes,
+            sa1_centroids: 24,
+            sa1_scales: vec![
+                SaScale { radius: 0.3, max_points: 8, hidden: 24, out: 32 },
+                SaScale { radius: 0.6, max_points: 12, hidden: 32, out: 48 },
+            ],
+            sa2_centroids: 8,
+            sa2_scale: SaScale { radius: 0.8, max_points: 6, hidden: 64, out: 96 },
+            low_dim: 96,
+            high_dim: 192,
+            head_hidden: 64,
+            fusion: true,
+            aux_weight: 1.0,
+        }
+    }
+
+    /// A tiny configuration for gradient tests.
+    pub fn tiny(classes: usize) -> Self {
+        GesIDNetConfig {
+            classes,
+            sa1_centroids: 4,
+            sa1_scales: vec![SaScale { radius: 0.5, max_points: 3, hidden: 5, out: 6 }],
+            sa2_centroids: 2,
+            sa2_scale: SaScale { radius: 1.0, max_points: 2, hidden: 7, out: 8 },
+            low_dim: 6,
+            high_dim: 10,
+            head_hidden: 5,
+            fusion: true,
+            aux_weight: 1.0,
+        }
+    }
+}
+
+/// A two-layer shared MLP (Linear→ReLU→Linear→ReLU) applied point-wise.
+#[derive(Debug, Clone)]
+struct SharedMlp {
+    l1: Linear,
+    l2: Linear,
+}
+
+#[derive(Debug, Clone)]
+struct SharedMlpTrace {
+    x: Matrix,
+    pre1: Matrix,
+    act1: Matrix,
+    pre2: Matrix,
+}
+
+impl SharedMlp {
+    fn new<R: Rng>(input: usize, hidden: usize, out: usize, rng: &mut R) -> Self {
+        SharedMlp { l1: Linear::new(input, hidden, rng), l2: Linear::new(hidden, out, rng) }
+    }
+
+    fn forward(&self, x: Matrix) -> (Matrix, SharedMlpTrace) {
+        let pre1 = self.l1.forward(&x);
+        let act1 = Relu.forward(&pre1);
+        let pre2 = self.l2.forward(&act1);
+        let out = Relu.forward(&pre2);
+        (out, SharedMlpTrace { x, pre1, act1, pre2 })
+    }
+
+    fn backward(&mut self, t: &SharedMlpTrace, grad_out: &Matrix) -> Matrix {
+        let g = Relu.backward(&t.pre2, grad_out);
+        let g = self.l2.backward(&t.act1, &g);
+        let g = Relu.backward(&t.pre1, &g);
+        self.l1.backward(&t.x, &g)
+    }
+}
+
+impl Parameterized for SharedMlp {
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        self.l1.for_each_param(f);
+        self.l2.for_each_param(f);
+    }
+}
+
+/// One pooled group: member indices, MLP trace, pool argmax.
+#[derive(Debug, Clone)]
+struct GroupTrace {
+    members: Vec<usize>,
+    mlp: SharedMlpTrace,
+    pool_arg: Vec<usize>,
+    group_rows: usize,
+}
+
+/// Trace of a full forward pass.
+#[derive(Debug, Clone)]
+struct Trace {
+    // SA1: per scale, per centroid.
+    sa1: Vec<Vec<GroupTrace>>,
+    sa1_concat: Matrix, // n1 × c1
+    low_pre: Matrix,
+    low_act: Matrix,
+    low_arg: Vec<usize>,
+    f1: Vec<f32>,
+    // SA2.
+    c2_of_c1: Vec<GroupTrace>, // per sa2 centroid, members index into SA1 centroids
+    sa2_out: Matrix,           // n2 × out
+    high_pre: Matrix,
+    high_act: Matrix,
+    high_arg: Vec<usize>,
+    f2: Vec<f32>,
+    // Fusion level 1.
+    fusion1: Option<FusionTrace>,
+    y1: Vec<f32>,
+    // Fusion level 2.
+    fusion2: Option<FusionTrace>,
+    y2: Vec<f32>,
+    // Heads.
+    h1_pre: Matrix,
+    h1_act: Matrix,
+    logits1: Vec<f32>,
+    h2_pre_a: Matrix,
+    h2_act_a: Matrix,
+    h2_pre_b: Matrix,
+    h2_act_b: Matrix,
+    logits2: Vec<f32>,
+}
+
+/// Attention-fusion intermediates at one level: the resized feature, the
+/// two attention logits and weights.
+#[derive(Debug, Clone)]
+struct FusionTrace {
+    other_input: Vec<f32>,  // the raw other-level feature fed to the RB
+    resized_pre: Vec<f32>,  // RB pre-activation
+    resized: Vec<f32>,      // RB output (= F^{l→k})
+    own: Vec<f32>,          // F^k
+    weights: [f32; 2],      // softmax(g(resized), g(own))
+}
+
+/// The GesIDNet model.
+#[derive(Debug, Clone)]
+pub struct GesIDNet {
+    config: GesIDNetConfig,
+    sa1_mlps: Vec<SharedMlp>,
+    low_proj: Linear,
+    sa2_mlp: SharedMlp,
+    high_proj: Linear,
+    rb_low: Linear,  // high_dim → low_dim
+    rb_high: Linear, // low_dim → high_dim
+    g1: Linear,      // low_dim → 1
+    g2: Linear,      // high_dim → 1
+    head1_a: Linear,
+    head1_b: Linear,
+    head2_a: Linear,
+    head2_b: Linear,
+    head2_c: Linear,
+}
+
+impl GesIDNet {
+    /// Creates a GesIDNet with seeded initialisation.
+    pub fn new<R: Rng>(config: GesIDNetConfig, rng: &mut R) -> Self {
+        let c1: usize = config.sa1_scales.iter().map(|s| s.out).sum();
+        let sa1_mlps = config
+            .sa1_scales
+            .iter()
+            .map(|s| SharedMlp::new(3 + POINT_FEATURES, s.hidden, s.out, rng))
+            .collect();
+        let sa2 = &config.sa2_scale;
+        GesIDNet {
+            sa1_mlps,
+            low_proj: Linear::new(c1, config.low_dim, rng),
+            sa2_mlp: SharedMlp::new(3 + c1, sa2.hidden, sa2.out, rng),
+            high_proj: Linear::new(sa2.out, config.high_dim, rng),
+            rb_low: Linear::new(config.high_dim, config.low_dim, rng),
+            rb_high: Linear::new(config.low_dim, config.high_dim, rng),
+            g1: Linear::new(config.low_dim, 1, rng),
+            g2: Linear::new(config.high_dim, 1, rng),
+            head1_a: Linear::new(config.low_dim, config.head_hidden, rng),
+            head1_b: Linear::new(config.head_hidden, config.classes, rng),
+            head2_a: Linear::new(config.high_dim, config.head_hidden * 2, rng),
+            head2_b: Linear::new(config.head_hidden * 2, config.head_hidden, rng),
+            head2_c: Linear::new(config.head_hidden, config.classes, rng),
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GesIDNetConfig {
+        &self.config
+    }
+
+    fn forward_full(&self, input: &ModelInput) -> Trace {
+        let positions = &input.positions;
+        let pos_cloud = PointCloud::from_positions(positions.iter().copied());
+        let n1 = self.config.sa1_centroids;
+
+        // --- SA1: multiscale grouping around FPS centroids -------------
+        let c1_idx = farthest_point_indices(&pos_cloud, n1);
+        let centroids1: Vec<Vec3> = c1_idx.iter().map(|&i| positions[i]).collect();
+        let mut sa1_traces: Vec<Vec<GroupTrace>> = Vec::with_capacity(self.sa1_mlps.len());
+        let mut scale_outputs: Vec<Matrix> = Vec::new();
+        for (scale, mlp) in self.config.sa1_scales.iter().zip(&self.sa1_mlps) {
+            let mut rows = Matrix::zeros(centroids1.len(), scale.out);
+            let mut traces = Vec::with_capacity(centroids1.len());
+            for (j, &c) in centroids1.iter().enumerate() {
+                let members =
+                    neighbors::ball_query_padded(&pos_cloud, c, scale.radius, scale.max_points);
+                let mut group = Matrix::zeros(members.len(), 3 + POINT_FEATURES);
+                for (r, &m) in members.iter().enumerate() {
+                    // Local offsets are normalised by the scale radius
+                    // (standard PointNet++ conditioning).
+                    let d = (positions[m] - c) * (1.0 / scale.radius);
+                    let row = group.row_mut(r);
+                    row[0] = d.x as f32;
+                    row[1] = d.y as f32;
+                    row[2] = d.z as f32;
+                    row[3..].copy_from_slice(input.points.row(m));
+                }
+                let rows_in_group = group.rows();
+                let (out, mlp_trace) = mlp.forward(group);
+                let (pooled, arg) = MaxPool.forward(&out);
+                rows.row_mut(j).copy_from_slice(&pooled);
+                traces.push(GroupTrace {
+                    members,
+                    mlp: mlp_trace,
+                    pool_arg: arg,
+                    group_rows: rows_in_group,
+                });
+            }
+            scale_outputs.push(rows);
+            sa1_traces.push(traces);
+        }
+        // Concatenate scales per centroid.
+        let c1_dim: usize = self.config.sa1_scales.iter().map(|s| s.out).sum();
+        let mut sa1_concat = Matrix::zeros(centroids1.len(), c1_dim);
+        for j in 0..centroids1.len() {
+            let mut off = 0;
+            for m in &scale_outputs {
+                sa1_concat.row_mut(j)[off..off + m.cols()].copy_from_slice(m.row(j));
+                off += m.cols();
+            }
+        }
+
+        // --- Low-level global feature F1 --------------------------------
+        let low_pre = self.low_proj.forward(&sa1_concat);
+        let low_act = Relu.forward(&low_pre);
+        let (f1, low_arg) = MaxPool.forward(&low_act);
+
+        // --- SA2 over SA1 centroids -------------------------------------
+        let cent_cloud = PointCloud::from_positions(centroids1.iter().copied());
+        let c2_idx = farthest_point_indices(&cent_cloud, self.config.sa2_centroids);
+        let sa2 = &self.config.sa2_scale;
+        let mut sa2_out = Matrix::zeros(c2_idx.len(), sa2.out);
+        let mut c2_traces = Vec::with_capacity(c2_idx.len());
+        for (k, &ci) in c2_idx.iter().enumerate() {
+            let c = centroids1[ci];
+            let members = neighbors::ball_query_padded(&cent_cloud, c, sa2.radius, sa2.max_points);
+            let mut group = Matrix::zeros(members.len(), 3 + c1_dim);
+            for (r, &m) in members.iter().enumerate() {
+                let d = (centroids1[m] - c) * (1.0 / sa2.radius);
+                let row = group.row_mut(r);
+                row[0] = d.x as f32;
+                row[1] = d.y as f32;
+                row[2] = d.z as f32;
+                row[3..].copy_from_slice(sa1_concat.row(m));
+            }
+            let rows_in_group = group.rows();
+            let (out, mlp_trace) = self.sa2_mlp.forward(group);
+            let (pooled, arg) = MaxPool.forward(&out);
+            sa2_out.row_mut(k).copy_from_slice(&pooled);
+            c2_traces.push(GroupTrace {
+                members,
+                mlp: mlp_trace,
+                pool_arg: arg,
+                group_rows: rows_in_group,
+            });
+        }
+
+        // --- High-level global feature F2 --------------------------------
+        let high_pre = self.high_proj.forward(&sa2_out);
+        let high_act = Relu.forward(&high_pre);
+        let (f2, high_arg) = MaxPool.forward(&high_act);
+
+        // --- Attention fusion --------------------------------------------
+        let (y1, fusion1) = if self.config.fusion {
+            let (y, t) = fuse(&self.rb_low, &self.g1, &f2, &f1);
+            (y, Some(t))
+        } else {
+            (f1.clone(), None)
+        };
+        let (y2, fusion2) = if self.config.fusion {
+            let (y, t) = fuse(&self.rb_high, &self.g2, &f1, &f2);
+            (y, Some(t))
+        } else {
+            (f2.clone(), None)
+        };
+
+        // --- Heads --------------------------------------------------------
+        let y1_m = Matrix::from_rows(&[y1.clone()]);
+        let h1_pre = self.head1_a.forward(&y1_m);
+        let h1_act = Relu.forward(&h1_pre);
+        let logits1 = self.head1_b.forward(&h1_act).row(0).to_vec();
+
+        let y2_m = Matrix::from_rows(&[y2.clone()]);
+        let h2_pre_a = self.head2_a.forward(&y2_m);
+        let h2_act_a = Relu.forward(&h2_pre_a);
+        let h2_pre_b = self.head2_b.forward(&h2_act_a);
+        let h2_act_b = Relu.forward(&h2_pre_b);
+        let logits2 = self.head2_c.forward(&h2_act_b).row(0).to_vec();
+
+        Trace {
+            sa1: sa1_traces,
+            sa1_concat,
+            low_pre,
+            low_act,
+            low_arg,
+            f1,
+            c2_of_c1: c2_traces,
+            sa2_out,
+            high_pre,
+            high_act,
+            high_arg,
+            f2,
+            fusion1,
+            y1,
+            fusion2,
+            y2,
+            h1_pre,
+            h1_act,
+            logits1,
+            h2_pre_a,
+            h2_act_a,
+            h2_pre_b,
+            h2_act_b,
+            logits2,
+        }
+    }
+
+    fn backward_full(&mut self, input: &ModelInput, trace: &Trace, label: usize) -> f32 {
+        let (loss1, grad1) = softmax_cross_entropy(&trace.logits1, label);
+        let (loss2, grad2_raw) = softmax_cross_entropy(&trace.logits2, label);
+        let grad2: Vec<f32> = grad2_raw.iter().map(|g| g * self.config.aux_weight).collect();
+
+        // Head 1 backward → dY1.
+        let g = Matrix::from_rows(&[grad1]);
+        let g = self.head1_b.backward(&trace.h1_act, &g);
+        let g = Relu.backward(&trace.h1_pre, &g);
+        let y1_m = Matrix::from_rows(&[trace.y1.clone()]);
+        let dy1 = self.head1_a.backward(&y1_m, &g).row(0).to_vec();
+
+        // Head 2 backward → dY2.
+        let g = Matrix::from_rows(&[grad2]);
+        let g = self.head2_c.backward(&trace.h2_act_b, &g);
+        let g = Relu.backward(&trace.h2_pre_b, &g);
+        let g = self.head2_b.backward(&trace.h2_act_a, &g);
+        let g = Relu.backward(&trace.h2_pre_a, &g);
+        let y2_m = Matrix::from_rows(&[trace.y2.clone()]);
+        let dy2 = self.head2_a.backward(&y2_m, &g).row(0).to_vec();
+
+        // Fusion backward → dF1, dF2 (accumulated from both levels).
+        let mut df1 = vec![0.0f32; trace.f1.len()];
+        let mut df2 = vec![0.0f32; trace.f2.len()];
+        match (&trace.fusion1, &trace.fusion2) {
+            (Some(t1), Some(t2)) => {
+                let (d_other, d_own) = fuse_backward(&mut self.rb_low, &mut self.g1, t1, &dy1);
+                add_into(&mut df2, &d_other);
+                add_into(&mut df1, &d_own);
+                let (d_other, d_own) = fuse_backward(&mut self.rb_high, &mut self.g2, t2, &dy2);
+                add_into(&mut df1, &d_other);
+                add_into(&mut df2, &d_own);
+            }
+            _ => {
+                add_into(&mut df1, &dy1);
+                add_into(&mut df2, &dy2);
+            }
+        }
+
+        // High branch backward: F2 → sa2_out rows.
+        let g_high = MaxPool.backward(trace.high_act.rows(), &trace.high_arg, &df2);
+        let g_high = Relu.backward(&trace.high_pre, &g_high);
+        let d_sa2_out = self.high_proj.backward(&trace.sa2_out, &g_high);
+
+        // SA2 backward: distribute into SA1 concat rows.
+        let c1_dim = trace.sa1_concat.cols();
+        let mut d_sa1_concat = Matrix::zeros(trace.sa1_concat.rows(), c1_dim);
+        for (k, gt) in trace.c2_of_c1.iter().enumerate() {
+            let g_pool = MaxPool.backward(gt.group_rows, &gt.pool_arg, d_sa2_out.row(k));
+            let g_group = self.sa2_mlp.backward(&gt.mlp, &g_pool);
+            for (r, &m) in gt.members.iter().enumerate() {
+                let src = g_group.row(r);
+                let dst = d_sa1_concat.row_mut(m);
+                for (d, s) in dst.iter_mut().zip(&src[3..]) {
+                    *d += s;
+                }
+                // positional gradient (src[0..3]) stops here: point
+                // coordinates are inputs, not parameters.
+            }
+        }
+
+        // Low branch backward: F1 → SA1 concat rows.
+        let g_low = MaxPool.backward(trace.low_act.rows(), &trace.low_arg, &df1);
+        let g_low = Relu.backward(&trace.low_pre, &g_low);
+        let d_low = self.low_proj.backward(&trace.sa1_concat, &g_low);
+        d_sa1_concat.add_assign(&d_low);
+
+        // SA1 backward per scale.
+        let mut offset = 0;
+        for (scale_i, scale) in self.config.sa1_scales.iter().enumerate() {
+            let width = scale.out;
+            for (j, gt) in trace.sa1[scale_i].iter().enumerate() {
+                let slice = &d_sa1_concat.row(j)[offset..offset + width];
+                if slice.iter().all(|v| *v == 0.0) {
+                    continue;
+                }
+                let g_pool = MaxPool.backward(gt.group_rows, &gt.pool_arg, slice);
+                let _ = self.sa1_mlps[scale_i].backward(&gt.mlp, &g_pool);
+            }
+            offset += width;
+        }
+
+        let _ = input;
+        loss1 + self.config.aux_weight * loss2
+    }
+}
+
+/// Attention fusion forward (Eqs. 2–3): resize `other` to `own`'s level
+/// via the RB, score both with `g`, softmax-weight and sum.
+fn fuse(rb: &Linear, g: &Linear, other: &[f32], own: &[f32]) -> (Vec<f32>, FusionTrace) {
+    let other_m = Matrix::from_rows(&[other.to_vec()]);
+    let resized_pre = rb.forward(&other_m);
+    let resized = Relu.forward(&resized_pre);
+    let a = g.forward(&resized).at(0, 0);
+    let own_m = Matrix::from_rows(&[own.to_vec()]);
+    let b = g.forward(&own_m).at(0, 0);
+    let w = softmax(&[a, b]);
+    let y: Vec<f32> = resized
+        .row(0)
+        .iter()
+        .zip(own.iter())
+        .map(|(r, o)| w[0] * r + w[1] * o)
+        .collect();
+    (
+        y,
+        FusionTrace {
+            other_input: other.to_vec(),
+            resized_pre: resized_pre.row(0).to_vec(),
+            resized: resized.row(0).to_vec(),
+            own: own.to_vec(),
+            weights: [w[0], w[1]],
+        },
+    )
+}
+
+/// Backward of [`fuse`]; returns `(d_other, d_own)`.
+fn fuse_backward(
+    rb: &mut Linear,
+    g: &mut Linear,
+    t: &FusionTrace,
+    dy: &[f32],
+) -> (Vec<f32>, Vec<f32>) {
+    let [wa, wb] = t.weights;
+    // Direct path.
+    let mut d_resized: Vec<f32> = dy.iter().map(|v| v * wa).collect();
+    let mut d_own: Vec<f32> = dy.iter().map(|v| v * wb).collect();
+    // Attention-weight path: dL/dwa = dy·resized, dL/dwb = dy·own; then
+    // through the softmax over (a, b).
+    let dwa: f32 = dy.iter().zip(&t.resized).map(|(d, r)| d * r).sum();
+    let dwb: f32 = dy.iter().zip(&t.own).map(|(d, o)| d * o).sum();
+    let common = wa * dwa + wb * dwb;
+    let da = wa * (dwa - common);
+    let db = wb * (dwb - common);
+    // Through g on both candidates.
+    let resized_m = Matrix::from_rows(&[t.resized.clone()]);
+    let g_from_a = g.backward(&resized_m, &Matrix::from_rows(&[vec![da]]));
+    add_into(&mut d_resized, g_from_a.row(0));
+    let own_m = Matrix::from_rows(&[t.own.clone()]);
+    let g_from_b = g.backward(&own_m, &Matrix::from_rows(&[vec![db]]));
+    add_into(&mut d_own, g_from_b.row(0));
+    // Through the RB to the other level's raw feature.
+    let pre_m = Matrix::from_rows(&[t.resized_pre.clone()]);
+    let g_rb = Relu.backward(&pre_m, &Matrix::from_rows(&[d_resized]));
+    let other_m = Matrix::from_rows(&[t.other_input.clone()]);
+    let d_other = rb.backward(&other_m, &g_rb).row(0).to_vec();
+    (d_other, d_own)
+}
+
+fn add_into(dst: &mut [f32], src: &[f32]) {
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d += s;
+    }
+}
+
+impl PointModel for GesIDNet {
+    fn classes(&self) -> usize {
+        self.config.classes
+    }
+
+    fn logits(&self, input: &ModelInput) -> Vec<f32> {
+        // The primary prediction P1 is the inference output (paper §IV-C).
+        self.forward_full(input).logits1
+    }
+
+    fn train_step(&mut self, input: &ModelInput, label: usize) -> f32 {
+        let trace = self.forward_full(input);
+        self.backward_full(input, &trace, label)
+    }
+
+    fn name(&self) -> &'static str {
+        "GesIDNet"
+    }
+
+    fn feature_taps(&self, input: &ModelInput) -> Option<(Vec<f32>, Vec<f32>, Vec<f32>)> {
+        let t = self.forward_full(input);
+        Some((t.f1, t.f2, t.y1))
+    }
+}
+
+impl Parameterized for GesIDNet {
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        for m in &mut self.sa1_mlps {
+            m.for_each_param(f);
+        }
+        self.low_proj.for_each_param(f);
+        self.sa2_mlp.for_each_param(f);
+        self.high_proj.for_each_param(f);
+        self.rb_low.for_each_param(f);
+        self.rb_high.for_each_param(f);
+        self.g1.for_each_param(f);
+        self.g2.for_each_param(f);
+        self.head1_a.for_each_param(f);
+        self.head1_b.for_each_param(f);
+        self.head2_a.for_each_param(f);
+        self.head2_b.for_each_param(f);
+        self.head2_c.for_each_param(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{encode, FeatureConfig};
+    use gp_nn::argmax;
+    use gp_pointcloud::Point;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_input(seed: u64, shift: f64) -> ModelInput {
+        let cloud: PointCloud = (0..24)
+            .map(|i| {
+                let t = i as f64 * 0.4 + seed as f64;
+                Point::new(
+                    Vec3::new(t.sin() * 0.3 + shift, 1.2 + t.cos() * 0.2, 1.0 + (t * 0.7).sin() * 0.3),
+                    (t * 1.3).sin(),
+                    15.0,
+                )
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        encode(&cloud, &[], &FeatureConfig { num_points: 24, ..FeatureConfig::default() }, &mut rng)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = GesIDNet::new(GesIDNetConfig::for_classes(7), &mut rng);
+        let logits = net.logits(&toy_input(1, 0.0));
+        assert_eq!(logits.len(), 7);
+        assert!(logits.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn deterministic_inference() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = GesIDNet::new(GesIDNetConfig::for_classes(4), &mut rng);
+        let input = toy_input(2, 0.0);
+        assert_eq!(net.logits(&input), net.logits(&input));
+    }
+
+    #[test]
+    fn train_step_reduces_loss() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = GesIDNet::new(GesIDNetConfig::tiny(3), &mut rng);
+        let mut adam = gp_nn::Adam::new(5e-3);
+        let input = toy_input(3, 0.0);
+        let first = net.train_step(&input, 1);
+        adam.begin_step();
+        net.for_each_param(&mut |p, g| adam.update(p, g));
+        let mut last = first;
+        for _ in 0..60 {
+            last = net.train_step(&input, 1);
+            adam.begin_step();
+            net.for_each_param(&mut |p, g| adam.update(p, g));
+        }
+        assert!(last < first * 0.5, "loss should drop: first {first}, last {last}");
+    }
+
+    #[test]
+    fn learns_to_separate_two_blobs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = GesIDNet::new(GesIDNetConfig::tiny(2), &mut rng);
+        let mut adam = gp_nn::Adam::new(5e-3);
+        let data: Vec<(ModelInput, usize)> = (0..8)
+            .map(|i| {
+                let label = i % 2;
+                (toy_input(i as u64, if label == 0 { -0.5 } else { 0.5 }), label)
+            })
+            .collect();
+        for _ in 0..80 {
+            for (x, y) in &data {
+                net.train_step(x, *y);
+                adam.begin_step();
+                net.for_each_param(&mut |p, g| adam.update(p, g));
+            }
+        }
+        let correct = data
+            .iter()
+            .filter(|(x, y)| argmax(&net.logits(x)) == *y)
+            .count();
+        assert!(correct >= 7, "classification failed: {correct}/8");
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        // Tiny network, spot-check parameters across all blocks.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = GesIDNet::new(GesIDNetConfig::tiny(3), &mut rng);
+        let input = toy_input(4, 0.0);
+        let label = 2;
+
+        net.zero_grads();
+        net.train_step(&input, label);
+        let mut analytic = Vec::new();
+        net.for_each_param(&mut |_, g| analytic.extend_from_slice(g));
+
+        let loss_of = |net: &GesIDNet| {
+            let t = net.forward_full(&input);
+            let (l1, _) = softmax_cross_entropy(&t.logits1, label);
+            let (l2, _) = softmax_cross_entropy(&t.logits2, label);
+            l1 + l2
+        };
+
+        let eps = 1e-2f32;
+        let total = analytic.len();
+        let step = (total / 60).max(1);
+        let mut checked = 0;
+        let mut failures = Vec::new();
+        for idx in (0..total).step_by(step) {
+            let mut pos = 0;
+            net.for_each_param(&mut |p, _| {
+                if idx >= pos && idx < pos + p.len() {
+                    p[idx - pos] += eps;
+                }
+                pos += p.len();
+            });
+            let lp = loss_of(&net);
+            let mut pos = 0;
+            net.for_each_param(&mut |p, _| {
+                if idx >= pos && idx < pos + p.len() {
+                    p[idx - pos] -= 2.0 * eps;
+                }
+                pos += p.len();
+            });
+            let lm = loss_of(&net);
+            let mut pos = 0;
+            net.for_each_param(&mut |p, _| {
+                if idx >= pos && idx < pos + p.len() {
+                    p[idx - pos] += eps;
+                }
+                pos += p.len();
+            });
+            let numeric = (lp - lm) / (2.0 * eps);
+            let a = analytic[idx];
+            if (a - numeric).abs() > 4e-2 * (1.0 + numeric.abs()) {
+                failures.push((idx, a, numeric));
+            }
+            checked += 1;
+        }
+        assert!(checked > 20);
+        assert!(
+            failures.len() <= checked / 10,
+            "gradient mismatches: {failures:?}"
+        );
+    }
+
+    #[test]
+    fn fusion_ablation_changes_outputs() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let with = GesIDNet::new(GesIDNetConfig::for_classes(3), &mut rng);
+        let mut rng = StdRng::seed_from_u64(5);
+        let without = GesIDNet::new(
+            GesIDNetConfig { fusion: false, ..GesIDNetConfig::for_classes(3) },
+            &mut rng,
+        );
+        let input = toy_input(6, 0.0);
+        assert_ne!(with.logits(&input), without.logits(&input));
+    }
+
+    #[test]
+    fn feature_taps_exposed() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = GesIDNet::new(GesIDNetConfig::for_classes(3), &mut rng);
+        let (low, high, fused) = net.feature_taps(&toy_input(7, 0.0)).unwrap();
+        assert_eq!(low.len(), net.config().low_dim);
+        assert_eq!(high.len(), net.config().high_dim);
+        assert_eq!(fused.len(), net.config().low_dim);
+    }
+
+    #[test]
+    fn attention_weights_sum_to_one() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let rb = Linear::new(4, 3, &mut rng);
+        let g = Linear::new(3, 1, &mut rng);
+        let (_, trace) = fuse(&rb, &g, &[0.5, -0.2, 0.1, 0.9], &[1.0, 0.0, -1.0]);
+        let sum = trace.weights[0] + trace.weights[1];
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(trace.weights.iter().all(|w| (0.0..=1.0).contains(w)));
+    }
+}

@@ -1,0 +1,46 @@
+//! GesIDNet and the baseline classifiers.
+//!
+//! * [`GesIDNet`] — the paper's architecture (§IV-C): multiscale
+//!   PointNet++-style set abstraction over the aggregated gesture cloud,
+//!   an **attention-based multilevel feature fusion** module combining
+//!   low- and high-level features with adaptively learned weights
+//!   (Eqs. 2–3), and a primary + auxiliary classification head.
+//! * [`baselines`] — representative reimplementations of the comparison
+//!   systems' input families: raw point set (PointNet-style, for
+//!   PanArch/Tesla), position–Doppler profile CNN (mGesNet/mSeeNet
+//!   style), and a per-frame temporal LSTM (Pantomime-style).
+//!
+//! All models implement [`PointModel`], so the training/evaluation
+//! harness in `gp-core` treats them interchangeably.
+
+pub mod baselines;
+pub mod features;
+pub mod gesidnet;
+
+pub use baselines::{LstmNet, PointNet, ProfileCnn};
+pub use features::{FeatureConfig, ModelInput};
+pub use gesidnet::{GesIDNet, GesIDNetConfig};
+
+use gp_nn::Parameterized;
+
+/// A classifier over preprocessed gesture samples.
+pub trait PointModel: Parameterized + Send {
+    /// Class count.
+    fn classes(&self) -> usize;
+
+    /// Inference: class logits for one sample.
+    fn logits(&self, input: &ModelInput) -> Vec<f32>;
+
+    /// Training: forward + backward for one `(input, label)` pair,
+    /// accumulating parameter gradients. Returns the loss.
+    fn train_step(&mut self, input: &ModelInput, label: usize) -> f32;
+
+    /// Model name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Taps intermediate features for visualisation (paper Fig. 6);
+    /// returns `(low, high, fused)` when the model exposes them.
+    fn feature_taps(&self, _input: &ModelInput) -> Option<(Vec<f32>, Vec<f32>, Vec<f32>)> {
+        None
+    }
+}

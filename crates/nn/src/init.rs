@@ -1,0 +1,52 @@
+//! Weight initialisation.
+
+use rand::Rng;
+
+/// He (Kaiming) uniform initialisation for a layer with `fan_in` inputs:
+/// uniform in `±√(6 / fan_in)` — appropriate before ReLU.
+pub fn he_uniform<R: Rng>(fan_in: usize, n: usize, rng: &mut R) -> Vec<f32> {
+    let bound = (6.0 / fan_in.max(1) as f64).sqrt() as f32;
+    (0..n).map(|_| rng.gen_range(-bound..bound)).collect()
+}
+
+/// Xavier uniform initialisation: uniform in `±√(6 / (fan_in + fan_out))`
+/// — appropriate before tanh/sigmoid (LSTM gates).
+pub fn xavier_uniform<R: Rng>(fan_in: usize, fan_out: usize, n: usize, rng: &mut R) -> Vec<f32> {
+    let bound = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt() as f32;
+    (0..n).map(|_| rng.gen_range(-bound..bound)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn he_bounds_and_spread() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = he_uniform(64, 10_000, &mut rng);
+        let bound = (6.0f64 / 64.0).sqrt() as f32;
+        assert!(w.iter().all(|v| v.abs() <= bound));
+        let mean: f32 = w.iter().sum::<f32>() / w.len() as f32;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        // Enough spread to break symmetry.
+        let nonzero = w.iter().filter(|v| v.abs() > bound / 10.0).count();
+        assert!(nonzero > w.len() / 2);
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = xavier_uniform(32, 64, 5_000, &mut rng);
+        let bound = (6.0f64 / 96.0).sqrt() as f32;
+        assert!(w.iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = he_uniform(8, 100, &mut StdRng::seed_from_u64(7));
+        let b = he_uniform(8, 100, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,288 @@
+//! Core layers: [`Linear`], [`Relu`], [`MaxPool`].
+
+use crate::init::he_uniform;
+use crate::matrix::Matrix;
+use crate::Parameterized;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A fully connected layer `y = x·Wᵀ + b`.
+///
+/// Used both as a classic dense layer (batch rows) and as a *shared MLP*
+/// across points: pass a `(points × features)` matrix and every point is
+/// transformed with the same weights, exactly PointNet's weight sharing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Linear {
+    w: Matrix,       // out × in
+    b: Vec<f32>,     // out
+    gw: Matrix,      // gradient accumulator
+    gb: Vec<f32>,
+}
+
+impl Linear {
+    /// Creates a layer with He initialisation.
+    pub fn new<R: Rng>(input: usize, output: usize, rng: &mut R) -> Self {
+        Linear {
+            w: Matrix::from_vec(output, input, he_uniform(input, output * input, rng)),
+            b: vec![0.0; output],
+            gw: Matrix::zeros(output, input),
+            gb: vec![0.0; output],
+        }
+    }
+
+    /// Input feature count.
+    pub fn input_size(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Output feature count.
+    pub fn output_size(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Forward pass: `(n × in) → (n × out)`.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul_transpose(&self.w);
+        for r in 0..y.rows() {
+            let row = y.row_mut(r);
+            for (v, b) in row.iter_mut().zip(self.b.iter()) {
+                *v += b;
+            }
+        }
+        y
+    }
+
+    /// Backward pass: accumulates weight/bias gradients and returns the
+    /// gradient w.r.t. the input. `x` must be the same matrix given to
+    /// [`Linear::forward`].
+    pub fn backward(&mut self, x: &Matrix, grad_out: &Matrix) -> Matrix {
+        debug_assert_eq!(grad_out.cols(), self.w.rows());
+        debug_assert_eq!(x.rows(), grad_out.rows());
+        // gw += grad_outᵀ · x
+        let gw = grad_out.transpose_matmul(x);
+        self.gw.add_assign(&gw);
+        for r in 0..grad_out.rows() {
+            for (gb, &g) in self.gb.iter_mut().zip(grad_out.row(r)) {
+                *gb += g;
+            }
+        }
+        // grad_in = grad_out · W
+        grad_out.matmul(&self.w)
+    }
+}
+
+impl Parameterized for Linear {
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        f(self.w.as_mut_slice(), self.gw.as_mut_slice());
+        f(&mut self.b, &mut self.gb);
+    }
+}
+
+/// Element-wise rectified linear unit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Relu;
+
+impl Relu {
+    /// Forward pass.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut y = x.clone();
+        for v in y.as_mut_slice() {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        y
+    }
+
+    /// Backward pass; `x` is the pre-activation input.
+    pub fn backward(&self, x: &Matrix, grad_out: &Matrix) -> Matrix {
+        let mut g = grad_out.clone();
+        for (gv, &xv) in g.as_mut_slice().iter_mut().zip(x.as_slice()) {
+            if xv <= 0.0 {
+                *gv = 0.0;
+            }
+        }
+        g
+    }
+}
+
+/// Column-wise max pooling over the rows of a matrix (PointNet's
+/// permutation-invariant aggregation over a point set).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxPool;
+
+impl MaxPool {
+    /// Pools `(n × c)` down to a `c`-vector, returning the argmax row per
+    /// column for the backward pass. Empty inputs yield zeros.
+    pub fn forward(&self, x: &Matrix) -> (Vec<f32>, Vec<usize>) {
+        let c = x.cols();
+        if x.rows() == 0 {
+            return (vec![0.0; c], vec![0; c]);
+        }
+        let mut out = x.row(0).to_vec();
+        let mut arg = vec![0usize; c];
+        for r in 1..x.rows() {
+            for (j, &v) in x.row(r).iter().enumerate() {
+                if v > out[j] {
+                    out[j] = v;
+                    arg[j] = r;
+                }
+            }
+        }
+        (out, arg)
+    }
+
+    /// Scatters the pooled gradient back to the argmax rows.
+    pub fn backward(&self, rows: usize, arg: &[usize], grad_out: &[f32]) -> Matrix {
+        let mut g = Matrix::zeros(rows, grad_out.len());
+        if rows == 0 {
+            return g;
+        }
+        for (j, (&r, &gv)) in arg.iter().zip(grad_out.iter()).enumerate() {
+            g.set(r, j, gv);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn finite_difference_check(
+        layer: &mut Linear,
+        x: &Matrix,
+        target_grad: impl Fn(&Matrix) -> (f32, Matrix),
+    ) {
+        // Analytic gradients.
+        let (_, grad_out) = target_grad(&layer.forward(x));
+        layer.zero_grads();
+        layer.backward(x, &grad_out);
+        let mut analytic: Vec<f32> = Vec::new();
+        layer.for_each_param(&mut |_, g| analytic.extend_from_slice(g));
+
+        // Numeric gradients.
+        let mut numeric = Vec::new();
+        let eps = 1e-3f32;
+        let mut idx = 0;
+        loop {
+            let mut touched = false;
+            let mut flat_pos = 0;
+            layer.for_each_param(&mut |p, _| {
+                if idx >= flat_pos && idx < flat_pos + p.len() {
+                    p[idx - flat_pos] += eps;
+                    touched = true;
+                }
+                flat_pos += p.len();
+            });
+            if !touched {
+                break;
+            }
+            let (loss_plus, _) = target_grad(&layer.forward(x));
+            let mut flat_pos = 0;
+            layer.for_each_param(&mut |p, _| {
+                if idx >= flat_pos && idx < flat_pos + p.len() {
+                    p[idx - flat_pos] -= 2.0 * eps;
+                }
+                flat_pos += p.len();
+            });
+            let (loss_minus, _) = target_grad(&layer.forward(x));
+            let mut flat_pos = 0;
+            layer.for_each_param(&mut |p, _| {
+                if idx >= flat_pos && idx < flat_pos + p.len() {
+                    p[idx - flat_pos] += eps;
+                }
+                flat_pos += p.len();
+            });
+            numeric.push((loss_plus - loss_minus) / (2.0 * eps));
+            idx += 1;
+        }
+
+        assert_eq!(analytic.len(), numeric.len());
+        for (i, (a, n)) in analytic.iter().zip(numeric.iter()).enumerate() {
+            assert!(
+                (a - n).abs() < 2e-2 * (1.0 + n.abs()),
+                "param {i}: analytic {a} vs numeric {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn linear_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let l = Linear::new(5, 3, &mut rng);
+        let x = Matrix::zeros(7, 5);
+        let y = l.forward(&x);
+        assert_eq!((y.rows(), y.cols()), (7, 3));
+    }
+
+    #[test]
+    fn linear_gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut l = Linear::new(4, 3, &mut rng);
+        let x = Matrix::from_rows(&[vec![0.3, -0.2, 0.8, 0.1], vec![1.0, 0.5, -0.4, 0.2]]);
+        // Loss = sum of squares of outputs / 2 → grad = outputs.
+        finite_difference_check(&mut l, &x, |y| {
+            let loss: f32 = y.as_slice().iter().map(|v| v * v).sum::<f32>() / 2.0;
+            (loss, y.clone())
+        });
+    }
+
+    #[test]
+    fn linear_input_gradient() {
+        // For y = x·Wᵀ, dL/dx = dL/dy · W; check numerically on one entry.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut l = Linear::new(3, 2, &mut rng);
+        let x = Matrix::from_rows(&[vec![0.4, -0.7, 0.2]]);
+        let y = l.forward(&x);
+        let grad_out = Matrix::from_rows(&[vec![1.0, 1.0]]);
+        let gin = l.backward(&x, &grad_out);
+        let eps = 1e-3;
+        for j in 0..3 {
+            let mut xp = x.clone();
+            xp.set(0, j, xp.at(0, j) + eps);
+            let yp = l.forward(&xp);
+            let numeric: f32 =
+                (yp.as_slice().iter().sum::<f32>() - y.as_slice().iter().sum::<f32>()) / eps;
+            assert!((gin.at(0, j) - numeric).abs() < 1e-2, "col {j}");
+        }
+    }
+
+    #[test]
+    fn relu_clamps_and_masks() {
+        let x = Matrix::from_rows(&[vec![-1.0, 0.0, 2.0]]);
+        let y = Relu.forward(&x);
+        assert_eq!(y.row(0), &[0.0, 0.0, 2.0]);
+        let g = Relu.backward(&x, &Matrix::from_rows(&[vec![5.0, 5.0, 5.0]]));
+        assert_eq!(g.row(0), &[0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn maxpool_forward_backward() {
+        let x = Matrix::from_rows(&[vec![1.0, 9.0], vec![5.0, 2.0], vec![3.0, 4.0]]);
+        let (out, arg) = MaxPool.forward(&x);
+        assert_eq!(out, vec![5.0, 9.0]);
+        assert_eq!(arg, vec![1, 0]);
+        let g = MaxPool.backward(3, &arg, &[1.0, 2.0]);
+        assert_eq!(g.at(1, 0), 1.0);
+        assert_eq!(g.at(0, 1), 2.0);
+        assert_eq!(g.at(2, 0), 0.0);
+    }
+
+    #[test]
+    fn maxpool_empty_input() {
+        let x = Matrix::zeros(0, 4);
+        let (out, arg) = MaxPool.forward(&x);
+        assert_eq!(out, vec![0.0; 4]);
+        assert_eq!(arg, vec![0; 4]);
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = Linear::new(10, 4, &mut rng);
+        assert_eq!(l.param_count(), 44);
+    }
+}

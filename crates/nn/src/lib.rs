@@ -1,0 +1,79 @@
+//! A minimal pure-Rust neural-network substrate.
+//!
+//! The offline environment has no deep-learning ecosystem, so GesIDNet
+//! and the baselines are built on this crate: dense matrices, layers with
+//! explicit forward/backward (no autograd graph — models own their
+//! intermediates), cross-entropy losses, and Adam/SGD optimizers.
+//!
+//! Design notes:
+//!
+//! * **Stateless forward** — layers do not cache activations; `forward`
+//!   is `&self` and `backward` takes the original input back. This lets
+//!   one shared MLP be applied to many point groups (PointNet++-style
+//!   weight sharing) without aliasing issues.
+//! * **Gradient accumulation** — `backward` adds into the layer's `grad`
+//!   buffers; the optimizer consumes and zeroes them via
+//!   [`Parameterized::for_each_param`].
+//! * **Determinism** — all initialisation is seeded.
+//!
+//! # Example
+//!
+//! ```
+//! use gp_nn::{Linear, Relu, Adam, softmax_cross_entropy, Matrix, Parameterized};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut layer = Linear::new(4, 3, &mut rng);
+//! let mut adam = Adam::new(1e-2);
+//! let x = Matrix::from_rows(&[vec![0.2, -0.1, 0.5, 1.0]]);
+//! for _ in 0..50 {
+//!     let logits = layer.forward(&x);
+//!     let (loss, grad) = softmax_cross_entropy(logits.row(0), 2);
+//!     let _ = loss;
+//!     let grad_m = Matrix::from_rows(&[grad]);
+//!     layer.backward(&x, &grad_m);
+//!     adam.begin_step();
+//!     layer.for_each_param(&mut |p, g| adam.update(p, g));
+//! }
+//! let logits = layer.forward(&x);
+//! let pred = gp_nn::argmax(logits.row(0));
+//! assert_eq!(pred, 2);
+//! ```
+
+pub mod conv;
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod lstm;
+pub mod matrix;
+pub mod optim;
+pub mod serialize;
+
+pub use conv::Conv2d;
+pub use layers::{Linear, MaxPool, Relu};
+pub use loss::{argmax, softmax, softmax_cross_entropy};
+pub use lstm::Lstm;
+pub use matrix::Matrix;
+pub use optim::{Adam, Sgd};
+
+/// Types exposing trainable parameters to an optimizer.
+///
+/// Implementations must visit parameters in a stable order; optimizers
+/// key their per-parameter state on visit order.
+pub trait Parameterized {
+    /// Calls `f(param, grad)` for every parameter tensor.
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32]));
+
+    /// Total number of scalar parameters.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.for_each_param(&mut |p, _| n += p.len());
+        n
+    }
+
+    /// Zeroes all gradient buffers.
+    fn zero_grads(&mut self) {
+        self.for_each_param(&mut |_, g| g.iter_mut().for_each(|v| *v = 0.0));
+    }
+}

@@ -1,0 +1,24 @@
+//! Prints per-frame point counts for a simulated capture (segmentation
+//! debugging aid).
+
+use gp_kinematics::gestures::{GestureId, GestureSet};
+use gp_kinematics::{Performance, UserProfile};
+use gp_pipeline::Segmenter;
+use gp_radar::{Backend, Environment, RadarConfig, RadarSimulator, Scene};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let profile = UserProfile::generate(0, 42);
+    let mut rng = StdRng::seed_from_u64(std::env::args().nth(2).map(|v| v.parse().unwrap()).unwrap_or(1));
+    let perf = Performance::new(&profile, GestureSet::Asl15, GestureId(std::env::args().nth(1).map(|v| v.parse().unwrap()).unwrap_or(12)), 1.2, &mut rng);
+    let (gs, ge) = perf.gesture_interval();
+    println!("gesture interval: {gs:.2}..{ge:.2} s");
+    let scene = Scene::for_performance(perf, Environment::Office, 1);
+    let mut sim = RadarSimulator::new(RadarConfig::default(), Backend::Geometric, 1 ^ 0xF00D);
+    let frames = sim.capture_scene(&scene);
+    let counts: Vec<usize> = frames.iter().map(|f| f.len()).collect();
+    println!("counts: {counts:?}");
+    let segs = Segmenter::default().segment(&frames);
+    println!("segments: {segs:?}");
+}

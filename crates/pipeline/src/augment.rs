@@ -1,0 +1,150 @@
+//! Training-time data augmentation (paper §IV-B).
+//!
+//! Each gesture cloud is replicated with small Gaussian displacements on
+//! every point — `×3` copies with `σ = 0.02 m` in the paper — which makes
+//! the classifier robust to position jitter and unseen distances
+//! (paper Fig. 12's with/without-DA comparison).
+
+use gp_pointcloud::{PointCloud, Vec3};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Augmentation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AugmenterConfig {
+    /// Number of jittered copies per original sample.
+    pub copies: usize,
+    /// Standard deviation of the per-point displacement (m).
+    pub sigma: f64,
+}
+
+impl Default for AugmenterConfig {
+    fn default() -> Self {
+        AugmenterConfig { copies: 3, sigma: 0.02 }
+    }
+}
+
+/// The data-augmentation module.
+#[derive(Debug, Clone, Default)]
+pub struct Augmenter {
+    config: AugmenterConfig,
+}
+
+impl Augmenter {
+    /// Creates an augmenter.
+    pub fn new(config: AugmenterConfig) -> Self {
+        Augmenter { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AugmenterConfig {
+        &self.config
+    }
+
+    /// Returns one jittered copy of `cloud`.
+    pub fn jitter<R: Rng>(&self, cloud: &PointCloud, rng: &mut R) -> PointCloud {
+        cloud
+            .iter()
+            .map(|p| {
+                let mut q = *p;
+                q.position += Vec3::new(
+                    gaussian(rng) * self.config.sigma,
+                    gaussian(rng) * self.config.sigma,
+                    gaussian(rng) * self.config.sigma,
+                );
+                q
+            })
+            .collect()
+    }
+
+    /// Returns the augmented set: `copies` jittered versions of `cloud`
+    /// (the original is *not* included, matching "this process is
+    /// repeated to augment the data three times").
+    pub fn augment<R: Rng>(&self, cloud: &PointCloud, rng: &mut R) -> Vec<PointCloud> {
+        (0..self.config.copies)
+            .map(|_| self.jitter(cloud, rng))
+            .collect()
+    }
+}
+
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_pointcloud::Point;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cloud() -> PointCloud {
+        (0..30)
+            .map(|i| Point::new(Vec3::new(i as f64 * 0.05, 1.2, 1.0), 0.7, 12.0))
+            .collect()
+    }
+
+    #[test]
+    fn produces_requested_copies() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let copies = Augmenter::default().augment(&cloud(), &mut rng);
+        assert_eq!(copies.len(), 3);
+        for c in &copies {
+            assert_eq!(c.len(), 30);
+        }
+    }
+
+    #[test]
+    fn jitter_is_small_but_nonzero() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let original = cloud();
+        let jittered = Augmenter::default().jitter(&original, &mut rng);
+        let mut max_shift = 0.0f64;
+        let mut total_shift = 0.0f64;
+        for (a, b) in original.iter().zip(jittered.iter()) {
+            let d = a.position.distance(b.position);
+            max_shift = max_shift.max(d);
+            total_shift += d;
+        }
+        assert!(total_shift > 0.0, "jitter must move points");
+        // 3σ · √3 ≈ 0.104; allow some slack.
+        assert!(max_shift < 0.2, "jitter too large: {max_shift}");
+        let mean_shift = total_shift / original.len() as f64;
+        assert!((0.005..0.08).contains(&mean_shift), "mean shift {mean_shift}");
+    }
+
+    #[test]
+    fn jitter_preserves_doppler_and_snr() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let original = cloud();
+        let jittered = Augmenter::default().jitter(&original, &mut rng);
+        for (a, b) in original.iter().zip(jittered.iter()) {
+            assert_eq!(a.doppler, b.doppler);
+            assert_eq!(a.snr, b.snr);
+        }
+    }
+
+    #[test]
+    fn zero_copies_supported() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let aug = Augmenter::new(AugmenterConfig { copies: 0, sigma: 0.02 });
+        assert!(aug.augment(&cloud(), &mut rng).is_empty());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = Augmenter::default().jitter(&cloud(), &mut StdRng::seed_from_u64(9));
+        let b = Augmenter::default().jitter(&cloud(), &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_cloud_augments_to_empty_clouds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let copies = Augmenter::default().augment(&PointCloud::new(), &mut rng);
+        assert_eq!(copies.len(), 3);
+        assert!(copies.iter().all(PointCloud::is_empty));
+    }
+}

@@ -1,0 +1,136 @@
+//! Noise canceling: keep the main DBSCAN cluster (paper §IV-B).
+//!
+//! After static clutter removal there remain points from swaying
+//! reflectors, multipath ghosts and other people. DBSCAN over the
+//! aggregated gesture cloud groups points by density; the cluster with the
+//! most points is the user (the *main cluster*), everything else is
+//! discarded. Paper parameters: `D_max = 1 m`, `N_min = 4`.
+
+use gp_pointcloud::dbscan::{dbscan, DbscanConfig};
+use gp_pointcloud::{Clustering, PointCloud};
+use serde::{Deserialize, Serialize};
+
+/// Noise-canceling parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseCancelerConfig {
+    /// DBSCAN neighbourhood radius — the paper's `D_max` (m).
+    pub max_distance: f64,
+    /// DBSCAN minimum cluster cardinality — the paper's `N_min`.
+    pub min_points: usize,
+}
+
+impl Default for NoiseCancelerConfig {
+    fn default() -> Self {
+        NoiseCancelerConfig { max_distance: 1.0, min_points: 4 }
+    }
+}
+
+impl NoiseCancelerConfig {
+    fn as_dbscan(self) -> DbscanConfig {
+        DbscanConfig { eps: self.max_distance, min_points: self.min_points }
+    }
+}
+
+/// The noise-canceling module.
+#[derive(Debug, Clone, Default)]
+pub struct NoiseCanceler {
+    config: NoiseCancelerConfig,
+}
+
+impl NoiseCanceler {
+    /// Creates a noise canceler.
+    pub fn new(config: NoiseCancelerConfig) -> Self {
+        NoiseCanceler { config }
+    }
+
+    /// Returns the main cluster of `cloud`, or an empty cloud if no
+    /// cluster meets the density requirement.
+    pub fn clean(&self, cloud: &PointCloud) -> PointCloud {
+        gp_pointcloud::dbscan::main_cluster_of(cloud, &self.config.as_dbscan())
+    }
+
+    /// Exposes the full clustering (main cluster *and* the discarded
+    /// ones) — used by the multi-person analysis of paper Fig. 15.
+    pub fn clusters(&self, cloud: &PointCloud) -> Clustering {
+        dbscan(cloud, &self.config.as_dbscan())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_pointcloud::{Point, Vec3};
+
+    fn user_blob(n: usize, center: Vec3) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                Point::new(
+                    center + Vec3::new((t * 0.7).sin() * 0.3, (t * 1.1).cos() * 0.2, (t * 1.7).sin() * 0.35),
+                    0.5,
+                    20.0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn keeps_user_drops_far_ghosts() {
+        let mut points = user_blob(40, Vec3::new(0.0, 1.2, 1.2));
+        // Ghosts at stretched range.
+        points.push(Point::new(Vec3::new(0.1, 3.4, 1.0), 0.5, 9.0));
+        points.push(Point::new(Vec3::new(-0.2, 4.0, 1.3), 0.3, 8.5));
+        let cleaned = NoiseCanceler::default().clean(&PointCloud::from_points(points));
+        assert_eq!(cleaned.len(), 40);
+        assert!(cleaned.iter().all(|p| p.position.y < 2.5));
+    }
+
+    #[test]
+    fn separates_user_from_walker() {
+        // Fig. 15a: a walker passes 1.5 m behind the user — its points
+        // form their own cluster and must be discarded.
+        let mut points = user_blob(40, Vec3::new(0.0, 1.2, 1.2));
+        points.extend(user_blob(15, Vec3::new(-1.5, 3.2, 1.1)));
+        let canceler = NoiseCanceler::default();
+        let cleaned = canceler.clean(&PointCloud::from_points(points.clone()));
+        assert_eq!(cleaned.len(), 40, "main cluster should be the user");
+        let clustering = canceler.clusters(&PointCloud::from_points(points));
+        assert!(clustering.cluster_count() >= 2, "walker should form its own cluster");
+    }
+
+    #[test]
+    fn empty_in_empty_out() {
+        assert!(NoiseCanceler::default().clean(&PointCloud::new()).is_empty());
+    }
+
+    #[test]
+    fn sparse_noise_only_gives_empty() {
+        let points = vec![
+            Point::at(Vec3::new(0.0, 1.0, 1.0)),
+            Point::at(Vec3::new(3.0, 2.0, 1.0)),
+            Point::at(Vec3::new(-3.0, 4.0, 0.5)),
+        ];
+        let cleaned = NoiseCanceler::default().clean(&PointCloud::from_points(points));
+        assert!(cleaned.is_empty());
+    }
+
+    #[test]
+    fn close_interferer_merges_below_dbscan_resolution() {
+        // The minimum distinguishable separation is governed by D_max
+        // (paper §VII-1): another person closer than that merges into the
+        // main cluster.
+        let mut points = user_blob(40, Vec3::new(0.0, 1.2, 1.2));
+        points.extend(user_blob(10, Vec3::new(0.8, 1.4, 1.2))); // 0.8 m away < D_max
+        let cleaned = NoiseCanceler::default().clean(&PointCloud::from_points(points));
+        assert_eq!(cleaned.len(), 50, "sub-D_max interferer merges (expected limitation)");
+    }
+
+    #[test]
+    fn tighter_radius_separates_closer_interferers() {
+        let mut points = user_blob(40, Vec3::new(0.0, 1.2, 1.2));
+        points.extend(user_blob(10, Vec3::new(1.2, 1.4, 1.2)));
+        let tight = NoiseCanceler::new(NoiseCancelerConfig { max_distance: 0.4, min_points: 4 });
+        let cleaned = tight.clean(&PointCloud::from_points(points));
+        assert_eq!(cleaned.len(), 40);
+    }
+}

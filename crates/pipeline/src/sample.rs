@@ -1,0 +1,68 @@
+//! Sample types flowing between the pipeline and the classifiers.
+
+use gp_pointcloud::PointCloud;
+use serde::{Deserialize, Serialize};
+
+/// The output of preprocessing one gesture: a clean aggregated cloud plus
+/// timing metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GestureSample {
+    /// Noise-cancelled aggregated gesture point cloud.
+    pub cloud: PointCloud,
+    /// Per-frame clouds of the segment, filtered to the neighbourhood of
+    /// the main cluster (temporal view for sequence baselines).
+    pub frame_clouds: Vec<PointCloud>,
+    /// Segment length in frames (paper Fig. 13's "lasting time").
+    pub duration_frames: usize,
+    /// Index of the first frame of the segment in the capture.
+    pub start_frame: usize,
+}
+
+/// A training/evaluation sample with its ground-truth labels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabeledSample {
+    /// The preprocessed gesture cloud.
+    pub cloud: PointCloud,
+    /// Per-frame clouds of the segment (temporal view).
+    pub frame_clouds: Vec<PointCloud>,
+    /// Segment length in frames.
+    pub duration_frames: usize,
+    /// Gesture class label.
+    pub gesture: usize,
+    /// User identity label.
+    pub user: usize,
+}
+
+impl LabeledSample {
+    /// Attaches labels to a [`GestureSample`].
+    pub fn from_sample(sample: GestureSample, gesture: usize, user: usize) -> Self {
+        LabeledSample {
+            cloud: sample.cloud,
+            frame_clouds: sample.frame_clouds,
+            duration_frames: sample.duration_frames,
+            gesture,
+            user,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_pointcloud::{Point, Vec3};
+
+    #[test]
+    fn labeling_preserves_cloud() {
+        let sample = GestureSample {
+            cloud: PointCloud::from_points(vec![Point::at(Vec3::new(0.0, 1.0, 1.0))]),
+            frame_clouds: vec![PointCloud::new(); 21],
+            duration_frames: 21,
+            start_frame: 30,
+        };
+        let labeled = LabeledSample::from_sample(sample.clone(), 4, 11);
+        assert_eq!(labeled.cloud, sample.cloud);
+        assert_eq!(labeled.duration_frames, 21);
+        assert_eq!(labeled.gesture, 4);
+        assert_eq!(labeled.user, 11);
+    }
+}

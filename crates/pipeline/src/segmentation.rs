@@ -1,0 +1,279 @@
+//! Parameter-adaptive sliding-window gesture segmentation (paper §IV-B).
+//!
+//! The segmenter watches the number of points per frame. A dynamic point
+//! threshold `P_thr` is derived from the cumulative distribution of counts
+//! over the trailing `N = 50` frames; a sliding detection window of
+//! `n = 10` frames then classifies frames as motion/static, and a gesture
+//! starts once at least `F_thr = 8` motion frames accumulate in the
+//! window, ending when the window is all-static again.
+
+use gp_radar::Frame;
+use serde::{Deserialize, Serialize};
+
+/// Segmentation parameters (paper §V values as defaults).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmenterConfig {
+    /// Length `N` of the trailing window used to estimate the dynamic
+    /// point-count threshold.
+    pub threshold_window: usize,
+    /// Length `n` of the sliding motion-detection window.
+    pub motion_window: usize,
+    /// Minimum motion frames `F_thr` in the window to accept a gesture
+    /// start.
+    pub min_motion_frames: usize,
+    /// Absolute floor for the dynamic threshold (points per frame); keeps
+    /// the detector sane during all-idle stretches.
+    pub min_threshold: usize,
+    /// Quantile pair `(low, high)` of the count distribution that anchors
+    /// the dynamic threshold: `P_thr = lowq + spread_fraction·(highq − lowq)`.
+    pub quantiles: (f64, f64),
+    /// Fraction of the low→high quantile spread added to the low anchor.
+    pub spread_fraction: f64,
+}
+
+impl Default for SegmenterConfig {
+    fn default() -> Self {
+        SegmenterConfig {
+            threshold_window: 50,
+            motion_window: 10,
+            min_motion_frames: 8,
+            min_threshold: 3,
+            quantiles: (0.2, 0.95),
+            spread_fraction: 0.35,
+        }
+    }
+}
+
+/// A detected gesture segment: frame indices `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GestureSegment {
+    /// First motion frame (inclusive).
+    pub start: usize,
+    /// One past the last motion frame (exclusive).
+    pub end: usize,
+}
+
+impl GestureSegment {
+    /// Number of frames in the segment — the "lasting time" of paper
+    /// Fig. 13.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the segment is empty (never produced by the segmenter).
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// The parameter-adaptive sliding-window segmenter.
+#[derive(Debug, Clone, Default)]
+pub struct Segmenter {
+    config: SegmenterConfig,
+}
+
+impl Segmenter {
+    /// Creates a segmenter.
+    pub fn new(config: SegmenterConfig) -> Self {
+        Segmenter { config }
+    }
+
+    /// The dynamic point threshold for a window of recent counts: anchors
+    /// on the count distribution so it adapts to the environment's
+    /// baseline clutter level.
+    pub fn dynamic_threshold(&self, counts: &[usize]) -> usize {
+        if counts.is_empty() {
+            return self.config.min_threshold;
+        }
+        let mut sorted: Vec<usize> = counts.to_vec();
+        sorted.sort_unstable();
+        let q = |f: f64| -> f64 {
+            let idx = (f * (sorted.len() - 1) as f64).round() as usize;
+            sorted[idx] as f64
+        };
+        let lo = q(self.config.quantiles.0);
+        let hi = q(self.config.quantiles.1);
+        // At least one point above the low anchor, so a flat idle
+        // distribution (all counts equal) never classifies as motion.
+        let thr = lo + (self.config.spread_fraction * (hi - lo)).max(1.0);
+        (thr.ceil() as usize).max(self.config.min_threshold)
+    }
+
+    /// Segments a frame sequence into gesture intervals.
+    pub fn segment(&self, frames: &[Frame]) -> Vec<GestureSegment> {
+        let counts: Vec<usize> = frames.iter().map(Frame::len).collect();
+        let n = counts.len();
+        let cfg = &self.config;
+        if n == 0 {
+            return Vec::new();
+        }
+
+        // Motion flags from the adaptive threshold. The threshold for
+        // frame i uses the trailing `threshold_window` counts (or all
+        // frames available so far), so quiet environments lower it and
+        // noisy ones raise it.
+        let mut motion = vec![false; n];
+        for i in 0..n {
+            let lo = i.saturating_sub(cfg.threshold_window);
+            let thr = self.dynamic_threshold(&counts[lo..=i]);
+            motion[i] = counts[i] >= thr;
+        }
+
+        let mut segments = Vec::new();
+        let mut in_gesture = false;
+        let mut start = 0usize;
+        let mut last_motion = 0usize;
+        for i in 0..n {
+            let w_lo = i.saturating_sub(cfg.motion_window.saturating_sub(1));
+            let window = &motion[w_lo..=i];
+            let motion_count = window.iter().filter(|m| **m).count();
+            if !in_gesture {
+                if motion_count >= cfg.min_motion_frames.min(cfg.motion_window) {
+                    in_gesture = true;
+                    // The gesture started at the first motion frame of
+                    // the current window.
+                    start = w_lo + window.iter().position(|m| *m).unwrap_or(0);
+                    last_motion = i;
+                }
+            } else {
+                if motion[i] {
+                    last_motion = i;
+                }
+                if motion_count == 0 {
+                    // Entire window static: the gesture ended at the last
+                    // motion frame.
+                    segments.push(GestureSegment { start, end: last_motion + 1 });
+                    in_gesture = false;
+                }
+            }
+        }
+        if in_gesture {
+            segments.push(GestureSegment { start, end: last_motion + 1 });
+        }
+        segments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_pointcloud::{Point, PointCloud, Vec3};
+
+    /// Builds frames with the given per-frame point counts.
+    fn frames_with_counts(counts: &[usize]) -> Vec<Frame> {
+        counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let cloud: PointCloud = (0..c)
+                    .map(|k| Point::new(Vec3::new(k as f64 * 0.05, 1.2, 1.0), 0.4, 15.0))
+                    .collect();
+                Frame::new(i as f64 * 0.1, cloud)
+            })
+            .collect()
+    }
+
+    fn pattern(idle: usize, burst: usize, tail: usize, level: usize) -> Vec<usize> {
+        let mut v = vec![1; idle];
+        v.extend(std::iter::repeat(level).take(burst));
+        v.extend(std::iter::repeat(1).take(tail));
+        v
+    }
+
+    #[test]
+    fn detects_single_burst() {
+        let counts = pattern(20, 20, 20, 12);
+        let segs = Segmenter::default().segment(&frames_with_counts(&counts));
+        assert_eq!(segs.len(), 1);
+        let s = segs[0];
+        // Start near frame 20, end near frame 40.
+        assert!((18..=24).contains(&s.start), "start {}", s.start);
+        assert!((38..=44).contains(&s.end), "end {}", s.end);
+    }
+
+    #[test]
+    fn all_idle_yields_nothing() {
+        let counts = vec![1usize; 80];
+        let segs = Segmenter::default().segment(&frames_with_counts(&counts));
+        assert!(segs.is_empty(), "{segs:?}");
+    }
+
+    #[test]
+    fn all_empty_frames_yield_nothing() {
+        let counts = vec![0usize; 80];
+        let segs = Segmenter::default().segment(&frames_with_counts(&counts));
+        assert!(segs.is_empty());
+    }
+
+    #[test]
+    fn detects_two_bursts() {
+        let mut counts = pattern(20, 20, 25, 12);
+        counts.extend(std::iter::repeat(14).take(18));
+        counts.extend(std::iter::repeat(1).take(20));
+        let segs = Segmenter::default().segment(&frames_with_counts(&counts));
+        assert_eq!(segs.len(), 2, "{segs:?}");
+        assert!(segs[0].end <= segs[1].start);
+    }
+
+    #[test]
+    fn short_blip_is_rejected() {
+        // 4 motion frames < F_thr = 8.
+        let counts = pattern(30, 4, 30, 15);
+        let segs = Segmenter::default().segment(&frames_with_counts(&counts));
+        assert!(segs.is_empty(), "{segs:?}");
+    }
+
+    #[test]
+    fn gesture_at_sequence_end_is_closed() {
+        let counts = pattern(30, 15, 0, 12);
+        let segs = Segmenter::default().segment(&frames_with_counts(&counts));
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].end, 45);
+    }
+
+    #[test]
+    fn adapts_to_noisy_baseline() {
+        // Baseline of 4 points (noisy room) with bursts to 16: a fixed
+        // low threshold would merge everything; the adaptive one doesn't.
+        let mut counts = vec![4usize; 25];
+        counts.extend(std::iter::repeat(16).take(20));
+        counts.extend(std::iter::repeat(4).take(25));
+        let segs = Segmenter::default().segment(&frames_with_counts(&counts));
+        assert_eq!(segs.len(), 1, "{segs:?}");
+        assert!((23..=29).contains(&segs[0].start), "start {}", segs[0].start);
+    }
+
+    #[test]
+    fn threshold_floor_respected() {
+        let seg = Segmenter::default();
+        assert_eq!(seg.dynamic_threshold(&[]), 3);
+        assert_eq!(seg.dynamic_threshold(&[0, 0, 0, 0]), 3);
+    }
+
+    #[test]
+    fn threshold_tracks_distribution() {
+        let seg = Segmenter::default();
+        let quiet = vec![1usize; 50];
+        let mut active = vec![1usize; 25];
+        active.extend(vec![20usize; 25]);
+        assert!(seg.dynamic_threshold(&active) > seg.dynamic_threshold(&quiet));
+    }
+
+    #[test]
+    fn segment_len() {
+        let s = GestureSegment { start: 10, end: 32 };
+        assert_eq!(s.len(), 22);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn longer_gesture_gives_longer_segment() {
+        // Segment length must track the true motion duration (paper
+        // Fig. 13 measures user speed through this).
+        let short = pattern(25, 14, 25, 12);
+        let long = pattern(25, 30, 25, 12);
+        let s1 = Segmenter::default().segment(&frames_with_counts(&short))[0];
+        let s2 = Segmenter::default().segment(&frames_with_counts(&long))[0];
+        assert!(s2.len() > s1.len());
+    }
+}

@@ -1,0 +1,126 @@
+//! End-to-end pipeline tests on simulated radar captures: performance →
+//! radar frames → segmentation → noise canceling.
+
+use gp_kinematics::gestures::{GestureId, GestureSet};
+use gp_kinematics::{Performance, UserProfile};
+use gp_pipeline::{Preprocessor, PreprocessorConfig, Segmenter};
+use gp_radar::scene::{SceneEntity, Walker};
+use gp_radar::{Backend, Environment, RadarConfig, RadarSimulator, Scene};
+use gp_pointcloud::Vec3;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn capture(user: usize, gesture: usize, rep_seed: u64) -> (Performance, Vec<gp_radar::Frame>) {
+    let profile = UserProfile::generate(user, 42);
+    let mut rng = StdRng::seed_from_u64(rep_seed);
+    let perf = Performance::new(&profile, GestureSet::Asl15, GestureId(gesture), 1.2, &mut rng);
+    let scene = Scene::for_performance(perf.clone(), Environment::Office, rep_seed);
+    let mut sim = RadarSimulator::new(RadarConfig::default(), Backend::Geometric, rep_seed ^ 0xF00D);
+    let frames = sim.capture_scene(&scene);
+    (perf, frames)
+}
+
+#[test]
+fn segmentation_finds_the_gesture_interval() {
+    let (perf, frames) = capture(0, 12, 1);
+    let (gs, ge) = perf.gesture_interval();
+    let segments = Segmenter::default().segment(&frames);
+    assert_eq!(segments.len(), 1, "expected exactly one gesture, got {segments:?}");
+    let seg = segments[0];
+    let frame_rate = 10.0;
+    let seg_start_s = seg.start as f64 / frame_rate;
+    let seg_end_s = seg.end as f64 / frame_rate;
+    assert!(
+        (seg_start_s - gs).abs() < 0.8,
+        "segment start {seg_start_s} vs truth {gs}"
+    );
+    assert!(
+        (seg_end_s - ge).abs() < 1.0,
+        "segment end {seg_end_s} vs truth {ge}"
+    );
+}
+
+#[test]
+fn preprocessing_yields_clean_user_cloud() {
+    let (_, frames) = capture(0, 12, 2);
+    let samples = Preprocessor::new(PreprocessorConfig::default()).process(&frames);
+    assert_eq!(samples.len(), 1);
+    let s = &samples[0];
+    assert!(s.cloud.len() >= 20, "too few points: {}", s.cloud.len());
+    // All points near the user's standing spot (x≈0, y≈0.3..2.0).
+    for p in s.cloud.iter() {
+        assert!(p.position.y < 2.6, "residual noise at {:?}", p.position);
+        assert!(p.position.x.abs() < 1.2, "residual noise at {:?}", p.position);
+    }
+}
+
+#[test]
+fn walker_behind_user_is_removed() {
+    let profile = UserProfile::generate(0, 42);
+    let mut rng = StdRng::seed_from_u64(3);
+    let perf = Performance::new(&profile, GestureSet::Asl15, GestureId(12), 1.2, &mut rng);
+    let mut scene = Scene::for_performance(perf, Environment::MeetingRoom, 3);
+    scene.push(SceneEntity::Walker(Walker {
+        start: Vec3::new(-2.5, 3.0, 0.0),
+        velocity: Vec3::new(1.0, 0.0, 0.0),
+        height: 1.75,
+        enter_time: 0.5,
+    }));
+    let mut sim = RadarSimulator::new(RadarConfig::default(), Backend::Geometric, 99);
+    let frames = sim.capture_scene(&scene);
+    let samples = Preprocessor::new(PreprocessorConfig::default()).process(&frames);
+    assert!(!samples.is_empty());
+    // Main-cluster selection must keep the user (y≈1.2), not the walker
+    // corridor (y≈3).
+    let cloud = &samples[0].cloud;
+    let centroid = cloud.centroid().unwrap();
+    assert!(
+        centroid.y < 2.2,
+        "centroid dragged toward the walker: {centroid:?}"
+    );
+    let far = cloud.iter().filter(|p| p.position.y > 2.6).count();
+    assert!(
+        (far as f64) < 0.1 * cloud.len() as f64,
+        "walker points leaked: {far}/{}",
+        cloud.len()
+    );
+}
+
+#[test]
+fn different_gestures_give_different_durations() {
+    // 'away' (2.2 s) vs 'table' (2.8 s): mean segment lengths over a few
+    // repetitions must reflect the difference (paper Fig. 13).
+    let pre = Preprocessor::new(PreprocessorConfig::default());
+    let mean_duration = |gesture: usize| -> f64 {
+        let mut total = 0usize;
+        let mut n = 0usize;
+        for seed in 7..11 {
+            let (_, frames) = capture(0, gesture, seed);
+            if let Some(d) = pre.process(&frames).iter().map(|s| s.duration_frames).max() {
+                total += d;
+                n += 1;
+            }
+        }
+        assert!(n > 0, "no segments for gesture {gesture}");
+        total as f64 / n as f64
+    };
+    let da = mean_duration(4); // 'away'
+    let db = mean_duration(13); // 'table'
+    assert!(
+        db > da,
+        "'table' ({db:.1}) should outlast 'away' ({da:.1}) on average"
+    );
+}
+
+#[test]
+fn repetitions_produce_similar_but_not_identical_clouds() {
+    let pre = Preprocessor::new(PreprocessorConfig::default());
+    let (_, f1) = capture(0, 12, 10);
+    let (_, f2) = capture(0, 12, 11);
+    let s1 = &pre.process(&f1)[0];
+    let s2 = &pre.process(&f2)[0];
+    assert_ne!(s1.cloud, s2.cloud);
+    // But they overlap in space: Chamfer distance small.
+    let cd = gp_pointcloud::metrics::chamfer(&s1.cloud, &s2.cloud);
+    assert!(cd < 0.4, "same user+gesture should be close, cd={cd}");
+}

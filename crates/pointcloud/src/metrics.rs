@@ -1,0 +1,295 @@
+//! Point-cloud difference metrics used in the paper's feasibility study.
+//!
+//! Paper §III measures how gesture point clouds differ within one user and
+//! across users using three metrics (Fig. 3):
+//!
+//! * **Hausdorff distance (HD)** — how far each cloud strays from the
+//!   other in the worst case,
+//! * **Chamfer distance (CD)** — the average bidirectional closest-point
+//!   distance,
+//! * **Jensen–Shannon divergence (JSD)** — how differently the two clouds
+//!   occupy space, computed over a shared voxel occupancy grid.
+//!
+//! All metrics operate on positions only (Doppler/SNR are ignored), match
+//! the formulations cited by the paper, and return `0.0` for identical
+//! clouds.
+
+use crate::point::{PointCloud, Vec3};
+
+/// Directed Hausdorff distance `h(a → b) = max_{p∈a} min_{q∈b} ‖p−q‖`.
+///
+/// Returns `0.0` if `a` is empty and `+∞` if `b` is empty while `a` is not.
+pub fn directed_hausdorff(a: &PointCloud, b: &PointCloud) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    if b.is_empty() {
+        return f64::INFINITY;
+    }
+    a.iter()
+        .map(|p| nearest_distance_sqr(p.position, b))
+        .fold(0.0f64, f64::max)
+        .sqrt()
+}
+
+/// Symmetric Hausdorff distance `H(a, b) = max(h(a→b), h(b→a))`.
+///
+/// ```
+/// use gp_pointcloud::{metrics, PointCloud, Vec3};
+/// let a = PointCloud::from_positions([Vec3::ZERO]);
+/// let b = PointCloud::from_positions([Vec3::new(0.0, 3.0, 4.0)]);
+/// assert!((metrics::hausdorff(&a, &b) - 5.0).abs() < 1e-12);
+/// ```
+pub fn hausdorff(a: &PointCloud, b: &PointCloud) -> f64 {
+    directed_hausdorff(a, b).max(directed_hausdorff(b, a))
+}
+
+/// Chamfer distance: the mean of the two directed average closest-point
+/// distances,
+/// `CD(a,b) = ½·(mean_{p∈a} min_{q∈b} ‖p−q‖ + mean_{q∈b} min_{p∈a} ‖q−p‖)`.
+///
+/// Returns `0.0` if both clouds are empty and `+∞` if exactly one is.
+pub fn chamfer(a: &PointCloud, b: &PointCloud) -> f64 {
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => return 0.0,
+        (true, false) | (false, true) => return f64::INFINITY,
+        _ => {}
+    }
+    let da: f64 = a
+        .iter()
+        .map(|p| nearest_distance_sqr(p.position, b).sqrt())
+        .sum::<f64>()
+        / a.len() as f64;
+    let db: f64 = b
+        .iter()
+        .map(|q| nearest_distance_sqr(q.position, a).sqrt())
+        .sum::<f64>()
+        / b.len() as f64;
+    0.5 * (da + db)
+}
+
+/// Configuration for the voxel-grid Jensen–Shannon divergence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JsdConfig {
+    /// Edge length of each cubic voxel (m).
+    pub voxel_size: f64,
+}
+
+impl Default for JsdConfig {
+    fn default() -> Self {
+        // 10 cm voxels: coarse enough that a sparse mmWave cloud populates
+        // multiple cells, fine enough to separate different motion
+        // envelopes.
+        JsdConfig { voxel_size: 0.1 }
+    }
+}
+
+/// Jensen–Shannon divergence between the voxel-occupancy distributions of
+/// two clouds, in bits (base-2 logarithm, so the result lies in `[0, 1]`).
+///
+/// Both clouds are quantised onto a voxel grid spanning their joint
+/// bounding box; each cloud then induces a probability distribution over
+/// voxels and `JSD(p‖q) = ½·KL(p‖m) + ½·KL(q‖m)` with `m = (p+q)/2`.
+///
+/// Returns `0.0` if both clouds are empty and `1.0` (maximal divergence)
+/// if exactly one is.
+pub fn jsd(a: &PointCloud, b: &PointCloud, config: &JsdConfig) -> f64 {
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => return 0.0,
+        (true, false) | (false, true) => return 1.0,
+        _ => {}
+    }
+    let (lo_a, hi_a) = a.bounding_box().expect("non-empty");
+    let (lo_b, hi_b) = b.bounding_box().expect("non-empty");
+    let lo = lo_a.min(lo_b);
+    let hi = hi_a.max(hi_b);
+    let size = config.voxel_size.max(1e-9);
+
+    let nx = grid_cells(lo.x, hi.x, size);
+    let ny = grid_cells(lo.y, hi.y, size);
+    let nz = grid_cells(lo.z, hi.z, size);
+    let total = nx * ny * nz;
+
+    let index = |v: Vec3| -> usize {
+        let ix = (((v.x - lo.x) / size) as usize).min(nx - 1);
+        let iy = (((v.y - lo.y) / size) as usize).min(ny - 1);
+        let iz = (((v.z - lo.z) / size) as usize).min(nz - 1);
+        (ix * ny + iy) * nz + iz
+    };
+
+    let mut p = vec![0.0f64; total];
+    let mut q = vec![0.0f64; total];
+    for pt in a.iter() {
+        p[index(pt.position)] += 1.0;
+    }
+    for pt in b.iter() {
+        q[index(pt.position)] += 1.0;
+    }
+    let pa = a.len() as f64;
+    let pb = b.len() as f64;
+    for v in p.iter_mut() {
+        *v /= pa;
+    }
+    for v in q.iter_mut() {
+        *v /= pb;
+    }
+
+    let mut div = 0.0;
+    for i in 0..total {
+        let m = 0.5 * (p[i] + q[i]);
+        if p[i] > 0.0 {
+            div += 0.5 * p[i] * (p[i] / m).log2();
+        }
+        if q[i] > 0.0 {
+            div += 0.5 * q[i] * (q[i] / m).log2();
+        }
+    }
+    div.clamp(0.0, 1.0)
+}
+
+/// Average pairwise difference between two collections of point clouds
+/// under a metric `d`, implementing the paper's Eq. (1):
+///
+/// `d(g) = Σ_m Σ_n D(c_n, c_m) / (N₁·N₂)` over distinct pairs.
+///
+/// When `set_a` and `set_b` are the same user's repetitions, pass the same
+/// slice twice — pairs with `n == m` are skipped, matching `c_n ≠ c_m` in
+/// the paper.
+pub fn mean_pairwise<D>(set_a: &[PointCloud], set_b: &[PointCloud], mut d: D) -> f64
+where
+    D: FnMut(&PointCloud, &PointCloud) -> f64,
+{
+    let same = std::ptr::eq(set_a.as_ptr(), set_b.as_ptr()) && set_a.len() == set_b.len();
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for (n, ca) in set_a.iter().enumerate() {
+        for (m, cb) in set_b.iter().enumerate() {
+            if same && n == m {
+                continue;
+            }
+            sum += d(ca, cb);
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+fn grid_cells(lo: f64, hi: f64, size: f64) -> usize {
+    (((hi - lo) / size).floor() as usize + 1).max(1)
+}
+
+fn nearest_distance_sqr(p: Vec3, cloud: &PointCloud) -> f64 {
+    cloud
+        .iter()
+        .map(|q| p.distance_sqr(q.position))
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::PointCloud;
+
+    fn line_cloud(n: usize, offset: f64) -> PointCloud {
+        PointCloud::from_positions((0..n).map(|i| Vec3::new(i as f64 * 0.1 + offset, 1.0, 0.0)))
+    }
+
+    #[test]
+    fn identical_clouds_have_zero_distance() {
+        let a = line_cloud(20, 0.0);
+        assert_eq!(hausdorff(&a, &a), 0.0);
+        assert_eq!(chamfer(&a, &a), 0.0);
+        assert!(jsd(&a, &a, &JsdConfig::default()) < 1e-12);
+    }
+
+    #[test]
+    fn hausdorff_matches_hand_computation() {
+        let a = PointCloud::from_positions([Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0)]);
+        let b = PointCloud::from_positions([Vec3::new(0.0, 2.0, 0.0)]);
+        // Farthest a-point from b is (1,0,0): dist sqrt(5). b→a: min dist 2.
+        assert!((hausdorff(&a, &b) - 5.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn directed_hausdorff_is_asymmetric() {
+        let a = PointCloud::from_positions([Vec3::ZERO]);
+        let b = PointCloud::from_positions([Vec3::ZERO, Vec3::new(10.0, 0.0, 0.0)]);
+        assert!(directed_hausdorff(&a, &b) < 1e-12);
+        assert!((directed_hausdorff(&b, &a) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chamfer_of_shifted_line() {
+        let a = line_cloud(10, 0.0);
+        let b = line_cloud(10, 0.05); // interleaved shift of half a step
+        let cd = chamfer(&a, &b);
+        assert!(cd > 0.0 && cd <= 0.05 + 1e-12, "cd = {cd}");
+    }
+
+    #[test]
+    fn metrics_grow_with_separation() {
+        let a = line_cloud(15, 0.0);
+        let near = line_cloud(15, 0.1);
+        let far = line_cloud(15, 1.0);
+        assert!(hausdorff(&a, &near) < hausdorff(&a, &far));
+        assert!(chamfer(&a, &near) < chamfer(&a, &far));
+        let cfg = JsdConfig::default();
+        assert!(jsd(&a, &near, &cfg) <= jsd(&a, &far, &cfg) + 1e-12);
+    }
+
+    #[test]
+    fn jsd_bounds() {
+        let a = line_cloud(30, 0.0);
+        let b = line_cloud(30, 5.0); // disjoint occupancy
+        let v = jsd(&a, &b, &JsdConfig::default());
+        assert!((v - 1.0).abs() < 1e-9, "disjoint clouds should reach 1 bit, got {v}");
+    }
+
+    #[test]
+    fn empty_cloud_conventions() {
+        let empty = PointCloud::new();
+        let full = line_cloud(3, 0.0);
+        assert_eq!(hausdorff(&empty, &empty), 0.0);
+        assert_eq!(chamfer(&empty, &full), f64::INFINITY);
+        assert_eq!(jsd(&empty, &full, &JsdConfig::default()), 1.0);
+        assert_eq!(jsd(&empty, &empty, &JsdConfig::default()), 0.0);
+    }
+
+    #[test]
+    fn mean_pairwise_skips_self_pairs() {
+        let reps = vec![line_cloud(5, 0.0), line_cloud(5, 0.0), line_cloud(5, 0.0)];
+        // All identical: same-set mean distance must be exactly 0, and the
+        // self pairs must not contribute (0/0 guarded).
+        let v = mean_pairwise(&reps, &reps, hausdorff);
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn mean_pairwise_cross_sets() {
+        let a = vec![line_cloud(5, 0.0)];
+        let b = vec![line_cloud(5, 1.0), line_cloud(5, 2.0)];
+        let v = mean_pairwise(&a, &b, hausdorff);
+        assert!((v - 1.5).abs() < 1e-9, "expected mean 1.5, got {v}");
+    }
+
+    #[test]
+    fn mean_pairwise_empty_sets() {
+        let a: Vec<PointCloud> = Vec::new();
+        assert_eq!(mean_pairwise(&a, &a, hausdorff), 0.0);
+    }
+
+    #[test]
+    fn symmetric_metrics() {
+        let a = line_cloud(8, 0.0);
+        let mut b = line_cloud(12, 0.3);
+        b.translate(Vec3::new(0.0, 0.2, 0.1));
+        assert!((hausdorff(&a, &b) - hausdorff(&b, &a)).abs() < 1e-12);
+        assert!((chamfer(&a, &b) - chamfer(&b, &a)).abs() < 1e-12);
+        let cfg = JsdConfig::default();
+        assert!((jsd(&a, &b, &cfg) - jsd(&b, &a, &cfg)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,142 @@
+//! Neighbourhood queries: k-nearest-neighbour and ball queries.
+//!
+//! The set-abstraction blocks of GesIDNet group, for each sampled centroid,
+//! the `m` nearest points within a radius `d` (paper §IV-C). Radar clouds
+//! are small (tens to a few hundred points), so brute-force scans are both
+//! simple and fast enough; the routines here are O(n·log n) per query due
+//! to sorting.
+
+use crate::point::{PointCloud, Vec3};
+
+/// Returns the indices of the `k` nearest points to `query`, closest
+/// first. Ties are broken by index for determinism. If the cloud has fewer
+/// than `k` points, all indices are returned.
+pub fn knn_indices(cloud: &PointCloud, query: Vec3, k: usize) -> Vec<usize> {
+    let mut order: Vec<(f64, usize)> = cloud
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.position.distance_sqr(query), i))
+        .collect();
+    order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    order.truncate(k);
+    order.into_iter().map(|(_, i)| i).collect()
+}
+
+/// Returns up to `max_points` indices within `radius` of `query`, closest
+/// first.
+///
+/// Mirrors PointNet++ ball query: if fewer than `max_points` fall inside
+/// the ball the result is shorter; callers typically pad by repeating the
+/// first (closest) index, which [`ball_query_padded`] does.
+pub fn ball_query(cloud: &PointCloud, query: Vec3, radius: f64, max_points: usize) -> Vec<usize> {
+    let r2 = radius * radius;
+    let mut order: Vec<(f64, usize)> = cloud
+        .iter()
+        .enumerate()
+        .filter_map(|(i, p)| {
+            let d = p.position.distance_sqr(query);
+            (d <= r2).then_some((d, i))
+        })
+        .collect();
+    order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    order.truncate(max_points);
+    order.into_iter().map(|(_, i)| i).collect()
+}
+
+/// Ball query padded to exactly `max_points` indices by repeating the
+/// closest in-ball point, falling back to the global nearest neighbour
+/// when the ball is empty (PointNet++ convention, keeps group shapes
+/// static).
+///
+/// Returns an empty vector only when the cloud itself is empty.
+pub fn ball_query_padded(
+    cloud: &PointCloud,
+    query: Vec3,
+    radius: f64,
+    max_points: usize,
+) -> Vec<usize> {
+    if cloud.is_empty() || max_points == 0 {
+        return Vec::new();
+    }
+    let mut idx = ball_query(cloud, query, radius, max_points);
+    if idx.is_empty() {
+        let nearest = knn_indices(cloud, query, 1)[0];
+        idx.push(nearest);
+    }
+    let fill = idx[0];
+    while idx.len() < max_points {
+        idx.push(fill);
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::PointCloud;
+
+    fn line() -> PointCloud {
+        PointCloud::from_positions((0..10).map(|i| Vec3::new(i as f64, 0.0, 0.0)))
+    }
+
+    #[test]
+    fn knn_orders_by_distance() {
+        let cloud = line();
+        let idx = knn_indices(&cloud, Vec3::new(3.2, 0.0, 0.0), 3);
+        assert_eq!(idx, vec![3, 4, 2]);
+    }
+
+    #[test]
+    fn knn_k_exceeds_n() {
+        let cloud = line();
+        let idx = knn_indices(&cloud, Vec3::ZERO, 100);
+        assert_eq!(idx.len(), 10);
+        assert_eq!(idx[0], 0);
+    }
+
+    #[test]
+    fn knn_empty_cloud() {
+        assert!(knn_indices(&PointCloud::new(), Vec3::ZERO, 3).is_empty());
+    }
+
+    #[test]
+    fn ball_query_respects_radius() {
+        let cloud = line();
+        let idx = ball_query(&cloud, Vec3::new(5.0, 0.0, 0.0), 1.5, 10);
+        assert_eq!(idx, vec![5, 4, 6]);
+    }
+
+    #[test]
+    fn ball_query_caps_points() {
+        let cloud = line();
+        let idx = ball_query(&cloud, Vec3::new(5.0, 0.0, 0.0), 4.0, 3);
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx[0], 5);
+    }
+
+    #[test]
+    fn padded_repeats_closest() {
+        let cloud = line();
+        let idx = ball_query_padded(&cloud, Vec3::new(0.1, 0.0, 0.0), 0.5, 4);
+        assert_eq!(idx, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn padded_falls_back_to_nearest_when_ball_empty() {
+        let cloud = line();
+        let idx = ball_query_padded(&cloud, Vec3::new(100.0, 0.0, 0.0), 0.5, 3);
+        assert_eq!(idx, vec![9, 9, 9]);
+    }
+
+    #[test]
+    fn padded_empty_cloud_is_empty() {
+        assert!(ball_query_padded(&PointCloud::new(), Vec3::ZERO, 1.0, 4).is_empty());
+    }
+
+    #[test]
+    fn exact_boundary_is_inside() {
+        let cloud = line();
+        let idx = ball_query(&cloud, Vec3::new(0.0, 0.0, 0.0), 1.0, 10);
+        assert!(idx.contains(&1), "point at exactly radius should be included");
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for point-cloud algorithms.
+
+use gp_pointcloud::dbscan::{dbscan, DbscanConfig};
+use gp_pointcloud::metrics::{chamfer, hausdorff, jsd, JsdConfig};
+use gp_pointcloud::neighbors::{ball_query, knn_indices};
+use gp_pointcloud::sampling::{farthest_point_indices, resample_to};
+use gp_pointcloud::{ClusterLabel, PointCloud, Vec3};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn vec3_strategy() -> impl Strategy<Value = Vec3> {
+    (-5.0f64..5.0, -5.0f64..5.0, -5.0f64..5.0).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn cloud_strategy(min: usize, max: usize) -> impl Strategy<Value = PointCloud> {
+    prop::collection::vec(vec3_strategy(), min..max).prop_map(PointCloud::from_positions)
+}
+
+proptest! {
+    #[test]
+    fn hausdorff_is_a_metric_like(a in cloud_strategy(1, 30), b in cloud_strategy(1, 30)) {
+        let hab = hausdorff(&a, &b);
+        let hba = hausdorff(&b, &a);
+        prop_assert!((hab - hba).abs() < 1e-12, "symmetry");
+        prop_assert!(hab >= 0.0, "non-negativity");
+        prop_assert!(hausdorff(&a, &a) == 0.0, "identity");
+    }
+
+    #[test]
+    fn hausdorff_triangle_inequality(
+        a in cloud_strategy(1, 15),
+        b in cloud_strategy(1, 15),
+        c in cloud_strategy(1, 15),
+    ) {
+        // Hausdorff distance satisfies the triangle inequality on compact sets.
+        let ab = hausdorff(&a, &b);
+        let bc = hausdorff(&b, &c);
+        let ac = hausdorff(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-9);
+    }
+
+    #[test]
+    fn chamfer_symmetric_nonnegative(a in cloud_strategy(1, 25), b in cloud_strategy(1, 25)) {
+        let cab = chamfer(&a, &b);
+        prop_assert!((cab - chamfer(&b, &a)).abs() < 1e-12);
+        prop_assert!(cab >= 0.0);
+        prop_assert!(chamfer(&a, &a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chamfer_bounded_by_hausdorff(a in cloud_strategy(1, 25), b in cloud_strategy(1, 25)) {
+        // The average closest-point distance cannot exceed the worst case.
+        prop_assert!(chamfer(&a, &b) <= hausdorff(&a, &b) + 1e-9);
+    }
+
+    #[test]
+    fn jsd_in_unit_interval(a in cloud_strategy(1, 25), b in cloud_strategy(1, 25)) {
+        let v = jsd(&a, &b, &JsdConfig::default());
+        prop_assert!((0.0..=1.0).contains(&v));
+        let self_v = jsd(&a, &a, &JsdConfig::default());
+        prop_assert!(self_v < 1e-9);
+    }
+
+    #[test]
+    fn translation_invariance_of_self_distance(
+        cloud in cloud_strategy(2, 20),
+        shift in vec3_strategy(),
+    ) {
+        let mut moved = cloud.clone();
+        moved.translate(shift);
+        // Distances between a cloud and its translate equal the shift norm
+        // only for Hausdorff of singleton sets in general, but hausdorff
+        // must be bounded above by the shift magnitude.
+        prop_assert!(hausdorff(&cloud, &moved) <= shift.norm() + 1e-9);
+    }
+
+    #[test]
+    fn fps_indices_unique_and_in_range(cloud in cloud_strategy(1, 60), k in 0usize..70) {
+        let idx = farthest_point_indices(&cloud, k);
+        prop_assert_eq!(idx.len(), k.min(cloud.len()));
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), idx.len());
+        prop_assert!(idx.iter().all(|&i| i < cloud.len()));
+    }
+
+    #[test]
+    fn resample_always_hits_target(cloud in cloud_strategy(0, 40), n in 0usize..80, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = resample_to(&cloud, n, &mut rng);
+        prop_assert_eq!(out.len(), n);
+    }
+
+    #[test]
+    fn dbscan_labels_complete_and_consistent(cloud in cloud_strategy(0, 50)) {
+        let c = dbscan(&cloud, &DbscanConfig { eps: 0.8, min_points: 3 });
+        prop_assert_eq!(c.labels().len(), cloud.len());
+        // Every cluster id must be < cluster_count.
+        for l in c.labels() {
+            if let ClusterLabel::Cluster(id) = l {
+                prop_assert!(*id < c.cluster_count());
+            }
+        }
+        // Sizes sum to n - noise.
+        let size_sum: usize = c.cluster_sizes().iter().sum();
+        prop_assert_eq!(size_sum + c.noise_count(), cloud.len());
+        // Every non-empty cluster meets the density requirement indirectly:
+        // at least one member (the seed core point) had >= min_points
+        // neighbours, so clusters must have at least min_points members.
+        for size in c.cluster_sizes() {
+            prop_assert!(size >= 3);
+        }
+    }
+
+    #[test]
+    fn knn_sorted_by_distance(cloud in cloud_strategy(1, 40), q in vec3_strategy(), k in 1usize..20) {
+        let idx = knn_indices(&cloud, q, k);
+        let dists: Vec<f64> = idx.iter().map(|&i| cloud[i].position.distance(q)).collect();
+        for w in dists.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn ball_query_within_radius(cloud in cloud_strategy(1, 40), q in vec3_strategy(), r in 0.1f64..3.0) {
+        for i in ball_query(&cloud, q, r, 100) {
+            prop_assert!(cloud[i].position.distance(q) <= r + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Measures the signal chain's empirical false-alarm rate on noise-only
+//! frames (calibration aid for the geometric backend).
+
+use gp_radar::{Backend, RadarConfig, RadarSimulator};
+
+fn main() {
+    let mut sim = RadarSimulator::new(RadarConfig::default(), Backend::SignalChain, 123);
+    let frames = 40;
+    let mut total = 0usize;
+    let mut ys = Vec::new();
+    for i in 0..frames {
+        let f = sim.simulate_frame(&[], i as f64 * 0.1);
+        total += f.len();
+        for p in f.cloud.iter() {
+            ys.push(p.position.y);
+        }
+    }
+    println!("false alarms: {total} over {frames} frames = {:.3}/frame", total as f64 / frames as f64);
+    if !ys.is_empty() {
+        ys.sort_by(f64::total_cmp);
+        println!("y range: {:.2}..{:.2}, median {:.2}", ys[0], ys[ys.len() - 1], ys[ys.len() / 2]);
+    }
+}

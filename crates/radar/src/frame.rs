@@ -1,0 +1,73 @@
+//! Radar frames: timestamped point clouds.
+
+use gp_pointcloud::PointCloud;
+use serde::{Deserialize, Serialize};
+
+/// One radar frame: the point cloud detected during one chirp burst.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Frame {
+    /// Frame timestamp (s, from the start of the capture).
+    pub timestamp: f64,
+    /// Detected points (world coordinates, floor at `z = 0`).
+    pub cloud: PointCloud,
+}
+
+impl Frame {
+    /// Creates a frame.
+    pub fn new(timestamp: f64, cloud: PointCloud) -> Self {
+        Frame { timestamp, cloud }
+    }
+
+    /// Number of points in the frame.
+    pub fn len(&self) -> usize {
+        self.cloud.len()
+    }
+
+    /// Whether the frame detected nothing.
+    pub fn is_empty(&self) -> bool {
+        self.cloud.is_empty()
+    }
+}
+
+/// Aggregates the clouds of `frames[range]` into one cloud — the paper's
+/// "aggregate points captured in the whole gesture process" step feeding
+/// GesIDNet (§IV-C).
+pub fn aggregate(frames: &[Frame]) -> PointCloud {
+    let mut out = PointCloud::with_capacity(frames.iter().map(Frame::len).sum());
+    for f in frames {
+        out.merge(&f.cloud);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_pointcloud::{Point, Vec3};
+
+    #[test]
+    fn aggregate_concatenates() {
+        let f1 = Frame::new(0.0, PointCloud::from_positions([Vec3::ZERO]));
+        let f2 = Frame::new(
+            0.1,
+            PointCloud::from_points(vec![
+                Point::at(Vec3::new(1.0, 0.0, 0.0)),
+                Point::at(Vec3::new(2.0, 0.0, 0.0)),
+            ]),
+        );
+        let all = aggregate(&[f1, f2]);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn aggregate_empty() {
+        assert!(aggregate(&[]).is_empty());
+    }
+
+    #[test]
+    fn frame_len_and_empty() {
+        let f = Frame::new(0.0, PointCloud::new());
+        assert_eq!(f.len(), 0);
+        assert!(f.is_empty());
+    }
+}

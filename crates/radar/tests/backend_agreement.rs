@@ -1,0 +1,93 @@
+//! Agreement tests between the signal-chain and geometric backends.
+//!
+//! The geometric backend must be statistically interchangeable with the
+//! full chain for the quantities the GesturePrint pipeline consumes:
+//! point counts during gestures, spatial placement of the detected cloud,
+//! and range-dependent sparsity.
+
+use gp_kinematics::gestures::{GestureId, GestureSet};
+use gp_kinematics::{Performance, UserProfile};
+use gp_radar::frame::aggregate;
+use gp_radar::{Backend, RadarConfig, RadarSimulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn performance(distance: f64, seed: u64) -> Performance {
+    let profile = UserProfile::generate(0, 42);
+    let mut rng = StdRng::seed_from_u64(seed);
+    Performance::new(&profile, GestureSet::Asl15, GestureId(12), distance, &mut rng)
+}
+
+/// Captures only frames inside the gesture interval to compare the parts
+/// both backends must agree on.
+fn gesture_cloud(backend: Backend, distance: f64) -> gp_pointcloud::PointCloud {
+    let config = RadarConfig::default();
+    let perf = performance(distance, 5);
+    let (gs, ge) = perf.gesture_interval();
+    let mut sim = RadarSimulator::new(config, backend, 11);
+    let frames: Vec<_> = sim
+        .capture_performance(&perf)
+        .into_iter()
+        .filter(|f| f.timestamp >= gs && f.timestamp < ge)
+        .collect();
+    aggregate(&frames)
+}
+
+#[test]
+fn point_counts_are_comparable_at_default_distance() {
+    let chain = gesture_cloud(Backend::SignalChain, 1.2);
+    let geo = gesture_cloud(Backend::Geometric, 1.2);
+    assert!(!chain.is_empty() && !geo.is_empty());
+    let ratio = chain.len() as f64 / geo.len() as f64;
+    assert!(
+        (0.3..3.5).contains(&ratio),
+        "backend point counts diverge: chain={} geometric={}",
+        chain.len(),
+        geo.len()
+    );
+}
+
+#[test]
+fn clouds_occupy_the_same_region() {
+    let chain = gesture_cloud(Backend::SignalChain, 1.2);
+    let geo = gesture_cloud(Backend::Geometric, 1.2);
+    let cc = chain.centroid().expect("chain cloud non-empty");
+    let cg = geo.centroid().expect("geometric cloud non-empty");
+    assert!(
+        cc.distance(cg) < 0.6,
+        "centroids diverge: chain {cc:?} vs geometric {cg:?}"
+    );
+    // Both centred around the user position (y ≈ 1.2 m).
+    for c in [cc, cg] {
+        assert!((0.6..2.0).contains(&c.y), "centroid off-user: {c:?}");
+    }
+}
+
+#[test]
+fn both_backends_lose_points_with_range() {
+    for backend in [Backend::SignalChain, Backend::Geometric] {
+        let near = gesture_cloud(backend, 1.2).len();
+        let far = gesture_cloud(backend, 4.2).len();
+        assert!(
+            far < near,
+            "{backend:?}: expected sparsity at range, near={near} far={far}"
+        );
+    }
+}
+
+#[test]
+fn doppler_distributions_have_matching_sign_spread() {
+    let chain = gesture_cloud(Backend::SignalChain, 1.2);
+    let geo = gesture_cloud(Backend::Geometric, 1.2);
+    let spread = |c: &gp_pointcloud::PointCloud| {
+        let pos = c.iter().filter(|p| p.doppler > 0.0).count();
+        let neg = c.iter().filter(|p| p.doppler < 0.0).count();
+        (pos, neg)
+    };
+    let (cp, cn) = spread(&chain);
+    let (gp_, gn) = spread(&geo);
+    // A push gesture moves toward then away from the radar: both backends
+    // must see both Doppler signs.
+    assert!(cp > 0 && cn > 0, "signal chain one-sided: +{cp}/-{cn}");
+    assert!(gp_ > 0 && gn > 0, "geometric one-sided: +{gp_}/-{gn}");
+}

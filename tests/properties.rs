@@ -1,0 +1,76 @@
+//! Workspace-level property tests on cross-crate invariants.
+
+use gestureprint::kinematics::gestures::{GestureId, GestureSet};
+use gestureprint::kinematics::{Performance, UserProfile};
+use gestureprint::pipeline::{Preprocessor, PreprocessorConfig};
+use gestureprint::radar::{Backend, Environment, RadarConfig, RadarSimulator, Scene};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any (user, gesture, seed) combination yields a capture whose
+    /// preprocessed clouds are physically plausible: near the user,
+    /// within Doppler limits, with sane SNR.
+    #[test]
+    fn preprocessed_clouds_are_physical(
+        user in 0usize..6,
+        gesture in 0usize..15,
+        seed in 0u64..500,
+    ) {
+        let profile = UserProfile::generate(user, 42);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let perf = Performance::new(&profile, GestureSet::Asl15, GestureId(gesture), 1.2, &mut rng);
+        let scene = Scene::for_performance(perf, Environment::Office, seed);
+        let mut sim = RadarSimulator::new(RadarConfig::default(), Backend::Geometric, seed);
+        let frames = sim.capture_scene(&scene);
+        let vmax = RadarConfig::default().max_velocity();
+        let samples = Preprocessor::new(PreprocessorConfig::default()).process(&frames);
+        for s in &samples {
+            prop_assert!(!s.cloud.is_empty());
+            for p in s.cloud.iter() {
+                prop_assert!(p.doppler.abs() <= vmax + 1e-9, "doppler {}", p.doppler);
+                prop_assert!(p.snr > 0.0);
+                prop_assert!(p.position.y > 0.0 && p.position.y < 3.5, "y {}", p.position.y);
+                prop_assert!(p.position.z > -0.5 && p.position.z < 2.5, "z {}", p.position.z);
+            }
+            prop_assert!(s.duration_frames >= 5, "suspiciously short segment");
+            prop_assert_eq!(s.frame_clouds.len(), s.duration_frames);
+        }
+    }
+
+    /// The same profile produces overlapping clouds across repetitions;
+    /// different users' clouds differ more than one user's repetitions
+    /// on average (the §III premise, as a property).
+    #[test]
+    fn identity_signal_survives_pipeline(seed in 0u64..40) {
+        let pre = Preprocessor::new(PreprocessorConfig::default());
+        let capture = |user: usize, rep: u64| {
+            let profile = UserProfile::generate(user, 42);
+            let mut rng = StdRng::seed_from_u64(seed * 1000 + rep);
+            let perf = Performance::new(&profile, GestureSet::Asl15, GestureId(12), 1.2, &mut rng);
+            let scene = Scene::for_performance(perf, Environment::Office, seed * 1000 + rep);
+            let mut sim = RadarSimulator::new(
+                RadarConfig::default(),
+                Backend::Geometric,
+                seed * 1000 + rep,
+            );
+            let frames = sim.capture_scene(&scene);
+            pre.process(&frames)
+                .into_iter()
+                .max_by_key(|s| s.duration_frames)
+                .map(|s| s.cloud)
+        };
+        let (Some(a1), Some(a2), Some(b1)) = (capture(0, 1), capture(0, 2), capture(5, 1)) else {
+            // Occasional segmentation miss is allowed; skip the case.
+            return Ok(());
+        };
+        let same = gestureprint::pointcloud::metrics::chamfer(&a1, &a2);
+        let cross = gestureprint::pointcloud::metrics::chamfer(&a1, &b1);
+        // Not universally true per draw, but holds overwhelmingly; allow
+        // tolerance by requiring cross > 0.6 * same rather than strict.
+        prop_assert!(cross > 0.6 * same, "cross {cross} vs same {same}");
+    }
+}
