@@ -19,9 +19,7 @@ use rand::SeedableRng;
 fn bench_dsp(c: &mut Criterion) {
     let mut group = c.benchmark_group("dsp");
     group.bench_function("fft_256", |b| {
-        let signal: Vec<Complex> = (0..256)
-            .map(|i| Complex::cis(i as f64 * 0.37))
-            .collect();
+        let signal: Vec<Complex> = (0..256).map(|i| Complex::cis(i as f64 * 0.37)).collect();
         b.iter_batched(
             || signal.clone(),
             |mut s| fft_in_place(&mut s),
@@ -41,14 +39,12 @@ fn bench_dsp(c: &mut Criterion) {
 fn bench_radar(c: &mut Criterion) {
     let mut group = c.benchmark_group("radar");
     group.sample_size(20);
-    let profile = gp_kinematics::UserProfile::generate(0, 42);
-    let mut rng = StdRng::seed_from_u64(5);
-    let perf = gp_kinematics::Performance::new(
-        &profile,
-        gp_kinematics::gestures::GestureSet::Asl15,
-        gp_kinematics::gestures::GestureId(12),
-        1.2,
-        &mut rng,
+    // The same canonical performance the capture/sample fixtures use.
+    let perf = gp_testkit::performance(
+        0,
+        gp_testkit::CANONICAL_GESTURE,
+        gp_testkit::CANONICAL_DISTANCE,
+        5,
     );
     let (gs, ge) = perf.gesture_interval();
     let scatterers = perf.scatterers_at((gs + ge) / 2.0);
@@ -109,11 +105,24 @@ fn bench_models(c: &mut Criterion) {
         ..TrainConfig::default()
     };
 
-    for kind in [ModelKind::GesIdNet, ModelKind::PointNet, ModelKind::ProfileCnn, ModelKind::Lstm] {
-        let model = train_classifier(&pairs, 2, &TrainConfig { model: kind, ..quick.clone() });
-        group.bench_function(format!("inference_{}", kind.name().replace(' ', "_")), |b| {
-            b.iter(|| model.predict(&sample))
-        });
+    for kind in [
+        ModelKind::GesIdNet,
+        ModelKind::PointNet,
+        ModelKind::ProfileCnn,
+        ModelKind::Lstm,
+    ] {
+        let model = train_classifier(
+            &pairs,
+            2,
+            &TrainConfig {
+                model: kind,
+                ..quick.clone()
+            },
+        );
+        group.bench_function(
+            format!("inference_{}", kind.name().replace(' ', "_")),
+            |b| b.iter(|| model.predict(&sample)),
+        );
     }
     group.bench_function("gesidnet_train_step", |b| {
         b.iter_batched(

@@ -4,39 +4,12 @@
 //! (FFT, CFAR, frame simulation), the preprocessing stage (segmentation,
 //! DBSCAN, full preprocess — the paper's §VI-B5 "preprocessing time"),
 //! and the classifiers (inference and one training step).
+//!
+//! The fixtures themselves live in `gp-testkit` (shared with the
+//! integration tests); this crate only re-exports them so bench code and
+//! test code exercise identical inputs.
 
-use gp_kinematics::gestures::{GestureId, GestureSet};
-use gp_kinematics::{Performance, UserProfile};
-use gp_pipeline::{LabeledSample, Preprocessor, PreprocessorConfig};
-use gp_radar::{Backend, Environment, Frame, RadarConfig, RadarSimulator, Scene};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-/// A canonical captured gesture: user 0, ASL 'push', 1.2 m, office.
-pub fn capture_fixture() -> Vec<Frame> {
-    let profile = UserProfile::generate(0, 42);
-    let mut rng = StdRng::seed_from_u64(5);
-    let perf = Performance::new(&profile, GestureSet::Asl15, GestureId(12), 1.2, &mut rng);
-    let scene = Scene::for_performance(perf, Environment::Office, 5);
-    let mut sim = RadarSimulator::new(RadarConfig::default(), Backend::Geometric, 5);
-    sim.capture_scene(&scene)
-}
-
-/// A preprocessed, labeled sample derived from [`capture_fixture`].
-///
-/// # Panics
-///
-/// Panics if the canonical capture yields no segment (would indicate a
-/// pipeline regression).
-pub fn sample_fixture() -> LabeledSample {
-    let frames = capture_fixture();
-    let samples = Preprocessor::new(PreprocessorConfig::default()).process(&frames);
-    let best = samples
-        .into_iter()
-        .max_by_key(|s| s.duration_frames)
-        .expect("canonical capture must segment");
-    LabeledSample::from_sample(best, 12, 0)
-}
+pub use gp_testkit::{capture_fixture, sample_fixture};
 
 #[cfg(test)]
 mod tests {

@@ -3,8 +3,8 @@
 //! synthetic biometric signal before running the full experiment suite.
 
 use gestureprint_core::{
-    classification_report, train_classifier, GesturePrint, GesturePrintConfig,
-    IdentificationMode, ModelKind, TrainConfig,
+    classification_report, train_classifier, GesturePrint, GesturePrintConfig, IdentificationMode,
+    ModelKind, TrainConfig,
 };
 use gp_datasets::{build, BuildOptions, DatasetSpec, Scale};
 use gp_eval::split::train_test_split;
@@ -15,13 +15,20 @@ fn main() {
     let t0 = std::time::Instant::now();
     let spec = DatasetSpec {
         distances: vec![1.2],
-        ..gp_datasets::presets::gestureprint(Environment::Office, Scale::Custom { users: 5, reps: 12 })
+        ..gp_datasets::presets::gestureprint(
+            Environment::Office,
+            Scale::Custom { users: 5, reps: 12 },
+        )
     };
     let mut spec = spec;
     // Trim to 6 gestures for the probe.
     spec.set = gp_kinematics::gestures::GestureSet::Asl15;
     let data = build(&spec, &BuildOptions::default());
-    println!("dataset: {} ({:.1}s)", data.summary(), t0.elapsed().as_secs_f64());
+    println!(
+        "dataset: {} ({:.1}s)",
+        data.summary(),
+        t0.elapsed().as_secs_f64()
+    );
 
     // Keep only gestures 0..6 for speed.
     let samples: Vec<&LabeledSample> = data
@@ -70,7 +77,10 @@ fn main() {
         &train,
         8,
         5,
-        &GesturePrintConfig { mode: IdentificationMode::Serialized, ..Default::default() },
+        &GesturePrintConfig {
+            mode: IdentificationMode::Serialized,
+            ..Default::default()
+        },
     );
     let mut g_ok = 0;
     let mut u_ok = 0;
@@ -88,7 +98,14 @@ fn main() {
     // Baseline comparison.
     for kind in [ModelKind::PointNet, ModelKind::ProfileCnn, ModelKind::Lstm] {
         let t = std::time::Instant::now();
-        let m = train_classifier(&gr_pairs, 8, &TrainConfig { model: kind, ..TrainConfig::default() });
+        let m = train_classifier(
+            &gr_pairs,
+            8,
+            &TrainConfig {
+                model: kind,
+                ..TrainConfig::default()
+            },
+        );
         let r = classification_report(&m, &gr_test);
         println!(
             "GR {:?}: acc {:.3} ({:.1}s)",

@@ -93,7 +93,10 @@ mod tests {
             model: ModelKind::PointNet,
             epochs: 30,
             augment: None,
-            feature: FeatureConfig { num_points: 20, ..FeatureConfig::default() },
+            feature: FeatureConfig {
+                num_points: 20,
+                ..FeatureConfig::default()
+            },
             ..TrainConfig::default()
         };
         let reports = kfold_reports(&refs, 2, &|s| s.user, 3, &cfg);
@@ -101,7 +104,10 @@ mod tests {
         let total_test: usize = reports.iter().map(|r| r.labels.len()).sum();
         assert_eq!(total_test, data.len(), "folds must partition the data");
         let mean = mean_accuracy(&reports);
-        assert!(mean > 0.7, "learnable task should cross-validate well: {mean}");
+        assert!(
+            mean > 0.7,
+            "learnable task should cross-validate well: {mean}"
+        );
     }
 
     #[test]

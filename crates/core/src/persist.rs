@@ -72,7 +72,10 @@ mod tests {
         TrainConfig {
             epochs: 6,
             augment: None,
-            feature: FeatureConfig { num_points: 20, ..FeatureConfig::default() },
+            feature: FeatureConfig {
+                num_points: 20,
+                ..FeatureConfig::default()
+            },
             ..TrainConfig::default()
         }
     }
@@ -82,10 +85,16 @@ mod tests {
         let data = samples();
         let pairs: Vec<(&LabeledSample, usize)> = data.iter().map(|s| (s, s.user)).collect();
         for kind in [ModelKind::GesIdNet, ModelKind::PointNet, ModelKind::Lstm] {
-            let mut model = train_classifier(&pairs, 2, &TrainConfig { model: kind, ..quick() });
+            let mut model = train_classifier(
+                &pairs,
+                2,
+                &TrainConfig {
+                    model: kind,
+                    ..quick()
+                },
+            );
             let bytes = model.save();
-            let restored =
-                TrainedModel::load(kind, 2, quick().feature, &bytes).expect("load");
+            let restored = TrainedModel::load(kind, 2, quick().feature, &bytes).expect("load");
             for s in &data {
                 assert_eq!(
                     model.probabilities(s),

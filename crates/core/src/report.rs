@@ -98,7 +98,10 @@ mod tests {
                 model: ModelKind::PointNet,
                 epochs: 20,
                 augment: None,
-                feature: FeatureConfig { num_points: 20, ..FeatureConfig::default() },
+                feature: FeatureConfig {
+                    num_points: 20,
+                    ..FeatureConfig::default()
+                },
                 ..TrainConfig::default()
             },
         );
@@ -122,7 +125,10 @@ mod tests {
                 model: ModelKind::PointNet,
                 epochs: 5,
                 augment: None,
-                feature: FeatureConfig { num_points: 20, ..FeatureConfig::default() },
+                feature: FeatureConfig {
+                    num_points: 20,
+                    ..FeatureConfig::default()
+                },
                 ..TrainConfig::default()
             },
         );

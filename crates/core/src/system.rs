@@ -99,7 +99,9 @@ impl GesturePrint {
 
                 // Train per-gesture identifiers in parallel.
                 let threads = if config.threads == 0 {
-                    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(4)
                 } else {
                     config.threads
                 };
@@ -127,7 +129,13 @@ impl GesturePrint {
             }
         };
 
-        GesturePrint { gesture_model, identifiers, mode: config.mode, gestures, users }
+        GesturePrint {
+            gesture_model,
+            identifiers,
+            mode: config.mode,
+            gestures,
+            users,
+        }
     }
 
     /// The identification mode.
@@ -154,7 +162,9 @@ impl GesturePrint {
     pub fn identifier_for(&self, gesture: usize) -> &TrainedModel {
         match self.mode {
             IdentificationMode::Parallel => &self.identifiers[0],
-            IdentificationMode::Serialized => &self.identifiers[gesture.min(self.identifiers.len() - 1)],
+            IdentificationMode::Serialized => {
+                &self.identifiers[gesture.min(self.identifiers.len() - 1)]
+            }
         }
     }
 
@@ -170,7 +180,12 @@ impl GesturePrint {
         let identifier = self.identifier_for(gesture);
         let user_probs = identifier.probabilities(sample);
         let user = argmax_f64(&user_probs);
-        Inference { gesture, user, gesture_probs, user_probs }
+        Inference {
+            gesture,
+            user,
+            gesture_probs,
+            user_probs,
+        }
     }
 
     /// Open-set inference: rejects samples whose identity confidence is
@@ -196,8 +211,7 @@ fn argmax_f64(v: &[f64]) -> usize {
         .unwrap_or(0)
 }
 
-/// Minimal indexed parallel map over `0..n` using crossbeam scoped
-/// threads.
+/// Minimal indexed parallel map over `0..n` using std scoped threads.
 fn crossbeam_scope<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -209,19 +223,18 @@ where
     let indices: Vec<usize> = (0..n).collect();
     let chunk = n.div_ceil(threads.max(1)).max(1);
     let mut out: Vec<T> = Vec::with_capacity(n);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = indices
             .chunks(chunk)
             .map(|ids| {
                 let f = &f;
-                scope.spawn(move |_| ids.iter().map(|&i| f(i)).collect::<Vec<T>>())
+                scope.spawn(move || ids.iter().map(|&i| f(i)).collect::<Vec<T>>())
             })
             .collect();
         for h in handles {
             out.extend(h.join().expect("training worker panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
     out
 }
 
@@ -275,7 +288,10 @@ mod tests {
                 model: ModelKind::GesIdNet,
                 epochs: 12,
                 augment: None,
-                feature: FeatureConfig { num_points: 24, ..FeatureConfig::default() },
+                feature: FeatureConfig {
+                    num_points: 24,
+                    ..FeatureConfig::default()
+                },
                 ..TrainConfig::default()
             },
             threads: 2,
@@ -286,7 +302,8 @@ mod tests {
     fn serialized_system_learns_both_tasks() {
         let samples = toy_samples(6);
         let refs: Vec<&LabeledSample> = samples.iter().collect();
-        let system = GesturePrint::train(&refs, 2, 2, &quick_config(IdentificationMode::Serialized));
+        let system =
+            GesturePrint::train(&refs, 2, 2, &quick_config(IdentificationMode::Serialized));
         let mut g_ok = 0;
         let mut u_ok = 0;
         for s in &samples {
@@ -307,7 +324,10 @@ mod tests {
         let samples = toy_samples(4);
         let refs: Vec<&LabeledSample> = samples.iter().collect();
         let system = GesturePrint::train(&refs, 2, 2, &quick_config(IdentificationMode::Parallel));
-        assert!(std::ptr::eq(system.identifier_for(0), system.identifier_for(1)));
+        assert!(std::ptr::eq(
+            system.identifier_for(0),
+            system.identifier_for(1)
+        ));
         let out = system.infer(&samples[0]);
         assert_eq!(out.user_probs.len(), 2);
     }
@@ -316,15 +336,20 @@ mod tests {
     fn serialized_mode_has_one_identifier_per_gesture() {
         let samples = toy_samples(4);
         let refs: Vec<&LabeledSample> = samples.iter().collect();
-        let system = GesturePrint::train(&refs, 2, 2, &quick_config(IdentificationMode::Serialized));
-        assert!(!std::ptr::eq(system.identifier_for(0), system.identifier_for(1)));
+        let system =
+            GesturePrint::train(&refs, 2, 2, &quick_config(IdentificationMode::Serialized));
+        assert!(!std::ptr::eq(
+            system.identifier_for(0),
+            system.identifier_for(1)
+        ));
     }
 
     #[test]
     fn inference_probabilities_normalised() {
         let samples = toy_samples(4);
         let refs: Vec<&LabeledSample> = samples.iter().collect();
-        let system = GesturePrint::train(&refs, 2, 2, &quick_config(IdentificationMode::Serialized));
+        let system =
+            GesturePrint::train(&refs, 2, 2, &quick_config(IdentificationMode::Serialized));
         let out = system.infer(&samples[0]);
         assert!((out.gesture_probs.iter().sum::<f64>() - 1.0).abs() < 1e-6);
         assert!((out.user_probs.iter().sum::<f64>() - 1.0).abs() < 1e-6);
@@ -340,7 +365,8 @@ mod tests {
     fn open_set_threshold_rejects_and_accepts() {
         let samples = toy_samples(6);
         let refs: Vec<&LabeledSample> = samples.iter().collect();
-        let system = GesturePrint::train(&refs, 2, 2, &quick_config(IdentificationMode::Serialized));
+        let system =
+            GesturePrint::train(&refs, 2, 2, &quick_config(IdentificationMode::Serialized));
         // A permissive threshold accepts enrolled users...
         let accepted = samples
             .iter()
@@ -348,6 +374,8 @@ mod tests {
             .count();
         assert!(accepted > samples.len() / 2, "accepted {accepted}");
         // ...and an impossible threshold rejects everything.
-        assert!(samples.iter().all(|s| system.infer_verified(s, 1.01).is_none()));
+        assert!(samples
+            .iter()
+            .all(|s| system.infer_verified(s, 1.01).is_none()));
     }
 }

@@ -145,11 +145,19 @@ impl TrainedModel {
     }
 }
 
-fn make_model(kind: ModelKind, classes: usize, feature: &FeatureConfig, rng: &mut StdRng) -> Box<dyn PointModel> {
+fn make_model(
+    kind: ModelKind,
+    classes: usize,
+    feature: &FeatureConfig,
+    rng: &mut StdRng,
+) -> Box<dyn PointModel> {
     match kind {
         ModelKind::GesIdNet => Box::new(GesIDNet::new(GesIDNetConfig::for_classes(classes), rng)),
         ModelKind::GesIdNetNoFusion => Box::new(GesIDNet::new(
-            GesIDNetConfig { fusion: false, ..GesIDNetConfig::for_classes(classes) },
+            GesIDNetConfig {
+                fusion: false,
+                ..GesIDNetConfig::for_classes(classes)
+            },
             rng,
         )),
         ModelKind::PointNet => Box::new(PointNet::new(classes, rng)),
@@ -185,7 +193,12 @@ pub fn train_classifier(
     for (i, (sample, label)) in samples.iter().enumerate() {
         let mut enc_rng = StdRng::seed_from_u64(config.seed ^ (i as u64).wrapping_mul(0x9E37));
         encoded.push((
-            encode(&sample.cloud, &sample.frame_clouds, &config.feature, &mut enc_rng),
+            encode(
+                &sample.cloud,
+                &sample.frame_clouds,
+                &config.feature,
+                &mut enc_rng,
+            ),
             *label,
         ));
         if let Some(aug_cfg) = config.augment {
@@ -267,7 +280,10 @@ mod tests {
             model,
             epochs: 12,
             augment: None,
-            feature: FeatureConfig { num_points: 24, ..FeatureConfig::default() },
+            feature: FeatureConfig {
+                num_points: 24,
+                ..FeatureConfig::default()
+            },
             ..TrainConfig::default()
         }
     }
@@ -303,7 +319,10 @@ mod tests {
             ..quick_config(ModelKind::GesIdNet)
         };
         let model = train_classifier(&pairs, 2, &config);
-        let correct = samples.iter().filter(|s| model.predict(s) == s.user).count();
+        let correct = samples
+            .iter()
+            .filter(|s| model.predict(s) == s.user)
+            .count();
         assert!(correct >= 10, "augmented training failed: {correct}/12");
     }
 

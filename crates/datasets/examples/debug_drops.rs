@@ -9,7 +9,9 @@ fn main() {
     println!("{} samples, {} dropped", ds.samples.len(), ds.dropped);
     let mut have = std::collections::HashMap::new();
     for s in &ds.samples {
-        *have.entry((s.labeled.user, s.labeled.gesture)).or_insert(0usize) += 1;
+        *have
+            .entry((s.labeled.user, s.labeled.gesture))
+            .or_insert(0usize) += 1;
     }
     for u in 0..2 {
         for g in 0..5 {

@@ -119,7 +119,13 @@ pub fn build(spec: &DatasetSpec, options: &BuildOptions) -> Dataset {
             for rep in 0..spec.reps {
                 for &distance in &spec.distances {
                     for &speed_scale in &spec.speed_scales {
-                        work.push(WorkItem { user, gesture, rep, distance, speed_scale });
+                        work.push(WorkItem {
+                            user,
+                            gesture,
+                            rep,
+                            distance,
+                            speed_scale,
+                        });
                     }
                 }
             }
@@ -127,18 +133,20 @@ pub fn build(spec: &DatasetSpec, options: &BuildOptions) -> Dataset {
     }
 
     let threads = if options.threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
     } else {
         options.threads
     };
     let chunk = work.len().div_ceil(threads.max(1)).max(1);
 
     let mut results: Vec<(Vec<DatasetSample>, usize)> = Vec::new();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = work
             .chunks(chunk)
             .map(|items| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut out = Vec::with_capacity(items.len());
                     let mut dropped = 0usize;
                     for item in items {
@@ -154,8 +162,7 @@ pub fn build(spec: &DatasetSpec, options: &BuildOptions) -> Dataset {
         for h in handles {
             results.push(h.join().expect("builder worker panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
 
     let mut samples = Vec::with_capacity(work.len());
     let mut dropped = 0;
@@ -163,10 +170,18 @@ pub fn build(spec: &DatasetSpec, options: &BuildOptions) -> Dataset {
         samples.append(&mut part);
         dropped += d;
     }
-    Dataset { spec: spec.clone(), samples, dropped }
+    Dataset {
+        spec: spec.clone(),
+        samples,
+        dropped,
+    }
 }
 
-fn capture_one(spec: &DatasetSpec, options: &BuildOptions, item: &WorkItem) -> Option<DatasetSample> {
+fn capture_one(
+    spec: &DatasetSpec,
+    options: &BuildOptions,
+    item: &WorkItem,
+) -> Option<DatasetSample> {
     let profile = UserProfile::generate(item.user, spec.user_seed);
     let pre = Preprocessor::new(options.preprocessor.clone());
 
@@ -252,7 +267,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let spec = tiny_spec();
-        let opts = BuildOptions { threads: 2, ..BuildOptions::default() };
+        let opts = BuildOptions {
+            threads: 2,
+            ..BuildOptions::default()
+        };
         let a = build(&spec, &opts);
         let b = build(&spec, &opts);
         assert_eq!(a.samples.len(), b.samples.len());
@@ -305,8 +323,20 @@ mod tests {
     #[test]
     fn single_thread_matches_parallel() {
         let spec = tiny_spec();
-        let seq = build(&spec, &BuildOptions { threads: 1, ..BuildOptions::default() });
-        let par = build(&spec, &BuildOptions { threads: 4, ..BuildOptions::default() });
+        let seq = build(
+            &spec,
+            &BuildOptions {
+                threads: 1,
+                ..BuildOptions::default()
+            },
+        );
+        let par = build(
+            &spec,
+            &BuildOptions {
+                threads: 4,
+                ..BuildOptions::default()
+            },
+        );
         let key = |s: &DatasetSample| (s.labeled.user, s.labeled.gesture, s.rep);
         let mut a = seq.samples.clone();
         let mut b = par.samples.clone();

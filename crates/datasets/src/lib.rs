@@ -13,7 +13,7 @@
 //! animates the user, [`gp_radar::RadarSimulator`] captures frames inside
 //! the dataset's [`gp_radar::Environment`], and [`gp_pipeline`] segments
 //! and cleans the gesture cloud. Builders are deterministic in the master
-//! seed and parallelised over samples with crossbeam scoped threads.
+//! seed and parallelised over samples with std scoped threads.
 //!
 //! # Example
 //!

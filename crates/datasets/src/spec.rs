@@ -92,7 +92,11 @@ pub mod presets {
     /// Pantomime dataset: 21 gestures; 26 users in the office subset,
     /// 14 in the open-space subset; closest anchor 1 m.
     pub fn pantomime(environment: Environment, scale: Scale) -> DatasetSpec {
-        let paper_users = if environment == Environment::OpenSpace { 14 } else { 26 };
+        let paper_users = if environment == Environment::OpenSpace {
+            14
+        } else {
+            26
+        };
         let (users, reps) = scale.resolve((paper_users, 10), (5, 5));
         DatasetSpec {
             name: format!("Pantomime-{}", environment.name().replace(' ', "")),
@@ -190,14 +194,20 @@ mod tests {
     fn same_users_across_gestureprint_environments() {
         let office = presets::gestureprint(Environment::Office, Scale::Paper);
         let meeting = presets::gestureprint(Environment::MeetingRoom, Scale::Paper);
-        assert_eq!(office.user_seed, meeting.user_seed, "same participants in both rooms");
+        assert_eq!(
+            office.user_seed, meeting.user_seed,
+            "same participants in both rooms"
+        );
     }
 
     #[test]
     fn different_users_across_pantomime_environments() {
         let office = presets::pantomime(Environment::Office, Scale::Paper);
         let open = presets::pantomime(Environment::OpenSpace, Scale::Paper);
-        assert_ne!(office.user_seed, open.user_seed, "different participants per room");
+        assert_ne!(
+            office.user_seed, open.user_seed,
+            "different participants per room"
+        );
     }
 
     #[test]

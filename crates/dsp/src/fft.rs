@@ -99,7 +99,10 @@ pub fn shifted_bin_to_signed(bin: usize, n: usize) -> isize {
 
 fn transform(data: &mut [Complex], inverse: bool) {
     let n = data.len();
-    assert!(is_power_of_two(n), "FFT length must be a power of two, got {n}");
+    assert!(
+        is_power_of_two(n),
+        "FFT length must be a power of two, got {n}"
+    );
     if n <= 1 {
         return;
     }

@@ -85,7 +85,10 @@ mod tests {
             let w = kind.coefficients(33);
             assert_eq!(w.len(), 33);
             for &c in &w {
-                assert!((-1e-12..=1.0 + 1e-12).contains(&c), "{kind:?} out of range: {c}");
+                assert!(
+                    (-1e-12..=1.0 + 1e-12).contains(&c),
+                    "{kind:?} out of range: {c}"
+                );
             }
         }
     }

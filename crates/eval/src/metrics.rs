@@ -73,7 +73,11 @@ impl ConfusionMatrix {
 /// # Panics
 ///
 /// Panics on length mismatch or out-of-range labels.
-pub fn confusion_matrix(predictions: &[usize], labels: &[usize], classes: usize) -> ConfusionMatrix {
+pub fn confusion_matrix(
+    predictions: &[usize],
+    labels: &[usize],
+    classes: usize,
+) -> ConfusionMatrix {
     assert_eq!(predictions.len(), labels.len(), "length mismatch");
     let mut counts = vec![0usize; classes * classes];
     for (&p, &t) in predictions.iter().zip(labels) {
@@ -187,7 +191,10 @@ mod tests {
     #[test]
     fn macro_f1_ignores_absent_classes() {
         let full = macro_f1(&[0, 1], &[0, 1], 5);
-        assert!((full - 1.0).abs() < 1e-12, "absent classes shouldn't dilute");
+        assert!(
+            (full - 1.0).abs() < 1e-12,
+            "absent classes shouldn't dilute"
+        );
     }
 
     #[test]

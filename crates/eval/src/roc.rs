@@ -20,7 +20,11 @@ pub fn roc_curve(scores: &[f64], positives: &[bool]) -> Vec<RocPoint> {
     let neg = positives.len() - pos;
     let mut order: Vec<usize> = (0..scores.len()).collect();
     order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
-    let mut curve = vec![RocPoint { threshold: f64::INFINITY, fpr: 0.0, tpr: 0.0 }];
+    let mut curve = vec![RocPoint {
+        threshold: f64::INFINITY,
+        fpr: 0.0,
+        tpr: 0.0,
+    }];
     let mut tp = 0usize;
     let mut fp = 0usize;
     let mut i = 0;

@@ -61,7 +61,10 @@ mod tests {
     #[test]
     fn split_deterministic_per_seed() {
         assert_eq!(train_test_split(50, 0.2, 7), train_test_split(50, 0.2, 7));
-        assert_ne!(train_test_split(50, 0.2, 7).1, train_test_split(50, 0.2, 8).1);
+        assert_ne!(
+            train_test_split(50, 0.2, 7).1,
+            train_test_split(50, 0.2, 8).1
+        );
     }
 
     #[test]

@@ -23,7 +23,12 @@ pub struct TsneConfig {
 
 impl Default for TsneConfig {
     fn default() -> Self {
-        TsneConfig { perplexity: 15.0, iterations: 300, learning_rate: 100.0, seed: 0 }
+        TsneConfig {
+            perplexity: 15.0,
+            iterations: 300,
+            learning_rate: 100.0,
+            seed: 0,
+        }
     }
 }
 
@@ -81,10 +86,18 @@ pub fn tsne_2d(data: &[Vec<f64>], config: &TsneConfig) -> Vec<[f64; 2]> {
             }
             if diff > 0.0 {
                 beta_min = beta;
-                beta = if beta_max.is_finite() { (beta + beta_max) / 2.0 } else { beta * 2.0 };
+                beta = if beta_max.is_finite() {
+                    (beta + beta_max) / 2.0
+                } else {
+                    beta * 2.0
+                };
             } else {
                 beta_max = beta;
-                beta = if beta_min.is_finite() { (beta + beta_min) / 2.0 } else { beta / 2.0 };
+                beta = if beta_min.is_finite() {
+                    (beta + beta_min) / 2.0
+                } else {
+                    beta / 2.0
+                };
             }
         }
         let mut sum = 0.0;
@@ -116,7 +129,11 @@ pub fn tsne_2d(data: &[Vec<f64>], config: &TsneConfig) -> Vec<[f64; 2]> {
         .collect();
     let mut vel = vec![[0.0f64; 2]; n];
     for iter in 0..config.iterations {
-        let exaggeration = if iter < config.iterations / 4 { 4.0 } else { 1.0 };
+        let exaggeration = if iter < config.iterations / 4 {
+            4.0
+        } else {
+            1.0
+        };
         // Student-t affinities in the embedding.
         let mut q = vec![0.0f64; n * n];
         let mut qsum = 0.0;
@@ -140,8 +157,7 @@ pub fn tsne_2d(data: &[Vec<f64>], config: &TsneConfig) -> Vec<[f64; 2]> {
                     continue;
                 }
                 let qu = q[i * n + j];
-                let coeff =
-                    4.0 * (exaggeration * pij[i * n + j] - qu / qsum) * qu;
+                let coeff = 4.0 * (exaggeration * pij[i * n + j] - qu / qsum) * qu;
                 g[0] += coeff * (y[i][0] - y[j][0]);
                 g[1] += coeff * (y[i][1] - y[j][1]);
             }
@@ -178,7 +194,13 @@ mod tests {
     fn separates_two_distant_blobs() {
         let mut data = blob((0.0, 0.0, 0.0), 15, 1);
         data.extend(blob((10.0, 10.0, 10.0), 15, 2));
-        let emb = tsne_2d(&data, &TsneConfig { iterations: 250, ..TsneConfig::default() });
+        let emb = tsne_2d(
+            &data,
+            &TsneConfig {
+                iterations: 250,
+                ..TsneConfig::default()
+            },
+        );
         assert_eq!(emb.len(), 30);
         // Mean intra-blob distance must be far below the inter-blob
         // centroid distance.
@@ -215,7 +237,10 @@ mod tests {
     #[test]
     fn deterministic() {
         let data = blob((0.0, 0.0, 0.0), 10, 3);
-        let cfg = TsneConfig { iterations: 50, ..TsneConfig::default() };
+        let cfg = TsneConfig {
+            iterations: 50,
+            ..TsneConfig::default()
+        };
         assert_eq!(tsne_2d(&data, &cfg), tsne_2d(&data, &cfg));
     }
 

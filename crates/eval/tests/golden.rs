@@ -1,0 +1,141 @@
+//! Golden regression tests: metrics computed on small hand-checked
+//! inputs. Every expected value below was derived by hand from the
+//! definitions, so any drift in the implementations is a regression, not
+//! a tuning change.
+
+use gp_eval::metrics::{accuracy, binary_auc, confusion_matrix, macro_auc, macro_f1};
+use gp_eval::roc::{eer, one_vs_rest_scores, roc_curve};
+
+const TOL: f64 = 1e-12;
+
+/// 3-class scenario used by several tests below.
+///
+/// ```text
+///            predicted
+///            0  1  2
+/// true 0   [ 2  1  0 ]
+/// true 1   [ 0  2  1 ]
+/// true 2   [ 1  0  3 ]
+/// ```
+fn three_class() -> (Vec<usize>, Vec<usize>) {
+    let predictions = vec![0, 0, 1, 1, 1, 2, 0, 2, 2, 2];
+    let labels = vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 2];
+    (predictions, labels)
+}
+
+#[test]
+fn golden_confusion_matrix() {
+    let (p, l) = three_class();
+    let cm = confusion_matrix(&p, &l, 3);
+    assert_eq!(cm.row(0), &[2, 1, 0]);
+    assert_eq!(cm.row(1), &[0, 2, 1]);
+    assert_eq!(cm.row(2), &[1, 0, 3]);
+}
+
+#[test]
+fn golden_accuracy() {
+    let (p, l) = three_class();
+    // Diagonal 2 + 2 + 3 over 10 samples.
+    assert!((accuracy(&p, &l) - 0.7).abs() < TOL);
+}
+
+#[test]
+fn golden_per_class_prf() {
+    let (p, l) = three_class();
+    let prf = confusion_matrix(&p, &l, 3).per_class_prf();
+    // Class 0: tp=2 fp=1 fn=1 → P = R = F1 = 2/3.
+    for v in [prf[0].0, prf[0].1, prf[0].2] {
+        assert!((v - 2.0 / 3.0).abs() < TOL, "class0 {v}");
+    }
+    // Class 2: tp=3 fp=1 fn=1 → P = R = F1 = 3/4.
+    for v in [prf[2].0, prf[2].1, prf[2].2] {
+        assert!((v - 0.75).abs() < TOL, "class2 {v}");
+    }
+}
+
+#[test]
+fn golden_macro_f1() {
+    let (p, l) = three_class();
+    // (2/3 + 2/3 + 3/4) / 3 = 25/36.
+    assert!((macro_f1(&p, &l, 3) - 25.0 / 36.0).abs() < TOL);
+}
+
+#[test]
+fn golden_binary_auc() {
+    // Positives {0.4, 0.8, 0.7}, negatives {0.2, 0.6, 0.3}: of the nine
+    // (pos, neg) pairs only (0.4, 0.6) is misordered → AUC = 8/9.
+    let scores = [0.2, 0.4, 0.6, 0.8, 0.3, 0.7];
+    let pos = [false, true, false, true, false, true];
+    assert!((binary_auc(&scores, &pos) - 8.0 / 9.0).abs() < TOL);
+}
+
+#[test]
+fn golden_binary_auc_with_ties() {
+    // Positives {0.5, 0.9}, negatives {0.5, 0.1}: pairs score
+    // 0.5 (tie) + 1 + 1 + 1 out of 4 → AUC = 0.875.
+    let scores = [0.5, 0.5, 0.9, 0.1];
+    let pos = [true, false, true, false];
+    assert!((binary_auc(&scores, &pos) - 0.875).abs() < TOL);
+}
+
+#[test]
+fn golden_macro_auc() {
+    let probs = vec![
+        vec![0.70, 0.20, 0.10],
+        vec![0.50, 0.30, 0.20],
+        vec![0.30, 0.60, 0.10],
+        vec![0.20, 0.30, 0.50],
+        vec![0.10, 0.20, 0.70],
+        vec![0.25, 0.25, 0.50],
+    ];
+    let labels = vec![0, 0, 1, 1, 2, 2];
+    // Per-class one-vs-rest AUCs: class0 = 1, class1 = 7.5/8,
+    // class2 = 7.5/8 → macro = (1 + 0.9375 + 0.9375) / 3.
+    assert!((macro_auc(&probs, &labels, 3) - 2.875 / 3.0).abs() < TOL);
+}
+
+#[test]
+fn golden_roc_curve_points() {
+    // Descending thresholds add one sample at a time:
+    // (0,0) → 0.9:T (0,.5) → 0.8:F (.5,.5) → 0.3:T (.5,1) → 0.1:F (1,1).
+    let scores = [0.9, 0.8, 0.3, 0.1];
+    let pos = [true, false, true, false];
+    let curve = roc_curve(&scores, &pos);
+    let got: Vec<(f64, f64)> = curve.iter().map(|p| (p.fpr, p.tpr)).collect();
+    assert_eq!(
+        got,
+        vec![(0.0, 0.0), (0.0, 0.5), (0.5, 0.5), (0.5, 1.0), (1.0, 1.0)]
+    );
+}
+
+#[test]
+fn golden_eer_quarter() {
+    // 4 positives / 4 negatives with one inversion each way: the ROC
+    // passes exactly through FPR = FNR = 0.25.
+    let scores = [0.9, 0.8, 0.7, 0.6, 0.4, 0.3, 0.2, 0.1];
+    let pos = [true, true, true, false, true, false, false, false];
+    assert!((eer(&scores, &pos) - 0.25).abs() < TOL);
+}
+
+#[test]
+fn golden_eer_perfect_and_chance() {
+    let perfect = eer(&[0.9, 0.8, 0.2, 0.1], &[true, true, false, false]);
+    assert!(
+        perfect.abs() < TOL,
+        "perfect separation must give EER 0, got {perfect}"
+    );
+    // Identical scores for both classes → EER 0.5.
+    let chance = eer(&[0.5, 0.5, 0.5, 0.5], &[true, false, true, false]);
+    assert!((chance - 0.5).abs() < 1e-9, "chance EER {chance}");
+}
+
+#[test]
+fn golden_one_vs_rest_pooling() {
+    let probs = vec![vec![0.8, 0.2], vec![0.3, 0.7]];
+    let labels = vec![0, 1];
+    let (scores, positives) = one_vs_rest_scores(&probs, &labels, 2);
+    assert_eq!(scores, vec![0.8, 0.2, 0.3, 0.7]);
+    assert_eq!(positives, vec![true, false, false, true]);
+    // Pooled scores are perfectly separated → EER 0.
+    assert!(eer(&scores, &positives).abs() < TOL);
+}

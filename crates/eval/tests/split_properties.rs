@@ -1,0 +1,59 @@
+//! Property tests for `gp_eval::split`: across sizes, ratios and seeds,
+//! the index sets must be disjoint, exhaustive and correctly sized.
+
+use gp_eval::split::{kfold_indices, train_test_split};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #[test]
+    fn split_is_a_partition(n in 2usize..400, frac in 0.05f64..0.95, seed in any::<u64>()) {
+        let (train, test) = train_test_split(n, frac, seed);
+        prop_assert_eq!(train.len() + test.len(), n);
+        prop_assert!(!train.is_empty(), "train side empty");
+        prop_assert!(!test.is_empty(), "test side empty");
+        let train_set: HashSet<usize> = train.iter().copied().collect();
+        let test_set: HashSet<usize> = test.iter().copied().collect();
+        prop_assert_eq!(train_set.len(), train.len(), "duplicate train index");
+        prop_assert_eq!(test_set.len(), test.len(), "duplicate test index");
+        prop_assert!(train_set.is_disjoint(&test_set), "index in both sides");
+        prop_assert!(train.iter().chain(&test).all(|&i| i < n), "index out of range");
+    }
+
+    #[test]
+    fn split_test_size_tracks_fraction(n in 2usize..400, frac in 0.05f64..0.95, seed in any::<u64>()) {
+        let (_, test) = train_test_split(n, frac, seed);
+        let ideal = (n as f64 * frac).round() as usize;
+        let expected = if n >= 2 { ideal.clamp(1, n - 1) } else { ideal };
+        prop_assert_eq!(test.len(), expected);
+    }
+
+    #[test]
+    fn split_is_deterministic(n in 2usize..200, seed in any::<u64>()) {
+        prop_assert_eq!(
+            train_test_split(n, 0.3, seed),
+            train_test_split(n, 0.3, seed)
+        );
+    }
+
+    #[test]
+    fn kfold_is_a_balanced_partition(n in 1usize..300, k_raw in 1usize..12, seed in any::<u64>()) {
+        let k = k_raw.min(n);
+        let folds = kfold_indices(n, k, seed);
+        prop_assert_eq!(folds.len(), k);
+        let total: usize = folds.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, n, "folds must cover every index");
+        let all: HashSet<usize> = folds.iter().flatten().copied().collect();
+        prop_assert_eq!(all.len(), n, "folds must not repeat indices");
+        prop_assert!(all.iter().all(|&i| i < n), "index out of range");
+        let min = folds.iter().map(Vec::len).min().unwrap_or(0);
+        let max = folds.iter().map(Vec::len).max().unwrap_or(0);
+        prop_assert!(max - min <= 1, "folds unbalanced: {min}..{max}");
+    }
+
+    #[test]
+    fn kfold_is_deterministic(n in 1usize..200, k_raw in 1usize..8, seed in any::<u64>()) {
+        let k = k_raw.min(n);
+        prop_assert_eq!(kfold_indices(n, k, seed), kfold_indices(n, k, seed));
+    }
+}

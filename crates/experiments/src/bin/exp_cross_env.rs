@@ -11,7 +11,10 @@ use gp_radar::Environment;
 
 fn main() {
     let scale = parse_scale();
-    println!("== §VII-2: cross-environment (scale: {}) ==", scale_name(scale));
+    println!(
+        "== §VII-2: cross-environment (scale: {}) ==",
+        scale_name(scale)
+    );
     let office = build_dataset(&presets::gestureprint(Environment::Office, scale));
     let meeting = build_dataset(&presets::gestureprint(Environment::MeetingRoom, scale));
     let gestures = office.spec.set.gesture_count();
@@ -26,7 +29,8 @@ fn main() {
         let test: Vec<&LabeledSample> = test_ds.samples.iter().map(|s| &s.labeled).collect();
         let cfg = default_train();
 
-        let gr_pairs: Vec<(&LabeledSample, usize)> = train.iter().map(|s| (*s, s.gesture)).collect();
+        let gr_pairs: Vec<(&LabeledSample, usize)> =
+            train.iter().map(|s| (*s, s.gesture)).collect();
         let gr_model = train_classifier(&gr_pairs, gestures, &cfg);
         let gr_test: Vec<(&LabeledSample, usize)> = test.iter().map(|s| (*s, s.gesture)).collect();
         let gra = classification_report(&gr_model, &gr_test).accuracy;

@@ -8,10 +8,10 @@
 use gp_kinematics::gestures::{GestureId, GestureSet};
 use gp_kinematics::{Performance, UserProfile};
 use gp_pipeline::{Segmenter, SegmenterConfig};
+use gp_pointcloud::Vec3;
 use gp_radar::environment::SwayingReflector;
 use gp_radar::scene::SceneEntity;
 use gp_radar::{Backend, Environment, RadarConfig, RadarSimulator, Scene};
-use gp_pointcloud::Vec3;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -44,13 +44,7 @@ fn main() {
             let user = UserProfile::generate(t % 5, 42);
             let seed = 5_000 + t as u64;
             let mut rng = StdRng::seed_from_u64(seed);
-            let perf = Performance::new(
-                &user,
-                GestureSet::Asl15,
-                GestureId(t % 15),
-                1.2,
-                &mut rng,
-            );
+            let perf = Performance::new(&user, GestureSet::Asl15, GestureId(t % 15), 1.2, &mut rng);
             let (true_start, true_end) = perf.gesture_interval();
             let mut scene = Scene::for_performance(perf, env, seed);
             if heavy_clutter {
@@ -98,7 +92,11 @@ fn main() {
         }
         println!(
             "{:<14} {:>9}/{trials} {:>9}/{trials} {:>14}",
-            if heavy_clutter { "Office+clutter" } else { env.name() },
+            if heavy_clutter {
+                "Office+clutter"
+            } else {
+                env.name()
+            },
             ok_adaptive,
             ok_fixed,
             spurious_fixed

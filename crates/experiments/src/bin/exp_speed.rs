@@ -11,7 +11,10 @@ use gp_pipeline::LabeledSample;
 
 fn main() {
     let scale = parse_scale();
-    println!("== §VI-B3: motion-speed robustness (scale: {}) ==", scale_name(scale));
+    println!(
+        "== §VI-B3: motion-speed robustness (scale: {}) ==",
+        scale_name(scale)
+    );
     let spec = presets::pantomime_speeds(scale);
     let ds = build_dataset(&spec);
     println!("{}", ds.summary());
@@ -30,7 +33,10 @@ fn main() {
     let ui_test: Vec<(&LabeledSample, usize)> = test.iter().map(|s| (*s, s.user)).collect();
     let ui = classification_report(&ui_model, &ui_test);
 
-    println!("\nmixed-speed test: GRA {:.4}  UIA {:.4}", gr.accuracy, ui.accuracy);
+    println!(
+        "\nmixed-speed test: GRA {:.4}  UIA {:.4}",
+        gr.accuracy, ui.accuracy
+    );
 
     // Per-speed breakdown.
     let mut rows = vec![format!("all,{:.4},{:.4}", gr.accuracy, ui.accuracy)];
@@ -58,5 +64,7 @@ fn main() {
     }
     let p = write_csv("exp_speed.csv", "speed,gra,uia", &rows).expect("csv");
     println!("\ncsv: {}", p.display());
-    println!("paper shape: accuracy holds across deliberate speed changes (97.7% GRA / 98.8% UIA).");
+    println!(
+        "paper shape: accuracy holds across deliberate speed changes (97.7% GRA / 98.8% UIA)."
+    );
 }

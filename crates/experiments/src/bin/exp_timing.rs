@@ -9,10 +9,10 @@
 use gestureprint_core::{train_classifier, TrainConfig};
 use gp_datasets::{build, presets, BuildOptions, Scale};
 use gp_experiments::write_csv;
-use gp_pipeline::{LabeledSample, Preprocessor, PreprocessorConfig};
-use gp_radar::{Backend, Environment, RadarConfig, RadarSimulator, Scene};
 use gp_kinematics::gestures::{GestureId, GestureSet};
 use gp_kinematics::{Performance, UserProfile};
+use gp_pipeline::{LabeledSample, Preprocessor, PreprocessorConfig};
+use gp_radar::{Backend, Environment, RadarConfig, RadarSimulator, Scene};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -41,7 +41,10 @@ fn main() {
     let spec = presets::gestureprint(Environment::Office, Scale::Custom { users: 4, reps: 6 });
     let ds = build(&spec, &BuildOptions::default());
     let samples: Vec<&LabeledSample> = ds.samples.iter().map(|s| &s.labeled).collect();
-    let quick = TrainConfig { epochs: 6, ..TrainConfig::default() };
+    let quick = TrainConfig {
+        epochs: 6,
+        ..TrainConfig::default()
+    };
     let gr_pairs: Vec<(&LabeledSample, usize)> = samples.iter().map(|s| (*s, s.gesture)).collect();
     let gr_model = train_classifier(&gr_pairs, spec.set.gesture_count(), &quick);
     let ui_pairs: Vec<(&LabeledSample, usize)> = samples.iter().map(|s| (*s, s.user)).collect();
@@ -61,9 +64,7 @@ fn main() {
     println!("inference (GR + UI):                            {infer_ms:.2} ms/sample");
     println!("total:                                          {total_ms:.2} ms/sample");
     println!("mean gesture duration:                          {gesture_s:.2} s");
-    println!(
-        "\npaper: preprocessing 405.93 ms, inference 677.14 ms (CPU) / 530.99 ms (GPU),"
-    );
+    println!("\npaper: preprocessing 405.93 ms, inference 677.14 ms (CPU) / 530.99 ms (GPU),");
     println!("total 0.94 s vs 2.43 s gesture duration — processing ≪ gesture time.");
     assert!(
         total_ms / 1000.0 < gesture_s,

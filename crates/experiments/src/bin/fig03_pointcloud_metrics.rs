@@ -74,7 +74,10 @@ fn main() {
     for (gid, name) in GESTURES {
         let a = capture_reps(&user_a, gid, 11_000 + gid as u64);
         let b = capture_reps(&user_b, gid, 22_000 + gid as u64);
-        assert!(a.len() >= 5 && b.len() >= 5, "not enough captures for {name}");
+        assert!(
+            a.len() >= 5 && b.len() >= 5,
+            "not enough captures for {name}"
+        );
         // Same-user: split A's reps into two halves (the paper compares
         // within one user's repetitions, skipping identical pairs).
         // Same-user distances average both users' within-repetition
@@ -83,8 +86,9 @@ fn main() {
         let hd_cross = mean_pairwise(&a, &b, hausdorff);
         let cd_same = 0.5 * (mean_pairwise(&a, &a, chamfer) + mean_pairwise(&b, &b, chamfer));
         let cd_cross = mean_pairwise(&a, &b, chamfer);
-        let jsd_same = 0.5 * (mean_pairwise(&a, &a, |x, y| jsd(x, y, &jsd_cfg))
-            + mean_pairwise(&b, &b, |x, y| jsd(x, y, &jsd_cfg)));
+        let jsd_same = 0.5
+            * (mean_pairwise(&a, &a, |x, y| jsd(x, y, &jsd_cfg))
+                + mean_pairwise(&b, &b, |x, y| jsd(x, y, &jsd_cfg)));
         let jsd_cross = mean_pairwise(&a, &b, |x, y| jsd(x, y, &jsd_cfg));
         println!(
             "{:<8} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",

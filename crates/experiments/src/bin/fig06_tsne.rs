@@ -7,8 +7,8 @@
 
 use gestureprint_core::{train_classifier, TrainConfig};
 use gp_datasets::{build, presets, BuildOptions, Scale};
-use gp_experiments::{parse_scale, split80, write_csv};
 use gp_eval::tsne::{tsne_2d, TsneConfig};
+use gp_experiments::{parse_scale, split80, write_csv};
 use gp_pipeline::LabeledSample;
 use gp_radar::Environment;
 
@@ -24,12 +24,18 @@ fn main() {
     let (train, test) = split80(&samples, 0x75E3);
 
     for (task, label_of) in [
-        ("gesture", Box::new(|s: &LabeledSample| s.gesture) as Box<dyn Fn(&LabeledSample) -> usize>),
+        (
+            "gesture",
+            Box::new(|s: &LabeledSample| s.gesture) as Box<dyn Fn(&LabeledSample) -> usize>,
+        ),
         ("user", Box::new(|s: &LabeledSample| s.user)),
     ] {
-        let classes = if task == "gesture" { spec.set.gesture_count() } else { spec.users };
-        let pairs: Vec<(&LabeledSample, usize)> =
-            train.iter().map(|s| (*s, label_of(s))).collect();
+        let classes = if task == "gesture" {
+            spec.set.gesture_count()
+        } else {
+            spec.users
+        };
+        let pairs: Vec<(&LabeledSample, usize)> = train.iter().map(|s| (*s, label_of(s))).collect();
         let model = train_classifier(&pairs, classes, &TrainConfig::default());
 
         // Tap features on up to 150 test samples.
@@ -59,7 +65,10 @@ fn main() {
             // Quick clustering quality indicator: mean intra-class vs
             // global distance ratio (lower = tighter clusters).
             let quality = cluster_quality(&emb, &labels);
-            println!("  {level:<6} → {} (separation score {quality:.3}; higher = better)", path.display());
+            println!(
+                "  {level:<6} → {} (separation score {quality:.3}; higher = better)",
+                path.display()
+            );
         }
     }
     println!("\npaper shape: fusion features form the clearest class clusters.");

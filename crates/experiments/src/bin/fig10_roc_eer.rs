@@ -6,14 +6,17 @@
 
 use gestureprint_core::{classification_report, train_classifier};
 use gp_datasets::presets;
-use gp_experiments::{build_dataset, default_train, parse_scale, scale_name, split80, write_csv};
 use gp_eval::roc::{eer, one_vs_rest_scores, roc_curve};
+use gp_experiments::{build_dataset, default_train, parse_scale, scale_name, split80, write_csv};
 use gp_pipeline::LabeledSample;
 use gp_radar::Environment;
 
 fn main() {
     let scale = parse_scale();
-    println!("== Fig. 10: ROC / EER for user identification (scale: {}) ==", scale_name(scale));
+    println!(
+        "== Fig. 10: ROC / EER for user identification (scale: {}) ==",
+        scale_name(scale)
+    );
     let specs = vec![
         presets::gestureprint(Environment::Office, scale),
         presets::gestureprint(Environment::MeetingRoom, scale),
@@ -32,17 +35,26 @@ fn main() {
         let model = train_classifier(&ui_train, spec.users, &default_train());
         let ui_test: Vec<(&LabeledSample, usize)> = test.iter().map(|s| (*s, s.user)).collect();
         let report = classification_report(&model, &ui_test);
-        let (scores, positives) = one_vs_rest_scores(&report.probabilities, &report.labels, spec.users);
+        let (scores, positives) =
+            one_vs_rest_scores(&report.probabilities, &report.labels, spec.users);
         let curve = roc_curve(&scores, &positives);
         let e = eer(&scores, &positives);
-        println!("{:<28} EER {:.3}%  ({} ROC points)", spec.name, e * 100.0, curve.len());
+        println!(
+            "{:<28} EER {:.3}%  ({} ROC points)",
+            spec.name,
+            e * 100.0,
+            curve.len()
+        );
         for pt in curve.iter().step_by((curve.len() / 60).max(1)) {
             rows.push(format!("{},{:.5},{:.5}", spec.name, pt.fpr, pt.tpr));
         }
         eers.push(e);
     }
     let avg = eers.iter().sum::<f64>() / eers.len() as f64;
-    println!("\naverage EER: {:.3}% (paper: 0.75%, max 1.58%)", avg * 100.0);
+    println!(
+        "\naverage EER: {:.3}% (paper: 0.75%, max 1.58%)",
+        avg * 100.0
+    );
     let p = write_csv("fig10_roc.csv", "scenario,fpr,tpr", &rows).expect("csv");
     println!("csv: {}", p.display());
 }

@@ -12,7 +12,10 @@ use gp_pipeline::LabeledSample;
 fn main() {
     let scale = parse_scale();
     let distances = presets::mtranssee_distances();
-    println!("== Fig. 11: impact of distance (scale: {}) ==", scale_name(scale));
+    println!(
+        "== Fig. 11: impact of distance (scale: {}) ==",
+        scale_name(scale)
+    );
     println!("{:>6} {:>8} {:>8} {:>9}", "d (m)", "GRA", "UIA", "samples");
 
     let mut rows = Vec::new();
@@ -27,7 +30,8 @@ fn main() {
         }
         let (train, test) = split80(&samples, 0xD157);
         let cfg = default_train();
-        let gr_train: Vec<(&LabeledSample, usize)> = train.iter().map(|s| (*s, s.gesture)).collect();
+        let gr_train: Vec<(&LabeledSample, usize)> =
+            train.iter().map(|s| (*s, s.gesture)).collect();
         let gr_model = train_classifier(&gr_train, spec.set.gesture_count(), &cfg);
         let gr_test: Vec<(&LabeledSample, usize)> = test.iter().map(|s| (*s, s.gesture)).collect();
         let gr = classification_report(&gr_model, &gr_test);
@@ -37,8 +41,18 @@ fn main() {
         let ui_test: Vec<(&LabeledSample, usize)> = test.iter().map(|s| (*s, s.user)).collect();
         let ui = classification_report(&ui_model, &ui_test);
 
-        println!("{d:>6.1} {:>8.3} {:>8.3} {:>9}", gr.accuracy, ui.accuracy, samples.len());
-        rows.push(format!("{d:.1},{:.4},{:.4},{}", gr.accuracy, ui.accuracy, samples.len()));
+        println!(
+            "{d:>6.1} {:>8.3} {:>8.3} {:>9}",
+            gr.accuracy,
+            ui.accuracy,
+            samples.len()
+        );
+        rows.push(format!(
+            "{d:.1},{:.4},{:.4},{}",
+            gr.accuracy,
+            ui.accuracy,
+            samples.len()
+        ));
     }
     let p = write_csv("fig11_distance.csv", "distance_m,gra,uia,samples", &rows).expect("csv");
     println!("\ncsv: {}", p.display());

@@ -13,7 +13,10 @@ const ANCHORS: [f64; 3] = [1.35, 1.5, 1.65];
 
 fn main() {
     let scale = parse_scale();
-    println!("== Fig. 12: distance robustness (scale: {}) ==", scale_name(scale));
+    println!(
+        "== Fig. 12: distance robustness (scale: {}) ==",
+        scale_name(scale)
+    );
     let spec = presets::mhomeges(scale, &ANCHORS);
     let ds = build_dataset(&spec);
     println!("{}", ds.summary());
@@ -22,7 +25,10 @@ fn main() {
     for with_da in [true, false] {
         let tag = if with_da { "with DA" } else { "w/o DA" };
         println!("\n--- {tag} ---");
-        println!("{:>10} {:>10} {:>8} {:>8}", "train (m)", "test (m)", "GRA", "UIA");
+        println!(
+            "{:>10} {:>10} {:>8} {:>8}",
+            "train (m)", "test (m)", "GRA", "UIA"
+        );
         for &train_d in &ANCHORS {
             // Train split: samples at the training anchor.
             let train: Vec<&LabeledSample> = ds

@@ -38,11 +38,20 @@ fn main() {
             println!("{name:<14} {min:>6} {mean:>6.1} {max:>6}");
             rows.push(format!("{},{name},{min},{mean:.1},{max}", env.name()));
         }
-        let all: Vec<usize> = ds.samples.iter().map(|s| s.labeled.duration_frames).collect();
+        let all: Vec<usize> = ds
+            .samples
+            .iter()
+            .map(|s| s.labeled.duration_frames)
+            .collect();
         let mean_s = all.iter().sum::<usize>() as f64 / all.len().max(1) as f64 / 10.0;
         println!("average gesture duration: {mean_s:.2} s (paper: 2.43 s)");
     }
-    let p = write_csv("fig13_duration.csv", "environment,gesture,min,mean,max", &rows).expect("csv");
+    let p = write_csv(
+        "fig13_duration.csv",
+        "environment,gesture,min,mean,max",
+        &rows,
+    )
+    .expect("csv");
     println!("\ncsv: {}", p.display());
     println!("paper shape: lasting time varies across repetitions (≈15–35 frames) and by gesture.");
 }

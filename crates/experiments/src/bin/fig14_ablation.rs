@@ -16,7 +16,10 @@ fn main() {
     println!("== Fig. 14: ablation (scale: {}) ==", scale_name(scale));
     let scenarios = vec![
         ("Office", presets::gestureprint(Environment::Office, scale)),
-        ("Meeting Room", presets::gestureprint(Environment::MeetingRoom, scale)),
+        (
+            "Meeting Room",
+            presets::gestureprint(Environment::MeetingRoom, scale),
+        ),
         ("Home", presets::mtranssee(scale, &[1.2])),
     ];
 
@@ -25,15 +28,31 @@ fn main() {
         let ds = build(&spec, &BuildOptions::default());
         let samples: Vec<&LabeledSample> = ds.samples.iter().map(|s| &s.labeled).collect();
         let (train, test) = split80(&samples, 0xAB1A);
-        println!("\n--- {label} ({} train / {} test) ---", train.len(), test.len());
-        println!("{:<22} {:>8} {:>8} {:>8} {:>8}", "arm", "GRA", "GRF1", "UIA", "UIF1");
+        println!(
+            "\n--- {label} ({} train / {} test) ---",
+            train.len(),
+            test.len()
+        );
+        println!(
+            "{:<22} {:>8} {:>8} {:>8} {:>8}",
+            "arm", "GRA", "GRF1", "UIA", "UIF1"
+        );
 
         let arms: Vec<(&str, TrainConfig)> = vec![
             ("GesturePrint", default_train()),
-            ("w/o DataAugmentation", TrainConfig { augment: None, ..default_train() }),
+            (
+                "w/o DataAugmentation",
+                TrainConfig {
+                    augment: None,
+                    ..default_train()
+                },
+            ),
             (
                 "w/o FeatureFusion",
-                TrainConfig { model: ModelKind::GesIdNetNoFusion, ..default_train() },
+                TrainConfig {
+                    model: ModelKind::GesIdNetNoFusion,
+                    ..default_train()
+                },
             ),
         ];
         for (arm, cfg) in arms {
@@ -47,8 +66,7 @@ fn main() {
             let ui_pairs: Vec<(&LabeledSample, usize)> =
                 train.iter().map(|s| (*s, s.user)).collect();
             let ui_model = train_classifier(&ui_pairs, spec.users, &cfg);
-            let ui_test: Vec<(&LabeledSample, usize)> =
-                test.iter().map(|s| (*s, s.user)).collect();
+            let ui_test: Vec<(&LabeledSample, usize)> = test.iter().map(|s| (*s, s.user)).collect();
             let ui = classification_report(&ui_model, &ui_test);
             println!(
                 "{arm:<22} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
@@ -60,7 +78,12 @@ fn main() {
             ));
         }
     }
-    let p = write_csv("fig14_ablation.csv", "scenario,arm,gra,grf1,uia,uif1", &rows).expect("csv");
+    let p = write_csv(
+        "fig14_ablation.csv",
+        "scenario,arm,gra,grf1,uia,uif1",
+        &rows,
+    )
+    .expect("csv");
     println!("\ncsv: {}", p.display());
     println!("paper shape: both components help; fusion matters most with many users.");
 }

@@ -45,7 +45,11 @@ fn main() {
         &other,
         GestureSet::Asl15,
         GestureId(4),
-        PerformanceConfig { distance: 1.6, lateral_offset: 2.4, ..Default::default() },
+        PerformanceConfig {
+            distance: 1.6,
+            lateral_offset: 2.4,
+            ..Default::default()
+        },
         &mut rng2,
     );
     scene.push(SceneEntity::Performer(interferer));
@@ -102,11 +106,18 @@ fn report_case(label: &str, scene: &Scene, seed: u64, opts: &BuildOptions) {
             p.position.z
         ));
     }
-    let name = if label.starts_with("(a)") { "fig15_case_a.csv" } else { "fig15_case_b.csv" };
+    let name = if label.starts_with("(a)") {
+        "fig15_case_a.csv"
+    } else {
+        "fig15_case_b.csv"
+    };
     let p = write_csv(name, "case,cluster,x,y,z", &rows).expect("csv");
     println!("  csv: {}", p.display());
 
     // The full pipeline should also produce a clean sample.
     let samples = Preprocessor::new(PreprocessorConfig::default()).process(&frames);
-    assert!(!samples.is_empty(), "pipeline should still yield the user's gesture");
+    assert!(
+        !samples.is_empty(),
+        "pipeline should still yield the user's gesture"
+    );
 }

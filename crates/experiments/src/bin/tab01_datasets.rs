@@ -9,8 +9,14 @@ use gp_radar::Environment;
 
 fn main() {
     let scale = parse_scale();
-    println!("== Table I: dataset summary (scale: {}) ==", scale_name(scale));
-    println!("{:<28} {:>9} {:>8} {:>8} {:>9}", "Dataset", "Gestures", "Users", "Samples", "Dropped");
+    println!(
+        "== Table I: dataset summary (scale: {}) ==",
+        scale_name(scale)
+    );
+    println!(
+        "{:<28} {:>9} {:>8} {:>8} {:>9}",
+        "Dataset", "Gestures", "Users", "Samples", "Dropped"
+    );
     let specs = vec![
         presets::gestureprint(Environment::Office, scale),
         presets::gestureprint(Environment::MeetingRoom, scale),

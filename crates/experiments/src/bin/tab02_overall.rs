@@ -16,7 +16,10 @@ use gp_radar::Environment;
 
 fn main() {
     let scale = parse_scale();
-    println!("== Table II: overall performance (scale: {}) ==", scale_name(scale));
+    println!(
+        "== Table II: overall performance (scale: {}) ==",
+        scale_name(scale)
+    );
     let specs = vec![
         presets::gestureprint(Environment::Office, scale),
         presets::gestureprint(Environment::MeetingRoom, scale),
@@ -36,20 +39,30 @@ fn main() {
         let r = evaluate_scenario(&train, &test, spec.set.gesture_count(), spec.users, &cfg);
 
         // Baseline gesture recognition on the same split.
-        let gr_train: Vec<(&LabeledSample, usize)> = train.iter().map(|s| (*s, s.gesture)).collect();
+        let gr_train: Vec<(&LabeledSample, usize)> =
+            train.iter().map(|s| (*s, s.gesture)).collect();
         let gr_test: Vec<(&LabeledSample, usize)> = test.iter().map(|s| (*s, s.gesture)).collect();
         let mut baseline_accs = Vec::new();
         for kind in [ModelKind::PointNet, ModelKind::ProfileCnn, ModelKind::Lstm] {
             let m = train_classifier(
                 &gr_train,
                 spec.set.gesture_count(),
-                &gestureprint_core::TrainConfig { model: kind, ..cfg.clone() },
+                &gestureprint_core::TrainConfig {
+                    model: kind,
+                    ..cfg.clone()
+                },
             );
             let rep = classification_report(&m, &gr_test);
             baseline_accs.push((kind.name(), rep.accuracy));
         }
 
-        println!("\n--- {} ({} train / {} test, {:.0}s) ---", spec.name, train.len(), test.len(), t0.elapsed().as_secs_f64());
+        println!(
+            "\n--- {} ({} train / {} test, {:.0}s) ---",
+            spec.name,
+            train.len(),
+            test.len(),
+            t0.elapsed().as_secs_f64()
+        );
         println!(
             "GR  GesIDNet : GRA {:.4}  GRF1 {:.4}  GRAUC {:.4}",
             r.gr.accuracy, r.gr.macro_f1, r.gr.macro_auc
@@ -63,7 +76,10 @@ fn main() {
         );
         println!(
             "UI  GP-P     : UIA {:.4}  UIF1 {:.4}  UIAUC {:.4}  EER {:.4}",
-            r.ui_parallel.accuracy, r.ui_parallel.macro_f1, r.ui_parallel.macro_auc, r.ui_parallel.eer
+            r.ui_parallel.accuracy,
+            r.ui_parallel.macro_f1,
+            r.ui_parallel.macro_auc,
+            r.ui_parallel.eer
         );
         rows.push(format!(
             "{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}",

@@ -43,7 +43,10 @@ pub fn scale_name(scale: Scale) -> &'static str {
 /// The experiments' default training configuration: paper preprocessing,
 /// budget-conscious epochs.
 pub fn default_train() -> TrainConfig {
-    TrainConfig { epochs: 14, ..TrainConfig::default() }
+    TrainConfig {
+        epochs: 14,
+        ..TrainConfig::default()
+    }
 }
 
 /// Builds a dataset with default options.
@@ -52,7 +55,10 @@ pub fn build_dataset(spec: &DatasetSpec) -> Dataset {
 }
 
 /// An 80/20 split of sample references.
-pub fn split80<'a>(samples: &[&'a LabeledSample], seed: u64) -> (Vec<&'a LabeledSample>, Vec<&'a LabeledSample>) {
+pub fn split80<'a>(
+    samples: &[&'a LabeledSample],
+    seed: u64,
+) -> (Vec<&'a LabeledSample>, Vec<&'a LabeledSample>) {
     let (tr, te) = gp_eval::split::train_test_split(samples.len(), 0.2, seed);
     (
         tr.iter().map(|&i| samples[i]).collect(),
@@ -123,7 +129,11 @@ pub fn evaluate_scenario(
             gcount += 1;
         }
     }
-    let ui_serialized_accuracy = if gcount > 0 { acc_sum / gcount as f64 } else { 0.0 };
+    let ui_serialized_accuracy = if gcount > 0 {
+        acc_sum / gcount as f64
+    } else {
+        0.0
+    };
     let ui_serialized_f1 = gp_eval::metrics::macro_f1(&ser_preds, &ser_labels, users);
     let ui_serialized_auc = gp_eval::metrics::macro_auc(&ser_probs, &ser_labels, users);
 
@@ -133,7 +143,13 @@ pub fn evaluate_scenario(
     let ui_test: Vec<(&LabeledSample, usize)> = test.iter().map(|s| (*s, s.user)).collect();
     let ui_parallel = classification_report(&ui_model, &ui_test);
 
-    ScenarioResult { gr, ui_parallel, ui_serialized_accuracy, ui_serialized_f1, ui_serialized_auc }
+    ScenarioResult {
+        gr,
+        ui_parallel,
+        ui_serialized_accuracy,
+        ui_serialized_f1,
+        ui_serialized_auc,
+    }
 }
 
 /// Writes a CSV file under `results/`, creating the directory.

@@ -1,0 +1,79 @@
+//! Tier-2 tests: full-scale experiment runs, `#[ignore]`d by default.
+//!
+//! Tier-1 (`cargo test`) must stay fast; these tests instead reproduce
+//! the *shape* of the paper's headline numbers on the `Scale::Small`
+//! cohorts the experiment binaries use, which takes minutes. Run them
+//! explicitly:
+//!
+//! ```text
+//! cargo test -p gp-experiments --test tier2_full_scale -- --ignored
+//! ```
+//!
+//! See TESTING.md for the tier policy.
+
+use gp_datasets::{presets, Scale};
+use gp_experiments::{build_dataset, default_train, evaluate_scenario, split80};
+use gp_pipeline::LabeledSample;
+
+/// Builds a small-scale preset, splits 80/20 and evaluates both tasks.
+fn run_small(spec: gp_datasets::DatasetSpec) -> (gp_experiments::ScenarioResult, usize) {
+    let gestures = spec.set.gesture_count();
+    let users = spec.users;
+    let ds = build_dataset(&spec);
+    let samples: Vec<&LabeledSample> = ds.samples.iter().map(|s| &s.labeled).collect();
+    let (train, test) = split80(&samples, 17);
+    let result = evaluate_scenario(&train, &test, gestures, users, &default_train());
+    (result, test.len())
+}
+
+#[test]
+#[ignore = "tier-2: trains the full system on a Scale::Small cohort (~minutes)"]
+fn small_scale_mtranssee_beats_paper_floors() {
+    let (r, n_test) = run_small(presets::mtranssee(Scale::Small, &[1.2]));
+    assert!(n_test > 20, "test split too small: {n_test}");
+    // The paper reports 98.87% GRA / 99.78% UIA at full scale (§VI-A);
+    // at Scale::Small with short training these floors are deliberately
+    // conservative — they catch regressions, not tuning drift.
+    assert!(
+        r.gr.accuracy > 0.75,
+        "gesture recognition accuracy {}",
+        r.gr.accuracy
+    );
+    assert!(
+        r.ui_parallel.accuracy > 0.60,
+        "parallel-mode identification accuracy {}",
+        r.ui_parallel.accuracy
+    );
+    assert!(
+        r.ui_serialized_accuracy > 0.50,
+        "serialized-mode identification accuracy {}",
+        r.ui_serialized_accuracy
+    );
+    assert!(
+        r.ui_parallel.eer < 0.30,
+        "identification EER {}",
+        r.ui_parallel.eer
+    );
+}
+
+#[test]
+#[ignore = "tier-2: trains the full system on a Scale::Small cohort (~minutes)"]
+fn small_scale_gestureprint_set_learns_both_tasks() {
+    let (r, n_test) = run_small(presets::gestureprint(
+        gp_radar::Environment::Office,
+        Scale::Small,
+    ));
+    assert!(n_test > 20, "test split too small: {n_test}");
+    let gesture_chance = 1.0 / 15.0;
+    let user_chance = 1.0 / 5.0;
+    assert!(
+        r.gr.accuracy > 3.0 * gesture_chance,
+        "gesture recognition accuracy {} barely beats chance",
+        r.gr.accuracy
+    );
+    assert!(
+        r.ui_parallel.accuracy > 2.0 * user_chance,
+        "identification accuracy {} barely beats chance",
+        r.ui_parallel.accuracy
+    );
+}

@@ -25,10 +25,7 @@ pub(super) fn motion(index: usize) -> GestureMotion {
         1 => GestureMotion {
             name: "and",
             // Open hand sweeps right-to-left, closing toward the body.
-            right: primitives::swipe(
-                Vec3::new(0.42, 0.55, -0.04),
-                Vec3::new(-0.12, 0.42, -0.08),
-            ),
+            right: primitives::swipe(Vec3::new(0.42, 0.55, -0.04), Vec3::new(-0.12, 0.42, -0.08)),
             left: None,
             base_duration: 2.2,
         },
@@ -60,10 +57,7 @@ pub(super) fn motion(index: usize) -> GestureMotion {
         4 => GestureMotion {
             name: "away",
             // Hand flicks outward to the side and up.
-            right: primitives::swipe(
-                Vec3::new(0.18, 0.50, 0.00),
-                Vec3::new(0.62, 0.42, 0.26),
-            ),
+            right: primitives::swipe(Vec3::new(0.18, 0.50, 0.00), Vec3::new(0.62, 0.42, 0.26)),
             left: None,
             base_duration: 2.2,
         },
@@ -148,10 +142,7 @@ pub(super) fn motion(index: usize) -> GestureMotion {
         10 => GestureMotion {
             name: "forget",
             // Flat hand wipes across the forehead.
-            right: primitives::swipe(
-                Vec3::new(-0.16, 0.42, 0.44),
-                Vec3::new(0.32, 0.42, 0.40),
-            ),
+            right: primitives::swipe(Vec3::new(-0.16, 0.42, 0.44), Vec3::new(0.32, 0.42, 0.40)),
             left: None,
             base_duration: 2.2,
         },

@@ -175,7 +175,11 @@ pub(super) fn motion(index: usize) -> GestureMotion {
             name: "steering",
             // Hands hold an imaginary wheel and rotate it.
             right: primitives::frontal_circle(Vec3::new(0.0, 0.60, 0.05), 0.24, true),
-            left: Some(primitives::frontal_circle(Vec3::new(0.0, 0.60, 0.05), 0.24, true)),
+            left: Some(primitives::frontal_circle(
+                Vec3::new(0.0, 0.60, 0.05),
+                0.24,
+                true,
+            )),
             base_duration: 2.4,
         },
         other => unreachable!("Pantomime-21 index out of range: {other}"),
@@ -184,5 +188,10 @@ pub(super) fn motion(index: usize) -> GestureMotion {
 
 fn bimanual_symmetric(name: &'static str, right: HandPath, base_duration: f64) -> GestureMotion {
     let left = right.mirrored();
-    GestureMotion { name, right, left: Some(left), base_duration }
+    GestureMotion {
+        name,
+        right,
+        left: Some(left),
+        base_duration,
+    }
 }

@@ -26,7 +26,10 @@ pub struct Keyframe {
 impl Keyframe {
     /// Creates a keyframe.
     pub const fn new(t: f64, x: f64, y: f64, z: f64) -> Self {
-        Keyframe { t, offset: Vec3::new(x, y, z) }
+        Keyframe {
+            t,
+            offset: Vec3::new(x, y, z),
+        }
     }
 }
 
@@ -92,7 +95,11 @@ impl HandPath {
         let k1 = self.keyframes[i];
         let k2 = self.keyframes[i + 1];
         let k0 = if i == 0 { k1 } else { self.keyframes[i - 1] };
-        let k3 = if i + 2 >= n { k2 } else { self.keyframes[i + 2] };
+        let k3 = if i + 2 >= n {
+            k2
+        } else {
+            self.keyframes[i + 2]
+        };
         let span = (k2.t - k1.t).max(1e-9);
         let u = ((t - k1.t) / span).clamp(0.0, 1.0);
         catmull_rom(k0.offset, k1.offset, k2.offset, k3.offset, u)
@@ -104,7 +111,10 @@ impl HandPath {
             keyframes: self
                 .keyframes
                 .iter()
-                .map(|k| Keyframe { t: k.t, offset: f(k.offset) })
+                .map(|k| Keyframe {
+                    t: k.t,
+                    offset: f(k.offset),
+                })
                 .collect(),
         }
     }
@@ -161,63 +171,102 @@ pub mod primitives {
     /// Rest → target → rest, pausing briefly at the target.
     pub fn out_and_back(target: Vec3) -> HandPath {
         HandPath::new(vec![
-            Keyframe { t: 0.0, offset: REST_OFFSET },
-            Keyframe { t: 0.40, offset: target },
-            Keyframe { t: 0.48, offset: target },
-            Keyframe { t: 1.0, offset: REST_OFFSET },
+            Keyframe {
+                t: 0.0,
+                offset: REST_OFFSET,
+            },
+            Keyframe {
+                t: 0.40,
+                offset: target,
+            },
+            Keyframe {
+                t: 0.48,
+                offset: target,
+            },
+            Keyframe {
+                t: 1.0,
+                offset: REST_OFFSET,
+            },
         ])
     }
 
     /// Rest → `a` → `b` → rest (a swipe through the body frame).
     pub fn swipe(a: Vec3, b: Vec3) -> HandPath {
         HandPath::new(vec![
-            Keyframe { t: 0.0, offset: REST_OFFSET },
+            Keyframe {
+                t: 0.0,
+                offset: REST_OFFSET,
+            },
             Keyframe { t: 0.30, offset: a },
             Keyframe { t: 0.62, offset: b },
-            Keyframe { t: 1.0, offset: REST_OFFSET },
+            Keyframe {
+                t: 1.0,
+                offset: REST_OFFSET,
+            },
         ])
     }
 
     /// A full circle of radius `r` in the frontal (x–z) plane centred at
     /// `center`, clockwise when `cw` (as seen by the user).
     pub fn frontal_circle(center: Vec3, r: f64, cw: bool) -> HandPath {
-        circle(center, r, cw, |ang| Vec3::new(ang.cos() * r, 0.0, ang.sin() * r))
+        circle(center, r, cw, |ang| {
+            Vec3::new(ang.cos() * r, 0.0, ang.sin() * r)
+        })
     }
 
     /// A full circle of radius `r` in the sagittal (y–z) plane centred at
     /// `center` (wheel-like forward rolling motion).
     pub fn sagittal_circle(center: Vec3, r: f64, cw: bool) -> HandPath {
-        circle(center, r, cw, |ang| Vec3::new(0.0, ang.cos() * r, ang.sin() * r))
+        circle(center, r, cw, |ang| {
+            Vec3::new(0.0, ang.cos() * r, ang.sin() * r)
+        })
     }
 
     fn circle<F: Fn(f64) -> Vec3>(center: Vec3, _r: f64, cw: bool, point: F) -> HandPath {
-        let mut keyframes = vec![Keyframe { t: 0.0, offset: REST_OFFSET }];
+        let mut keyframes = vec![Keyframe {
+            t: 0.0,
+            offset: REST_OFFSET,
+        }];
         let n = 8;
         for k in 0..=n {
-            let ang = 2.0 * std::f64::consts::PI * k as f64 / n as f64
-                * if cw { -1.0 } else { 1.0 };
+            let ang =
+                2.0 * std::f64::consts::PI * k as f64 / n as f64 * if cw { -1.0 } else { 1.0 };
             keyframes.push(Keyframe {
                 t: 0.15 + 0.7 * k as f64 / n as f64,
                 offset: center + point(ang),
             });
         }
-        keyframes.push(Keyframe { t: 1.0, offset: REST_OFFSET });
+        keyframes.push(Keyframe {
+            t: 1.0,
+            offset: REST_OFFSET,
+        });
         HandPath::new(keyframes)
     }
 
     /// A zigzag: alternating lateral motion while descending.
     pub fn zigzag(top: Vec3, width: f64, drop: f64, legs: usize) -> HandPath {
         let legs = legs.max(2);
-        let mut keyframes = vec![Keyframe { t: 0.0, offset: REST_OFFSET }];
+        let mut keyframes = vec![Keyframe {
+            t: 0.0,
+            offset: REST_OFFSET,
+        }];
         for leg in 0..=legs {
             let frac = leg as f64 / legs as f64;
-            let x = top.x + if leg % 2 == 0 { -width / 2.0 } else { width / 2.0 };
+            let x = top.x
+                + if leg % 2 == 0 {
+                    -width / 2.0
+                } else {
+                    width / 2.0
+                };
             keyframes.push(Keyframe {
                 t: 0.2 + 0.6 * frac,
                 offset: Vec3::new(x, top.y, top.z - drop * frac),
             });
         }
-        keyframes.push(Keyframe { t: 1.0, offset: REST_OFFSET });
+        keyframes.push(Keyframe {
+            t: 1.0,
+            offset: REST_OFFSET,
+        });
         HandPath::new(keyframes)
     }
 
@@ -225,14 +274,23 @@ pub mod primitives {
     /// → rest.
     pub fn pat(hi: Vec3, lo: Vec3, taps: usize) -> HandPath {
         let taps = taps.max(1);
-        let mut keyframes = vec![Keyframe { t: 0.0, offset: REST_OFFSET }];
+        let mut keyframes = vec![Keyframe {
+            t: 0.0,
+            offset: REST_OFFSET,
+        }];
         let steps = taps * 2;
         for s in 0..=steps {
             let frac = s as f64 / steps as f64;
             let offset = if s % 2 == 0 { hi } else { lo };
-            keyframes.push(Keyframe { t: 0.18 + 0.64 * frac, offset });
+            keyframes.push(Keyframe {
+                t: 0.18 + 0.64 * frac,
+                offset,
+            });
         }
-        keyframes.push(Keyframe { t: 1.0, offset: REST_OFFSET });
+        keyframes.push(Keyframe {
+            t: 1.0,
+            offset: REST_OFFSET,
+        });
         HandPath::new(keyframes)
     }
 
@@ -241,18 +299,29 @@ pub mod primitives {
     /// the motion carries a radial component the radar can see.
     pub fn wave(center: Vec3, width: f64, cycles: usize) -> HandPath {
         let cycles = cycles.max(1);
-        let mut keyframes = vec![Keyframe { t: 0.0, offset: REST_OFFSET }];
+        let mut keyframes = vec![Keyframe {
+            t: 0.0,
+            offset: REST_OFFSET,
+        }];
         let steps = cycles * 2;
         for s in 0..=steps {
             let frac = s as f64 / steps as f64;
-            let x = center.x + if s % 2 == 0 { -width / 2.0 } else { width / 2.0 };
+            let x = center.x
+                + if s % 2 == 0 {
+                    -width / 2.0
+                } else {
+                    width / 2.0
+                };
             let y = center.y + if s % 2 == 0 { -0.06 } else { 0.06 };
             keyframes.push(Keyframe {
                 t: 0.18 + 0.64 * frac,
                 offset: Vec3::new(x, y, center.z),
             });
         }
-        keyframes.push(Keyframe { t: 1.0, offset: REST_OFFSET });
+        keyframes.push(Keyframe {
+            t: 1.0,
+            offset: REST_OFFSET,
+        });
         HandPath::new(keyframes)
     }
 }
@@ -300,7 +369,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "strictly increasing")]
     fn rejects_non_monotonic_times() {
-        HandPath::from_tuples(&[(0.0, 0.0, 0.0, 0.0), (0.5, 1.0, 0.0, 0.0), (0.4, 0.0, 0.0, 0.0)]);
+        HandPath::from_tuples(&[
+            (0.0, 0.0, 0.0, 0.0),
+            (0.5, 1.0, 0.0, 0.0),
+            (0.4, 0.0, 0.0, 0.0),
+        ]);
     }
 
     #[test]

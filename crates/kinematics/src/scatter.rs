@@ -25,7 +25,11 @@ pub struct Scatterer {
 impl Scatterer {
     /// A static scatterer.
     pub fn fixed(position: Vec3, rcs: f64) -> Self {
-        Scatterer { position, velocity: Vec3::ZERO, rcs }
+        Scatterer {
+            position,
+            velocity: Vec3::ZERO,
+            rcs,
+        }
     }
 }
 
@@ -58,7 +62,12 @@ pub fn sample_positions(pose: &BodyPose, torso_radius: f64) -> Vec<(Vec3, f64)> 
     for k in 0..5 {
         let ang = std::f64::consts::PI * (k as f64 / 4.0) - std::f64::consts::FRAC_PI_2;
         out.push((
-            pose.torso_center + Vec3::new(ang.sin() * torso_radius, ang.cos() * torso_radius * 0.5, 0.0),
+            pose.torso_center
+                + Vec3::new(
+                    ang.sin() * torso_radius,
+                    ang.cos() * torso_radius * 0.5,
+                    0.0,
+                ),
             rcs::TORSO,
         ));
     }
@@ -200,7 +209,10 @@ mod tests {
     fn scatterers_near_body() {
         let pose = test_pose(1.6);
         for (p, _) in sample_positions(&pose, 0.15) {
-            assert!(p.distance(pose.torso_center) < 1.2, "scatterer too far: {p:?}");
+            assert!(
+                p.distance(pose.torso_center) < 1.2,
+                "scatterer too far: {p:?}"
+            );
         }
     }
 }

@@ -44,7 +44,13 @@ pub struct BodyPose {
 /// If the wrist is out of reach it is pulled back onto the reachable
 /// sphere; if it is degenerate (at the shoulder) the arm folds straight
 /// down. The returned tuple is `(elbow, clamped_wrist)`.
-pub fn solve_elbow(shoulder: Vec3, wrist: Vec3, upper: f64, fore: f64, swivel: f64) -> (Vec3, Vec3) {
+pub fn solve_elbow(
+    shoulder: Vec3,
+    wrist: Vec3,
+    upper: f64,
+    fore: f64,
+    swivel: f64,
+) -> (Vec3, Vec3) {
     let max_reach = (upper + fore) * 0.999;
     let min_reach = (upper - fore).abs() * 1.001 + 1e-6;
     let mut delta = wrist - shoulder;
@@ -91,7 +97,12 @@ impl ArmPose {
         let (elbow, wrist) = solve_elbow(shoulder, wrist_target, upper, fore, swivel);
         let fore_dir = (wrist - elbow).normalized();
         let hand_tip = wrist + fore_dir * hand;
-        ArmPose { shoulder, elbow, wrist, hand_tip }
+        ArmPose {
+            shoulder,
+            elbow,
+            wrist,
+            hand_tip,
+        }
     }
 
     /// Sum of segment-length errors against the given limb lengths; used

@@ -52,7 +52,17 @@ impl PointNet {
         let hpre = self.head_a.forward(&g_m);
         let hact = Relu.forward(&hpre);
         let logits = self.head_b.forward(&hact).row(0).to_vec();
-        PointNetTrace { pre1, act1, pre2, act2, global, arg, hpre, hact, logits }
+        PointNetTrace {
+            pre1,
+            act1,
+            pre2,
+            act2,
+            global,
+            arg,
+            hpre,
+            hact,
+            logits,
+        }
     }
 }
 
@@ -128,7 +138,10 @@ impl ProfileCnn {
     ///
     /// Panics if the shape is not divisible by 4.
     pub fn new<R: Rng>(classes: usize, shape: (usize, usize), rng: &mut R) -> Self {
-        assert!(shape.0 % 4 == 0 && shape.1 % 4 == 0, "profile shape must be divisible by 4");
+        assert!(
+            shape.0 % 4 == 0 && shape.1 % 4 == 0,
+            "profile shape must be divisible by 4"
+        );
         let flat = 12 * (shape.0 / 4) * (shape.1 / 4);
         ProfileCnn {
             classes,
@@ -154,7 +167,19 @@ impl ProfileCnn {
         let hpre = self.head_a.forward(&flat);
         let hact = Relu.forward(&hpre);
         let logits = self.head_b.forward(&hact).row(0).to_vec();
-        ProfileTrace { c1, a1, p1, arg1, c2, a2, p2, arg2, hpre, hact, logits }
+        ProfileTrace {
+            c1,
+            a1,
+            p1,
+            arg1,
+            c2,
+            a2,
+            p2,
+            arg2,
+            hpre,
+            hact,
+            logits,
+        }
     }
 }
 
@@ -301,7 +326,10 @@ mod tests {
         encode(
             &cloud,
             &frames,
-            &FeatureConfig { num_points: 20, ..FeatureConfig::default() },
+            &FeatureConfig {
+                num_points: 20,
+                ..FeatureConfig::default()
+            },
             &mut rng,
         )
     }
@@ -310,7 +338,10 @@ mod tests {
         let data: Vec<(ModelInput, usize)> = (0..8)
             .map(|i| {
                 let label = i % 2;
-                (toy_input(i as u64, if label == 0 { -1.2 } else { 1.2 }), label)
+                (
+                    toy_input(i as u64, if label == 0 { -1.2 } else { 1.2 }),
+                    label,
+                )
             })
             .collect();
         let mut adam = Adam::new(5e-3);
@@ -355,7 +386,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let input = toy_input(5, 0.0);
         assert_eq!(PointNet::new(9, &mut rng).logits(&input).len(), 9);
-        assert_eq!(ProfileCnn::new(5, (16, 24), &mut rng).logits(&input).len(), 5);
+        assert_eq!(
+            ProfileCnn::new(5, (16, 24), &mut rng).logits(&input).len(),
+            5
+        );
         assert_eq!(LstmNet::new(4, &mut rng).logits(&input).len(), 4);
     }
 
@@ -374,6 +408,9 @@ mod tests {
             ProfileCnn::new(2, (16, 24), &mut rng).name(),
             LstmNet::new(2, &mut rng).name(),
         ];
-        assert_eq!(names.iter().collect::<std::collections::HashSet<_>>().len(), 3);
+        assert_eq!(
+            names.iter().collect::<std::collections::HashSet<_>>().len(),
+            3
+        );
     }
 }

@@ -132,7 +132,10 @@ pub fn encode<R: Rng>(
             .map(|p| (p.position - centroid - c).norm())
             .sum::<f64>()
             / n;
-        let max_snr = fc.iter().map(|p| (1.0 + p.snr.max(0.0)).ln() / 10.0).fold(0.0, f64::max);
+        let max_snr = fc
+            .iter()
+            .map(|p| (1.0 + p.snr.max(0.0)).ln() / 10.0)
+            .fold(0.0, f64::max);
         sequence.push(vec![
             (n / 20.0) as f32,
             c.x as f32,
@@ -204,13 +207,13 @@ mod tests {
         let cfg = FeatureConfig::default();
         let mut rng = StdRng::seed_from_u64(0);
         let input = encode(&cloud(), &[], &cfg, &mut rng);
-        let mean = input
-            .positions
-            .iter()
-            .fold(Vec3::ZERO, |a, p| a + *p)
+        let mean = input.positions.iter().fold(Vec3::ZERO, |a, p| a + *p)
             * (1.0 / input.positions.len() as f64);
         let true_centroid = cloud().centroid().unwrap();
-        assert!(mean.distance(true_centroid) < 0.3, "raw positions expected, got mean {mean:?}");
+        assert!(
+            mean.distance(true_centroid) < 0.3,
+            "raw positions expected, got mean {mean:?}"
+        );
     }
 
     #[test]
@@ -224,7 +227,10 @@ mod tests {
 
     #[test]
     fn sequence_respects_max_frames() {
-        let cfg = FeatureConfig { max_frames: 5, ..FeatureConfig::default() };
+        let cfg = FeatureConfig {
+            max_frames: 5,
+            ..FeatureConfig::default()
+        };
         let frames = vec![cloud(); 12];
         let mut rng = StdRng::seed_from_u64(0);
         let input = encode(&cloud(), &frames, &cfg, &mut rng);
@@ -243,7 +249,10 @@ mod tests {
 
     #[test]
     fn doppler_preserved_in_features() {
-        let cfg = FeatureConfig { num_points: 4, ..FeatureConfig::default() };
+        let cfg = FeatureConfig {
+            num_points: 4,
+            ..FeatureConfig::default()
+        };
         let c: PointCloud = (0..4)
             .map(|i| Point::new(Vec3::new(i as f64, 1.0, 1.0), 1.5, 5.0))
             .collect();

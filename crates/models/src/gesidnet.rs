@@ -74,11 +74,26 @@ impl GesIDNetConfig {
             classes,
             sa1_centroids: 24,
             sa1_scales: vec![
-                SaScale { radius: 0.3, max_points: 8, hidden: 24, out: 32 },
-                SaScale { radius: 0.6, max_points: 12, hidden: 32, out: 48 },
+                SaScale {
+                    radius: 0.3,
+                    max_points: 8,
+                    hidden: 24,
+                    out: 32,
+                },
+                SaScale {
+                    radius: 0.6,
+                    max_points: 12,
+                    hidden: 32,
+                    out: 48,
+                },
             ],
             sa2_centroids: 8,
-            sa2_scale: SaScale { radius: 0.8, max_points: 6, hidden: 64, out: 96 },
+            sa2_scale: SaScale {
+                radius: 0.8,
+                max_points: 6,
+                hidden: 64,
+                out: 96,
+            },
             low_dim: 96,
             high_dim: 192,
             head_hidden: 64,
@@ -92,9 +107,19 @@ impl GesIDNetConfig {
         GesIDNetConfig {
             classes,
             sa1_centroids: 4,
-            sa1_scales: vec![SaScale { radius: 0.5, max_points: 3, hidden: 5, out: 6 }],
+            sa1_scales: vec![SaScale {
+                radius: 0.5,
+                max_points: 3,
+                hidden: 5,
+                out: 6,
+            }],
             sa2_centroids: 2,
-            sa2_scale: SaScale { radius: 1.0, max_points: 2, hidden: 7, out: 8 },
+            sa2_scale: SaScale {
+                radius: 1.0,
+                max_points: 2,
+                hidden: 7,
+                out: 8,
+            },
             low_dim: 6,
             high_dim: 10,
             head_hidden: 5,
@@ -121,7 +146,10 @@ struct SharedMlpTrace {
 
 impl SharedMlp {
     fn new<R: Rng>(input: usize, hidden: usize, out: usize, rng: &mut R) -> Self {
-        SharedMlp { l1: Linear::new(input, hidden, rng), l2: Linear::new(hidden, out, rng) }
+        SharedMlp {
+            l1: Linear::new(input, hidden, rng),
+            l2: Linear::new(hidden, out, rng),
+        }
     }
 
     fn forward(&self, x: Matrix) -> (Matrix, SharedMlpTrace) {
@@ -129,7 +157,15 @@ impl SharedMlp {
         let act1 = Relu.forward(&pre1);
         let pre2 = self.l2.forward(&act1);
         let out = Relu.forward(&pre2);
-        (out, SharedMlpTrace { x, pre1, act1, pre2 })
+        (
+            out,
+            SharedMlpTrace {
+                x,
+                pre1,
+                act1,
+                pre2,
+            },
+        )
     }
 
     fn backward(&mut self, t: &SharedMlpTrace, grad_out: &Matrix) -> Matrix {
@@ -194,11 +230,11 @@ struct Trace {
 /// two attention logits and weights.
 #[derive(Debug, Clone)]
 struct FusionTrace {
-    other_input: Vec<f32>,  // the raw other-level feature fed to the RB
-    resized_pre: Vec<f32>,  // RB pre-activation
-    resized: Vec<f32>,      // RB output (= F^{l→k})
-    own: Vec<f32>,          // F^k
-    weights: [f32; 2],      // softmax(g(resized), g(own))
+    other_input: Vec<f32>, // the raw other-level feature fed to the RB
+    resized_pre: Vec<f32>, // RB pre-activation
+    resized: Vec<f32>,     // RB output (= F^{l→k})
+    own: Vec<f32>,         // F^k
+    weights: [f32; 2],     // softmax(g(resized), g(own))
 }
 
 /// The GesIDNet model.
@@ -403,7 +439,10 @@ impl GesIDNet {
     fn backward_full(&mut self, input: &ModelInput, trace: &Trace, label: usize) -> f32 {
         let (loss1, grad1) = softmax_cross_entropy(&trace.logits1, label);
         let (loss2, grad2_raw) = softmax_cross_entropy(&trace.logits2, label);
-        let grad2: Vec<f32> = grad2_raw.iter().map(|g| g * self.config.aux_weight).collect();
+        let grad2: Vec<f32> = grad2_raw
+            .iter()
+            .map(|g| g * self.config.aux_weight)
+            .collect();
 
         // Head 1 backward → dY1.
         let g = Matrix::from_rows(&[grad1]);
@@ -613,14 +652,26 @@ mod tests {
             .map(|i| {
                 let t = i as f64 * 0.4 + seed as f64;
                 Point::new(
-                    Vec3::new(t.sin() * 0.3 + shift, 1.2 + t.cos() * 0.2, 1.0 + (t * 0.7).sin() * 0.3),
+                    Vec3::new(
+                        t.sin() * 0.3 + shift,
+                        1.2 + t.cos() * 0.2,
+                        1.0 + (t * 0.7).sin() * 0.3,
+                    ),
                     (t * 1.3).sin(),
                     15.0,
                 )
             })
             .collect();
         let mut rng = StdRng::seed_from_u64(seed);
-        encode(&cloud, &[], &FeatureConfig { num_points: 24, ..FeatureConfig::default() }, &mut rng)
+        encode(
+            &cloud,
+            &[],
+            &FeatureConfig {
+                num_points: 24,
+                ..FeatureConfig::default()
+            },
+            &mut rng,
+        )
     }
 
     #[test]
@@ -655,7 +706,10 @@ mod tests {
             adam.begin_step();
             net.for_each_param(&mut |p, g| adam.update(p, g));
         }
-        assert!(last < first * 0.5, "loss should drop: first {first}, last {last}");
+        assert!(
+            last < first * 0.5,
+            "loss should drop: first {first}, last {last}"
+        );
     }
 
     #[test]
@@ -666,7 +720,10 @@ mod tests {
         let data: Vec<(ModelInput, usize)> = (0..8)
             .map(|i| {
                 let label = i % 2;
-                (toy_input(i as u64, if label == 0 { -0.5 } else { 0.5 }), label)
+                (
+                    toy_input(i as u64, if label == 0 { -0.5 } else { 0.5 }),
+                    label,
+                )
             })
             .collect();
         for _ in 0..80 {
@@ -752,7 +809,10 @@ mod tests {
         let with = GesIDNet::new(GesIDNetConfig::for_classes(3), &mut rng);
         let mut rng = StdRng::seed_from_u64(5);
         let without = GesIDNet::new(
-            GesIDNetConfig { fusion: false, ..GesIDNetConfig::for_classes(3) },
+            GesIDNetConfig {
+                fusion: false,
+                ..GesIDNetConfig::for_classes(3)
+            },
             &mut rng,
         );
         let input = toy_input(6, 0.0);

@@ -50,7 +50,11 @@ impl Conv2d {
     ///
     /// Panics if the input length is not `in_channels · h · w`.
     pub fn forward(&self, x: &[f32], h: usize, w: usize) -> Vec<f32> {
-        assert_eq!(x.len(), self.in_channels * h * w, "conv input shape mismatch");
+        assert_eq!(
+            x.len(),
+            self.in_channels * h * w,
+            "conv input shape mismatch"
+        );
         let mut y = vec![0.0f32; self.out_channels * h * w];
         for o in 0..self.out_channels {
             for yy in 0..h {
@@ -150,11 +154,7 @@ pub fn maxpool2x2(x: &[f32], channels: usize, h: usize, w: usize) -> (Vec<f32>, 
 }
 
 /// Backward of [`maxpool2x2`].
-pub fn maxpool2x2_backward(
-    grad_out: &[f32],
-    arg: &[usize],
-    input_len: usize,
-) -> Vec<f32> {
+pub fn maxpool2x2_backward(grad_out: &[f32], arg: &[usize], input_len: usize) -> Vec<f32> {
     let mut gx = vec![0.0f32; input_len];
     for (&a, &g) in arg.iter().zip(grad_out.iter()) {
         gx[a] += g;

@@ -13,9 +13,9 @@ use serde::{Deserialize, Serialize};
 /// transformed with the same weights, exactly PointNet's weight sharing.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Linear {
-    w: Matrix,       // out × in
-    b: Vec<f32>,     // out
-    gw: Matrix,      // gradient accumulator
+    w: Matrix,   // out × in
+    b: Vec<f32>, // out
+    gw: Matrix,  // gradient accumulator
     gb: Vec<f32>,
 }
 

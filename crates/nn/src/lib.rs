@@ -27,7 +27,7 @@
 //! let mut layer = Linear::new(4, 3, &mut rng);
 //! let mut adam = Adam::new(1e-2);
 //! let x = Matrix::from_rows(&[vec![0.2, -0.1, 0.5, 1.0]]);
-//! for _ in 0..50 {
+//! for _ in 0..200 {
 //!     let logits = layer.forward(&x);
 //!     let (loss, grad) = softmax_cross_entropy(logits.row(0), 2);
 //!     let _ = loss;

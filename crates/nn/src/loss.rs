@@ -19,7 +19,11 @@ pub fn softmax(logits: &[f32]) -> Vec<f32> {
 ///
 /// Panics if `label >= logits.len()`.
 pub fn softmax_cross_entropy(logits: &[f32], label: usize) -> (f32, Vec<f32>) {
-    assert!(label < logits.len(), "label {label} out of range {}", logits.len());
+    assert!(
+        label < logits.len(),
+        "label {label} out of range {}",
+        logits.len()
+    );
     let probs = softmax(logits);
     let loss = -(probs[label].max(1e-12)).ln();
     let mut grad = probs;

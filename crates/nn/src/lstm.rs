@@ -22,8 +22,8 @@ pub struct Lstm {
 #[derive(Debug, Clone, Default)]
 pub struct LstmTrace {
     xs: Vec<Vec<f32>>,
-    hs: Vec<Vec<f32>>, // h_0..h_T (h_0 = zeros)
-    cs: Vec<Vec<f32>>, // c_0..c_T
+    hs: Vec<Vec<f32>>,    // h_0..h_T (h_0 = zeros)
+    cs: Vec<Vec<f32>>,    // c_0..c_T
     gates: Vec<Vec<f32>>, // per step: i,f,g,o (post-activation), 4·hidden
 }
 
@@ -188,7 +188,10 @@ mod tests {
         let lstm = Lstm::new(2, 4, &mut rng);
         let seq: Vec<Vec<f32>> = (0..50).map(|i| vec![(i as f32).sin() * 5.0, 3.0]).collect();
         let (hf, _) = lstm.forward(&seq);
-        assert!(hf.iter().all(|v| v.abs() <= 1.0), "|h| ≤ 1 by construction: {hf:?}");
+        assert!(
+            hf.iter().all(|v| v.abs() <= 1.0),
+            "|h| ≤ 1 by construction: {hf:?}"
+        );
     }
 
     #[test]

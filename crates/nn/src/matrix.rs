@@ -13,7 +13,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Wraps a flat row-major buffer.
@@ -39,7 +43,11 @@ impl Matrix {
             assert_eq!(r.len(), cols, "ragged rows");
             data.extend_from_slice(r);
         }
-        Matrix { rows: rows.len(), cols, data }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -171,7 +179,11 @@ impl Matrix {
     ///
     /// Panics on shape mismatch.
     pub fn add_assign(&mut self, other: &Matrix) {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
             *a += b;
         }
@@ -208,7 +220,7 @@ mod tests {
     fn transpose_variants_agree() {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]); // 3×2
         let b = Matrix::from_rows(&[vec![1.0, -1.0], vec![0.5, 2.0], vec![3.0, 1.0]]); // 3×2
-        // aᵀ·b via helper vs explicit transpose.
+                                                                                       // aᵀ·b via helper vs explicit transpose.
         let fast = a.transpose_matmul(&b);
         let slow = a.transposed().matmul(&b);
         assert_eq!(fast, slow);

@@ -26,7 +26,16 @@ pub struct Adam {
 impl Adam {
     /// Creates Adam with the standard betas.
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, cursor: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            cursor: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Starts an update step (resets the parameter cursor, bumps the
@@ -48,7 +57,11 @@ impl Adam {
         }
         let m = &mut self.m[self.cursor];
         let v = &mut self.v[self.cursor];
-        assert_eq!(m.len(), param.len(), "parameter shape changed between steps");
+        assert_eq!(
+            m.len(),
+            param.len(),
+            "parameter shape changed between steps"
+        );
         let bc1 = 1.0 - self.beta1.powi(self.t);
         let bc2 = 1.0 - self.beta2.powi(self.t);
         for i in 0..param.len() {
@@ -78,7 +91,12 @@ pub struct Sgd {
 impl Sgd {
     /// Creates SGD.
     pub fn new(lr: f32, momentum: f32) -> Self {
-        Sgd { lr, momentum, cursor: 0, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            cursor: 0,
+            velocity: Vec::new(),
+        }
     }
 
     /// Starts an update step.
@@ -92,7 +110,11 @@ impl Sgd {
             self.velocity.push(vec![0.0; param.len()]);
         }
         let vel = &mut self.velocity[self.cursor];
-        assert_eq!(vel.len(), param.len(), "parameter shape changed between steps");
+        assert_eq!(
+            vel.len(),
+            param.len(),
+            "parameter shape changed between steps"
+        );
         for i in 0..param.len() {
             vel[i] = self.momentum * vel[i] + grad[i];
             param[i] -= self.lr * vel[i];
@@ -147,7 +169,7 @@ mod tests {
     }
 
     #[test]
-    fn multiple_tensors_tracked_independently ()  {
+    fn multiple_tensors_tracked_independently() {
         let mut adam = Adam::new(0.1);
         let mut a = vec![0.0f32];
         let mut b = vec![0.0f32];

@@ -15,7 +15,8 @@ const VERSION: u32 = 1;
 pub fn save_params(model: &mut dyn Parameterized) -> Bytes {
     let mut tensors: Vec<Vec<f32>> = Vec::new();
     model.for_each_param(&mut |p, _| tensors.push(p.to_vec()));
-    let mut buf = BytesMut::with_capacity(16 + tensors.iter().map(|t| 4 + t.len() * 4).sum::<usize>());
+    let mut buf =
+        BytesMut::with_capacity(16 + tensors.iter().map(|t| 4 + t.len() * 4).sum::<usize>());
     buf.put_u32_le(MAGIC);
     buf.put_u32_le(VERSION);
     buf.put_u32_le(tensors.len() as u32);
@@ -79,13 +80,26 @@ pub fn load_params(model: &mut dyn Parameterized, bytes: &[u8]) -> Result<(), Lo
     }
     let count = buf.get_u32_le() as usize;
 
+    // Validate the untrusted header count against the model before any
+    // count-sized allocation, so a corrupt file errors instead of
+    // requesting absurd capacity.
+    let mut shapes = Vec::new();
+    model.for_each_param(&mut |p, _| shapes.push(p.len()));
+    if shapes.len() != count {
+        return Err(LoadParamsError::TensorCountMismatch {
+            stored: count,
+            expected: shapes.len(),
+        });
+    }
+
+    // Parse and verify every tensor before mutating anything.
     let mut tensors: Vec<Vec<f32>> = Vec::with_capacity(count);
-    for i in 0..count {
+    for (i, &expected) in shapes.iter().enumerate() {
         if buf.remaining() < 4 {
             return Err(LoadParamsError::ShapeMismatch { tensor: i });
         }
         let len = buf.get_u32_le() as usize;
-        if buf.remaining() < len * 4 {
+        if len != expected || buf.remaining() < len * 4 {
             return Err(LoadParamsError::ShapeMismatch { tensor: i });
         }
         let mut t = Vec::with_capacity(len);
@@ -93,18 +107,6 @@ pub fn load_params(model: &mut dyn Parameterized, bytes: &[u8]) -> Result<(), Lo
             t.push(buf.get_f32_le());
         }
         tensors.push(t);
-    }
-
-    // Verify shape agreement before mutating anything.
-    let mut shapes = Vec::new();
-    model.for_each_param(&mut |p, _| shapes.push(p.len()));
-    if shapes.len() != count {
-        return Err(LoadParamsError::TensorCountMismatch { stored: count, expected: shapes.len() });
-    }
-    for (i, (stored, expected)) in tensors.iter().zip(shapes.iter()).enumerate() {
-        if stored.len() != *expected {
-            return Err(LoadParamsError::ShapeMismatch { tensor: i });
-        }
     }
 
     let mut iter = tensors.into_iter();
@@ -149,8 +151,26 @@ mod tests {
     fn rejects_garbage() {
         let mut rng = StdRng::seed_from_u64(1);
         let mut a = Linear::new(2, 2, &mut rng);
-        assert_eq!(load_params(&mut a, b"nonsense"), Err(LoadParamsError::BadHeader));
+        assert_eq!(
+            load_params(&mut a, b"nonsense"),
+            Err(LoadParamsError::BadHeader)
+        );
         assert_eq!(load_params(&mut a, &[]), Err(LoadParamsError::BadHeader));
+    }
+
+    #[test]
+    fn rejects_absurd_tensor_count_header() {
+        // A corrupt 12-byte file announcing u32::MAX tensors must error,
+        // not attempt a count-sized allocation.
+        let mut a = Linear::new(2, 2, &mut StdRng::seed_from_u64(1));
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            load_params(&mut a, &bytes),
+            Err(LoadParamsError::TensorCountMismatch { stored, .. }) if stored == u32::MAX as usize
+        ));
     }
 
     #[test]

@@ -10,8 +10,24 @@ use rand::SeedableRng;
 
 fn main() {
     let profile = UserProfile::generate(0, 42);
-    let mut rng = StdRng::seed_from_u64(std::env::args().nth(2).map(|v| v.parse().unwrap()).unwrap_or(1));
-    let perf = Performance::new(&profile, GestureSet::Asl15, GestureId(std::env::args().nth(1).map(|v| v.parse().unwrap()).unwrap_or(12)), 1.2, &mut rng);
+    let mut rng = StdRng::seed_from_u64(
+        std::env::args()
+            .nth(2)
+            .map(|v| v.parse().unwrap())
+            .unwrap_or(1),
+    );
+    let perf = Performance::new(
+        &profile,
+        GestureSet::Asl15,
+        GestureId(
+            std::env::args()
+                .nth(1)
+                .map(|v| v.parse().unwrap())
+                .unwrap_or(12),
+        ),
+        1.2,
+        &mut rng,
+    );
     let (gs, ge) = perf.gesture_interval();
     println!("gesture interval: {gs:.2}..{ge:.2} s");
     let scene = Scene::for_performance(perf, Environment::Office, 1);

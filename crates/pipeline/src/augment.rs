@@ -20,7 +20,10 @@ pub struct AugmenterConfig {
 
 impl Default for AugmenterConfig {
     fn default() -> Self {
-        AugmenterConfig { copies: 3, sigma: 0.02 }
+        AugmenterConfig {
+            copies: 3,
+            sigma: 0.02,
+        }
     }
 }
 
@@ -112,7 +115,10 @@ mod tests {
         // 3σ · √3 ≈ 0.104; allow some slack.
         assert!(max_shift < 0.2, "jitter too large: {max_shift}");
         let mean_shift = total_shift / original.len() as f64;
-        assert!((0.005..0.08).contains(&mean_shift), "mean shift {mean_shift}");
+        assert!(
+            (0.005..0.08).contains(&mean_shift),
+            "mean shift {mean_shift}"
+        );
     }
 
     #[test]
@@ -129,7 +135,10 @@ mod tests {
     #[test]
     fn zero_copies_supported() {
         let mut rng = StdRng::seed_from_u64(4);
-        let aug = Augmenter::new(AugmenterConfig { copies: 0, sigma: 0.02 });
+        let aug = Augmenter::new(AugmenterConfig {
+            copies: 0,
+            sigma: 0.02,
+        });
         assert!(aug.augment(&cloud(), &mut rng).is_empty());
     }
 

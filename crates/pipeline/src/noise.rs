@@ -21,13 +21,19 @@ pub struct NoiseCancelerConfig {
 
 impl Default for NoiseCancelerConfig {
     fn default() -> Self {
-        NoiseCancelerConfig { max_distance: 1.0, min_points: 4 }
+        NoiseCancelerConfig {
+            max_distance: 1.0,
+            min_points: 4,
+        }
     }
 }
 
 impl NoiseCancelerConfig {
     fn as_dbscan(self) -> DbscanConfig {
-        DbscanConfig { eps: self.max_distance, min_points: self.min_points }
+        DbscanConfig {
+            eps: self.max_distance,
+            min_points: self.min_points,
+        }
     }
 }
 
@@ -66,7 +72,12 @@ mod tests {
             .map(|i| {
                 let t = i as f64;
                 Point::new(
-                    center + Vec3::new((t * 0.7).sin() * 0.3, (t * 1.1).cos() * 0.2, (t * 1.7).sin() * 0.35),
+                    center
+                        + Vec3::new(
+                            (t * 0.7).sin() * 0.3,
+                            (t * 1.1).cos() * 0.2,
+                            (t * 1.7).sin() * 0.35,
+                        ),
                     0.5,
                     20.0,
                 )
@@ -95,12 +106,17 @@ mod tests {
         let cleaned = canceler.clean(&PointCloud::from_points(points.clone()));
         assert_eq!(cleaned.len(), 40, "main cluster should be the user");
         let clustering = canceler.clusters(&PointCloud::from_points(points));
-        assert!(clustering.cluster_count() >= 2, "walker should form its own cluster");
+        assert!(
+            clustering.cluster_count() >= 2,
+            "walker should form its own cluster"
+        );
     }
 
     #[test]
     fn empty_in_empty_out() {
-        assert!(NoiseCanceler::default().clean(&PointCloud::new()).is_empty());
+        assert!(NoiseCanceler::default()
+            .clean(&PointCloud::new())
+            .is_empty());
     }
 
     #[test]
@@ -122,14 +138,21 @@ mod tests {
         let mut points = user_blob(40, Vec3::new(0.0, 1.2, 1.2));
         points.extend(user_blob(10, Vec3::new(0.8, 1.4, 1.2))); // 0.8 m away < D_max
         let cleaned = NoiseCanceler::default().clean(&PointCloud::from_points(points));
-        assert_eq!(cleaned.len(), 50, "sub-D_max interferer merges (expected limitation)");
+        assert_eq!(
+            cleaned.len(),
+            50,
+            "sub-D_max interferer merges (expected limitation)"
+        );
     }
 
     #[test]
     fn tighter_radius_separates_closer_interferers() {
         let mut points = user_blob(40, Vec3::new(0.0, 1.2, 1.2));
         points.extend(user_blob(10, Vec3::new(1.2, 1.4, 1.2)));
-        let tight = NoiseCanceler::new(NoiseCancelerConfig { max_distance: 0.4, min_points: 4 });
+        let tight = NoiseCanceler::new(NoiseCancelerConfig {
+            max_distance: 0.4,
+            min_points: 4,
+        });
         let cleaned = tight.clean(&PointCloud::from_points(points));
         assert_eq!(cleaned.len(), 40);
     }

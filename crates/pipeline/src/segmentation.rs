@@ -4,8 +4,14 @@
 //! threshold `P_thr` is derived from the cumulative distribution of counts
 //! over the trailing `N = 50` frames; a sliding detection window of
 //! `n = 10` frames then classifies frames as motion/static, and a gesture
-//! starts once at least `F_thr = 8` motion frames accumulate in the
+//! starts once at least `F_thr = 6` motion frames accumulate in the
 //! window, ending when the window is all-static again.
+//!
+//! `F_thr = 6` (0.6 s of sustained motion at 10 fps) rather than a stricter
+//! 8: multi-phase signs such as 'push' hold the hands still mid-gesture, and
+//! the MTI clutter filter blanks those frames, so a sign's longest
+//! uninterrupted motion burst is often only 6–7 frames. The end rule (a
+//! fully static window) already bridges such intra-gesture pauses.
 
 use gp_radar::Frame;
 use serde::{Deserialize, Serialize};
@@ -36,7 +42,7 @@ impl Default for SegmenterConfig {
         SegmenterConfig {
             threshold_window: 50,
             motion_window: 10,
-            min_motion_frames: 8,
+            min_motion_frames: 6,
             min_threshold: 3,
             quantiles: (0.2, 0.95),
             spread_fraction: 0.35,
@@ -142,13 +148,19 @@ impl Segmenter {
                 if motion_count == 0 {
                     // Entire window static: the gesture ended at the last
                     // motion frame.
-                    segments.push(GestureSegment { start, end: last_motion + 1 });
+                    segments.push(GestureSegment {
+                        start,
+                        end: last_motion + 1,
+                    });
                     in_gesture = false;
                 }
             }
         }
         if in_gesture {
-            segments.push(GestureSegment { start, end: last_motion + 1 });
+            segments.push(GestureSegment {
+                start,
+                end: last_motion + 1,
+            });
         }
         segments
     }
@@ -240,7 +252,11 @@ mod tests {
         counts.extend(std::iter::repeat(4).take(25));
         let segs = Segmenter::default().segment(&frames_with_counts(&counts));
         assert_eq!(segs.len(), 1, "{segs:?}");
-        assert!((23..=29).contains(&segs[0].start), "start {}", segs[0].start);
+        assert!(
+            (23..=29).contains(&segs[0].start),
+            "start {}",
+            segs[0].start
+        );
     }
 
     #[test]

@@ -22,7 +22,10 @@ pub struct DbscanConfig {
 
 impl Default for DbscanConfig {
     fn default() -> Self {
-        DbscanConfig { eps: 1.0, min_points: 4 }
+        DbscanConfig {
+            eps: 1.0,
+            min_points: 4,
+        }
     }
 }
 
@@ -158,7 +161,10 @@ pub fn dbscan(cloud: &PointCloud, config: &DbscanConfig) -> Clustering {
     }
 
     Clustering {
-        labels: labels.into_iter().map(|l| l.expect("all labelled")).collect(),
+        labels: labels
+            .into_iter()
+            .map(|l| l.expect("all labelled"))
+            .collect(),
         cluster_count,
     }
 }
@@ -198,7 +204,13 @@ mod tests {
         let mut pts = blob(Vec3::new(0.0, 1.0, 0.0), 20, 0.1);
         pts.extend(blob(Vec3::new(5.0, 1.0, 0.0), 15, 0.1));
         let cloud = PointCloud::from_positions(pts);
-        let c = dbscan(&cloud, &DbscanConfig { eps: 0.5, min_points: 4 });
+        let c = dbscan(
+            &cloud,
+            &DbscanConfig {
+                eps: 0.5,
+                min_points: 4,
+            },
+        );
         assert_eq!(c.cluster_count(), 2);
         assert_eq!(c.noise_count(), 0);
         let sizes = c.cluster_sizes();
@@ -211,7 +223,13 @@ mod tests {
         pts.push(Vec3::new(50.0, 0.0, 0.0));
         pts.push(Vec3::new(-50.0, 0.0, 0.0));
         let cloud = PointCloud::from_positions(pts);
-        let c = dbscan(&cloud, &DbscanConfig { eps: 0.5, min_points: 4 });
+        let c = dbscan(
+            &cloud,
+            &DbscanConfig {
+                eps: 0.5,
+                min_points: 4,
+            },
+        );
         assert_eq!(c.cluster_count(), 1);
         assert_eq!(c.noise_count(), 2);
     }
@@ -221,7 +239,13 @@ mod tests {
         let mut pts = blob(Vec3::ZERO, 30, 0.1);
         pts.extend(blob(Vec3::new(8.0, 0.0, 0.0), 6, 0.1));
         let cloud = PointCloud::from_positions(pts);
-        let main = main_cluster_of(&cloud, &DbscanConfig { eps: 0.5, min_points: 4 });
+        let main = main_cluster_of(
+            &cloud,
+            &DbscanConfig {
+                eps: 0.5,
+                min_points: 4,
+            },
+        );
         assert_eq!(main.len(), 30);
         assert!(main.centroid().unwrap().norm() < 0.2);
     }
@@ -233,7 +257,10 @@ mod tests {
             Vec3::new(10.0, 0.0, 0.0),
             Vec3::new(20.0, 0.0, 0.0),
         ]);
-        let cfg = DbscanConfig { eps: 0.5, min_points: 4 };
+        let cfg = DbscanConfig {
+            eps: 0.5,
+            min_points: 4,
+        };
         let c = dbscan(&cloud, &cfg);
         assert_eq!(c.cluster_count(), 0);
         assert_eq!(c.main_cluster(), None);
@@ -244,9 +271,21 @@ mod tests {
     fn min_points_controls_density() {
         let pts = blob(Vec3::ZERO, 3, 0.05); // only 3 points
         let cloud = PointCloud::from_positions(pts);
-        let strict = dbscan(&cloud, &DbscanConfig { eps: 0.5, min_points: 4 });
+        let strict = dbscan(
+            &cloud,
+            &DbscanConfig {
+                eps: 0.5,
+                min_points: 4,
+            },
+        );
         assert_eq!(strict.cluster_count(), 0);
-        let loose = dbscan(&cloud, &DbscanConfig { eps: 0.5, min_points: 2 });
+        let loose = dbscan(
+            &cloud,
+            &DbscanConfig {
+                eps: 0.5,
+                min_points: 2,
+            },
+        );
         assert_eq!(loose.cluster_count(), 1);
     }
 
@@ -261,9 +300,17 @@ mod tests {
     fn chain_connectivity_merges_into_one_cluster() {
         // A chain of points each within eps of the next must form a single
         // cluster even though the endpoints are far apart.
-        let pts: Vec<Vec3> = (0..50).map(|i| Vec3::new(i as f64 * 0.4, 0.0, 0.0)).collect();
+        let pts: Vec<Vec3> = (0..50)
+            .map(|i| Vec3::new(i as f64 * 0.4, 0.0, 0.0))
+            .collect();
         let cloud = PointCloud::from_positions(pts);
-        let c = dbscan(&cloud, &DbscanConfig { eps: 0.5, min_points: 3 });
+        let c = dbscan(
+            &cloud,
+            &DbscanConfig {
+                eps: 0.5,
+                min_points: 3,
+            },
+        );
         assert_eq!(c.cluster_count(), 1);
         assert_eq!(c.noise_count(), 0);
     }
@@ -281,7 +328,13 @@ mod tests {
         let mut pts = blob(Vec3::ZERO, 10, 0.1);
         pts.extend(blob(Vec3::new(6.0, 0.0, 0.0), 10, 0.1));
         let cloud = PointCloud::from_positions(pts);
-        let c = dbscan(&cloud, &DbscanConfig { eps: 0.5, min_points: 4 });
+        let c = dbscan(
+            &cloud,
+            &DbscanConfig {
+                eps: 0.5,
+                min_points: 4,
+            },
+        );
         let total: usize = (0..c.cluster_count()).map(|id| c.members(id).len()).sum();
         assert_eq!(total + c.noise_count(), cloud.len());
     }

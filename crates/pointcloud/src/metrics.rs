@@ -246,7 +246,10 @@ mod tests {
         let a = line_cloud(30, 0.0);
         let b = line_cloud(30, 5.0); // disjoint occupancy
         let v = jsd(&a, &b, &JsdConfig::default());
-        assert!((v - 1.0).abs() < 1e-9, "disjoint clouds should reach 1 bit, got {v}");
+        assert!(
+            (v - 1.0).abs() < 1e-9,
+            "disjoint clouds should reach 1 bit, got {v}"
+        );
     }
 
     #[test]

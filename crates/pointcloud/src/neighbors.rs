@@ -137,6 +137,9 @@ mod tests {
     fn exact_boundary_is_inside() {
         let cloud = line();
         let idx = ball_query(&cloud, Vec3::new(0.0, 0.0, 0.0), 1.0, 10);
-        assert!(idx.contains(&1), "point at exactly radius should be included");
+        assert!(
+            idx.contains(&1),
+            "point at exactly radius should be included"
+        );
     }
 }

@@ -21,7 +21,11 @@ pub struct Vec3 {
 
 impl Vec3 {
     /// The origin.
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Creates a vector from components.
     #[inline]
@@ -159,13 +163,21 @@ impl Point {
     /// Creates a point with the given kinematics.
     #[inline]
     pub const fn new(position: Vec3, doppler: f64, snr: f64) -> Self {
-        Point { position, doppler, snr }
+        Point {
+            position,
+            doppler,
+            snr,
+        }
     }
 
     /// Creates a stationary point with unit SNR at `position`.
     #[inline]
     pub const fn at(position: Vec3) -> Self {
-        Point { position, doppler: 0.0, snr: 1.0 }
+        Point {
+            position,
+            doppler: 0.0,
+            snr: 1.0,
+        }
     }
 
     /// Range from the sensor origin (m).
@@ -195,7 +207,9 @@ impl PointCloud {
     /// Creates an empty cloud with pre-allocated capacity.
     #[inline]
     pub fn with_capacity(capacity: usize) -> Self {
-        PointCloud { points: Vec::with_capacity(capacity) }
+        PointCloud {
+            points: Vec::with_capacity(capacity),
+        }
     }
 
     /// Wraps an existing vector of points.
@@ -304,7 +318,9 @@ impl PointCloud {
 
 impl FromIterator<Point> for PointCloud {
     fn from_iter<I: IntoIterator<Item = Point>>(iter: I) -> Self {
-        PointCloud { points: iter.into_iter().collect() }
+        PointCloud {
+            points: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -118,9 +118,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn grid_cloud(n: usize) -> PointCloud {
-        PointCloud::from_positions((0..n).map(|i| {
-            Vec3::new((i % 10) as f64 * 0.1, (i / 10) as f64 * 0.1, 0.0)
-        }))
+        PointCloud::from_positions(
+            (0..n).map(|i| Vec3::new((i % 10) as f64 * 0.1, (i / 10) as f64 * 0.1, 0.0)),
+        )
     }
 
     #[test]
@@ -137,8 +137,7 @@ mod tests {
     #[test]
     fn fps_covers_extremes() {
         // Sampling 2 points from a segment must pick (near) both ends.
-        let cloud =
-            PointCloud::from_positions((0..11).map(|i| Vec3::new(i as f64, 0.0, 0.0)));
+        let cloud = PointCloud::from_positions((0..11).map(|i| Vec3::new(i as f64, 0.0, 0.0)));
         let idx = farthest_point_indices(&cloud, 3);
         let xs: Vec<f64> = idx.iter().map(|&i| cloud[i].position.x).collect();
         assert!(xs.iter().any(|&x| x <= 1.0));
@@ -216,10 +215,19 @@ mod tests {
             Vec3::new(10.0, 14.0, 10.0),
         ]);
         let (centroid, scale) = normalize_unit_sphere(&mut cloud);
-        assert!(centroid.distance(Vec3::new(10.666_666_666_666_666, 11.333_333_333_333_334, 10.0)) < 1e-9);
+        assert!(
+            centroid.distance(Vec3::new(
+                10.666_666_666_666_666,
+                11.333_333_333_333_334,
+                10.0
+            )) < 1e-9
+        );
         assert!(scale > 0.0);
         assert!(cloud.centroid().unwrap().norm() < 1e-9);
-        let max_r = cloud.iter().map(|p| p.position.norm()).fold(0.0f64, f64::max);
+        let max_r = cloud
+            .iter()
+            .map(|p| p.position.norm())
+            .fold(0.0f64, f64::max);
         assert!((max_r - 1.0).abs() < 1e-9);
     }
 

@@ -15,9 +15,17 @@ fn main() {
             ys.push(p.position.y);
         }
     }
-    println!("false alarms: {total} over {frames} frames = {:.3}/frame", total as f64 / frames as f64);
+    println!(
+        "false alarms: {total} over {frames} frames = {:.3}/frame",
+        total as f64 / frames as f64
+    );
     if !ys.is_empty() {
         ys.sort_by(f64::total_cmp);
-        println!("y range: {:.2}..{:.2}, median {:.2}", ys[0], ys[ys.len() - 1], ys[ys.len() / 2]);
+        println!(
+            "y range: {:.2}..{:.2}, median {:.2}",
+            ys[0],
+            ys[ys.len() - 1],
+            ys[ys.len() / 2]
+        );
     }
 }

@@ -176,9 +176,17 @@ mod tests {
     #[test]
     fn default_matches_paper_parameters() {
         let c = RadarConfig::default();
-        assert!((c.range_resolution() - 0.04).abs() < 1e-3, "{}", c.range_resolution());
+        assert!(
+            (c.range_resolution() - 0.04).abs() < 1e-3,
+            "{}",
+            c.range_resolution()
+        );
         assert!((c.max_velocity() - 2.7).abs() < 0.1, "{}", c.max_velocity());
-        assert!((c.velocity_resolution() - 0.34).abs() < 0.02, "{}", c.velocity_resolution());
+        assert!(
+            (c.velocity_resolution() - 0.34).abs() < 0.02,
+            "{}",
+            c.velocity_resolution()
+        );
         assert_eq!(c.virtual_antennas(), 12);
         assert!((c.max_range_m - 8.2).abs() < 1e-9);
         assert!((c.mount_height_m - 1.25).abs() < 1e-9);
@@ -217,19 +225,34 @@ mod tests {
         let c = RadarConfig::default();
         // 8.2 m / 0.04 m ≈ 205 bins (float rounding gives 204).
         assert!((204..=205).contains(&c.usable_range_bins()));
-        let small = RadarConfig { max_range_m: 100.0, ..RadarConfig::default() };
+        let small = RadarConfig {
+            max_range_m: 100.0,
+            ..RadarConfig::default()
+        };
         assert_eq!(small.usable_range_bins(), small.samples_per_chirp);
     }
 
     #[test]
     fn validation_catches_bad_configs() {
-        let bad = RadarConfig { samples_per_chirp: 100, ..RadarConfig::default() };
+        let bad = RadarConfig {
+            samples_per_chirp: 100,
+            ..RadarConfig::default()
+        };
         assert!(bad.validate().is_err());
-        let bad = RadarConfig { chirps_per_frame: 12, ..RadarConfig::default() };
+        let bad = RadarConfig {
+            chirps_per_frame: 12,
+            ..RadarConfig::default()
+        };
         assert!(bad.validate().is_err());
-        let bad = RadarConfig { chirp_interval_s: 1.0, ..RadarConfig::default() };
+        let bad = RadarConfig {
+            chirp_interval_s: 1.0,
+            ..RadarConfig::default()
+        };
         assert!(bad.validate().is_err());
-        let bad = RadarConfig { azimuth_antennas: 0, ..RadarConfig::default() };
+        let bad = RadarConfig {
+            azimuth_antennas: 0,
+            ..RadarConfig::default()
+        };
         assert!(bad.validate().is_err());
     }
 

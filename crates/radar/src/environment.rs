@@ -99,7 +99,8 @@ impl Environment {
     /// seed. Reflectors are placed away from the user corridor (|x| >
     /// 0.6 m) so they perturb rather than overlap the gesture zone.
     pub fn reflectors(self, seed: u64) -> Vec<SwayingReflector> {
-        let mut rng = StdRng::seed_from_u64(seed ^ ENV_SALT ^ (self as u64).wrapping_mul(0xA5A5_1234));
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ ENV_SALT ^ (self as u64).wrapping_mul(0xA5A5_1234));
         let (w, d) = self.extent();
         (0..self.reflector_count())
             .map(|_| {
@@ -145,7 +146,11 @@ mod tests {
     fn reflectors_avoid_user_corridor() {
         for env in Environment::ALL {
             for r in env.reflectors(3) {
-                assert!(r.anchor.x.abs() >= 0.6, "{env:?} reflector in corridor: {:?}", r.anchor);
+                assert!(
+                    r.anchor.x.abs() >= 0.6,
+                    "{env:?} reflector in corridor: {:?}",
+                    r.anchor
+                );
             }
         }
     }
@@ -165,7 +170,11 @@ mod tests {
             rcs: 0.3,
         };
         let s = r.scatterer_at(0.0);
-        assert!(s.velocity.norm() < 0.1, "sway velocity {}", s.velocity.norm());
+        assert!(
+            s.velocity.norm() < 0.1,
+            "sway velocity {}",
+            s.velocity.norm()
+        );
         assert!(s.position.distance(r.anchor) < 0.03);
         // Position oscillates: quarter period later it differs.
         let s2 = r.scatterer_at(0.25);

@@ -78,7 +78,11 @@ pub fn range_doppler_maps(cube: &DataCube, _config: &RadarConfig) -> Vec<RangeDo
                 cells[d * ns + bin] = *z;
             }
         }
-        maps.push(RangeDopplerMap { cells, doppler_bins: nc, range_bins: ns });
+        maps.push(RangeDopplerMap {
+            cells,
+            doppler_bins: nc,
+            range_bins: ns,
+        });
     }
     maps
 }
@@ -160,8 +164,16 @@ pub fn estimate_angles(
             acc_el += z(el + 1, az) * z(el, az).conj();
         }
     }
-    let u = if acc_az.norm_sqr() > 0.0 { acc_az.arg() / std::f64::consts::PI } else { 0.0 };
-    let w = if acc_el.norm_sqr() > 0.0 { acc_el.arg() / std::f64::consts::PI } else { 0.0 };
+    let u = if acc_az.norm_sqr() > 0.0 {
+        acc_az.arg() / std::f64::consts::PI
+    } else {
+        0.0
+    };
+    let w = if acc_el.norm_sqr() > 0.0 {
+        acc_el.arg() / std::f64::consts::PI
+    } else {
+        0.0
+    };
     (u.clamp(-0.95, 0.95), w.clamp(-0.95, 0.95))
 }
 
@@ -175,8 +187,7 @@ pub fn process_cube(cube: &DataCube, config: &RadarConfig) -> PointCloud {
     for det in &detections {
         let (u, w) = estimate_angles(&maps, det, config);
         let range = det.range_bin as f64 * config.range_resolution();
-        let signed_doppler =
-            shifted_bin_to_signed(det.doppler_bin, config.chirps_per_frame) as f64;
+        let signed_doppler = shifted_bin_to_signed(det.doppler_bin, config.chirps_per_frame) as f64;
         let doppler = signed_doppler * vres;
         let forward = (1.0 - u * u - w * w).max(0.0).sqrt();
         let position = Vec3::new(
@@ -184,7 +195,11 @@ pub fn process_cube(cube: &DataCube, config: &RadarConfig) -> PointCloud {
             range * forward,
             range * w + config.mount_height_m,
         );
-        let snr = if det.noise > 0.0 { det.power / det.noise } else { f64::INFINITY };
+        let snr = if det.noise > 0.0 {
+            det.power / det.noise
+        } else {
+            f64::INFINITY
+        };
         cloud.push(Point::new(position, doppler, snr));
     }
     cloud
@@ -205,7 +220,11 @@ mod tests {
     }
 
     fn moving_scatterer(pos: Vec3, vel: Vec3, rcs: f64) -> Scatterer {
-        Scatterer { position: pos, velocity: vel, rcs }
+        Scatterer {
+            position: pos,
+            velocity: vel,
+            rcs,
+        }
     }
 
     #[test]
@@ -230,12 +249,12 @@ mod tests {
         );
         let cloud = capture(&[s], &cfg, 2);
         assert!(!cloud.is_empty(), "moving target must be detected");
-        let p = cloud
-            .iter()
-            .max_by(|a, b| a.snr.total_cmp(&b.snr))
-            .unwrap();
+        let p = cloud.iter().max_by(|a, b| a.snr.total_cmp(&b.snr)).unwrap();
         let range = (p.position - Vec3::new(0.0, 0.0, cfg.mount_height_m)).norm();
-        assert!((range - 1.6).abs() < 3.0 * cfg.range_resolution(), "range {range}");
+        assert!(
+            (range - 1.6).abs() < 3.0 * cfg.range_resolution(),
+            "range {range}"
+        );
     }
 
     #[test]
@@ -248,7 +267,11 @@ mod tests {
         );
         let cloud = capture(&[receding], &cfg, 3);
         let p = cloud.iter().max_by(|a, b| a.snr.total_cmp(&b.snr)).unwrap();
-        assert!(p.doppler > 0.0, "receding target must have positive Doppler, got {}", p.doppler);
+        assert!(
+            p.doppler > 0.0,
+            "receding target must have positive Doppler, got {}",
+            p.doppler
+        );
 
         let approaching = moving_scatterer(
             Vec3::new(0.0, 1.6, cfg.mount_height_m),
@@ -257,7 +280,11 @@ mod tests {
         );
         let cloud = capture(&[approaching], &cfg, 4);
         let p = cloud.iter().max_by(|a, b| a.snr.total_cmp(&b.snr)).unwrap();
-        assert!(p.doppler < 0.0, "approaching target must have negative Doppler, got {}", p.doppler);
+        assert!(
+            p.doppler < 0.0,
+            "approaching target must have negative Doppler, got {}",
+            p.doppler
+        );
     }
 
     #[test]
@@ -292,8 +319,16 @@ mod tests {
         let cloud = capture(&[s], &cfg, 6);
         assert!(!cloud.is_empty());
         let p = cloud.iter().max_by(|a, b| a.snr.total_cmp(&b.snr)).unwrap();
-        assert!(p.position.x > 0.3, "expected rightward estimate, got {:?}", p.position);
-        assert!((p.position.x - x).abs() < 0.5, "lateral error too large: {:?}", p.position);
+        assert!(
+            p.position.x > 0.3,
+            "expected rightward estimate, got {:?}",
+            p.position
+        );
+        assert!(
+            (p.position.x - x).abs() < 0.5,
+            "lateral error too large: {:?}",
+            p.position
+        );
     }
 
     #[test]
@@ -325,7 +360,11 @@ mod tests {
             0.12,
         );
         let cloud = capture(&[s], &cfg, 8);
-        assert!(cloud.is_empty(), "expected miss at 7.8 m, got {} points", cloud.len());
+        assert!(
+            cloud.is_empty(),
+            "expected miss at 7.8 m, got {} points",
+            cloud.len()
+        );
     }
 
     #[test]
@@ -342,7 +381,11 @@ mod tests {
             0.6,
         );
         let cloud = capture(&[a, b], &cfg, 9);
-        assert!(cloud.len() >= 2, "expected two detections, got {}", cloud.len());
+        assert!(
+            cloud.len() >= 2,
+            "expected two detections, got {}",
+            cloud.len()
+        );
         let ranges: Vec<f64> = cloud
             .iter()
             .map(|p| (p.position - Vec3::new(0.0, 0.0, cfg.mount_height_m)).norm())

@@ -60,7 +60,9 @@ impl Walker {
         // Legs (counter-phase).
         for (sign, z) in [(1.0, 0.25), (-1.0, 0.25)] {
             out.push(Scatterer {
-                position: base + dir * (sign * swing * 0.6) + Vec3::new(0.0, 0.0, z * self.height - base.z),
+                position: base
+                    + dir * (sign * swing * 0.6)
+                    + Vec3::new(0.0, 0.0, z * self.height - base.z),
                 velocity: self.velocity + swing_v * (sign * 0.6),
                 rcs: 0.35,
             });
@@ -68,7 +70,9 @@ impl Walker {
         // Arms.
         for sign in [1.0, -1.0] {
             out.push(Scatterer {
-                position: base + dir * (sign * swing) + Vec3::new(0.0, 0.0, 0.45 * self.height - base.z),
+                position: base
+                    + dir * (sign * swing)
+                    + Vec3::new(0.0, 0.0, 0.45 * self.height - base.z),
                 velocity: self.velocity + swing_v * sign,
                 rcs: 0.25,
             });
@@ -123,7 +127,10 @@ impl Scene {
     /// Creates an empty scene of fixed duration (build up with
     /// [`Scene::push`]).
     pub fn empty(duration: f64) -> Self {
-        Scene { entities: Vec::new(), duration }
+        Scene {
+            entities: Vec::new(),
+            duration,
+        }
     }
 
     /// Adds an entity.
@@ -228,6 +235,9 @@ mod tests {
     fn performance_clamps_after_end() {
         let scene = Scene::for_performance(perf(), Environment::OpenSpace, 3);
         let late = scene.scatterers_at(scene.duration() + 5.0);
-        assert!(!late.is_empty(), "performer should hold rest pose after the end");
+        assert!(
+            !late.is_empty(),
+            "performer should hold rest pose after the end"
+        );
     }
 }

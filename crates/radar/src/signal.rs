@@ -136,7 +136,9 @@ pub fn synthesize_frame<R: Rng>(
     };
 
     for s in scatterers {
-        let Some(ret) = radar_return(s, config) else { continue };
+        let Some(ret) = radar_return(s, config) else {
+            continue;
+        };
         let dphi_fast = phase_per_sample(ret.range);
         let rot_fast = Complex::cis(dphi_fast);
         // Doppler phase advance per chirp: 4π·v·T_c/λ.
@@ -148,10 +150,8 @@ pub fn synthesize_frame<R: Rng>(
         let mut ant = 0;
         for el in 0..config.elevation_antennas {
             for az in 0..config.azimuth_antennas {
-                let ant_phase =
-                    std::f64::consts::PI * (az as f64 * ret.u + el as f64 * ret.w);
-                let mut chirp_start =
-                    Complex::from_polar(ret.amplitude, base_phase + ant_phase);
+                let ant_phase = std::f64::consts::PI * (az as f64 * ret.u + el as f64 * ret.w);
+                let mut chirp_start = Complex::from_polar(ret.amplitude, base_phase + ant_phase);
                 for chirp in 0..nc {
                     let row = cube.chirp_mut(ant, chirp);
                     let mut ph = chirp_start;
@@ -232,7 +232,11 @@ mod tests {
         let cube = synthesize_frame(&scatterers, &cfg, &mut rng);
         assert_eq!(
             cube.shape(),
-            (cfg.virtual_antennas(), cfg.chirps_per_frame, cfg.samples_per_chirp)
+            (
+                cfg.virtual_antennas(),
+                cfg.chirps_per_frame,
+                cfg.samples_per_chirp
+            )
         );
         let mut rng2 = StdRng::seed_from_u64(3);
         let cube2 = synthesize_frame(&scatterers, &cfg, &mut rng2);
@@ -243,7 +247,10 @@ mod tests {
     fn tone_appears_in_expected_range_bin() {
         // Noise-free synthesis: the range FFT of a single chirp must peak
         // at bin r / Δr.
-        let cfg = RadarConfig { noise_sigma: 0.0, ..RadarConfig::test_small() };
+        let cfg = RadarConfig {
+            noise_sigma: 0.0,
+            ..RadarConfig::test_small()
+        };
         let target_range = 1.6;
         let s = still_scatterer(0.0, target_range, cfg.mount_height_m, 1.0);
         let mut rng = StdRng::seed_from_u64(0);

@@ -52,7 +52,11 @@ impl RadarSimulator {
         if let Err(e) = config.validate() {
             panic!("invalid radar config: {e}");
         }
-        RadarSimulator { config, backend, rng: StdRng::seed_from_u64(seed) }
+        RadarSimulator {
+            config,
+            backend,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The waveform configuration.
@@ -124,7 +128,9 @@ impl RadarSimulator {
             std::collections::HashMap::new();
 
         for s in scatterers {
-            let Some(ret) = radar_return(s, cfg) else { continue };
+            let Some(ret) = radar_return(s, cfg) else {
+                continue;
+            };
             // Static clutter removal: zero-Doppler bin returns are
             // subtracted before detection.
             if ret.radial_velocity.abs() < 0.5 * vres {
@@ -233,7 +239,13 @@ mod tests {
     fn performance(distance: f64) -> Performance {
         let profile = UserProfile::generate(0, 42);
         let mut rng = StdRng::seed_from_u64(1);
-        Performance::new(&profile, GestureSet::Asl15, GestureId(12), distance, &mut rng)
+        Performance::new(
+            &profile,
+            GestureSet::Asl15,
+            GestureId(12),
+            distance,
+            &mut rng,
+        )
     }
 
     #[test]
@@ -254,7 +266,10 @@ mod tests {
             .filter(|f| f.timestamp < gs * 0.8)
             .map(Frame::len)
             .sum();
-        assert!(motion_points > 30, "gesture should light up: {motion_points}");
+        assert!(
+            motion_points > 30,
+            "gesture should light up: {motion_points}"
+        );
         let idle_frames = frames.iter().filter(|f| f.timestamp < gs * 0.8).count();
         assert!(
             (idle_points as f64 / idle_frames.max(1) as f64) < 4.0,
@@ -309,13 +324,19 @@ mod tests {
         let (gs, ge) = perf.gesture_interval();
         let mut sim = RadarSimulator::new(cfg, Backend::SignalChain, 7);
         let frame = sim.simulate_frame(&perf.scatterers_at((gs + ge) / 2.0), 0.0);
-        assert!(!frame.is_empty(), "mid-gesture frame should contain detections");
+        assert!(
+            !frame.is_empty(),
+            "mid-gesture frame should contain detections"
+        );
     }
 
     #[test]
     #[should_panic(expected = "invalid radar config")]
     fn invalid_config_panics() {
-        let bad = RadarConfig { samples_per_chirp: 100, ..RadarConfig::default() };
+        let bad = RadarConfig {
+            samples_per_chirp: 100,
+            ..RadarConfig::default()
+        };
         RadarSimulator::new(bad, Backend::Geometric, 0);
     }
 
@@ -326,7 +347,11 @@ mod tests {
         let vmax = sim.config().max_velocity();
         for f in sim.capture_performance(&perf) {
             for p in f.cloud.iter() {
-                assert!(p.doppler.abs() <= vmax + 1e-9, "doppler {} out of range", p.doppler);
+                assert!(
+                    p.doppler.abs() <= vmax + 1e-9,
+                    "doppler {} out of range",
+                    p.doppler
+                );
             }
         }
     }

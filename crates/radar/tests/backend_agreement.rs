@@ -5,17 +5,12 @@
 //! point counts during gestures, spatial placement of the detected cloud,
 //! and range-dependent sparsity.
 
-use gp_kinematics::gestures::{GestureId, GestureSet};
-use gp_kinematics::{Performance, UserProfile};
 use gp_radar::frame::aggregate;
 use gp_radar::{Backend, RadarConfig, RadarSimulator};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use gp_testkit::CANONICAL_GESTURE;
 
-fn performance(distance: f64, seed: u64) -> Performance {
-    let profile = UserProfile::generate(0, 42);
-    let mut rng = StdRng::seed_from_u64(seed);
-    Performance::new(&profile, GestureSet::Asl15, GestureId(12), distance, &mut rng)
+fn performance(distance: f64, seed: u64) -> gp_kinematics::Performance {
+    gp_testkit::performance(0, CANONICAL_GESTURE, distance, seed)
 }
 
 /// Captures only frames inside the gesture interval to compare the parts

@@ -1,0 +1,128 @@
+//! Shared deterministic fixtures for GesturePrint tests and benches.
+//!
+//! Before this crate existed, every integration test and benchmark re-built
+//! the same "canonical capture" (user 0 performing ASL 'push' at 1.2 m in
+//! an office) and the same tiny training dataset with copy-pasted seed
+//! constants. This crate is the single source of truth for those fixtures;
+//! changing a seed here changes it everywhere at once.
+//!
+//! Everything is seeded and pure: calling the same fixture twice yields
+//! identical values, which the determinism tests rely on.
+
+use gestureprint_core::TrainConfig;
+use gp_datasets::{build, presets, BuildOptions, Dataset, Scale};
+use gp_kinematics::gestures::{GestureId, GestureSet};
+use gp_kinematics::{Performance, UserProfile};
+use gp_pipeline::{LabeledSample, Preprocessor, PreprocessorConfig};
+use gp_radar::{Backend, Environment, Frame, RadarConfig, RadarSimulator, Scene};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Seed shared by every fixture profile (the "cohort" seed).
+pub const PROFILE_SEED: u64 = 42;
+
+/// The canonical gesture used by single-capture fixtures: ASL 'push'.
+pub const CANONICAL_GESTURE: usize = 12;
+
+/// The canonical radar-to-user distance in metres.
+pub const CANONICAL_DISTANCE: f64 = 1.2;
+
+/// The biometric profile of fixture user `user`, drawn from the shared
+/// cohort seed so the same user id always denotes the same person.
+pub fn profile(user: usize) -> UserProfile {
+    UserProfile::generate(user, PROFILE_SEED)
+}
+
+/// One seeded performance: fixture user `user` performing ASL gesture
+/// `gesture` at `distance` metres, with per-repetition variability drawn
+/// from `seed`.
+pub fn performance(user: usize, gesture: usize, distance: f64, seed: u64) -> Performance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Performance::new(
+        &profile(user),
+        GestureSet::Asl15,
+        GestureId(gesture),
+        distance,
+        &mut rng,
+    )
+}
+
+/// Captures one performance in an office scene with the geometric backend:
+/// the standard test capture. Returns the ground-truth performance next to
+/// the raw frames so tests can check segmentation against it.
+pub fn capture(user: usize, gesture: usize, rep_seed: u64) -> (Performance, Vec<Frame>) {
+    let perf = performance(user, gesture, CANONICAL_DISTANCE, rep_seed);
+    let scene = Scene::for_performance(perf.clone(), Environment::Office, rep_seed);
+    let mut sim = RadarSimulator::new(
+        RadarConfig::default(),
+        Backend::Geometric,
+        rep_seed ^ 0xF00D,
+    );
+    let frames = sim.capture_scene(&scene);
+    (perf, frames)
+}
+
+/// The canonical captured gesture: user 0, ASL 'push', 1.2 m, office.
+pub fn capture_fixture() -> Vec<Frame> {
+    let perf = performance(0, CANONICAL_GESTURE, CANONICAL_DISTANCE, 5);
+    let scene = Scene::for_performance(perf, Environment::Office, 5);
+    let mut sim = RadarSimulator::new(RadarConfig::default(), Backend::Geometric, 5);
+    sim.capture_scene(&scene)
+}
+
+/// A preprocessed, labeled sample derived from [`capture_fixture`].
+///
+/// # Panics
+///
+/// Panics if the canonical capture yields no segment (would indicate a
+/// pipeline regression).
+pub fn sample_fixture() -> LabeledSample {
+    let frames = capture_fixture();
+    let samples = Preprocessor::new(PreprocessorConfig::default()).process(&frames);
+    let best = samples
+        .into_iter()
+        .max_by_key(|s| s.duration_frames)
+        .expect("canonical capture must segment");
+    LabeledSample::from_sample(best, CANONICAL_GESTURE, 0)
+}
+
+/// A small but learnable dataset: 3 users × 5 MTranSee gestures × 6
+/// repetitions at 1.2 m. Big enough for end-to-end accuracy assertions,
+/// small enough for tier-1.
+pub fn tiny_dataset() -> Dataset {
+    let spec = presets::mtranssee(Scale::Custom { users: 3, reps: 6 }, &[CANONICAL_DISTANCE]);
+    build(&spec, &BuildOptions::default())
+}
+
+/// A short training schedule for tier-1 tests (10 epochs, defaults
+/// otherwise).
+pub fn quick_train() -> TrainConfig {
+    TrainConfig {
+        epochs: 10,
+        ..TrainConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        let a = capture_fixture();
+        let b = capture_fixture();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.cloud, y.cloud);
+        }
+        assert_eq!(sample_fixture().cloud, sample_fixture().cloud);
+    }
+
+    #[test]
+    fn capture_exposes_ground_truth() {
+        let (perf, frames) = capture(0, CANONICAL_GESTURE, 1);
+        assert!(frames.len() > 30);
+        let (gs, ge) = perf.gesture_interval();
+        assert!(gs < ge);
+    }
+}

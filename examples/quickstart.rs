@@ -26,14 +26,20 @@ fn main() {
     let train: Vec<_> = train_idx.iter().map(|&i| samples[i]).collect();
     let test: Vec<_> = test_idx.iter().map(|&i| samples[i]).collect();
 
-    println!("training on {} samples (this runs on the CPU)...", train.len());
+    println!(
+        "training on {} samples (this runs on the CPU)...",
+        train.len()
+    );
     let system = GesturePrint::train(
         &train,
         spec.set.gesture_count(),
         spec.users,
         &GesturePrintConfig {
             mode: IdentificationMode::Serialized,
-            train: TrainConfig { epochs: 12, ..TrainConfig::default() },
+            train: TrainConfig {
+                epochs: 12,
+                ..TrainConfig::default()
+            },
             threads: 0,
         },
     );
@@ -57,7 +63,9 @@ fn main() {
     let out = system.infer(sample);
     println!(
         "\nsample: true gesture '{}' by user {} → predicted '{}' by user {}",
-        GestureSet::Asl15.gesture_name(gestureprint::kinematics::gestures::GestureId(sample.gesture)),
+        GestureSet::Asl15.gesture_name(gestureprint::kinematics::gestures::GestureId(
+            sample.gesture
+        )),
         sample.user,
         GestureSet::Asl15.gesture_name(gestureprint::kinematics::gestures::GestureId(out.gesture)),
         out.user,

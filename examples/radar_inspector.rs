@@ -83,7 +83,8 @@ fn main() {
         chain_frame.len(),
         geo_frame.len()
     );
-    println!("(the full chain synthesises {}×{}×{} IF samples and runs range/Doppler FFTs + CFAR)",
+    println!(
+        "(the full chain synthesises {}×{}×{} IF samples and runs range/Doppler FFTs + CFAR)",
         RadarConfig::default().virtual_antennas(),
         RadarConfig::default().chirps_per_frame,
         RadarConfig::default().samples_per_chirp,

@@ -12,7 +12,6 @@
 use gestureprint::core::{GesturePrint, GesturePrintConfig, IdentificationMode, TrainConfig};
 use gestureprint::datasets::{build, presets, BuildOptions, Scale};
 use gestureprint::kinematics::gestures::{GestureId, GestureSet};
-use gestureprint::radar::Environment;
 
 /// The household's personalised command table.
 fn command(user: usize, gesture: usize) -> &'static str {
@@ -49,14 +48,20 @@ fn main() {
         .collect();
     assert_eq!(train.len() + test.len(), samples.len());
 
-    println!("training the household controller on {} samples...", train.len());
+    println!(
+        "training the household controller on {} samples...",
+        train.len()
+    );
     let system = GesturePrint::train(
         &train,
         spec.set.gesture_count(),
         spec.users,
         &GesturePrintConfig {
             mode: IdentificationMode::Serialized,
-            train: TrainConfig { epochs: 14, ..TrainConfig::default() },
+            train: TrainConfig {
+                epochs: 14,
+                ..TrainConfig::default()
+            },
             threads: 0,
         },
     );
@@ -74,7 +79,11 @@ fn main() {
                 "  '{}' by user {} → {fired} {}",
                 GestureSet::MTransSee5.gesture_name(GestureId(sample.gesture)),
                 sample.user,
-                if ok { "✓".to_owned() } else { format!("✗ (wanted: {intended})") }
+                if ok {
+                    "✓".to_owned()
+                } else {
+                    format!("✗ (wanted: {intended})")
+                }
             );
         }
     }

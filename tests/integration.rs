@@ -2,27 +2,21 @@
 //! the radar simulator, preprocessing, training and evaluation.
 
 use gestureprint::core::{
-    classification_report, train_classifier, GesturePrint, GesturePrintConfig,
-    IdentificationMode, ModelKind, TrainConfig,
+    classification_report, train_classifier, GesturePrint, GesturePrintConfig, IdentificationMode,
+    ModelKind, TrainConfig,
 };
-use gestureprint::datasets::{build, presets, BuildOptions, Scale};
 use gestureprint::eval::split::train_test_split;
 use gestureprint::pipeline::LabeledSample;
-use gestureprint::radar::Environment;
-
-fn tiny_dataset() -> gestureprint::datasets::Dataset {
-    let spec = presets::mtranssee(Scale::Custom { users: 3, reps: 6 }, &[1.2]);
-    build(&spec, &BuildOptions::default())
-}
-
-fn quick_train() -> TrainConfig {
-    TrainConfig { epochs: 10, ..TrainConfig::default() }
-}
+use gp_testkit::{quick_train, tiny_dataset};
 
 #[test]
 fn dataset_to_system_round_trip() {
     let ds = tiny_dataset();
-    assert!(ds.samples.len() >= 70, "dataset too small: {}", ds.samples.len());
+    assert!(
+        ds.samples.len() >= 70,
+        "dataset too small: {}",
+        ds.samples.len()
+    );
     let samples: Vec<&LabeledSample> = ds.samples.iter().map(|s| &s.labeled).collect();
     let (tr, te) = train_test_split(samples.len(), 0.2, 3);
     let train: Vec<&LabeledSample> = tr.iter().map(|&i| samples[i]).collect();
@@ -38,7 +32,10 @@ fn dataset_to_system_round_trip() {
         3,
         &GesturePrintConfig {
             mode: IdentificationMode::Parallel,
-            train: TrainConfig { epochs: 14, ..quick_train() },
+            train: TrainConfig {
+                epochs: 14,
+                ..quick_train()
+            },
             threads: 0,
         },
     );
@@ -72,7 +69,14 @@ fn all_architectures_beat_chance_on_gestures() {
         ModelKind::ProfileCnn,
         ModelKind::Lstm,
     ] {
-        let model = train_classifier(&gr_train, 5, &TrainConfig { model: kind, ..quick_train() });
+        let model = train_classifier(
+            &gr_train,
+            5,
+            &TrainConfig {
+                model: kind,
+                ..quick_train()
+            },
+        );
         let report = classification_report(&model, &gr_test);
         assert!(
             report.accuracy > 2.0 * chance,
@@ -93,7 +97,10 @@ fn deterministic_end_to_end() {
     let sb: Vec<&LabeledSample> = b.samples.iter().map(|s| &s.labeled).collect();
     let pa: Vec<(&LabeledSample, usize)> = sa.iter().map(|s| (*s, s.gesture)).collect();
     let pb: Vec<(&LabeledSample, usize)> = sb.iter().map(|s| (*s, s.gesture)).collect();
-    let cfg = TrainConfig { epochs: 3, ..quick_train() };
+    let cfg = TrainConfig {
+        epochs: 3,
+        ..quick_train()
+    };
     let ma = train_classifier(&pa, 5, &cfg);
     let mb = train_classifier(&pb, 5, &cfg);
     for (x, y) in sa.iter().zip(sb.iter()) {

@@ -1,12 +1,9 @@
 //! Workspace-level property tests on cross-crate invariants.
 
-use gestureprint::kinematics::gestures::{GestureId, GestureSet};
-use gestureprint::kinematics::{Performance, UserProfile};
 use gestureprint::pipeline::{Preprocessor, PreprocessorConfig};
-use gestureprint::radar::{Backend, Environment, RadarConfig, RadarSimulator, Scene};
+use gestureprint::radar::RadarConfig;
+use gp_testkit::{capture, CANONICAL_GESTURE};
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
@@ -20,12 +17,7 @@ proptest! {
         gesture in 0usize..15,
         seed in 0u64..500,
     ) {
-        let profile = UserProfile::generate(user, 42);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let perf = Performance::new(&profile, GestureSet::Asl15, GestureId(gesture), 1.2, &mut rng);
-        let scene = Scene::for_performance(perf, Environment::Office, seed);
-        let mut sim = RadarSimulator::new(RadarConfig::default(), Backend::Geometric, seed);
-        let frames = sim.capture_scene(&scene);
+        let (_, frames) = capture(user, gesture, seed);
         let vmax = RadarConfig::default().max_velocity();
         let samples = Preprocessor::new(PreprocessorConfig::default()).process(&frames);
         for s in &samples {
@@ -47,23 +39,14 @@ proptest! {
     #[test]
     fn identity_signal_survives_pipeline(seed in 0u64..40) {
         let pre = Preprocessor::new(PreprocessorConfig::default());
-        let capture = |user: usize, rep: u64| {
-            let profile = UserProfile::generate(user, 42);
-            let mut rng = StdRng::seed_from_u64(seed * 1000 + rep);
-            let perf = Performance::new(&profile, GestureSet::Asl15, GestureId(12), 1.2, &mut rng);
-            let scene = Scene::for_performance(perf, Environment::Office, seed * 1000 + rep);
-            let mut sim = RadarSimulator::new(
-                RadarConfig::default(),
-                Backend::Geometric,
-                seed * 1000 + rep,
-            );
-            let frames = sim.capture_scene(&scene);
+        let best_cloud = |user: usize, rep: u64| {
+            let (_, frames) = capture(user, CANONICAL_GESTURE, seed * 1000 + rep);
             pre.process(&frames)
                 .into_iter()
                 .max_by_key(|s| s.duration_frames)
                 .map(|s| s.cloud)
         };
-        let (Some(a1), Some(a2), Some(b1)) = (capture(0, 1), capture(0, 2), capture(5, 1)) else {
+        let (Some(a1), Some(a2), Some(b1)) = (best_cloud(0, 1), best_cloud(0, 2), best_cloud(5, 1)) else {
             // Occasional segmentation miss is allowed; skip the case.
             return Ok(());
         };

@@ -1,0 +1,143 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements exactly the surface `gp-nn::serialize` uses: `BytesMut` as a
+//! growable little-endian writer, `Bytes` as an immutable byte buffer that
+//! derefs to `[u8]`, the `Buf` cursor trait for `&[u8]`, and the `BufMut`
+//! writer trait. Backed by a plain `Vec<u8>`; no shared-ownership tricks.
+
+use core::ops::Deref;
+
+/// An immutable, cheaply cloneable byte buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Bytes {
+    /// Returns the number of bytes in the buffer.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data }
+    }
+}
+
+/// A growable byte buffer used to build a [`Bytes`].
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer with at least `cap` bytes of capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Returns the number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts the accumulated bytes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data }
+    }
+}
+
+/// Read cursor over a byte source; advancing consumes bytes.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Reads a little-endian `u32`, advancing 4 bytes. Panics if short.
+    fn get_u32_le(&mut self) -> u32;
+    /// Reads a little-endian `f32`, advancing 4 bytes. Panics if short.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        let v = u32::from_le_bytes([head[0], head[1], head[2], head[3]]);
+        *self = rest;
+        v
+    }
+}
+
+/// Write sink for little-endian scalars.
+pub trait BufMut {
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_u32_le(v.to_bits());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u32_le(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u32_f32() {
+        let mut w = BytesMut::with_capacity(8);
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_f32_le(1.5);
+        let frozen = w.freeze();
+        assert_eq!(frozen.len(), 8);
+        let mut r: &[u8] = &frozen;
+        assert_eq!(r.remaining(), 8);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_f32_le(), 1.5);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn slicing_through_deref() {
+        let mut w = BytesMut::with_capacity(4);
+        w.put_u32_le(7);
+        let b = w.freeze();
+        assert_eq!(&b[..2], &7u32.to_le_bytes()[..2]);
+    }
+}

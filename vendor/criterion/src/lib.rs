@@ -1,0 +1,255 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API subset `crates/bench` uses — `Criterion`,
+//! `benchmark_group` / `bench_function`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, and the `criterion_group!` / `criterion_main!` macros — on
+//! top of `std::time::Instant`. There is no statistical analysis: each
+//! benchmark is warmed up briefly, then timed over a fixed wall-clock
+//! window and reported as mean ns/iter.
+//!
+//! Flags (after `cargo bench -- ...`):
+//! - `--test`   run every benchmark exactly once (CI smoke mode)
+//! - any other non-flag argument filters benchmarks by substring
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup cost; accepted for API parity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs (batched tightly upstream).
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                s if s.starts_with('-') => {} // --bench and friends: ignore
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion {
+            test_mode,
+            filter,
+            measure: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API parity with upstream; configuration already
+    /// happens in [`Criterion::default`].
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id, f);
+    }
+
+    fn run<F>(&mut self, id: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            measure: self.measure,
+            iterations: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test {id} ... ok (smoke)");
+        } else if bencher.iterations > 0 {
+            let ns = bencher.elapsed.as_nanos() as f64 / bencher.iterations as f64;
+            println!(
+                "bench {id:<40} {ns:>14.1} ns/iter ({} iters)",
+                bencher.iterations
+            );
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API parity; the stub sizes runs by wall-clock, not
+    /// sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `<group>/<id>`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.run(&full, f);
+        self
+    }
+
+    /// Ends the group (upstream emits summaries here; the stub prints
+    /// per-benchmark lines eagerly).
+    pub fn finish(self) {}
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    test_mode: bool,
+    measure: Duration,
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly (once in `--test` smoke mode).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            self.iterations = 0;
+            return;
+        }
+        // Warmup: one call, also used to size the timing loop.
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let target = (self.measure.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..target {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = target;
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            std::hint::black_box(routine(setup()));
+            self.iterations = 0;
+            return;
+        }
+        let input = setup();
+        let t0 = Instant::now();
+        std::hint::black_box(routine(input));
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let target = (self.measure.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let mut timed = Duration::ZERO;
+        for _ in 0..target {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            timed += start.elapsed();
+        }
+        self.elapsed = timed;
+        self.iterations = target;
+    }
+}
+
+/// Declares a function running the listed benchmarks in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` invoking each benchmark group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: None,
+            measure: Duration::from_millis(1),
+        };
+        let mut calls = 0;
+        c.bench_function("unit", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn filter_skips_mismatches() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: Some("only_this".into()),
+            measure: Duration::from_millis(1),
+        };
+        let mut ran = false;
+        c.benchmark_group("g")
+            .bench_function("other", |b| b.iter(|| ran = true));
+        assert!(!ran);
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: None,
+            measure: Duration::from_millis(1),
+        };
+        let mut total = 0u64;
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| 21u64, |x| total += x * 2, BatchSize::SmallInput)
+        });
+        assert_eq!(total, 42);
+    }
+}

@@ -1,0 +1,371 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace's property tests use:
+//!
+//! - the [`proptest!`] macro with `#![proptest_config(...)]`, multiple
+//!   `#[test] fn name(pat in strategy, ...) { .. }` items, and bodies that
+//!   `return Ok(())` to skip a case
+//! - [`prop_assert!`] / [`prop_assert_eq!`]
+//! - range strategies (`0usize..6`, `-1e3f64..1e3`, inclusive variants),
+//!   tuple strategies, [`Strategy::prop_map`], `prop::collection::vec`
+//!   with either a fixed length or a length range, and [`any`]
+//!
+//! Unlike upstream proptest there is no shrinking: a failing case reports
+//! its case index and the deterministic per-test seed, which is enough to
+//! re-run it. Case generation is fully deterministic (seeded by a hash of
+//! the test's name), so failures reproduce across runs and machines.
+
+use rand::rngs::StdRng;
+
+pub use rand::rngs::StdRng as __StdRng;
+pub use rand::SeedableRng as __SeedableRng;
+
+/// Per-test configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; tier-1 tests favour speed, and the
+        // deterministic seeding means extra cases add little here.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Failure raised by `prop_assert!`-style macros inside a property body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure carrying `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rand::SampleRange::sample_from(self.clone(), rng)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rand::SampleRange::sample_from(self.clone(), rng)
+            }
+        }
+    )*};
+}
+range_strategy!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $i:tt),+ );)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A/0, B/1);
+    (A/0, B/1, C/2);
+    (A/0, B/1, C/2, D/3);
+}
+
+/// Types with a canonical full-domain strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    /// Strategy covering the whole domain of `Self`.
+    fn arbitrary() -> AnyStrategy<Self>;
+}
+
+/// Full-domain strategy for a primitive; see [`any`].
+pub struct AnyStrategy<T> {
+    sample: fn(&mut StdRng) -> T,
+}
+
+impl<T> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (self.sample)(rng)
+    }
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> AnyStrategy<$t> {
+                AnyStrategy { sample: |rng| rand::RngCore::next_u64(rng) as $t }
+            }
+        }
+    )*};
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary() -> AnyStrategy<bool> {
+        AnyStrategy {
+            sample: |rng| rand::RngCore::next_u64(rng) & 1 == 1,
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary() -> AnyStrategy<f64> {
+        // Finite values only; tests do arithmetic on the draws.
+        AnyStrategy {
+            sample: |rng| {
+                use rand::Rng;
+                rng.gen_range(-1e9..1e9)
+            },
+        }
+    }
+}
+
+/// Returns the full-domain strategy for `T`, like `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    T::arbitrary()
+}
+
+/// Namespaced strategy constructors (`prop::collection::vec`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeBound, Strategy, VecStrategy};
+
+        /// Strategy producing `Vec`s of `elem` draws with length drawn
+        /// from `len` (a fixed `usize` or a `Range<usize>`).
+        pub fn vec<S: Strategy, L: Into<SizeBound>>(elem: S, len: L) -> VecStrategy<S> {
+            VecStrategy {
+                elem,
+                len: len.into(),
+            }
+        }
+    }
+}
+
+/// Length specification for `prop::collection::vec`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeBound {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeBound {
+    fn from(n: usize) -> Self {
+        SizeBound { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeBound {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty length range");
+        SizeBound {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeBound {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        SizeBound {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
+    }
+}
+
+/// Strategy returned by `prop::collection::vec`.
+pub struct VecStrategy<S> {
+    elem: S,
+    len: SizeBound,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        use rand::Rng;
+        let n = if self.len.hi - self.len.lo <= 1 {
+            self.len.lo
+        } else {
+            rng.gen_range(self.len.lo..self.len.hi)
+        };
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+/// Compile-time FNV-1a hash used to derive a per-test seed from its name.
+#[must_use]
+pub const fn fnv1a(name: &str) -> u64 {
+    let bytes = name.as_bytes();
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    let mut i = 0;
+    while i < bytes.len() {
+        hash ^= bytes[i] as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        i += 1;
+    }
+    hash
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use super::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Declares deterministic property tests; see the crate docs for the
+/// supported subset of upstream `proptest!` syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            const SEED: u64 = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let mut __rng = <$crate::__StdRng as $crate::__SeedableRng>::seed_from_u64(
+                    SEED ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                $(let $arg = $crate::Strategy::generate(&$strat, &mut __rng);)+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (move || { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "property `{}` failed at case {case}/{} (seed {SEED:#x}): {e}",
+                        stringify!($name),
+                        config.cases,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($a), stringify!($b), left, right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left == right,
+            "{} (left: {:?}, right: {:?})",
+            format!($($fmt)+), left, right
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: {} != {} (both: {:?})",
+            stringify!($a),
+            stringify!($b),
+            left
+        );
+    }};
+}

@@ -1,0 +1,14 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Exposes the `Serialize` / `Deserialize` trait names and their derive
+//! macros (which expand to nothing — see `vendor/serde_derive`). This is
+//! enough for the workspace, which derives the traits as markers but never
+//! calls a serializer; swap in crates.io `serde` to get real behaviour.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait matching the name of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait matching the name of `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,21 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as a marker —
+//! no code takes `T: Serialize` bounds and all persistence goes through
+//! `gp-nn`'s flat binary format — so the derives expand to nothing. When a
+//! real serialisation backend is added (see ROADMAP open items) these become
+//! the seam to swap in crates.io `serde`.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepted anywhere crates.io `#[derive(Serialize)]` is.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepted anywhere crates.io `#[derive(Deserialize)]` is.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
