@@ -1,0 +1,104 @@
+//! Serving-path benchmarks: streaming replay throughput and
+//! segment-to-result latency through `gp-serve`.
+//!
+//! The criterion benchmarks time full stream replays under different
+//! worker/batch configurations; `throughput_report` then prints the
+//! operational numbers (frames/sec, p50/p99 latency) from a multi-session
+//! replay, the serving analogue of the paper's §VI-B5 timing table.
+
+use criterion::{criterion_group, Criterion};
+use gp_serve::{ServeConfig, ServeEngine};
+use gp_testkit::{stream_fixture, toy_system, GestureStream};
+
+/// Replays `stream` through one fresh session of `engine`, returning the
+/// number of published results.
+fn replay_once(engine: &ServeEngine, stream: &GestureStream) -> usize {
+    let session = engine.open_session();
+    for frame in &stream.frames {
+        engine.push_frame(session, frame.clone());
+    }
+    engine.close_session(session);
+    engine.drain().len()
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let stream = stream_fixture();
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+
+    group.bench_function("stream_replay_1worker", |b| {
+        let engine = ServeEngine::new(
+            toy_system(),
+            ServeConfig {
+                workers: 1,
+                max_batch: 1,
+                ..ServeConfig::default()
+            },
+        );
+        b.iter(|| replay_once(&engine, &stream))
+    });
+    group.bench_function("stream_replay_pooled_batched", |b| {
+        let engine = ServeEngine::new(
+            toy_system(),
+            ServeConfig {
+                workers: 0,
+                max_batch: 4,
+                ..ServeConfig::default()
+            },
+        );
+        b.iter(|| replay_once(&engine, &stream))
+    });
+    group.bench_function("online_segmentation_per_frame", |b| {
+        let mut online = gp_pipeline::OnlineSegmenter::default();
+        let mut i = 0usize;
+        b.iter(|| {
+            let frame = &stream.frames[i % stream.frames.len()];
+            i += 1;
+            online.push_frame(frame)
+        })
+    });
+    group.finish();
+}
+
+/// One multi-session replay with operational numbers: aggregate
+/// frames/sec and p50/p99 segment-to-result latency. Runs in smoke mode
+/// too (it is itself a smoke test of the multi-session path).
+fn throughput_report() {
+    const SESSIONS: usize = 8;
+    let stream = stream_fixture();
+    let engine = ServeEngine::new(toy_system(), ServeConfig::default());
+    let sessions: Vec<_> = (0..SESSIONS).map(|_| engine.open_session()).collect();
+
+    let start = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for &session in &sessions {
+            let engine = &engine;
+            let frames = &stream.frames;
+            scope.spawn(move || {
+                for frame in frames {
+                    engine.push_frame(session, frame.clone());
+                }
+                engine.close_session(session);
+            });
+        }
+    });
+    let results = engine.drain().len();
+    let elapsed = start.elapsed();
+
+    let stats = engine.stats();
+    let fps = stats.total_frames() as f64 / elapsed.as_secs_f64();
+    let p50 = stats.latency_percentile(50.0).unwrap_or_default();
+    let p99 = stats.latency_percentile(99.0).unwrap_or_default();
+    println!(
+        "serve throughput: {SESSIONS} sessions × {} frames → {results} results \
+         in {elapsed:.2?} | {fps:.0} frames/s | latency p50 {p50:.2?} p99 {p99:.2?}",
+        stream.frames.len(),
+    );
+}
+
+criterion_group!(benches, bench_serve);
+
+fn main() {
+    benches();
+    throughput_report();
+}

@@ -1,9 +1,12 @@
 //! Shared fixtures for the Criterion benchmarks.
 //!
-//! Benches live in `benches/pipeline.rs` and cover the signal chain
-//! (FFT, CFAR, frame simulation), the preprocessing stage (segmentation,
-//! DBSCAN, full preprocess — the paper's §VI-B5 "preprocessing time"),
-//! and the classifiers (inference and one training step).
+//! `benches/pipeline.rs` covers the signal chain (FFT, CFAR, frame
+//! simulation), the preprocessing stage (segmentation, DBSCAN, full
+//! preprocess — the paper's §VI-B5 "preprocessing time"), and the
+//! classifiers (inference and one training step). `benches/serve.rs`
+//! covers the streaming serving path (replay throughput, online
+//! segmentation per frame) and prints a multi-session frames/sec +
+//! p50/p99 latency report.
 //!
 //! The fixtures themselves live in `gp-testkit` (shared with the
 //! integration tests); this crate only re-exports them so bench code and

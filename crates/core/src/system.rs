@@ -158,14 +158,19 @@ impl GesturePrint {
         &self.gesture_model
     }
 
+    /// Index into `identifiers` of the model that runs for `gesture` —
+    /// the single definition of the mode's dispatch rule, shared by
+    /// single-sample and batched inference.
+    fn identifier_index(&self, gesture: usize) -> usize {
+        match self.mode {
+            IdentificationMode::Parallel => 0,
+            IdentificationMode::Serialized => gesture.min(self.identifiers.len() - 1),
+        }
+    }
+
     /// The identifier that runs for `gesture`.
     pub fn identifier_for(&self, gesture: usize) -> &TrainedModel {
-        match self.mode {
-            IdentificationMode::Parallel => &self.identifiers[0],
-            IdentificationMode::Serialized => {
-                &self.identifiers[gesture.min(self.identifiers.len() - 1)]
-            }
-        }
+        &self.identifiers[self.identifier_index(gesture)]
     }
 
     /// Recognises the gesture only.
@@ -186,6 +191,52 @@ impl GesturePrint {
             gesture_probs,
             user_probs,
         }
+    }
+
+    /// Batched inference over many samples — the serving path's entry
+    /// point (`gp-serve`'s micro-batching executor calls this per batch).
+    ///
+    /// Produces exactly the same results as calling
+    /// [`GesturePrint::infer`] on each sample: the gesture recogniser
+    /// runs batched over the whole set, then samples are grouped by
+    /// recognised gesture so each identifier also runs batched over its
+    /// group (in serialized mode; parallel mode uses one group).
+    pub fn infer_batch(&self, samples: &[&LabeledSample]) -> Vec<Inference> {
+        if samples.is_empty() {
+            return Vec::new();
+        }
+        let gesture_probs = self.gesture_model.probabilities_batch(samples);
+        let gestures: Vec<usize> = gesture_probs.iter().map(|p| argmax_f64(p)).collect();
+
+        // Group sample indices by the identifier that must run for them.
+        let mut groups: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (i, &gesture) in gestures.iter().enumerate() {
+            groups
+                .entry(self.identifier_index(gesture))
+                .or_default()
+                .push(i);
+        }
+        let mut user_probs: Vec<Vec<f64>> = vec![Vec::new(); samples.len()];
+        for (identifier, indices) in groups {
+            let subset: Vec<&LabeledSample> = indices.iter().map(|&i| samples[i]).collect();
+            let probs = self.identifiers[identifier].probabilities_batch(&subset);
+            for (&i, p) in indices.iter().zip(probs) {
+                user_probs[i] = p;
+            }
+        }
+
+        gestures
+            .into_iter()
+            .zip(gesture_probs)
+            .zip(user_probs)
+            .map(|((gesture, gesture_probs), user_probs)| Inference {
+                gesture,
+                user: argmax_f64(&user_probs),
+                gesture_probs,
+                user_probs,
+            })
+            .collect()
     }
 
     /// Open-set inference: rejects samples whose identity confidence is
@@ -353,6 +404,21 @@ mod tests {
         let out = system.infer(&samples[0]);
         assert!((out.gesture_probs.iter().sum::<f64>() - 1.0).abs() < 1e-6);
         assert!((out.user_probs.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn batched_inference_matches_sequential() {
+        let samples = toy_samples(4);
+        let refs: Vec<&LabeledSample> = samples.iter().collect();
+        for mode in [IdentificationMode::Serialized, IdentificationMode::Parallel] {
+            let system = GesturePrint::train(&refs, 2, 2, &quick_config(mode));
+            let batched = system.infer_batch(&refs);
+            assert_eq!(batched.len(), samples.len());
+            for (i, s) in samples.iter().enumerate() {
+                assert_eq!(batched[i], system.infer(s), "sample {i} mode {mode:?}");
+            }
+            assert!(system.infer_batch(&[]).is_empty());
+        }
     }
 
     #[test]

@@ -122,6 +122,29 @@ impl TrainedModel {
         gp_nn::argmax(&self.model.logits(&input))
     }
 
+    /// Class probabilities for a batch of samples, one row per sample,
+    /// through the model's batched forward ([`gp_models::PointModel::logits_batch`]).
+    ///
+    /// Equivalent to mapping [`TrainedModel::probabilities`] — encoding
+    /// is per-sample deterministic — but lets batch-capable backends
+    /// amortise work across the batch.
+    pub fn probabilities_batch(&self, samples: &[&LabeledSample]) -> Vec<Vec<f64>> {
+        let inputs: Vec<ModelInput> = samples.iter().map(|s| self.encode_input(s)).collect();
+        let probs = gp_nn::softmax_rows(&self.model.logits_batch(&inputs));
+        (0..probs.rows())
+            .map(|r| probs.row(r).iter().map(|&v| v as f64).collect())
+            .collect()
+    }
+
+    /// Predicted classes for a batch of samples.
+    pub fn predict_batch(&self, samples: &[&LabeledSample]) -> Vec<usize> {
+        let inputs: Vec<ModelInput> = samples.iter().map(|s| self.encode_input(s)).collect();
+        let logits = self.model.logits_batch(&inputs);
+        (0..logits.rows())
+            .map(|r| gp_nn::argmax(logits.row(r)))
+            .collect()
+    }
+
     /// Feature taps for visualisation (GesIDNet only).
     pub fn feature_taps(&self, sample: &LabeledSample) -> Option<(Vec<f32>, Vec<f32>, Vec<f32>)> {
         let input = self.encode_input(sample);
@@ -324,6 +347,22 @@ mod tests {
             .filter(|s| model.predict(s) == s.user)
             .count();
         assert!(correct >= 10, "augmented training failed: {correct}/12");
+    }
+
+    #[test]
+    fn batched_probabilities_match_sequential() {
+        let samples = toy_samples();
+        let pairs: Vec<(&LabeledSample, usize)> = samples.iter().map(|s| (s, s.user)).collect();
+        let model = train_classifier(&pairs, 2, &quick_config(ModelKind::GesIdNet));
+        let refs: Vec<&LabeledSample> = samples.iter().collect();
+        let batched = model.probabilities_batch(&refs);
+        let predicted = model.predict_batch(&refs);
+        assert_eq!(batched.len(), samples.len());
+        for (i, s) in samples.iter().enumerate() {
+            assert_eq!(batched[i], model.probabilities(s), "sample {i}");
+            assert_eq!(predicted[i], model.predict(s), "sample {i}");
+        }
+        assert!(model.probabilities_batch(&[]).is_empty());
     }
 
     #[test]

@@ -21,15 +21,33 @@ pub use baselines::{LstmNet, PointNet, ProfileCnn};
 pub use features::{FeatureConfig, ModelInput};
 pub use gesidnet::{GesIDNet, GesIDNetConfig};
 
-use gp_nn::Parameterized;
+use gp_nn::{Matrix, Parameterized};
 
 /// A classifier over preprocessed gesture samples.
-pub trait PointModel: Parameterized + Send {
+///
+/// `Send + Sync` because inference is `&self` and trained models are
+/// shared across serving workers (`gp-serve` holds one system behind an
+/// `Arc` while micro-batches run on a thread pool).
+pub trait PointModel: Parameterized + Send + Sync {
     /// Class count.
     fn classes(&self) -> usize;
 
     /// Inference: class logits for one sample.
     fn logits(&self, input: &ModelInput) -> Vec<f32>;
+
+    /// Batched inference: one row of class logits per input.
+    ///
+    /// The default maps [`PointModel::logits`] over the batch; models
+    /// with genuinely batched kernels can override it without changing
+    /// callers. The serving executor and `gp-core`'s batched entry point
+    /// go through this, so the whole path is already batch-shaped.
+    fn logits_batch(&self, inputs: &[ModelInput]) -> Matrix {
+        if inputs.is_empty() {
+            return Matrix::zeros(0, self.classes());
+        }
+        let rows: Vec<Vec<f32>> = inputs.iter().map(|i| self.logits(i)).collect();
+        Matrix::from_rows(&rows)
+    }
 
     /// Training: forward + backward for one `(input, label)` pair,
     /// accumulating parameter gradients. Returns the loss.

@@ -52,7 +52,7 @@ pub mod serialize;
 
 pub use conv::Conv2d;
 pub use layers::{Linear, MaxPool, Relu};
-pub use loss::{argmax, softmax, softmax_cross_entropy};
+pub use loss::{argmax, softmax, softmax_cross_entropy, softmax_rows};
 pub use lstm::Lstm;
 pub use matrix::Matrix;
 pub use optim::{Adam, Sgd};

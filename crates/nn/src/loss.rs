@@ -1,5 +1,7 @@
 //! Softmax, cross-entropy, and small prediction helpers.
 
+use crate::matrix::Matrix;
+
 /// Numerically stable softmax.
 pub fn softmax(logits: &[f32]) -> Vec<f32> {
     if logits.is_empty() {
@@ -29,6 +31,21 @@ pub fn softmax_cross_entropy(logits: &[f32], label: usize) -> (f32, Vec<f32>) {
     let mut grad = probs;
     grad[label] -= 1.0;
     (loss, grad)
+}
+
+/// Row-wise softmax over a batch of logit rows.
+///
+/// The batched counterpart of [`softmax`]: row `r` of the result is
+/// `softmax(logits.row(r))`. Used by the batched inference path
+/// (`PointModel::logits_batch` consumers) so probabilities come out in
+/// the same `(batch × classes)` shape the logits went in.
+pub fn softmax_rows(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    for r in 0..logits.rows() {
+        let probs = softmax(logits.row(r));
+        out.row_mut(r).copy_from_slice(&probs);
+    }
+    out
 }
 
 /// Index of the maximum element (first on ties).
@@ -100,6 +117,26 @@ mod tests {
             let numeric = (lp - lm) / (2.0 * eps);
             assert!((grad[i] - numeric).abs() < 1e-3, "logit {i}");
         }
+    }
+
+    #[test]
+    fn softmax_rows_matches_per_row_softmax() {
+        let logits = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![-4.0, 0.0, 4.0]]);
+        let probs = softmax_rows(&logits);
+        for r in 0..logits.rows() {
+            let expected = softmax(logits.row(r));
+            assert_eq!(probs.row(r), expected.as_slice());
+            let sum: f32 = probs.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_empty_batch() {
+        let logits = Matrix::zeros(0, 3);
+        let probs = softmax_rows(&logits);
+        assert_eq!(probs.rows(), 0);
+        assert_eq!(probs.cols(), 3);
     }
 
     #[test]

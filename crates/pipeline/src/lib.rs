@@ -43,7 +43,7 @@ pub mod segmentation;
 pub use augment::{Augmenter, AugmenterConfig};
 pub use noise::{NoiseCanceler, NoiseCancelerConfig};
 pub use sample::{GestureSample, LabeledSample};
-pub use segmentation::{GestureSegment, Segmenter, SegmenterConfig};
+pub use segmentation::{GestureSegment, OnlineSegmenter, Segmenter, SegmenterConfig};
 
 use gp_radar::Frame;
 
@@ -80,36 +80,48 @@ impl Preprocessor {
     /// dropped.
     pub fn process(&self, frames: &[Frame]) -> Vec<GestureSample> {
         let segmenter = Segmenter::new(self.config.segmenter.clone());
-        let canceler = NoiseCanceler::new(self.config.noise.clone());
         segmenter
             .segment(frames)
             .into_iter()
-            .filter_map(|seg| {
-                let aggregated = gp_radar::frame::aggregate(&frames[seg.start..seg.end]);
-                let clean = canceler.clean(&aggregated);
-                if clean.is_empty() {
-                    return None;
-                }
-                // Per-frame temporal view: keep each frame's points that
-                // lie near the main cluster.
-                let centroid = clean.centroid().expect("non-empty");
-                let frame_clouds: Vec<_> = frames[seg.start..seg.end]
-                    .iter()
-                    .map(|f| {
-                        f.cloud
-                            .iter()
-                            .filter(|p| p.position.distance(centroid) < 1.2)
-                            .copied()
-                            .collect()
-                    })
-                    .collect();
-                Some(GestureSample {
-                    cloud: clean,
-                    frame_clouds,
-                    duration_frames: seg.end - seg.start,
-                    start_frame: seg.start,
-                })
-            })
+            .filter_map(|seg| self.assemble(&frames[seg.start..seg.end], seg.start))
             .collect()
+    }
+
+    /// Assembles one detected segment's frames into a [`GestureSample`]:
+    /// aggregates the clouds, removes noise clusters, and filters the
+    /// per-frame views to the main cluster's neighbourhood.
+    ///
+    /// `start_frame` records the segment's absolute index in the capture.
+    /// Returns `None` when nothing survives noise canceling (the caller
+    /// drops such segments). Streaming callers (`gp-serve`) use this on
+    /// segments emitted by [`OnlineSegmenter`]; [`Preprocessor::process`]
+    /// uses it for every offline segment, so both paths share one
+    /// assembly rule.
+    pub fn assemble(&self, segment_frames: &[Frame], start_frame: usize) -> Option<GestureSample> {
+        let canceler = NoiseCanceler::new(self.config.noise.clone());
+        let aggregated = gp_radar::frame::aggregate(segment_frames);
+        let clean = canceler.clean(&aggregated);
+        if clean.is_empty() {
+            return None;
+        }
+        // Per-frame temporal view: keep each frame's points that lie near
+        // the main cluster.
+        let centroid = clean.centroid().expect("non-empty");
+        let frame_clouds: Vec<_> = segment_frames
+            .iter()
+            .map(|f| {
+                f.cloud
+                    .iter()
+                    .filter(|p| p.position.distance(centroid) < 1.2)
+                    .copied()
+                    .collect()
+            })
+            .collect();
+        Some(GestureSample {
+            cloud: clean,
+            frame_clouds,
+            duration_frames: segment_frames.len(),
+            start_frame,
+        })
     }
 }

@@ -15,6 +15,7 @@
 
 use gp_radar::Frame;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// Segmentation parameters (paper §V values as defaults).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -88,81 +89,187 @@ impl Segmenter {
     /// on the count distribution so it adapts to the environment's
     /// baseline clutter level.
     pub fn dynamic_threshold(&self, counts: &[usize]) -> usize {
-        if counts.is_empty() {
-            return self.config.min_threshold;
-        }
-        let mut sorted: Vec<usize> = counts.to_vec();
-        sorted.sort_unstable();
-        let q = |f: f64| -> f64 {
-            let idx = (f * (sorted.len() - 1) as f64).round() as usize;
-            sorted[idx] as f64
-        };
-        let lo = q(self.config.quantiles.0);
-        let hi = q(self.config.quantiles.1);
-        // At least one point above the low anchor, so a flat idle
-        // distribution (all counts equal) never classifies as motion.
-        let thr = lo + (self.config.spread_fraction * (hi - lo)).max(1.0);
-        (thr.ceil() as usize).max(self.config.min_threshold)
+        dynamic_threshold(&self.config, counts)
     }
 
     /// Segments a frame sequence into gesture intervals.
+    ///
+    /// This is the offline view of [`OnlineSegmenter`]: the whole
+    /// recording is replayed through the incremental state machine, so
+    /// batch runs and frame-by-frame streaming (`gp-serve`) produce the
+    /// same boundaries by construction.
     pub fn segment(&self, frames: &[Frame]) -> Vec<GestureSegment> {
-        let counts: Vec<usize> = frames.iter().map(Frame::len).collect();
-        let n = counts.len();
-        let cfg = &self.config;
-        if n == 0 {
-            return Vec::new();
-        }
+        let mut online = OnlineSegmenter::new(self.config.clone());
+        let mut segments: Vec<GestureSegment> =
+            frames.iter().filter_map(|f| online.push_frame(f)).collect();
+        segments.extend(online.finish());
+        segments
+    }
+}
 
-        // Motion flags from the adaptive threshold. The threshold for
-        // frame i uses the trailing `threshold_window` counts (or all
-        // frames available so far), so quiet environments lower it and
-        // noisy ones raise it.
-        let mut motion = vec![false; n];
-        for i in 0..n {
-            let lo = i.saturating_sub(cfg.threshold_window);
-            let thr = self.dynamic_threshold(&counts[lo..=i]);
-            motion[i] = counts[i] >= thr;
-        }
+/// The adaptive-threshold core shared by the offline and online
+/// segmenters (see [`SegmenterConfig::quantiles`]).
+fn dynamic_threshold(config: &SegmenterConfig, counts: &[usize]) -> usize {
+    if counts.is_empty() {
+        return config.min_threshold;
+    }
+    let mut sorted: Vec<usize> = counts.to_vec();
+    sorted.sort_unstable();
+    let q = |f: f64| -> f64 {
+        let idx = (f * (sorted.len() - 1) as f64).round() as usize;
+        sorted[idx] as f64
+    };
+    let lo = q(config.quantiles.0);
+    let hi = q(config.quantiles.1);
+    // At least one point above the low anchor, so a flat idle
+    // distribution (all counts equal) never classifies as motion.
+    let thr = lo + (config.spread_fraction * (hi - lo)).max(1.0);
+    (thr.ceil() as usize).max(config.min_threshold)
+}
 
-        let mut segments = Vec::new();
-        let mut in_gesture = false;
-        let mut start = 0usize;
-        let mut last_motion = 0usize;
-        for i in 0..n {
-            let w_lo = i.saturating_sub(cfg.motion_window.saturating_sub(1));
-            let window = &motion[w_lo..=i];
-            let motion_count = window.iter().filter(|m| **m).count();
-            if !in_gesture {
-                if motion_count >= cfg.min_motion_frames.min(cfg.motion_window) {
-                    in_gesture = true;
-                    // The gesture started at the first motion frame of
-                    // the current window.
-                    start = w_lo + window.iter().position(|m| *m).unwrap_or(0);
-                    last_motion = i;
-                }
+/// The incremental sliding-window segmenter: the same parameter-adaptive
+/// state machine as [`Segmenter`], fed one frame at a time.
+///
+/// The offline algorithm is strictly causal — the threshold for frame `i`
+/// uses only the trailing `threshold_window` counts and the motion window
+/// only the trailing `motion_window` flags — so it ports to a streaming
+/// state machine without approximation. [`OnlineSegmenter::push`] returns
+/// a [`GestureSegment`] at the frame where the detector closes a gesture;
+/// [`OnlineSegmenter::finish`] closes a gesture still open at stream end.
+///
+/// Memory is bounded: the state holds at most `threshold_window + 1`
+/// counts and `motion_window` flags regardless of stream length, and
+/// [`OnlineSegmenter::earliest_needed`] tells stream buffers (e.g. a
+/// `gp-serve` session) which frames may still be referenced by a future
+/// segment, so they can trim everything older.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineSegmenter {
+    config: SegmenterConfig,
+    /// Trailing point counts feeding the adaptive threshold (≤ `N + 1`).
+    counts: VecDeque<usize>,
+    /// Trailing motion flags (≤ `n`).
+    motion: VecDeque<bool>,
+    /// Scratch buffer for the threshold quantiles.
+    scratch: Vec<usize>,
+    /// Index of the next frame to be pushed.
+    next_index: usize,
+    in_gesture: bool,
+    start: usize,
+    last_motion: usize,
+}
+
+impl OnlineSegmenter {
+    /// Creates an online segmenter.
+    pub fn new(config: SegmenterConfig) -> Self {
+        OnlineSegmenter {
+            config,
+            ..OnlineSegmenter::default()
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SegmenterConfig {
+        &self.config
+    }
+
+    /// Number of frames pushed so far.
+    pub fn frames_seen(&self) -> usize {
+        self.next_index
+    }
+
+    /// Whether the detector is currently inside a gesture.
+    pub fn in_gesture(&self) -> bool {
+        self.in_gesture
+    }
+
+    /// The earliest frame index a future segment can still reference.
+    ///
+    /// Stream buffers may drop all frames before this index: while idle,
+    /// a future gesture start cannot reach further back than the motion
+    /// window; while inside a gesture, the open segment's start frame is
+    /// the bound.
+    pub fn earliest_needed(&self) -> usize {
+        if self.in_gesture {
+            self.start
+        } else {
+            self.next_index.saturating_sub(self.config.motion_window)
+        }
+    }
+
+    /// Feeds the next frame's point count; returns a segment when this
+    /// frame closes one.
+    pub fn push(&mut self, point_count: usize) -> Option<GestureSegment> {
+        let i = self.next_index;
+        self.next_index += 1;
+
+        // Adaptive threshold over the trailing counts (same window the
+        // offline pass uses: `counts[i - N ..= i]`).
+        self.counts.push_back(point_count);
+        if self.counts.len() > self.config.threshold_window + 1 {
+            self.counts.pop_front();
+        }
+        self.scratch.clear();
+        self.scratch.extend(self.counts.iter().copied());
+        let is_motion = point_count >= dynamic_threshold(&self.config, &self.scratch);
+
+        self.motion.push_back(is_motion);
+        if self.motion.len() > self.config.motion_window {
+            self.motion.pop_front();
+        }
+        let motion_count = self.motion.iter().filter(|m| **m).count();
+
+        if !self.in_gesture {
+            let needed = self.config.min_motion_frames.min(self.config.motion_window);
+            if motion_count >= needed {
+                self.in_gesture = true;
+                // The gesture started at the first motion frame of the
+                // current window.
+                let w_lo = i + 1 - self.motion.len();
+                self.start = w_lo + self.motion.iter().position(|m| *m).unwrap_or(0);
+                self.last_motion = i;
+            }
+            None
+        } else {
+            if is_motion {
+                self.last_motion = i;
+            }
+            if motion_count == 0 {
+                // Entire window static: the gesture ended at the last
+                // motion frame.
+                self.in_gesture = false;
+                Some(GestureSegment {
+                    start: self.start,
+                    end: self.last_motion + 1,
+                })
             } else {
-                if motion[i] {
-                    last_motion = i;
-                }
-                if motion_count == 0 {
-                    // Entire window static: the gesture ended at the last
-                    // motion frame.
-                    segments.push(GestureSegment {
-                        start,
-                        end: last_motion + 1,
-                    });
-                    in_gesture = false;
-                }
+                None
             }
         }
-        if in_gesture {
-            segments.push(GestureSegment {
-                start,
-                end: last_motion + 1,
-            });
+    }
+
+    /// Feeds the next frame; returns a segment when this frame closes one.
+    pub fn push_frame(&mut self, frame: &Frame) -> Option<GestureSegment> {
+        self.push(frame.len())
+    }
+
+    /// Closes a gesture still open at stream end (the offline pass's
+    /// trailing-segment rule). Idempotent.
+    pub fn finish(&mut self) -> Option<GestureSegment> {
+        if self.in_gesture {
+            self.in_gesture = false;
+            Some(GestureSegment {
+                start: self.start,
+                end: self.last_motion + 1,
+            })
+        } else {
+            None
         }
-        segments
+    }
+
+    /// Resets all state for a fresh stream, keeping the configuration.
+    pub fn reset(&mut self) {
+        let config = self.config.clone();
+        *self = OnlineSegmenter::new(config);
     }
 }
 
@@ -280,6 +387,88 @@ mod tests {
         let s = GestureSegment { start: 10, end: 32 };
         assert_eq!(s.len(), 22);
         assert!(!s.is_empty());
+    }
+
+    /// Replays `counts` through the online state machine the way a
+    /// streaming caller would, including the end-of-stream flush.
+    fn online_replay(config: SegmenterConfig, counts: &[usize]) -> Vec<GestureSegment> {
+        let mut online = OnlineSegmenter::new(config);
+        let mut segs: Vec<GestureSegment> = counts.iter().filter_map(|&c| online.push(c)).collect();
+        segs.extend(online.finish());
+        segs
+    }
+
+    #[test]
+    fn online_matches_offline_on_varied_patterns() {
+        let patterns: Vec<Vec<usize>> = vec![
+            pattern(20, 20, 20, 12),
+            pattern(30, 4, 30, 15),
+            pattern(30, 15, 0, 12),
+            vec![1usize; 80],
+            vec![0usize; 80],
+            {
+                let mut v = pattern(20, 20, 25, 12);
+                v.extend(std::iter::repeat(14).take(18));
+                v.extend(std::iter::repeat(1).take(20));
+                v
+            },
+            // Pseudo-random counts: exercises threshold adaptation.
+            (0..200u64)
+                .map(|i| ((i.wrapping_mul(0x9E3779B9) >> 27) % 17) as usize)
+                .collect(),
+        ];
+        for counts in patterns {
+            let frames = frames_with_counts(&counts);
+            let offline = Segmenter::default().segment(&frames);
+            let online = online_replay(SegmenterConfig::default(), &counts);
+            assert_eq!(offline, online, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn online_state_is_bounded() {
+        let cfg = SegmenterConfig::default();
+        let mut online = OnlineSegmenter::new(cfg.clone());
+        for i in 0..10_000usize {
+            let c = if i % 97 < 20 { 14 } else { 1 };
+            online.push(c);
+            assert!(online.counts.len() <= cfg.threshold_window + 1);
+            assert!(online.motion.len() <= cfg.motion_window);
+        }
+        assert_eq!(online.frames_seen(), 10_000);
+    }
+
+    #[test]
+    fn earliest_needed_never_exceeds_open_segment_start() {
+        let counts = pattern(30, 25, 30, 12);
+        let mut online = OnlineSegmenter::new(SegmenterConfig::default());
+        let mut segments = Vec::new();
+        for &c in &counts {
+            let needed_before = online.earliest_needed();
+            if let Some(seg) = online.push(c) {
+                assert!(
+                    needed_before <= seg.start,
+                    "buffer trimmed past a segment start: {needed_before} > {}",
+                    seg.start
+                );
+                segments.push(seg);
+            }
+        }
+        segments.extend(online.finish());
+        assert_eq!(segments.len(), 1);
+        // Idle tail: the bound advances with the stream again.
+        assert!(online.earliest_needed() > segments[0].start);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let counts = pattern(20, 20, 20, 12);
+        let mut online = OnlineSegmenter::new(SegmenterConfig::default());
+        let first: Vec<_> = counts.iter().filter_map(|&c| online.push(c)).collect();
+        online.reset();
+        assert_eq!(online.frames_seen(), 0);
+        let second: Vec<_> = counts.iter().filter_map(|&c| online.push(c)).collect();
+        assert_eq!(first, second);
     }
 
     #[test]

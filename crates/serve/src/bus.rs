@@ -1,0 +1,301 @@
+//! The serve event/result bus and per-session latency accounting.
+//!
+//! Workers publish one [`ServeEvent`] per classified segment; the bus
+//! also keeps running per-session counters (frames in, segments
+//! detected, results out) and the segment-to-result latency samples that
+//! back the p50/p99 numbers in [`ServeStats`].
+
+use crate::session::SessionId;
+use gestureprint_core::Inference;
+use gp_pipeline::GestureSegment;
+use std::collections::BTreeMap;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// One classified gesture segment flowing out of the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeEvent {
+    /// Session the segment came from.
+    pub session: SessionId,
+    /// Global dispatch sequence number (ascending within a session in
+    /// segment order).
+    pub seq: u64,
+    /// Segment boundaries in the session's absolute frame indices.
+    pub segment: GestureSegment,
+    /// The two-task inference result (gesture + user + probabilities).
+    pub inference: Inference,
+    /// Segment-detected → result-published latency.
+    pub latency: Duration,
+}
+
+/// Cap on retained latency samples per session: a ring of the most
+/// recent measurements, so a long-lived session's accounting stays
+/// bounded while percentiles still reflect current behaviour.
+const LATENCY_RESERVOIR: usize = 512;
+
+#[derive(Debug, Default, Clone)]
+struct SessionCounters {
+    frames: u64,
+    segments: u64,
+    results: u64,
+    latencies: Vec<Duration>,
+    /// Ring cursor once `latencies` reaches [`LATENCY_RESERVOIR`].
+    next_latency: usize,
+}
+
+impl SessionCounters {
+    fn record_latency(&mut self, latency: Duration) {
+        if self.latencies.len() < LATENCY_RESERVOIR {
+            self.latencies.push(latency);
+        } else {
+            self.latencies[self.next_latency] = latency;
+            self.next_latency = (self.next_latency + 1) % LATENCY_RESERVOIR;
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct BusInner {
+    events: Vec<ServeEvent>,
+    sessions: BTreeMap<SessionId, SessionCounters>,
+    /// Segments dispatched to workers whose result has not been
+    /// published yet.
+    in_flight: usize,
+}
+
+/// Internal bus shared by the engine and its workers.
+#[derive(Debug, Default)]
+pub(crate) struct EventBus {
+    inner: Mutex<BusInner>,
+    idle: Condvar,
+}
+
+impl EventBus {
+    fn lock(&self) -> std::sync::MutexGuard<'_, BusInner> {
+        self.inner.lock().expect("event bus poisoned")
+    }
+
+    pub(crate) fn register_session(&self, id: SessionId) {
+        self.lock().sessions.entry(id).or_default();
+    }
+
+    /// Persists a closed session's final frame count (live sessions
+    /// keep the count in their own state, off the per-frame hot path).
+    pub(crate) fn set_frames(&self, id: SessionId, frames: u64) {
+        self.lock().sessions.entry(id).or_default().frames = frames;
+    }
+
+    pub(crate) fn record_segment(&self, id: SessionId) {
+        self.lock().sessions.entry(id).or_default().segments += 1;
+    }
+
+    pub(crate) fn add_in_flight(&self, n: usize) {
+        self.lock().in_flight += n;
+    }
+
+    /// Releases one in-flight slot *without* publishing a result — the
+    /// safety valve for a worker that panicked mid-batch, so
+    /// [`EventBus::wait_idle`] cannot hang on a lost segment.
+    pub(crate) fn forfeit_in_flight(&self) {
+        let mut inner = self.lock();
+        inner.in_flight = inner.in_flight.saturating_sub(1);
+        drop(inner);
+        self.idle.notify_all();
+    }
+
+    pub(crate) fn publish(&self, event: ServeEvent) {
+        let mut inner = self.lock();
+        let counters = inner.sessions.entry(event.session).or_default();
+        counters.results += 1;
+        counters.record_latency(event.latency);
+        inner.events.push(event);
+        inner.in_flight = inner.in_flight.saturating_sub(1);
+        drop(inner);
+        self.idle.notify_all();
+    }
+
+    /// Blocks until every dispatched segment has published (or
+    /// forfeited) its result.
+    pub(crate) fn wait_idle(&self) {
+        let mut inner = self.lock();
+        while inner.in_flight > 0 {
+            inner = self.idle.wait(inner).expect("event bus poisoned");
+        }
+    }
+
+    /// Drains all published events.
+    pub(crate) fn take_events(&self) -> Vec<ServeEvent> {
+        std::mem::take(&mut self.lock().events)
+    }
+
+    /// Snapshot of the accumulated per-session statistics.
+    pub(crate) fn stats(&self) -> ServeStats {
+        let inner = self.lock();
+        ServeStats {
+            sessions: inner
+                .sessions
+                .iter()
+                .map(|(&id, c)| {
+                    let mut latencies = c.latencies.clone();
+                    latencies.sort_unstable();
+                    (
+                        id,
+                        SessionStats {
+                            frames: c.frames,
+                            segments: c.segments,
+                            results: c.results,
+                            latencies,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Accumulated counters for one session.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SessionStats {
+    /// Frames pushed into the session.
+    pub frames: u64,
+    /// Segments the online segmenter closed, including those noise
+    /// canceling then dropped — `segments - results` is the session's
+    /// drop count once its batches have drained.
+    pub segments: u64,
+    /// Classified results published for the session.
+    pub results: u64,
+    /// Sorted segment-to-result latency samples (the most recent
+    /// measurements, capped at a fixed reservoir size).
+    pub latencies: Vec<Duration>,
+}
+
+impl SessionStats {
+    /// The `p`-th latency percentile (`0.0..=100.0`), nearest-rank over
+    /// the recorded samples.
+    pub fn latency_percentile(&self, p: f64) -> Option<Duration> {
+        percentile(&self.latencies, p)
+    }
+}
+
+/// A point-in-time snapshot of the engine's accounting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeStats {
+    /// Per-session counters, keyed by session id.
+    pub sessions: BTreeMap<SessionId, SessionStats>,
+}
+
+impl ServeStats {
+    /// Total frames pushed across all sessions.
+    pub fn total_frames(&self) -> u64 {
+        self.sessions.values().map(|s| s.frames).sum()
+    }
+
+    /// Total segments closed across all sessions (including segments
+    /// noise canceling then dropped).
+    pub fn total_segments(&self) -> u64 {
+        self.sessions.values().map(|s| s.segments).sum()
+    }
+
+    /// Total results published across all sessions.
+    pub fn total_results(&self) -> u64 {
+        self.sessions.values().map(|s| s.results).sum()
+    }
+
+    /// The `p`-th segment-to-result latency percentile across all
+    /// sessions.
+    pub fn latency_percentile(&self, p: f64) -> Option<Duration> {
+        let mut all: Vec<Duration> = self
+            .sessions
+            .values()
+            .flat_map(|s| s.latencies.iter().copied())
+            .collect();
+        all.sort_unstable();
+        percentile(&all, p)
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[Duration], p: f64) -> Option<Duration> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let clamped = p.clamp(0.0, 100.0);
+    let idx = ((clamped / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    Some(sorted[idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let sorted: Vec<Duration> = (1..=100).map(ms).collect();
+        assert_eq!(percentile(&sorted, 0.0), Some(ms(1)));
+        assert_eq!(percentile(&sorted, 50.0), Some(ms(51))); // round(49.5) = 50
+        assert_eq!(percentile(&sorted, 99.0), Some(ms(99)));
+        assert_eq!(percentile(&sorted, 100.0), Some(ms(100)));
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&[ms(7)], 99.0), Some(ms(7)));
+    }
+
+    #[test]
+    fn stats_aggregate_across_sessions() {
+        let stats = ServeStats {
+            sessions: [
+                (
+                    SessionId(1),
+                    SessionStats {
+                        frames: 10,
+                        segments: 2,
+                        results: 2,
+                        latencies: vec![ms(1), ms(3)],
+                    },
+                ),
+                (
+                    SessionId(2),
+                    SessionStats {
+                        frames: 5,
+                        segments: 1,
+                        results: 1,
+                        latencies: vec![ms(2)],
+                    },
+                ),
+            ]
+            .into_iter()
+            .collect(),
+        };
+        assert_eq!(stats.total_frames(), 15);
+        assert_eq!(stats.total_results(), 3);
+        assert_eq!(stats.latency_percentile(50.0), Some(ms(2)));
+        assert_eq!(stats.latency_percentile(100.0), Some(ms(3)));
+    }
+
+    #[test]
+    fn latency_reservoir_is_bounded() {
+        let mut counters = SessionCounters::default();
+        for i in 0..(LATENCY_RESERVOIR as u64 + 100) {
+            counters.record_latency(ms(i));
+        }
+        assert_eq!(counters.latencies.len(), LATENCY_RESERVOIR);
+        // The ring overwrote the oldest samples with the newest.
+        assert!(counters
+            .latencies
+            .contains(&ms(LATENCY_RESERVOIR as u64 + 99)));
+        assert!(!counters.latencies.contains(&ms(0)));
+    }
+
+    #[test]
+    fn wait_idle_returns_after_forfeit() {
+        let bus = EventBus::default();
+        bus.add_in_flight(2);
+        bus.forfeit_in_flight();
+        bus.forfeit_in_flight();
+        bus.wait_idle(); // must not hang
+        assert!(bus.take_events().is_empty());
+    }
+}

@@ -1,0 +1,325 @@
+//! The streaming engine: session registry + micro-batching executor.
+//!
+//! Frames from many concurrent radar streams are pushed into per-session
+//! [`OnlineSegmenter`]s; segments that close are preprocessed and queued
+//! as jobs. The executor collects jobs *across sessions* into
+//! micro-batches of up to [`ServeConfig::max_batch`] segments and runs
+//! each batch through [`GesturePrint::infer_batch`] on the work-stealing
+//! [`WorkerPool`], so a burst on one stream and trickles on ten others
+//! still fill batches and keep every core busy.
+//!
+//! Determinism: inference is a pure per-sample function, so predictions
+//! are identical regardless of worker count or how segments were split
+//! into batches — only event *arrival order* varies, and
+//! [`ServeEngine::drain`] sorts events by `(session, seq)` to remove
+//! even that.
+
+use crate::bus::{EventBus, ServeEvent, ServeStats};
+use crate::pool::WorkerPool;
+use crate::session::{Session, SessionId};
+use gestureprint_core::GesturePrint;
+use gp_pipeline::{
+    GestureSegment, LabeledSample, OnlineSegmenter, Preprocessor, PreprocessorConfig,
+};
+use gp_radar::Frame;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+/// Engine configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Preprocessing (segmentation + noise canceling) shared by all
+    /// sessions.
+    pub preprocessor: PreprocessorConfig,
+    /// Micro-batch size cap: a batch dispatches to the pool as soon as
+    /// this many segments are pending (partial batches dispatch on
+    /// [`ServeEngine::flush`] / [`ServeEngine::drain`]).
+    pub max_batch: usize,
+    /// Worker threads for the executor (`0` = available parallelism).
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            preprocessor: PreprocessorConfig::default(),
+            max_batch: 8,
+            workers: 0,
+        }
+    }
+}
+
+/// One preprocessed segment waiting for (or undergoing) inference.
+struct SegmentJob {
+    session: SessionId,
+    seq: u64,
+    segment: GestureSegment,
+    /// Labels are inference-ignored placeholders (`0, 0`): the serving
+    /// path classifies unlabeled live segments.
+    sample: LabeledSample,
+    detected: Instant,
+}
+
+/// The streaming multi-session inference engine.
+///
+/// All methods take `&self`. Per-frame work locks only the stream's own
+/// session mutex (the registry is read-locked for the lookup, which
+/// concurrent drivers share); global locks are touched only when a
+/// segment closes.
+pub struct ServeEngine {
+    system: Arc<GesturePrint>,
+    config: ServeConfig,
+    preprocessor: Preprocessor,
+    pool: WorkerPool,
+    sessions: RwLock<HashMap<SessionId, Arc<Mutex<Session>>>>,
+    pending: Mutex<VecDeque<SegmentJob>>,
+    next_session: AtomicU64,
+    next_seq: AtomicU64,
+    bus: Arc<EventBus>,
+}
+
+impl ServeEngine {
+    /// Creates an engine serving a trained system.
+    pub fn new(system: GesturePrint, config: ServeConfig) -> Self {
+        let pool = WorkerPool::new(config.workers);
+        let preprocessor = Preprocessor::new(config.preprocessor.clone());
+        ServeEngine {
+            system: Arc::new(system),
+            config,
+            preprocessor,
+            pool,
+            sessions: RwLock::new(HashMap::new()),
+            pending: Mutex::new(VecDeque::new()),
+            next_session: AtomicU64::new(0),
+            next_seq: AtomicU64::new(0),
+            bus: Arc::new(EventBus::default()),
+        }
+    }
+
+    /// The trained system being served.
+    pub fn system(&self) -> &GesturePrint {
+        &self.system
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Number of executor worker threads.
+    pub fn workers(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Opens a new stream session and returns its id.
+    pub fn open_session(&self) -> SessionId {
+        let id = SessionId(self.next_session.fetch_add(1, Ordering::Relaxed));
+        let segmenter = OnlineSegmenter::new(self.config.preprocessor.segmenter.clone());
+        self.sessions
+            .write()
+            .expect("session registry poisoned")
+            .insert(id, Arc::new(Mutex::new(Session::new(segmenter))));
+        self.bus.register_session(id);
+        id
+    }
+
+    /// Live session count.
+    pub fn session_count(&self) -> usize {
+        self.sessions
+            .read()
+            .expect("session registry poisoned")
+            .len()
+    }
+
+    /// `(frames seen, frames currently buffered)` for a live session —
+    /// the buffer stays bounded while the stream idles.
+    pub fn session_frames(&self, id: SessionId) -> Option<(usize, usize)> {
+        let session = self.session(id)?;
+        let session = session.lock().expect("session poisoned");
+        Some((session.frames_seen(), session.buffered()))
+    }
+
+    fn session(&self, id: SessionId) -> Option<Arc<Mutex<Session>>> {
+        self.sessions
+            .read()
+            .expect("session registry poisoned")
+            .get(&id)
+            .cloned()
+    }
+
+    /// Feeds one frame into a session; returns the number of segments
+    /// this frame completed (0 or 1). Segments whose sample noise
+    /// canceling rejects count here (and in [`ServeStats`]) but publish
+    /// no result.
+    ///
+    /// Full micro-batches dispatch to the worker pool immediately;
+    /// results surface later via [`ServeEngine::drain`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a live session.
+    pub fn push_frame(&self, id: SessionId, frame: Frame) -> usize {
+        let session = self
+            .session(id)
+            .unwrap_or_else(|| panic!("push_frame on unknown {id}"));
+        let completed = {
+            let mut session = session.lock().expect("session poisoned");
+            let completed = session.push(frame, &self.preprocessor);
+            // Sequence numbers are drawn while the session lock is still
+            // held, so concurrent pushers to one session cannot invert
+            // the per-session `seq` order `drain` sorts by.
+            completed.map(|c| (c, self.next_seq.fetch_add(1, Ordering::Relaxed)))
+        };
+        self.record_completed(id, completed)
+    }
+
+    /// Closes a session: flushes a gesture still open at stream end and
+    /// removes the session from the registry. Returns the number of
+    /// segments the close completed (0 or 1). Statistics and queued
+    /// results survive the close.
+    pub fn close_session(&self, id: SessionId) -> usize {
+        let session = self
+            .sessions
+            .write()
+            .expect("session registry poisoned")
+            .remove(&id);
+        let Some(session) = session else { return 0 };
+        let (finished, frames_seen) = {
+            let mut session = session.lock().expect("session poisoned");
+            let finished = session
+                .finish(&self.preprocessor)
+                .map(|c| (c, self.next_seq.fetch_add(1, Ordering::Relaxed)));
+            (finished, session.frames_seen())
+        };
+        // The registry entry is gone; persist the stream's final frame
+        // count into the bus so statistics survive the close.
+        self.bus.set_frames(id, frames_seen as u64);
+        self.record_completed(id, finished)
+    }
+
+    /// Accounts for a possibly-closed segment: records it, and enqueues
+    /// its sample for inference when noise canceling kept one.
+    fn record_completed(
+        &self,
+        id: SessionId,
+        completed: Option<((GestureSegment, Option<gp_pipeline::GestureSample>), u64)>,
+    ) -> usize {
+        match completed {
+            Some(((segment, sample), seq)) => {
+                self.bus.record_segment(id);
+                if let Some(sample) = sample {
+                    self.enqueue(id, segment, sample, seq);
+                }
+                1
+            }
+            None => 0,
+        }
+    }
+
+    fn enqueue(
+        &self,
+        id: SessionId,
+        segment: GestureSegment,
+        sample: gp_pipeline::GestureSample,
+        seq: u64,
+    ) {
+        let job = SegmentJob {
+            session: id,
+            seq,
+            segment,
+            sample: LabeledSample::from_sample(sample, 0, 0),
+            detected: Instant::now(),
+        };
+        // Collect under the lock, dispatch after releasing it: dispatch
+        // touches the bus and the pool, and other sessions' segment
+        // closes must not serialize behind that.
+        let batch = {
+            let mut pending = self.pending.lock().expect("pending queue poisoned");
+            pending.push_back(job);
+            if pending.len() >= self.config.max_batch.max(1) {
+                Some(pending.drain(..).collect::<Vec<SegmentJob>>())
+            } else {
+                None
+            }
+        };
+        if let Some(batch) = batch {
+            self.dispatch(batch);
+        }
+    }
+
+    /// Dispatches any pending partial micro-batch.
+    pub fn flush(&self) {
+        let batch: Vec<SegmentJob> = {
+            let mut pending = self.pending.lock().expect("pending queue poisoned");
+            pending.drain(..).collect()
+        };
+        if !batch.is_empty() {
+            self.dispatch(batch);
+        }
+    }
+
+    fn dispatch(&self, batch: Vec<SegmentJob>) {
+        self.bus.add_in_flight(batch.len());
+        let system = self.system.clone();
+        let bus = self.bus.clone();
+        self.pool.spawn(move || {
+            // Guard: if inference panics, release the batch's in-flight
+            // slots so `drain` cannot hang on lost segments.
+            struct Forfeit {
+                bus: Arc<EventBus>,
+                remaining: usize,
+            }
+            impl Drop for Forfeit {
+                fn drop(&mut self) {
+                    for _ in 0..self.remaining {
+                        self.bus.forfeit_in_flight();
+                    }
+                }
+            }
+            let mut guard = Forfeit {
+                bus: bus.clone(),
+                remaining: batch.len(),
+            };
+            let samples: Vec<&LabeledSample> = batch.iter().map(|j| &j.sample).collect();
+            let inferences = system.infer_batch(&samples);
+            for (job, inference) in batch.iter().zip(inferences) {
+                guard.remaining -= 1;
+                bus.publish(ServeEvent {
+                    session: job.session,
+                    seq: job.seq,
+                    segment: job.segment,
+                    inference,
+                    latency: job.detected.elapsed(),
+                });
+            }
+        });
+    }
+
+    /// Flushes pending segments, waits for all in-flight batches, and
+    /// returns every event published since the last drain, sorted by
+    /// `(session, seq)` for deterministic consumption.
+    pub fn drain(&self) -> Vec<ServeEvent> {
+        self.flush();
+        self.bus.wait_idle();
+        let mut events = self.bus.take_events();
+        events.sort_by_key(|e| (e.session, e.seq));
+        events
+    }
+
+    /// Snapshot of per-session and aggregate statistics.
+    ///
+    /// Frame counts live in each session's own state (off the per-frame
+    /// hot path); live sessions are folded in here, closed sessions were
+    /// persisted at close time.
+    pub fn stats(&self) -> ServeStats {
+        let mut stats = self.bus.stats();
+        let sessions = self.sessions.read().expect("session registry poisoned");
+        for (&id, session) in sessions.iter() {
+            let frames = session.lock().expect("session poisoned").frames_seen() as u64;
+            stats.sessions.entry(id).or_default().frames = frames;
+        }
+        stats
+    }
+}

@@ -1,0 +1,62 @@
+//! Streaming multi-session serving for GesturePrint.
+//!
+//! The paper's system runs *inside* a live mmWave deployment: frames
+//! arrive continuously at 10 fps and every detected gesture is
+//! classified twice (which gesture, which user). This crate turns the
+//! offline reproduction into that serving path:
+//!
+//! * **Session registry** ([`ServeEngine`]) — multiplexes many
+//!   concurrent radar streams; each session runs
+//!   [`gp_pipeline::OnlineSegmenter`], the incremental port of the
+//!   offline sliding-window segmenter, over its frames as they arrive,
+//!   with a bounded frame buffer (idle streams retain only the motion
+//!   window).
+//! * **Micro-batching executor** — segments that close are preprocessed
+//!   and collected *across sessions* into batches of up to
+//!   [`ServeConfig::max_batch`], then run through
+//!   [`gestureprint_core::GesturePrint::infer_batch`] on a work-stealing
+//!   [`WorkerPool`] (the ROADMAP's "parallelism beyond scoped threads").
+//! * **Event/result bus** ([`ServeEvent`], [`ServeStats`]) — classified
+//!   segments flow out with per-session frame/segment/result counters
+//!   and segment-to-result latency percentiles (p50/p99).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use gp_serve::{ServeConfig, ServeEngine};
+//! # fn demo(system: gestureprint_core::GesturePrint, frames: Vec<gp_radar::Frame>) {
+//! let engine = ServeEngine::new(system, ServeConfig::default());
+//! let session = engine.open_session();
+//! for frame in frames {
+//!     engine.push_frame(session, frame);
+//! }
+//! engine.close_session(session);
+//! for event in engine.drain() {
+//!     println!(
+//!         "{}: frames [{}, {}) → gesture {} by user {} ({:?})",
+//!         event.session,
+//!         event.segment.start,
+//!         event.segment.end,
+//!         event.inference.gesture,
+//!         event.inference.user,
+//!         event.latency,
+//!     );
+//! }
+//! # }
+//! ```
+//!
+//! Replaying a recording frame-by-frame through the engine yields the
+//! same segment boundaries as the offline
+//! [`gp_pipeline::Preprocessor`] on the whole recording — enforced by
+//! `tests/parity.rs` — and predictions are identical across 1 and N
+//! worker threads because inference is a pure per-sample function.
+
+pub mod bus;
+pub mod engine;
+pub mod pool;
+pub mod session;
+
+pub use bus::{ServeEvent, ServeStats, SessionStats};
+pub use engine::{ServeConfig, ServeEngine};
+pub use pool::WorkerPool;
+pub use session::SessionId;

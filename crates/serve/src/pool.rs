@@ -1,0 +1,298 @@
+//! A small work-stealing worker pool over `std` primitives.
+//!
+//! The ROADMAP's "parallelism beyond scoped threads" item: the training
+//! and dataset builders hand-roll `std::thread::scope` chunking, which
+//! cannot serve a *stream* of work arriving over time. This pool owns
+//! long-lived workers, each with its own deque; [`WorkerPool::spawn`]
+//! distributes jobs round-robin and idle workers steal from their
+//! siblings' queues, so an uneven micro-batch mix still keeps every
+//! thread busy.
+//!
+//! Jobs are plain `FnOnce` boxes. A panicking job is caught and dropped
+//! so one poisoned batch cannot take a worker (and every queued job
+//! behind it) down with it.
+
+use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Job-count + shutdown flag, guarded together so workers can sleep.
+struct PoolState {
+    /// Jobs queued but not yet claimed by a worker.
+    queued: usize,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    /// One deque per worker; `spawn` round-robins, idle workers steal.
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    state: Mutex<PoolState>,
+    work_available: Condvar,
+}
+
+/// A fixed-size work-stealing thread pool.
+///
+/// Dropping the pool drains all queued jobs, then joins the workers.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    next: AtomicUsize,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Creates a pool with `threads` workers (`0` = available
+    /// parallelism).
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        } else {
+            threads
+        };
+        let shared = Arc::new(PoolShared {
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            state: Mutex::new(PoolState {
+                queued: 0,
+                shutdown: false,
+            }),
+            work_available: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|w| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("gp-serve-worker-{w}"))
+                    .spawn(move || worker_loop(w, &shared))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            next: AtomicUsize::new(0),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.shared.queues.len()
+    }
+
+    /// Enqueues a job; returns immediately.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        let w = self.next.fetch_add(1, Ordering::Relaxed) % self.shared.queues.len();
+        self.shared.queues[w]
+            .lock()
+            .expect("pool queue poisoned")
+            .push_back(Box::new(job));
+        let mut state = self.shared.state.lock().expect("pool state poisoned");
+        state.queued += 1;
+        drop(state);
+        self.shared.work_available.notify_one();
+    }
+
+    /// Parallel indexed map: applies `f(index, item)` to every item on
+    /// the pool and blocks until all results are in, preserving input
+    /// order. The streaming replacement for ad-hoc
+    /// `std::thread::scope` chunking.
+    pub fn map<T, U, F>(&self, items: Vec<T>, f: F) -> Vec<U>
+    where
+        T: Send + 'static,
+        U: Send + 'static,
+        F: Fn(usize, T) -> U + Send + Sync + 'static,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        type Latch = (Mutex<usize>, Condvar);
+        /// Signals the completion latch on drop — *after* releasing the
+        /// slots Arc — so a panicking closure still counts (the caller
+        /// would otherwise wait forever) and the caller can unwrap the
+        /// Arc the moment the count reaches `n`.
+        struct MapGuard<U> {
+            slots: Option<Arc<Mutex<Vec<Option<U>>>>>,
+            done: Arc<Latch>,
+        }
+        impl<U> Drop for MapGuard<U> {
+            fn drop(&mut self) {
+                self.slots = None;
+                let (count, cv) = &*self.done;
+                *count.lock().expect("map latch poisoned") += 1;
+                cv.notify_all();
+            }
+        }
+        let slots: Arc<Mutex<Vec<Option<U>>>> =
+            Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+        let done: Arc<Latch> = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let f = Arc::new(f);
+        for (i, item) in items.into_iter().enumerate() {
+            let guard = MapGuard {
+                slots: Some(slots.clone()),
+                done: done.clone(),
+            };
+            let f = f.clone();
+            self.spawn(move || {
+                let out = f(i, item);
+                guard
+                    .slots
+                    .as_ref()
+                    .expect("slots released early")
+                    .lock()
+                    .expect("map slots poisoned")[i] = Some(out);
+            });
+        }
+        let (count, cv) = &*done;
+        let mut finished = count.lock().expect("map latch poisoned");
+        while *finished < n {
+            finished = cv.wait(finished).expect("map latch poisoned");
+        }
+        drop(finished);
+        Arc::try_unwrap(slots)
+            .unwrap_or_else(|_| panic!("map slots still shared after completion"))
+            .into_inner()
+            .expect("map slots poisoned")
+            .into_iter()
+            .map(|slot| slot.expect("a map closure panicked; its result slot is empty"))
+            .collect()
+    }
+}
+
+fn worker_loop(me: usize, shared: &PoolShared) {
+    loop {
+        // Sleep until a job is queued (or drain the backlog on shutdown).
+        {
+            let mut state = shared.state.lock().expect("pool state poisoned");
+            while state.queued == 0 && !state.shutdown {
+                state = shared
+                    .work_available
+                    .wait(state)
+                    .expect("pool state poisoned");
+            }
+            if state.queued == 0 && state.shutdown {
+                return;
+            }
+            state.queued -= 1;
+        }
+        // One job is now reserved for us somewhere: own queue first
+        // (front, FIFO), then steal from siblings (back, LIFO — the
+        // classic stealing end). The reservation count guarantees the
+        // scan terminates.
+        let job = 'find: loop {
+            for k in 0..shared.queues.len() {
+                let q = (me + k) % shared.queues.len();
+                let popped = {
+                    let mut queue = shared.queues[q].lock().expect("pool queue poisoned");
+                    if q == me {
+                        queue.pop_front()
+                    } else {
+                        queue.pop_back()
+                    }
+                };
+                if let Some(job) = popped {
+                    break 'find job;
+                }
+            }
+            std::thread::yield_now();
+        };
+        // A panicking job must not kill the worker: the queue behind it
+        // still has owners waiting on results.
+        let _ = std::panic::catch_unwind(AssertUnwindSafe(job));
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool state poisoned");
+            state.shutdown = true;
+        }
+        self.shared.work_available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn map_preserves_order() {
+        let pool = WorkerPool::new(4);
+        let out = pool.map((0..100u64).collect(), |i, x| {
+            assert_eq!(i as u64, x);
+            x * 2
+        });
+        assert_eq!(out, (0..100u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn many_more_jobs_than_workers_all_run() {
+        let pool = WorkerPool::new(2);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..500 {
+            let counter = counter.clone();
+            pool.spawn(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // drains the backlog before joining
+        assert_eq!(counter.load(Ordering::SeqCst), 500);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_pool() {
+        let pool = WorkerPool::new(2);
+        pool.spawn(|| panic!("poisoned batch"));
+        // The pool must still process subsequent work on every thread.
+        let out = pool.map((0..64u64).collect(), |_, x| x + 1);
+        assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn panicking_map_closure_panics_the_caller_instead_of_hanging() {
+        let pool = WorkerPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.map((0..8u64).collect(), |_, x| {
+                if x == 3 {
+                    panic!("bad item");
+                }
+                x
+            })
+        }));
+        assert!(result.is_err(), "map must not swallow the panic");
+        // And the pool is still usable afterwards.
+        assert_eq!(pool.map(vec![1u64], |_, x| x * 2), vec![2]);
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available_parallelism() {
+        let pool = WorkerPool::new(0);
+        assert!(pool.threads() >= 1);
+    }
+
+    #[test]
+    fn work_distributes_across_threads() {
+        let pool = WorkerPool::new(4);
+        let seen: Arc<Mutex<std::collections::HashSet<std::thread::ThreadId>>> =
+            Arc::new(Mutex::new(std::collections::HashSet::new()));
+        let slow = std::time::Duration::from_millis(20);
+        let seen2 = seen.clone();
+        pool.map((0..16u64).collect(), move |_, _| {
+            seen2.lock().unwrap().insert(std::thread::current().id());
+            std::thread::sleep(slow);
+        });
+        // With 16 × 20 ms jobs on 4 workers, at least two threads must
+        // have participated (a single thread would need 320 ms of
+        // serial work while its siblings steal).
+        assert!(seen.lock().unwrap().len() >= 2);
+    }
+}

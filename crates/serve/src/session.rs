@@ -1,0 +1,160 @@
+//! Per-stream session state: an online segmenter plus a bounded frame
+//! buffer that keeps exactly the frames a future segment can still
+//! reference.
+
+use gp_pipeline::{GestureSample, GestureSegment, OnlineSegmenter, Preprocessor};
+use gp_radar::Frame;
+use std::collections::VecDeque;
+
+/// Identifier of one radar stream multiplexed through the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "session-{}", self.0)
+    }
+}
+
+/// One live stream: incremental segmentation state plus the trailing
+/// frames needed to assemble the next segment's sample.
+#[derive(Debug)]
+pub(crate) struct Session {
+    segmenter: OnlineSegmenter,
+    /// Retained frames; `buffer[0]` has absolute index `base`.
+    buffer: VecDeque<Frame>,
+    base: usize,
+}
+
+impl Session {
+    pub(crate) fn new(segmenter: OnlineSegmenter) -> Self {
+        Session {
+            segmenter,
+            buffer: VecDeque::new(),
+            base: 0,
+        }
+    }
+
+    /// Feeds one frame; when it closes a gesture, assembles the
+    /// segment's sample from the buffered frames. The sample side is
+    /// `None` when noise canceling rejects the closed segment
+    /// (mirroring the offline pipeline's drop rule) — the segment is
+    /// still reported so drop rates are observable.
+    pub(crate) fn push(
+        &mut self,
+        frame: Frame,
+        pre: &Preprocessor,
+    ) -> Option<(GestureSegment, Option<GestureSample>)> {
+        let segment = self.segmenter.push_frame(&frame);
+        self.buffer.push_back(frame);
+        let out = segment.map(|seg| (seg, self.assemble(seg, pre)));
+        self.trim();
+        out
+    }
+
+    /// Closes a gesture still open at end of stream, if any.
+    pub(crate) fn finish(
+        &mut self,
+        pre: &Preprocessor,
+    ) -> Option<(GestureSegment, Option<GestureSample>)> {
+        let segment = self.segmenter.finish();
+        segment.map(|seg| (seg, self.assemble(seg, pre)))
+    }
+
+    /// Total frames pushed into this session.
+    pub(crate) fn frames_seen(&self) -> usize {
+        self.segmenter.frames_seen()
+    }
+
+    /// Number of frames currently retained (bounded while idle).
+    pub(crate) fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    fn assemble(&mut self, seg: GestureSegment, pre: &Preprocessor) -> Option<GestureSample> {
+        debug_assert!(
+            seg.start >= self.base,
+            "segment start {} precedes trimmed buffer base {}",
+            seg.start,
+            self.base
+        );
+        let lo = seg.start - self.base;
+        let hi = seg.end - self.base;
+        let frames = self.buffer.make_contiguous();
+        pre.assemble(&frames[lo..hi], seg.start)
+    }
+
+    /// Drops frames no future segment can reference (see
+    /// [`OnlineSegmenter::earliest_needed`]).
+    fn trim(&mut self) {
+        let keep_from = self.segmenter.earliest_needed();
+        while self.base < keep_from && !self.buffer.is_empty() {
+            self.buffer.pop_front();
+            self.base += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_pipeline::{PreprocessorConfig, SegmenterConfig};
+    use gp_pointcloud::{Point, PointCloud, Vec3};
+
+    fn frame(i: usize, points: usize) -> Frame {
+        let cloud: PointCloud = (0..points)
+            .map(|k| Point::new(Vec3::new(k as f64 * 0.05, 1.2, 1.0), 0.4, 15.0))
+            .collect();
+        Frame::new(i as f64 * 0.1, cloud)
+    }
+
+    #[test]
+    fn idle_stream_keeps_buffer_bounded() {
+        let cfg = SegmenterConfig::default();
+        let motion_window = cfg.motion_window;
+        let mut session = Session::new(OnlineSegmenter::new(cfg));
+        let pre = Preprocessor::new(PreprocessorConfig::default());
+        for i in 0..5_000 {
+            assert!(session.push(frame(i, 1), &pre).is_none());
+            assert!(
+                session.buffered() <= motion_window + 1,
+                "idle buffer grew to {} at frame {i}",
+                session.buffered()
+            );
+        }
+        assert_eq!(session.frames_seen(), 5_000);
+    }
+
+    #[test]
+    fn burst_yields_one_assembled_sample() {
+        let mut session = Session::new(OnlineSegmenter::new(SegmenterConfig::default()));
+        let pre = Preprocessor::new(PreprocessorConfig::default());
+        let mut out = Vec::new();
+        for i in 0..70 {
+            let points = if (20..45).contains(&i) { 14 } else { 1 };
+            out.extend(session.push(frame(i, points), &pre));
+        }
+        out.extend(session.finish(&pre));
+        assert_eq!(out.len(), 1, "expected exactly one segment");
+        let (seg, sample) = &out[0];
+        let sample = sample.as_ref().expect("noise canceling keeps the burst");
+        assert!((18..=24).contains(&seg.start), "start {}", seg.start);
+        assert_eq!(sample.start_frame, seg.start);
+        assert_eq!(sample.duration_frames, seg.len());
+        assert!(!sample.cloud.is_empty());
+    }
+
+    #[test]
+    fn gesture_open_at_stream_end_is_flushed() {
+        let mut session = Session::new(OnlineSegmenter::new(SegmenterConfig::default()));
+        let pre = Preprocessor::new(PreprocessorConfig::default());
+        let mut out = Vec::new();
+        for i in 0..45 {
+            let points = if i >= 30 { 14 } else { 1 };
+            out.extend(session.push(frame(i, points), &pre));
+        }
+        assert!(out.is_empty(), "gesture still open");
+        out.extend(session.finish(&pre));
+        assert_eq!(out.len(), 1);
+    }
+}

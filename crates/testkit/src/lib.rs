@@ -9,11 +9,16 @@
 //! Everything is seeded and pure: calling the same fixture twice yields
 //! identical values, which the determinism tests rely on.
 
-use gestureprint_core::TrainConfig;
-use gp_datasets::{build, presets, BuildOptions, Dataset, Scale};
+use gestureprint_core::{
+    GesturePrint, GesturePrintConfig, IdentificationMode, ModelKind, TrainConfig,
+};
+use gp_datasets::{build, presets, BuildOptions, Dataset, DatasetSpec, Scale};
 use gp_kinematics::gestures::{GestureId, GestureSet};
+use gp_kinematics::performance::PerformanceConfig;
 use gp_kinematics::{Performance, UserProfile};
+use gp_models::features::FeatureConfig;
 use gp_pipeline::{LabeledSample, Preprocessor, PreprocessorConfig};
+use gp_pointcloud::{Point, PointCloud, Vec3};
 use gp_radar::{Backend, Environment, Frame, RadarConfig, RadarSimulator, Scene};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -103,6 +108,154 @@ pub fn quick_train() -> TrainConfig {
     }
 }
 
+/// Ground truth for one gesture inside a [`GestureStream`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamTruth {
+    /// Gesture id within the stream's gesture set.
+    pub gesture: usize,
+    /// Approximate first motion frame (10 fps).
+    pub start_frame: usize,
+    /// Approximate one-past-last motion frame.
+    pub end_frame: usize,
+}
+
+/// A continuous multi-gesture radar stream for replay through the
+/// serving path: frames with contiguous timestamps plus per-gesture
+/// ground truth.
+#[derive(Debug, Clone)]
+pub struct GestureStream {
+    /// The whole recording, timestamped at 10 fps from zero.
+    pub frames: Vec<Frame>,
+    /// One entry per performed gesture, in stream order.
+    pub truth: Vec<StreamTruth>,
+}
+
+/// Simulates user `user` of `spec`'s cohort performing `gestures`
+/// back-to-back (each with its natural idle lead-in/lead-out) as one
+/// continuous capture in the spec's environment at its first anchor
+/// distance. Deterministic in `(spec, user, gestures, seed)`.
+pub fn stream_capture(
+    spec: &DatasetSpec,
+    user: usize,
+    gestures: &[usize],
+    seed: u64,
+) -> GestureStream {
+    let profile = UserProfile::generate(user, spec.user_seed);
+    let distance = spec
+        .distances
+        .first()
+        .copied()
+        .unwrap_or(CANONICAL_DISTANCE);
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut truth = Vec::new();
+    for (k, &gesture) in gestures.iter().enumerate() {
+        let rep_seed = seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = StdRng::seed_from_u64(rep_seed);
+        let config = PerformanceConfig {
+            distance,
+            ..PerformanceConfig::default()
+        };
+        let perf =
+            Performance::with_config(&profile, spec.set, GestureId(gesture), config, &mut rng);
+        let (gesture_start, gesture_end) = perf.gesture_interval();
+        let scene = Scene::for_performance(perf, spec.environment, rep_seed ^ 0xE57);
+        let mut sim =
+            RadarSimulator::new(RadarConfig::default(), Backend::Geometric, rep_seed ^ 0x51B);
+        let captured = sim.capture_scene(&scene);
+        let base = frames.len();
+        truth.push(StreamTruth {
+            gesture,
+            start_frame: base + (gesture_start * 10.0).floor() as usize,
+            end_frame: base + (gesture_end * 10.0).ceil() as usize,
+        });
+        frames.extend(
+            captured
+                .into_iter()
+                .enumerate()
+                .map(|(i, f)| Frame::new((base + i) as f64 * 0.1, f.cloud)),
+        );
+    }
+    GestureStream { frames, truth }
+}
+
+/// The canonical serving stream: fixture user 0 performing three ASL
+/// gestures back-to-back in the office (the streaming counterpart of
+/// [`capture_fixture`]).
+pub fn stream_fixture() -> GestureStream {
+    stream_capture(
+        &presets::gestureprint(Environment::Office, Scale::Small),
+        0,
+        &[CANONICAL_GESTURE, 2, 7],
+        11,
+    )
+}
+
+/// A deliberately tiny 2-gesture × 2-user synthetic cohort (hand-built
+/// clouds, no radar simulation): gesture controls the motion axis, user
+/// controls lateral offset and Doppler magnitude. Learnable in
+/// milliseconds — for executor/serving tests and benches that need *a*
+/// trained system but not radar realism.
+pub fn toy_labeled_samples(reps: usize) -> Vec<LabeledSample> {
+    let mut out = Vec::new();
+    for gesture in 0..2usize {
+        for user in 0..2usize {
+            for rep in 0..reps {
+                let shift = if user == 0 { -0.3 } else { 0.3 };
+                let cloud: PointCloud = (0..24)
+                    .map(|i| {
+                        let t = i as f64 * 0.3 + rep as f64 * 0.07;
+                        let (dx, dz) = if gesture == 0 {
+                            (t.sin() * 0.35, 0.02) // lateral sweep
+                        } else {
+                            (0.02, t.sin() * 0.35) // vertical sweep
+                        };
+                        Point::new(
+                            Vec3::new(shift + dx, 1.2 + t.cos() * 0.1, 1.0 + dz),
+                            (t * 1.3).sin() * (0.8 + user as f64 * 0.6),
+                            14.0,
+                        )
+                    })
+                    .collect();
+                out.push(LabeledSample {
+                    cloud: cloud.clone(),
+                    frame_clouds: vec![cloud; 4],
+                    duration_frames: 18 + 4 * user,
+                    gesture,
+                    user,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// A [`GesturePrint`] system trained on [`toy_labeled_samples`] in
+/// milliseconds (2 gestures × 2 users, 8 epochs, serialized mode).
+/// Predictions on real captures are arbitrary but deterministic.
+pub fn toy_system() -> GesturePrint {
+    let samples = toy_labeled_samples(4);
+    let refs: Vec<&LabeledSample> = samples.iter().collect();
+    GesturePrint::train(
+        &refs,
+        2,
+        2,
+        &GesturePrintConfig {
+            mode: IdentificationMode::Serialized,
+            train: TrainConfig {
+                model: ModelKind::GesIdNet,
+                epochs: 8,
+                augment: None,
+                feature: FeatureConfig {
+                    num_points: 24,
+                    ..FeatureConfig::default()
+                },
+                ..TrainConfig::default()
+            },
+            threads: 2,
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,5 +277,35 @@ mod tests {
         assert!(frames.len() > 30);
         let (gs, ge) = perf.gesture_interval();
         assert!(gs < ge);
+    }
+
+    #[test]
+    fn stream_fixture_is_deterministic_and_contiguous() {
+        let a = stream_fixture();
+        let b = stream_fixture();
+        assert_eq!(a.frames.len(), b.frames.len());
+        for (x, y) in a.frames.iter().zip(&b.frames) {
+            assert_eq!(x.cloud, y.cloud);
+        }
+        assert_eq!(a.truth.len(), 3);
+        // Timestamps are re-based onto one 10 fps clock.
+        for (i, f) in a.frames.iter().enumerate() {
+            assert!((f.timestamp - i as f64 * 0.1).abs() < 1e-9);
+        }
+        // Truth intervals are ordered and in range.
+        for w in a.truth.windows(2) {
+            assert!(w[0].end_frame <= w[1].start_frame + 1);
+        }
+        assert!(a.truth.last().unwrap().end_frame <= a.frames.len());
+    }
+
+    #[test]
+    fn toy_system_is_deterministic() {
+        let samples = toy_labeled_samples(2);
+        let a = toy_system();
+        let b = toy_system();
+        for s in &samples {
+            assert_eq!(a.infer(s), b.infer(s));
+        }
     }
 }

@@ -3,14 +3,18 @@
 //! Implements the API subset `crates/bench` uses — `Criterion`,
 //! `benchmark_group` / `bench_function`, `Bencher::{iter, iter_batched}`,
 //! `BatchSize`, and the `criterion_group!` / `criterion_main!` macros — on
-//! top of `std::time::Instant`. There is no statistical analysis: each
-//! benchmark is warmed up briefly, then timed over a fixed wall-clock
-//! window and reported as mean ns/iter.
+//! top of `std::time::Instant`. Unlike the first stub, each benchmark is
+//! measured as a set of samples, so the report carries a mean, a standard
+//! deviation, and a Tukey-fence outlier count, and runs can be compared
+//! against a saved baseline:
 //!
 //! Flags (after `cargo bench -- ...`):
-//! - `--test`   run every benchmark exactly once (CI smoke mode)
+//! - `--test`                  run every benchmark exactly once (CI smoke mode)
+//! - `--save-baseline <path>`  merge this run's means into a JSON baseline file
+//! - `--baseline <path>`       print each benchmark's delta vs a saved baseline
 //! - any other non-flag argument filters benchmarks by substring
 
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 /// How `iter_batched` amortises setup cost; accepted for API parity.
@@ -24,27 +28,209 @@ pub enum BatchSize {
     PerIteration,
 }
 
+/// Number of timed samples per benchmark (upstream defaults to 100; the
+/// stub keeps the whole run inside a fixed wall-clock window instead).
+const SAMPLE_COUNT: usize = 25;
+
+/// Summary statistics over one benchmark's per-sample ns/iter values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleStats {
+    /// Mean ns/iter across samples.
+    pub mean_ns: f64,
+    /// Sample standard deviation (ns/iter).
+    pub std_dev_ns: f64,
+    /// Samples outside the Tukey fences (1.5 × IQR beyond the quartiles).
+    pub outliers: usize,
+    /// Number of samples measured.
+    pub samples: usize,
+}
+
+impl SampleStats {
+    /// Computes mean / standard deviation / Tukey outliers over
+    /// per-sample ns/iter measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample set.
+    pub fn from_samples(samples: &[f64]) -> SampleStats {
+        assert!(!samples.is_empty(), "no benchmark samples");
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = if samples.len() > 1 {
+            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let quartile = |f: f64| -> f64 {
+            let idx = (f * (sorted.len() - 1) as f64).round() as usize;
+            sorted[idx]
+        };
+        let (q1, q3) = (quartile(0.25), quartile(0.75));
+        let iqr = q3 - q1;
+        let (lo, hi) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+        let outliers = sorted.iter().filter(|&&s| s < lo || s > hi).count();
+        SampleStats {
+            mean_ns: mean,
+            std_dev_ns: var.sqrt(),
+            outliers,
+            samples: samples.len(),
+        }
+    }
+
+    /// Relative standard deviation in percent.
+    pub fn rsd_percent(&self) -> f64 {
+        if self.mean_ns == 0.0 {
+            0.0
+        } else {
+            100.0 * self.std_dev_ns / self.mean_ns
+        }
+    }
+}
+
+/// A saved baseline: benchmark id → mean ns/iter.
+///
+/// Serialised as a flat JSON object. The vendored `serde` derives are
+/// no-ops, so the (trivial) format is written and parsed by hand here.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Baseline {
+    entries: BTreeMap<String, f64>,
+}
+
+impl Baseline {
+    /// Loads a baseline from a JSON file.
+    pub fn load(path: &str) -> std::io::Result<Baseline> {
+        let text = std::fs::read_to_string(path)?;
+        Baseline::parse(&text).ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("malformed baseline JSON in {path}"),
+            )
+        })
+    }
+
+    /// Mean ns/iter recorded for `id`, if present.
+    pub fn mean_ns(&self, id: &str) -> Option<f64> {
+        self.entries.get(id).copied()
+    }
+
+    /// Records (or replaces) a benchmark's mean.
+    pub fn record(&mut self, id: &str, mean_ns: f64) {
+        self.entries.insert(id.to_string(), mean_ns);
+    }
+
+    /// Merges this run's entries into the file at `path`, keeping any
+    /// benchmarks the run did not touch (each `criterion_group!` gets
+    /// its own `Criterion`, so groups write incrementally).
+    pub fn merge_into_file(&self, path: &str) -> std::io::Result<()> {
+        // A missing file starts a fresh baseline, but an unreadable or
+        // malformed one aborts the save: silently replacing it would
+        // erase every benchmark this run did not re-measure.
+        let mut merged = match Baseline::load(path) {
+            Ok(existing) => existing,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Baseline::default(),
+            Err(e) => {
+                return Err(std::io::Error::new(
+                    e.kind(),
+                    format!("refusing to overwrite unreadable baseline {path}: {e}"),
+                ))
+            }
+        };
+        for (id, &mean) in &self.entries {
+            merged.record(id, mean);
+        }
+        // `--save-baseline results/...` must work on a fresh clone where
+        // the results directory does not exist yet.
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, merged.to_json())
+    }
+
+    /// Serialises as a flat JSON object (keys sorted).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (id, mean)) in self.entries.iter().enumerate() {
+            let comma = if i + 1 == self.entries.len() { "" } else { "," };
+            out.push_str(&format!("  \"{id}\": {mean:.1}{comma}\n"));
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses the flat `{"id": mean, ...}` object written by
+    /// [`Baseline::to_json`]. Benchmark ids contain no quotes or escape
+    /// sequences, so a minimal scanner suffices.
+    pub fn parse(text: &str) -> Option<Baseline> {
+        let body = text.trim().strip_prefix('{')?.strip_suffix('}')?;
+        let mut entries = BTreeMap::new();
+        for part in body.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part.split_once(':')?;
+            let key = key.trim().strip_prefix('"')?.strip_suffix('"')?;
+            let value: f64 = value.trim().parse().ok()?;
+            entries.insert(key.to_string(), value);
+        }
+        Some(Baseline { entries })
+    }
+}
+
 /// Entry point mirroring `criterion::Criterion`.
 pub struct Criterion {
     test_mode: bool,
     filter: Option<String>,
     measure: Duration,
+    /// Comparison baseline (`--baseline <path>`).
+    compare: Option<Baseline>,
+    /// Where to merge this run's means (`--save-baseline <path>`).
+    save_path: Option<String>,
+    /// Means measured by this instance, pending the save-on-drop merge.
+    results: Baseline,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
         let mut test_mode = false;
         let mut filter = None;
-        for arg in std::env::args().skip(1) {
-            match arg.as_str() {
+        let mut compare = None;
+        let mut save_path = None;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
                 "--test" => test_mode = true,
+                "--save-baseline" => {
+                    if let Some(path) = args.get(i + 1) {
+                        save_path = Some(path.clone());
+                        i += 1;
+                    }
+                }
+                "--baseline" => {
+                    if let Some(path) = args.get(i + 1) {
+                        match Baseline::load(path) {
+                            Ok(b) => compare = Some(b),
+                            Err(e) => eprintln!("warning: cannot load baseline {path}: {e}"),
+                        }
+                        i += 1;
+                    }
+                }
                 s if s.starts_with('-') => {} // --bench and friends: ignore
                 s => filter = Some(s.to_string()),
             }
+            i += 1;
         }
         Criterion {
             test_mode,
             filter,
+            compare,
+            save_path,
+            results: Baseline::default(),
             measure: Duration::from_millis(300),
         }
     }
@@ -87,18 +273,45 @@ impl Criterion {
         let mut bencher = Bencher {
             test_mode: self.test_mode,
             measure: self.measure,
-            iterations: 0,
-            elapsed: Duration::ZERO,
+            samples_ns: Vec::new(),
         };
         f(&mut bencher);
         if self.test_mode {
             println!("test {id} ... ok (smoke)");
-        } else if bencher.iterations > 0 {
-            let ns = bencher.elapsed.as_nanos() as f64 / bencher.iterations as f64;
-            println!(
-                "bench {id:<40} {ns:>14.1} ns/iter ({} iters)",
-                bencher.iterations
-            );
+            return;
+        }
+        if bencher.samples_ns.is_empty() {
+            return;
+        }
+        let stats = SampleStats::from_samples(&bencher.samples_ns);
+        self.results.record(id, stats.mean_ns);
+        let delta = match self.compare.as_ref().and_then(|b| b.mean_ns(id)) {
+            Some(base) if base > 0.0 => {
+                format!(
+                    "  Δ {:+.1}% vs baseline",
+                    100.0 * (stats.mean_ns - base) / base
+                )
+            }
+            Some(_) => String::new(),
+            None if self.compare.is_some() => "  (no baseline entry)".into(),
+            None => String::new(),
+        };
+        println!(
+            "bench {id:<40} {:>14.1} ns/iter ±{:.1}% ({} samples, {} outliers){delta}",
+            stats.mean_ns,
+            stats.rsd_percent(),
+            stats.samples,
+            stats.outliers,
+        );
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        if let Some(path) = &self.save_path {
+            if let Err(e) = self.results.merge_into_file(path) {
+                eprintln!("warning: cannot save baseline {path}: {e}");
+            }
         }
     }
 }
@@ -135,29 +348,33 @@ impl BenchmarkGroup<'_> {
 pub struct Bencher {
     test_mode: bool,
     measure: Duration,
-    iterations: u64,
-    elapsed: Duration,
+    /// ns/iter per timed sample.
+    samples_ns: Vec<f64>,
 }
 
 impl Bencher {
-    /// Times `routine` repeatedly (once in `--test` smoke mode).
+    /// Times `routine` over [`SAMPLE_COUNT`] samples (once in `--test`
+    /// smoke mode).
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         if self.test_mode {
             std::hint::black_box(routine());
-            self.iterations = 0;
             return;
         }
-        // Warmup: one call, also used to size the timing loop.
+        // Warmup: one call, also used to size the per-sample loop so the
+        // whole benchmark stays inside the measurement window.
         let t0 = Instant::now();
         std::hint::black_box(routine());
         let once = t0.elapsed().max(Duration::from_nanos(1));
-        let target = (self.measure.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
-        let start = Instant::now();
-        for _ in 0..target {
-            std::hint::black_box(routine());
+        let per_sample = (self.measure.as_nanos() / SAMPLE_COUNT as u128 / once.as_nanos())
+            .clamp(1, 1_000_000) as u64;
+        for _ in 0..SAMPLE_COUNT {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples_ns
+                .push(start.elapsed().as_nanos() as f64 / per_sample as f64);
         }
-        self.elapsed = start.elapsed();
-        self.iterations = target;
     }
 
     /// Times `routine` over fresh inputs from `setup`; setup time is
@@ -169,23 +386,25 @@ impl Bencher {
     {
         if self.test_mode {
             std::hint::black_box(routine(setup()));
-            self.iterations = 0;
             return;
         }
         let input = setup();
         let t0 = Instant::now();
         std::hint::black_box(routine(input));
         let once = t0.elapsed().max(Duration::from_nanos(1));
-        let target = (self.measure.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
-        let mut timed = Duration::ZERO;
-        for _ in 0..target {
-            let input = setup();
-            let start = Instant::now();
-            std::hint::black_box(routine(input));
-            timed += start.elapsed();
+        let per_sample = (self.measure.as_nanos() / SAMPLE_COUNT as u128 / once.as_nanos())
+            .clamp(1, 100_000) as u64;
+        for _ in 0..SAMPLE_COUNT {
+            let mut timed = Duration::ZERO;
+            for _ in 0..per_sample {
+                let input = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(input));
+                timed += start.elapsed();
+            }
+            self.samples_ns
+                .push(timed.as_nanos() as f64 / per_sample as f64);
         }
-        self.elapsed = timed;
-        self.iterations = target;
     }
 }
 
@@ -214,13 +433,20 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    fn quiet(test_mode: bool, filter: Option<&str>) -> Criterion {
+        Criterion {
+            test_mode,
+            filter: filter.map(str::to_string),
+            compare: None,
+            save_path: None,
+            results: Baseline::default(),
+            measure: Duration::from_millis(1),
+        }
+    }
+
     #[test]
     fn smoke_mode_runs_once() {
-        let mut c = Criterion {
-            test_mode: true,
-            filter: None,
-            measure: Duration::from_millis(1),
-        };
+        let mut c = quiet(true, None);
         let mut calls = 0;
         c.bench_function("unit", |b| b.iter(|| calls += 1));
         assert_eq!(calls, 1);
@@ -228,11 +454,7 @@ mod tests {
 
     #[test]
     fn filter_skips_mismatches() {
-        let mut c = Criterion {
-            test_mode: true,
-            filter: Some("only_this".into()),
-            measure: Duration::from_millis(1),
-        };
+        let mut c = quiet(true, Some("only_this"));
         let mut ran = false;
         c.benchmark_group("g")
             .bench_function("other", |b| b.iter(|| ran = true));
@@ -241,15 +463,111 @@ mod tests {
 
     #[test]
     fn iter_batched_consumes_inputs() {
-        let mut c = Criterion {
-            test_mode: true,
-            filter: None,
-            measure: Duration::from_millis(1),
-        };
+        let mut c = quiet(true, None);
         let mut total = 0u64;
         c.bench_function("batched", |b| {
             b.iter_batched(|| 21u64, |x| total += x * 2, BatchSize::SmallInput)
         });
         assert_eq!(total, 42);
+    }
+
+    #[test]
+    fn measured_runs_record_means() {
+        let mut c = quiet(false, None);
+        c.bench_function("tiny", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        let mean = c.results.mean_ns("tiny").expect("mean recorded");
+        assert!(mean > 0.0);
+    }
+
+    #[test]
+    fn stats_on_constant_samples() {
+        let stats = SampleStats::from_samples(&[5.0; 10]);
+        assert_eq!(stats.mean_ns, 5.0);
+        assert_eq!(stats.std_dev_ns, 0.0);
+        assert_eq!(stats.outliers, 0);
+        assert_eq!(stats.samples, 10);
+        assert_eq!(stats.rsd_percent(), 0.0);
+    }
+
+    #[test]
+    fn stats_flag_tukey_outliers() {
+        // 20 well-spread samples (91..=110) plus one wild spike: only the
+        // spike sits beyond the 1.5 × IQR fences.
+        let mut samples: Vec<f64> = (91..=110).map(f64::from).collect();
+        samples.push(1_000.0);
+        let stats = SampleStats::from_samples(&samples);
+        assert_eq!(stats.outliers, 1, "{stats:?}");
+        assert!(stats.std_dev_ns > 0.0);
+        assert!(stats.mean_ns > 100.0);
+    }
+
+    #[test]
+    fn stats_variance_matches_hand_computation() {
+        let stats = SampleStats::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((stats.mean_ns - 2.5).abs() < 1e-12);
+        // Sample variance of 1..4 is 5/3.
+        assert!((stats.std_dev_ns - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn baseline_json_round_trips() {
+        let mut b = Baseline::default();
+        b.record("dsp/fft_256", 1234.5);
+        b.record("serve/stream_replay", 9.0);
+        let parsed = Baseline::parse(&b.to_json()).expect("round trip");
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.mean_ns("dsp/fft_256"), Some(1234.5));
+        assert_eq!(parsed.mean_ns("missing"), None);
+    }
+
+    #[test]
+    fn baseline_rejects_malformed_json() {
+        assert!(Baseline::parse("not json").is_none());
+        assert!(Baseline::parse("{\"unterminated: 1}").is_none());
+        assert_eq!(
+            Baseline::parse("{}"),
+            Some(Baseline::default()),
+            "empty object is a valid empty baseline"
+        );
+    }
+
+    #[test]
+    fn baseline_merge_keeps_untouched_entries() {
+        let dir = std::env::temp_dir().join(format!(
+            "gp-criterion-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.json");
+        let path = path.to_str().unwrap();
+
+        // `dir` is created above but the nested directory is not:
+        // merge_into_file must create missing parents itself.
+        let nested = dir.join("results").join("baseline.json");
+        let mut fresh = Baseline::default();
+        fresh.record("group_a/bench", 1.0);
+        fresh.merge_into_file(nested.to_str().unwrap()).unwrap();
+        assert!(nested.exists());
+
+        let mut first = Baseline::default();
+        first.record("group_a/bench", 100.0);
+        first.merge_into_file(path).unwrap();
+
+        let mut second = Baseline::default();
+        second.record("group_b/bench", 200.0);
+        second.merge_into_file(path).unwrap();
+
+        let merged = Baseline::load(path).unwrap();
+        assert_eq!(merged.mean_ns("group_a/bench"), Some(100.0));
+        assert_eq!(merged.mean_ns("group_b/bench"), Some(200.0));
+
+        // A corrupt baseline must abort the save rather than be replaced.
+        std::fs::write(path, "not json at all").unwrap();
+        let mut third = Baseline::default();
+        third.record("group_c/bench", 300.0);
+        assert!(third.merge_into_file(path).is_err());
+        assert_eq!(std::fs::read_to_string(path).unwrap(), "not json at all");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
