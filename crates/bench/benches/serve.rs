@@ -2,12 +2,19 @@
 //! segment-to-result latency through `gp-serve`.
 //!
 //! The criterion benchmarks time full stream replays under different
-//! worker/batch configurations; `throughput_report` then prints the
-//! operational numbers (frames/sec, p50/p99 latency) from a multi-session
-//! replay, the serving analogue of the paper's §VI-B5 timing table.
+//! worker/batch configurations (burst mode, frames pushed as fast as
+//! possible); `throughput_report` then replays a multi-session workload
+//! *paced* at a fixed frame rate with deterministic jitter and prints
+//! the operational numbers (frames/sec, p50/p99 latency) — steady-state
+//! latency, the serving analogue of the paper's §VI-B5 timing table.
+//!
+//! All engines and the online-segmentation micro-bench take their
+//! preprocessing parameters from [`gp_bench::serve_config`], the single
+//! configuration source shared with `examples/streaming_serve.rs`.
 
 use criterion::{criterion_group, Criterion};
-use gp_serve::{ServeConfig, ServeEngine};
+use gp_bench::{drive_sessions, serve_config, ReplayPacer};
+use gp_serve::ServeEngine;
 use gp_testkit::{stream_fixture, toy_system, GestureStream};
 
 /// Replays `stream` through one fresh session of `engine`, returning the
@@ -27,29 +34,18 @@ fn bench_serve(c: &mut Criterion) {
     group.sample_size(10);
 
     group.bench_function("stream_replay_1worker", |b| {
-        let engine = ServeEngine::new(
-            toy_system(),
-            ServeConfig {
-                workers: 1,
-                max_batch: 1,
-                ..ServeConfig::default()
-            },
-        );
+        let engine = ServeEngine::new(toy_system(), serve_config(1, 1));
         b.iter(|| replay_once(&engine, &stream))
     });
     group.bench_function("stream_replay_pooled_batched", |b| {
-        let engine = ServeEngine::new(
-            toy_system(),
-            ServeConfig {
-                workers: 0,
-                max_batch: 4,
-                ..ServeConfig::default()
-            },
-        );
+        let engine = ServeEngine::new(toy_system(), serve_config(0, 4));
         b.iter(|| replay_once(&engine, &stream))
     });
     group.bench_function("online_segmentation_per_frame", |b| {
-        let mut online = gp_pipeline::OnlineSegmenter::default();
+        // Built from the shared serving config so the segmenter under
+        // the microscope is exactly the one the engines run.
+        let mut online =
+            gp_pipeline::OnlineSegmenter::new(serve_config(1, 1).preprocessor.segmenter);
         let mut i = 0usize;
         b.iter(|| {
             let frame = &stream.frames[i % stream.frames.len()];
@@ -60,28 +56,26 @@ fn bench_serve(c: &mut Criterion) {
     group.finish();
 }
 
-/// One multi-session replay with operational numbers: aggregate
-/// frames/sec and p50/p99 segment-to-result latency. Runs in smoke mode
-/// too (it is itself a smoke test of the multi-session path).
+/// One paced multi-session replay with operational numbers: aggregate
+/// frames/sec and p50/p99 segment-to-result latency. Pacing replays the
+/// 10 fps streams at 20× real time (200 fps) with ±10% deterministic
+/// jitter, so the latencies below are steady-state, not burst. Runs in
+/// smoke mode too (it is itself a smoke test of the multi-session path).
 fn throughput_report() {
     const SESSIONS: usize = 8;
+    const REPLAY_FPS: f64 = 200.0;
     let stream = stream_fixture();
-    let engine = ServeEngine::new(toy_system(), ServeConfig::default());
-    let sessions: Vec<_> = (0..SESSIONS).map(|_| engine.open_session()).collect();
+    let engine = ServeEngine::new(toy_system(), serve_config(0, 8));
+    let sessions: Vec<_> = (0..SESSIONS)
+        .map(|_| (engine.open_session(), &stream))
+        .collect();
 
     let start = std::time::Instant::now();
-    std::thread::scope(|scope| {
-        for &session in &sessions {
-            let engine = &engine;
-            let frames = &stream.frames;
-            scope.spawn(move || {
-                for frame in frames {
-                    engine.push_frame(session, frame.clone());
-                }
-                engine.close_session(session);
-            });
-        }
-    });
+    drive_sessions(
+        &engine,
+        &sessions,
+        Some(ReplayPacer::new(REPLAY_FPS, 0.1, 42)),
+    );
     let results = engine.drain().len();
     let elapsed = start.elapsed();
 
@@ -90,8 +84,9 @@ fn throughput_report() {
     let p50 = stats.latency_percentile(50.0).unwrap_or_default();
     let p99 = stats.latency_percentile(99.0).unwrap_or_default();
     println!(
-        "serve throughput: {SESSIONS} sessions × {} frames → {results} results \
-         in {elapsed:.2?} | {fps:.0} frames/s | latency p50 {p50:.2?} p99 {p99:.2?}",
+        "serve steady-state ({REPLAY_FPS:.0} fps paced): {SESSIONS} sessions × {} frames \
+         → {results} results in {elapsed:.2?} | {fps:.0} frames/s | \
+         latency p50 {p50:.2?} p99 {p99:.2?}",
         stream.frames.len(),
     );
 }

@@ -1,18 +1,128 @@
-//! Shared fixtures for the Criterion benchmarks.
+//! Shared fixtures and replay drivers for the Criterion benchmarks and
+//! the serving example.
 //!
 //! `benches/pipeline.rs` covers the signal chain (FFT, CFAR, frame
 //! simulation), the preprocessing stage (segmentation, DBSCAN, full
 //! preprocess — the paper's §VI-B5 "preprocessing time"), and the
 //! classifiers (inference and one training step). `benches/serve.rs`
 //! covers the streaming serving path (replay throughput, online
-//! segmentation per frame) and prints a multi-session frames/sec +
-//! p50/p99 latency report.
+//! segmentation per frame) and prints a paced multi-session frames/sec
+//! + p50/p99 latency report. `benches/inference.rs` compares batched
+//! against sequential GesIDNet inference.
 //!
-//! The fixtures themselves live in `gp-testkit` (shared with the
-//! integration tests); this crate only re-exports them so bench code and
-//! test code exercise identical inputs.
+//! The capture fixtures live in `gp-testkit` (shared with the
+//! integration tests); this crate re-exports them and adds the pieces
+//! the serving bench and `examples/streaming_serve.rs` share, so the
+//! two cannot drift apart:
+//!
+//! * [`serve_config`] — the single source of serving configuration.
+//!   Segmentation/noise-canceling parameters come from
+//!   `gp_pipeline::PreprocessorConfig::default()` through one
+//!   expression; neither the bench nor the example re-declares them.
+//! * [`ReplayPacer`] — fixed-fps replay with deterministic jitter, so
+//!   replays measure steady-state latency instead of burst latency.
+//! * [`drive_sessions`] — replays one stream per session concurrently
+//!   on a `gp_runtime::WorkerPool` (the migrated form of the scoped
+//!   driver threads the bench and example used to hand-roll).
+
+use gp_runtime::WorkerPool;
+use gp_serve::{ServeConfig, ServeEngine, SessionId};
+use gp_testkit::GestureStream;
+use std::time::{Duration, Instant};
 
 pub use gp_testkit::{capture_fixture, sample_fixture};
+
+/// The single source of serving configuration for the serve bench and
+/// the streaming example: `workers`/`max_batch` vary per scenario,
+/// everything else — in particular the preprocessor, and with it every
+/// segmentation parameter — is the `gp-pipeline` default.
+pub fn serve_config(workers: usize, max_batch: usize) -> ServeConfig {
+    ServeConfig {
+        workers,
+        max_batch,
+        ..ServeConfig::default()
+    }
+}
+
+/// Fixed-fps replay pacing with deterministic jitter.
+///
+/// Frame `i`'s target offset from replay start is `i / fps` plus a
+/// per-frame jitter drawn deterministically from `(seed, i)` in
+/// `±jitter × frame interval`. The schedule (not the OS sleep accuracy)
+/// is reproducible across runs, which keeps paced replays comparable.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayPacer {
+    interval_secs: f64,
+    jitter: f64,
+    seed: u64,
+}
+
+impl ReplayPacer {
+    /// A pacer replaying at `fps` frames per second with `jitter`
+    /// (fraction of the frame interval, `0.0..=0.5` is sensible) of
+    /// deterministic per-frame wobble.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fps` is not positive.
+    pub fn new(fps: f64, jitter: f64, seed: u64) -> ReplayPacer {
+        assert!(fps > 0.0, "fps must be positive");
+        ReplayPacer {
+            interval_secs: 1.0 / fps,
+            jitter,
+            seed,
+        }
+    }
+
+    /// Frame `i`'s target offset from replay start.
+    pub fn offset_for(&self, frame: usize) -> Duration {
+        // SplitMix64 over (seed, frame): cheap, stateless, deterministic.
+        let mut z = self
+            .seed
+            .wrapping_add((frame as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        let wobble = (2.0 * unit - 1.0) * self.jitter;
+        let t = (frame as f64 + wobble).max(0.0) * self.interval_secs;
+        Duration::from_secs_f64(t)
+    }
+
+    /// Sleeps until frame `i`'s target time relative to `start` (no-op
+    /// when already past it).
+    pub fn pace(&self, start: Instant, frame: usize) {
+        let target = start + self.offset_for(frame);
+        if let Some(wait) = target.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+    }
+}
+
+/// Replays one stream per session concurrently — one pool worker per
+/// session — and closes each session at stream end. `pacer: None`
+/// replays as fast as possible (burst mode); `Some` paces every
+/// driver's frames on its own clock (steady-state mode).
+pub fn drive_sessions(
+    engine: &ServeEngine,
+    sessions: &[(SessionId, &GestureStream)],
+    pacer: Option<ReplayPacer>,
+) {
+    if sessions.is_empty() {
+        return;
+    }
+    let drivers = WorkerPool::new(sessions.len());
+    drivers.scope_map(sessions.to_vec(), |_, (session, stream)| {
+        let start = Instant::now();
+        for (i, frame) in stream.frames.iter().enumerate() {
+            if let Some(pacer) = &pacer {
+                pacer.pace(start, i);
+            }
+            engine.push_frame(session, frame.clone());
+        }
+        engine.close_session(session);
+    });
+}
 
 #[cfg(test)]
 mod tests {
@@ -24,5 +134,54 @@ mod tests {
         assert!(frames.len() > 30);
         let sample = sample_fixture();
         assert!(sample.cloud.len() >= 8);
+    }
+
+    #[test]
+    fn serve_config_uses_pipeline_preprocessor_defaults() {
+        let config = serve_config(2, 4);
+        assert_eq!(config.workers, 2);
+        assert_eq!(config.max_batch, 4);
+        assert_eq!(
+            config.preprocessor,
+            gp_pipeline::PreprocessorConfig::default(),
+            "serving preprocessor must be the gp-pipeline default"
+        );
+    }
+
+    #[test]
+    fn pacer_is_deterministic_and_roughly_fixed_rate() {
+        let pacer = ReplayPacer::new(10.0, 0.2, 7);
+        let again = ReplayPacer::new(10.0, 0.2, 7);
+        for i in 0..50 {
+            assert_eq!(pacer.offset_for(i), again.offset_for(i), "frame {i}");
+            let nominal = i as f64 * 0.1;
+            let offset = pacer.offset_for(i).as_secs_f64();
+            assert!(
+                (offset - nominal).abs() <= 0.2 * 0.1 + 1e-9,
+                "frame {i}: offset {offset} strays from nominal {nominal}"
+            );
+        }
+        // A different seed produces a different jitter sequence.
+        let other = ReplayPacer::new(10.0, 0.2, 8);
+        assert!((0..50).any(|i| other.offset_for(i) != pacer.offset_for(i)));
+    }
+
+    #[test]
+    fn zero_jitter_is_exactly_fixed_rate() {
+        let pacer = ReplayPacer::new(100.0, 0.0, 0);
+        assert_eq!(pacer.offset_for(0), Duration::ZERO);
+        assert_eq!(pacer.offset_for(10), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn drive_sessions_replays_and_closes() {
+        let engine = ServeEngine::new(gp_testkit::toy_system(), serve_config(2, 2));
+        let stream = gp_testkit::stream_fixture();
+        let sessions: Vec<(SessionId, &GestureStream)> =
+            (0..2).map(|_| (engine.open_session(), &stream)).collect();
+        drive_sessions(&engine, &sessions, Some(ReplayPacer::new(5_000.0, 0.1, 3)));
+        assert_eq!(engine.session_count(), 0, "sessions closed");
+        let events = engine.drain();
+        assert!(!events.is_empty(), "paced replay still publishes results");
     }
 }

@@ -3,6 +3,7 @@
 
 use crate::train::{train_classifier, TrainConfig, TrainedModel};
 use gp_pipeline::LabeledSample;
+use gp_runtime::WorkerPool;
 
 /// Runtime identification mode (paper §IV-C).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -97,17 +98,12 @@ impl GesturePrint {
                 let all_pairs: Vec<(&LabeledSample, usize)> =
                     samples.iter().map(|s| (*s, s.user)).collect();
 
-                // Train per-gesture identifiers in parallel.
-                let threads = if config.threads == 0 {
-                    std::thread::available_parallelism()
-                        .map(|n| n.get())
-                        .unwrap_or(4)
-                } else {
-                    config.threads
-                };
-                let mut results: Vec<(usize, TrainedModel)> = Vec::with_capacity(gestures);
+                // Train per-gesture identifiers in parallel on the
+                // shared runtime pool; `scope_map` preserves gesture
+                // order, so no re-sorting is needed.
                 let train_cfg = &config.train;
-                crossbeam_scope(threads, gestures, |g| {
+                let pool = WorkerPool::new(config.threads);
+                pool.scope_map((0..gestures).collect(), |_, g| {
                     let pairs: &[(&LabeledSample, usize)] = if groups[g].is_empty() {
                         &all_pairs
                     } else {
@@ -120,12 +116,8 @@ impl GesturePrint {
                     // comparable optimisation budget.
                     let ratio = (samples.len() as f64 / pairs.len().max(1) as f64).min(3.0);
                     cfg.epochs = ((cfg.epochs as f64) * ratio).round() as usize;
-                    (g, train_classifier(pairs, users, &cfg))
+                    train_classifier(pairs, users, &cfg)
                 })
-                .into_iter()
-                .for_each(|r| results.push(r));
-                results.sort_by_key(|(g, _)| *g);
-                results.into_iter().map(|(_, m)| m).collect()
             }
         };
 
@@ -260,33 +252,6 @@ fn argmax_f64(v: &[f64]) -> usize {
         .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
         .unwrap_or(0)
-}
-
-/// Minimal indexed parallel map over `0..n` using std scoped threads.
-fn crossbeam_scope<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    if n == 0 {
-        return Vec::new();
-    }
-    let indices: Vec<usize> = (0..n).collect();
-    let chunk = n.div_ceil(threads.max(1)).max(1);
-    let mut out: Vec<T> = Vec::with_capacity(n);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = indices
-            .chunks(chunk)
-            .map(|ids| {
-                let f = &f;
-                scope.spawn(move || ids.iter().map(|&i| f(i)).collect::<Vec<T>>())
-            })
-            .collect();
-        for h in handles {
-            out.extend(h.join().expect("training worker panicked"));
-        }
-    });
-    out
 }
 
 #[cfg(test)]

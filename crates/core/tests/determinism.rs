@@ -79,4 +79,22 @@ fn trained_system_identical_across_thread_counts() {
         );
         assert_eq!(a.user_probs, b.user_probs, "user posteriors diverge");
     }
+
+    // And the batched path is bit-identical for every batch size 1..=8,
+    // regardless of which thread count trained the system: batch
+    // composition must never leak into predictions.
+    let probes = ordered(&seq);
+    let reference: Vec<_> = probes.iter().map(|p| system_seq.infer(p)).collect();
+    for system in [&system_seq, &system_par] {
+        for batch in 1..=8usize {
+            let mut batched = Vec::with_capacity(probes.len());
+            for chunk in probes.chunks(batch) {
+                batched.extend(system.infer_batch(chunk));
+            }
+            assert_eq!(
+                batched, reference,
+                "batched inference diverges at batch size {batch}"
+            );
+        }
+    }
 }

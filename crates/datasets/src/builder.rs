@@ -5,6 +5,7 @@ use gp_kinematics::gestures::GestureId;
 use gp_kinematics::{Performance, UserProfile};
 use gp_pipeline::{LabeledSample, Preprocessor, PreprocessorConfig};
 use gp_radar::{Backend, Environment, RadarConfig, RadarSimulator, Scene};
+use gp_runtime::WorkerPool;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -132,43 +133,22 @@ pub fn build(spec: &DatasetSpec, options: &BuildOptions) -> Dataset {
         }
     }
 
-    let threads = if options.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-    } else {
-        options.threads
-    };
-    let chunk = work.len().div_ceil(threads.max(1)).max(1);
+    // Each capture is an independent (seed-derived) simulation, so the
+    // shared runtime pool runs them one-per-job and work stealing
+    // balances the load; `scope_map` keeps results in work order, which
+    // makes the build deterministic for any thread count.
+    let pool = WorkerPool::new(options.threads);
+    let total = work.len();
+    let captured: Vec<Option<DatasetSample>> =
+        pool.scope_map(work, |_, item| capture_one(spec, options, &item));
 
-    let mut results: Vec<(Vec<DatasetSample>, usize)> = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = work
-            .chunks(chunk)
-            .map(|items| {
-                scope.spawn(move || {
-                    let mut out = Vec::with_capacity(items.len());
-                    let mut dropped = 0usize;
-                    for item in items {
-                        match capture_one(spec, options, item) {
-                            Some(sample) => out.push(sample),
-                            None => dropped += 1,
-                        }
-                    }
-                    (out, dropped)
-                })
-            })
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("builder worker panicked"));
-        }
-    });
-
-    let mut samples = Vec::with_capacity(work.len());
+    let mut samples = Vec::with_capacity(total);
     let mut dropped = 0;
-    for (mut part, d) in results {
-        samples.append(&mut part);
-        dropped += d;
+    for slot in captured {
+        match slot {
+            Some(sample) => samples.push(sample),
+            None => dropped += 1,
+        }
     }
     Dataset {
         spec: spec.clone(),

@@ -152,6 +152,13 @@ impl SharedMlp {
         }
     }
 
+    /// Inference-only forward (no trace): the batched path stacks many
+    /// groups into one matrix and runs both layers as single multi-row
+    /// kernels. Row-for-row bit-identical to [`SharedMlp::forward`].
+    fn infer(&self, x: &Matrix) -> Matrix {
+        Relu.forward(&self.l2.forward(&Relu.forward(&self.l1.forward(x))))
+    }
+
     fn forward(&self, x: Matrix) -> (Matrix, SharedMlpTrace) {
         let pre1 = self.l1.forward(&x);
         let act1 = Relu.forward(&pre1);
@@ -396,13 +403,11 @@ impl GesIDNet {
         };
 
         // --- Heads --------------------------------------------------------
-        let y1_m = Matrix::from_rows(&[y1.clone()]);
-        let h1_pre = self.head1_a.forward(&y1_m);
+        let h1_pre = self.head1_a.forward_batch(&[&y1]);
         let h1_act = Relu.forward(&h1_pre);
         let logits1 = self.head1_b.forward(&h1_act).row(0).to_vec();
 
-        let y2_m = Matrix::from_rows(&[y2.clone()]);
-        let h2_pre_a = self.head2_a.forward(&y2_m);
+        let h2_pre_a = self.head2_a.forward_batch(&[&y2]);
         let h2_act_a = Relu.forward(&h2_pre_a);
         let h2_pre_b = self.head2_b.forward(&h2_act_a);
         let h2_act_b = Relu.forward(&h2_pre_b);
@@ -434,6 +439,168 @@ impl GesIDNet {
             h2_act_b,
             logits2,
         }
+    }
+
+    /// Genuinely batched inference: one row of P1 logits per input.
+    ///
+    /// Work is shared two ways, while staying bit-identical to calling
+    /// [`PointModel::logits`] per sample:
+    ///
+    /// 1. **Deduplication** — identical inputs (same positions and
+    ///    features) run FPS, grouping, and the whole forward once; their
+    ///    logits row is copied to every duplicate. The scan is O(B²)
+    ///    comparisons, fine at micro-batch sizes.
+    /// 2. **Multi-row kernels** — per scale, every group of every
+    ///    sample is stacked into one matrix, so each shared MLP runs as
+    ///    two big matmuls instead of `B × n₁` small ones, pooled by
+    ///    [`MaxPool::forward_segments`]. The projections, the attention
+    ///    fusion, and the primary head likewise run over all samples'
+    ///    rows at once. (The auxiliary head P2 is training-only and is
+    ///    skipped entirely here.)
+    ///
+    /// Bit-exactness holds because every kernel computes each output
+    /// row from its input rows alone, in the same operation order as
+    /// the per-sample path.
+    pub fn forward_batch(&self, inputs: &[ModelInput]) -> Matrix {
+        if inputs.is_empty() {
+            return Matrix::zeros(0, self.config.classes);
+        }
+        // Dedupe identical inputs so shared FPS/grouping work runs once:
+        // `unique[k]` is the index of the k-th distinct input, and
+        // `source[i]` is the distinct slot input `i` maps to.
+        let mut unique: Vec<usize> = Vec::new();
+        let mut source: Vec<usize> = Vec::with_capacity(inputs.len());
+        for (i, input) in inputs.iter().enumerate() {
+            match unique.iter().position(|&u| &inputs[u] == input) {
+                Some(k) => source.push(k),
+                None => {
+                    source.push(unique.len());
+                    unique.push(i);
+                }
+            }
+        }
+        let uniq: Vec<&ModelInput> = unique.iter().map(|&i| &inputs[i]).collect();
+        let logits = self.forward_stacked(&uniq);
+        if uniq.len() == inputs.len() {
+            return logits;
+        }
+        let mut out = Matrix::zeros(inputs.len(), self.config.classes);
+        for (i, &k) in source.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(logits.row(k));
+        }
+        out
+    }
+
+    /// The stacked forward over distinct inputs (see
+    /// [`GesIDNet::forward_batch`] for the kernel layout).
+    fn forward_stacked(&self, inputs: &[&ModelInput]) -> Matrix {
+        let b = inputs.len();
+        let cfg = &self.config;
+        let c1_dim: usize = cfg.sa1_scales.iter().map(|s| s.out).sum();
+
+        // Per-sample geometry: FPS centroids, exactly as the per-sample
+        // path computes them (grouping is geometry-dependent, so it
+        // cannot batch across distinct clouds — the MLPs below can).
+        let mut clouds = Vec::with_capacity(b);
+        let mut centroids: Vec<Vec<Vec3>> = Vec::with_capacity(b);
+        for input in inputs {
+            let pos_cloud = PointCloud::from_positions(input.positions.iter().copied());
+            let idx = farthest_point_indices(&pos_cloud, cfg.sa1_centroids);
+            centroids.push(idx.iter().map(|&i| input.positions[i]).collect());
+            clouds.push(pos_cloud);
+        }
+        let counts1: Vec<usize> = centroids.iter().map(|c| c.len()).collect();
+        let total_c1: usize = counts1.iter().sum();
+
+        // --- SA1: per scale, stack every group of every sample -------
+        let mut sa1_concat = Matrix::zeros(total_c1, c1_dim);
+        let mut col_off = 0;
+        let group_width = 3 + POINT_FEATURES;
+        for (scale, mlp) in cfg.sa1_scales.iter().zip(&self.sa1_mlps) {
+            let mut lens: Vec<usize> = Vec::with_capacity(total_c1);
+            let mut rows: Vec<f32> = Vec::new();
+            for (s, input) in inputs.iter().enumerate() {
+                for &c in &centroids[s] {
+                    let members =
+                        neighbors::ball_query_padded(&clouds[s], c, scale.radius, scale.max_points);
+                    for &m in &members {
+                        let d = (input.positions[m] - c) * (1.0 / scale.radius);
+                        rows.push(d.x as f32);
+                        rows.push(d.y as f32);
+                        rows.push(d.z as f32);
+                        rows.extend_from_slice(input.points.row(m));
+                    }
+                    lens.push(members.len());
+                }
+            }
+            let stacked = Matrix::from_vec(rows.len() / group_width, group_width, rows);
+            let pooled = MaxPool.forward_segments(&mlp.infer(&stacked), &lens);
+            for r in 0..total_c1 {
+                sa1_concat.row_mut(r)[col_off..col_off + scale.out].copy_from_slice(pooled.row(r));
+            }
+            col_off += scale.out;
+        }
+
+        // --- Low-level feature F1: one projection over all samples'
+        // centroid rows, pooled per sample ----------------------------
+        let low = Relu.forward(&self.low_proj.forward(&sa1_concat));
+        let f1 = MaxPool.forward_segments(&low, &counts1); // b × low_dim
+
+        // --- SA2 over SA1 centroids, stacked across the batch --------
+        let sa2 = &cfg.sa2_scale;
+        let sa2_width = 3 + c1_dim;
+        let mut counts2: Vec<usize> = Vec::with_capacity(b);
+        let mut lens2: Vec<usize> = Vec::new();
+        let mut rows2: Vec<f32> = Vec::new();
+        let mut row_off = 0; // sample s's first row within sa1_concat
+        for (s, _) in inputs.iter().enumerate() {
+            let cent_cloud = PointCloud::from_positions(centroids[s].iter().copied());
+            let c2_idx = farthest_point_indices(&cent_cloud, cfg.sa2_centroids);
+            counts2.push(c2_idx.len());
+            for &ci in &c2_idx {
+                let c = centroids[s][ci];
+                let members =
+                    neighbors::ball_query_padded(&cent_cloud, c, sa2.radius, sa2.max_points);
+                for &m in &members {
+                    let d = (centroids[s][m] - c) * (1.0 / sa2.radius);
+                    rows2.push(d.x as f32);
+                    rows2.push(d.y as f32);
+                    rows2.push(d.z as f32);
+                    rows2.extend_from_slice(sa1_concat.row(row_off + m));
+                }
+                lens2.push(members.len());
+            }
+            row_off += counts1[s];
+        }
+        let stacked2 = Matrix::from_vec(rows2.len() / sa2_width, sa2_width, rows2);
+        let sa2_out = MaxPool.forward_segments(&self.sa2_mlp.infer(&stacked2), &lens2);
+
+        // --- High-level feature F2 -----------------------------------
+        let high = Relu.forward(&self.high_proj.forward(&sa2_out));
+        let f2 = MaxPool.forward_segments(&high, &counts2); // b × high_dim
+
+        // --- Attention fusion (Eqs. 2–3), batched: score all samples'
+        // candidates with two multi-row passes of g, then weight
+        // per row. Only Y¹ is needed — P1 is the inference output. ----
+        let y1 = if cfg.fusion {
+            let resized = Relu.forward(&self.rb_low.forward(&f2)); // b × low_dim
+            let scores_resized = self.g1.forward(&resized); // b × 1
+            let scores_own = self.g1.forward(&f1); // b × 1
+            let mut y = Matrix::zeros(b, cfg.low_dim);
+            for r in 0..b {
+                let w = softmax(&[scores_resized.at(r, 0), scores_own.at(r, 0)]);
+                for (j, out) in y.row_mut(r).iter_mut().enumerate() {
+                    *out = w[0] * resized.at(r, j) + w[1] * f1.at(r, j);
+                }
+            }
+            y
+        } else {
+            f1
+        };
+
+        // --- Primary head P1 as multi-row matmuls --------------------
+        let hidden = Relu.forward(&self.head1_a.forward(&y1));
+        self.head1_b.forward(&hidden)
     }
 
     fn backward_full(&mut self, input: &ModelInput, trace: &Trace, label: usize) -> f32 {
@@ -529,12 +696,10 @@ impl GesIDNet {
 /// Attention fusion forward (Eqs. 2–3): resize `other` to `own`'s level
 /// via the RB, score both with `g`, softmax-weight and sum.
 fn fuse(rb: &Linear, g: &Linear, other: &[f32], own: &[f32]) -> (Vec<f32>, FusionTrace) {
-    let other_m = Matrix::from_rows(&[other.to_vec()]);
-    let resized_pre = rb.forward(&other_m);
+    let resized_pre = rb.forward_batch(&[other]);
     let resized = Relu.forward(&resized_pre);
     let a = g.forward(&resized).at(0, 0);
-    let own_m = Matrix::from_rows(&[own.to_vec()]);
-    let b = g.forward(&own_m).at(0, 0);
+    let b = g.forward_batch(&[own]).at(0, 0);
     let w = softmax(&[a, b]);
     let y: Vec<f32> = resized
         .row(0)
@@ -601,6 +766,12 @@ impl PointModel for GesIDNet {
     fn logits(&self, input: &ModelInput) -> Vec<f32> {
         // The primary prediction P1 is the inference output (paper §IV-C).
         self.forward_full(input).logits1
+    }
+
+    fn logits_batch(&self, inputs: &[ModelInput]) -> Matrix {
+        // Overrides the map-per-sample default with the genuinely
+        // batched forward (deduped grouping + multi-row kernels).
+        self.forward_batch(inputs)
     }
 
     fn train_step(&mut self, input: &ModelInput, label: usize) -> f32 {
@@ -801,6 +972,61 @@ mod tests {
             failures.len() <= checked / 10,
             "gradient mismatches: {failures:?}"
         );
+    }
+
+    #[test]
+    fn forward_batch_bit_exact_with_per_sample_logits() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = GesIDNet::new(GesIDNetConfig::for_classes(5), &mut rng);
+        for batch in 1..=4usize {
+            let inputs: Vec<ModelInput> = (0..batch)
+                .map(|k| toy_input(10 + k as u64, 0.1 * k as f64))
+                .collect();
+            let batched = net.forward_batch(&inputs);
+            assert_eq!(batched.rows(), batch);
+            for (i, input) in inputs.iter().enumerate() {
+                assert_eq!(
+                    batched.row(i),
+                    net.logits(input).as_slice(),
+                    "batch {batch} row {i}"
+                );
+            }
+        }
+        assert_eq!(net.forward_batch(&[]).rows(), 0);
+    }
+
+    #[test]
+    fn forward_batch_dedupes_identical_inputs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = GesIDNet::new(GesIDNetConfig::for_classes(3), &mut rng);
+        let a = toy_input(20, 0.0);
+        let b = toy_input(21, 0.4);
+        // Duplicates interleaved with distinct inputs must still land
+        // each input's own logits in its own row.
+        let inputs = vec![a.clone(), b.clone(), a.clone(), a, b];
+        let batched = net.forward_batch(&inputs);
+        for (i, input) in inputs.iter().enumerate() {
+            assert_eq!(batched.row(i), net.logits(input).as_slice(), "row {i}");
+        }
+        assert_eq!(batched.row(0), batched.row(2));
+        assert_eq!(batched.row(1), batched.row(4));
+    }
+
+    #[test]
+    fn forward_batch_without_fusion_matches_too() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let net = GesIDNet::new(
+            GesIDNetConfig {
+                fusion: false,
+                ..GesIDNetConfig::for_classes(3)
+            },
+            &mut rng,
+        );
+        let inputs: Vec<ModelInput> = (0..3).map(|k| toy_input(30 + k, 0.0)).collect();
+        let batched = net.forward_batch(&inputs);
+        for (i, input) in inputs.iter().enumerate() {
+            assert_eq!(batched.row(i), net.logits(input).as_slice(), "row {i}");
+        }
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Property tests: the batched GesIDNet forward must be bit-exact with
+//! the per-sample path for every batch size 1..=8, mixed raw point-cloud
+//! sizes, mixed resampling widths, and duplicated inputs — the
+//! guarantee `gp-serve`'s micro-batching executor and `gp-core`'s
+//! batched entry points rely on for worker-count determinism.
+
+use gp_models::features::{encode, FeatureConfig, ModelInput};
+use gp_models::{GesIDNet, GesIDNetConfig, PointModel};
+use gp_pointcloud::{Point, PointCloud, Vec3};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic synthetic gesture cloud with `points` raw points.
+fn cloud(seed: u64, points: usize, shift: f64) -> PointCloud {
+    (0..points)
+        .map(|i| {
+            let t = i as f64 * 0.37 + seed as f64 * 0.11;
+            Point::new(
+                Vec3::new(
+                    shift + t.sin() * 0.3,
+                    1.2 + t.cos() * 0.2,
+                    1.0 + (t * 0.7).sin() * 0.3,
+                ),
+                (t * 1.3).sin(),
+                8.0 + (i % 13) as f64,
+            )
+        })
+        .collect()
+}
+
+fn input(seed: u64, points: usize, num_points: usize, shift: f64) -> ModelInput {
+    let mut rng = StdRng::seed_from_u64(seed);
+    encode(
+        &cloud(seed, points, shift),
+        &[],
+        &FeatureConfig {
+            num_points,
+            ..FeatureConfig::default()
+        },
+        &mut rng,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `forward_batch` (and through it `logits_batch`) is bit-exact
+    /// with per-sample `logits` for batch sizes 1..=8 over clouds of
+    /// mixed raw sizes, including sparse ones below the resampling
+    /// width.
+    #[test]
+    fn logits_batch_bit_exact_for_mixed_batches(
+        seed in 0u64..200,
+        batch in 1usize..=8,
+        num_points in 16usize..=48,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = GesIDNet::new(GesIDNetConfig::for_classes(4), &mut rng);
+        let inputs: Vec<ModelInput> = (0..batch)
+            .map(|k| {
+                // Mixed cloud sizes within one batch: 5..=64 raw points.
+                let raw = 5 + ((seed as usize + 13 * k) % 60);
+                input(seed ^ k as u64, raw, num_points, 0.1 * k as f64)
+            })
+            .collect();
+        let batched = net.logits_batch(&inputs);
+        prop_assert_eq!(batched.rows(), batch);
+        for (i, sample) in inputs.iter().enumerate() {
+            let single = net.logits(sample);
+            prop_assert_eq!(batched.row(i), single.as_slice(), "row {}", i);
+        }
+    }
+
+    /// Duplicated inputs (which the batched path deduplicates to share
+    /// FPS/grouping work) still land exact per-row logits.
+    #[test]
+    fn deduplicated_rows_stay_bit_exact(
+        seed in 0u64..100,
+        copies in 2usize..=5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = GesIDNet::new(GesIDNetConfig::for_classes(3), &mut rng);
+        let a = input(seed, 24, 24, 0.0);
+        let b = input(seed + 1, 40, 24, 0.3);
+        let mut inputs = vec![b.clone()];
+        inputs.extend(std::iter::repeat_with(|| a.clone()).take(copies));
+        inputs.push(b);
+        let batched = net.logits_batch(&inputs);
+        for (i, sample) in inputs.iter().enumerate() {
+            let single = net.logits(sample);
+            prop_assert_eq!(batched.row(i), single.as_slice(), "row {}", i);
+        }
+        // All duplicate rows are identical (they share one forward).
+        for k in 2..=copies {
+            prop_assert_eq!(batched.row(1), batched.row(k));
+        }
+    }
+}

@@ -52,6 +52,16 @@ impl Linear {
         y
     }
 
+    /// Forward pass over rows gathered from scattered slices: stacks
+    /// them into one matrix and runs a single multi-row
+    /// [`Linear::forward`]. Each output row is bit-identical to
+    /// forwarding that row alone — the matmul computes every row's dot
+    /// products independently — so batch-capable callers can stack
+    /// per-sample feature vectors without changing results.
+    pub fn forward_batch(&self, rows: &[&[f32]]) -> Matrix {
+        self.forward(&Matrix::from_row_slices(rows))
+    }
+
     /// Backward pass: accumulates weight/bias gradients and returns the
     /// gradient w.r.t. the input. `x` must be the same matrix given to
     /// [`Linear::forward`].
@@ -130,6 +140,44 @@ impl MaxPool {
             }
         }
         (out, arg)
+    }
+
+    /// Segmented column-wise max over stacked rows: `lens[k]`
+    /// consecutive rows of `x` form segment `k`, and each segment pools
+    /// to one output row. Bit-identical to running
+    /// [`MaxPool::forward`] on each segment alone (same scan order,
+    /// same `>` comparison); empty segments yield zero rows, matching
+    /// `forward` on an empty matrix.
+    ///
+    /// This is the batched-inference kernel: many point groups (or many
+    /// samples' rows) pool in one pass instead of one small call per
+    /// group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lens` does not sum to `x.rows()`.
+    pub fn forward_segments(&self, x: &Matrix, lens: &[usize]) -> Matrix {
+        let total: usize = lens.iter().sum();
+        assert_eq!(total, x.rows(), "segment lengths must cover all rows");
+        let mut out = Matrix::zeros(lens.len(), x.cols());
+        let mut base = 0;
+        for (k, &len) in lens.iter().enumerate() {
+            if len == 0 {
+                continue;
+            }
+            out.row_mut(k).copy_from_slice(x.row(base));
+            for r in base + 1..base + len {
+                let row = x.row(r);
+                let dst = out.row_mut(k);
+                for (j, &v) in row.iter().enumerate() {
+                    if v > dst[j] {
+                        dst[j] = v;
+                    }
+                }
+            }
+            base += len;
+        }
+        out
     }
 
     /// Scatters the pooled gradient back to the argmax rows.
@@ -269,6 +317,53 @@ mod tests {
         assert_eq!(g.at(1, 0), 1.0);
         assert_eq!(g.at(0, 1), 2.0);
         assert_eq!(g.at(2, 0), 0.0);
+    }
+
+    #[test]
+    fn forward_batch_matches_per_row_forward() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let l = Linear::new(4, 3, &mut rng);
+        let rows = vec![
+            vec![0.3f32, -0.2, 0.8, 0.1],
+            vec![1.0, 0.5, -0.4, 0.2],
+            vec![-0.7, 0.0, 0.25, 2.0],
+        ];
+        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let batched = l.forward_batch(&refs);
+        for (i, row) in rows.iter().enumerate() {
+            let single = l.forward(&Matrix::from_rows(&[row.clone()]));
+            assert_eq!(batched.row(i), single.row(0), "row {i}");
+        }
+    }
+
+    #[test]
+    fn forward_segments_matches_per_segment_forward() {
+        let x = Matrix::from_rows(&[
+            vec![1.0, 9.0],
+            vec![5.0, 2.0],
+            vec![3.0, 4.0],
+            vec![-1.0, -2.0],
+            vec![7.0, 0.5],
+        ]);
+        let lens = [3usize, 0, 2];
+        let pooled = MaxPool.forward_segments(&x, &lens);
+        assert_eq!(pooled.rows(), 3);
+        assert_eq!(pooled.row(0), &[5.0, 9.0]);
+        assert_eq!(pooled.row(1), &[0.0, 0.0], "empty segment pools to zeros");
+        assert_eq!(pooled.row(2), &[7.0, 0.5]);
+        // Bit-exact vs the per-segment scalar kernel.
+        let (seg0, _) = MaxPool.forward(&Matrix::from_rows(&[
+            x.row(0).to_vec(),
+            x.row(1).to_vec(),
+            x.row(2).to_vec(),
+        ]));
+        assert_eq!(pooled.row(0), seg0.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "segment lengths must cover all rows")]
+    fn forward_segments_checks_coverage() {
+        MaxPool.forward_segments(&Matrix::zeros(3, 2), &[2]);
     }
 
     #[test]

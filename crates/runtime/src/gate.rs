@@ -1,0 +1,163 @@
+//! High-watermark backpressure for bounded-queue submission.
+//!
+//! A [`Gate`] counts *outstanding weight* (for `gp-serve`: segments
+//! pending or in flight). Producers [`Gate::acquire`] weight before
+//! submitting work and the weight is released when the work completes;
+//! once the outstanding weight reaches the high watermark, `acquire`
+//! blocks the producer until enough work drains. That converts an
+//! unbounded queue into backpressure on whoever is pushing too fast.
+
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A weighted high-watermark counter.
+#[derive(Debug)]
+pub struct Gate {
+    high: usize,
+    count: Mutex<usize>,
+    below: Condvar,
+}
+
+impl Gate {
+    /// Creates a gate admitting up to `high` outstanding weight
+    /// (`high` is clamped to at least 1).
+    pub fn new(high: usize) -> Gate {
+        Gate {
+            high: high.max(1),
+            count: Mutex::new(0),
+            below: Condvar::new(),
+        }
+    }
+
+    /// The configured high watermark.
+    pub fn high_watermark(&self) -> usize {
+        self.high
+    }
+
+    /// Currently outstanding weight.
+    pub fn outstanding(&self) -> usize {
+        *lock(&self.count)
+    }
+
+    /// Acquires `weight`, blocking while it would push the outstanding
+    /// total past the high watermark. A weight larger than the
+    /// watermark is admitted once the gate is empty (so one oversized
+    /// batch cannot deadlock the producer).
+    pub fn acquire(&self, weight: usize) {
+        let mut count = lock(&self.count);
+        while *count > 0 && *count + weight > self.high {
+            count = self
+                .below
+                .wait(count)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        *count += weight;
+    }
+
+    /// Non-blocking [`Gate::acquire`]: returns `false` (acquiring
+    /// nothing) when the weight does not fit — the shedding policy's
+    /// building block.
+    pub fn try_acquire(&self, weight: usize) -> bool {
+        let mut count = lock(&self.count);
+        if *count > 0 && *count + weight > self.high {
+            return false;
+        }
+        *count += weight;
+        true
+    }
+
+    /// Releases `weight` and wakes blocked producers.
+    pub fn release(&self, weight: usize) {
+        let mut count = lock(&self.count);
+        *count = count.saturating_sub(weight);
+        self.below.notify_all();
+    }
+
+    /// Wraps an already-acquired weight in a guard that releases it on
+    /// drop (used by `WorkerPool::spawn_gated` so a panicking job still
+    /// releases its permit).
+    pub fn into_permit(self: Arc<Self>, weight: usize) -> GatePermit {
+        GatePermit { gate: self, weight }
+    }
+}
+
+/// An acquired weight that releases itself on drop.
+#[derive(Debug)]
+pub struct GatePermit {
+    gate: Arc<Gate>,
+    weight: usize,
+}
+
+impl Drop for GatePermit {
+    fn drop(&mut self) {
+        self.gate.release(self.weight);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_roundtrip() {
+        let gate = Gate::new(4);
+        gate.acquire(3);
+        assert_eq!(gate.outstanding(), 3);
+        gate.release(3);
+        assert_eq!(gate.outstanding(), 0);
+    }
+
+    #[test]
+    fn try_acquire_rejects_at_watermark() {
+        let gate = Gate::new(2);
+        assert!(gate.try_acquire(2));
+        assert!(!gate.try_acquire(1));
+        gate.release(1);
+        assert!(gate.try_acquire(1));
+    }
+
+    #[test]
+    fn oversized_weight_admitted_when_empty() {
+        let gate = Gate::new(2);
+        gate.acquire(10); // must not deadlock
+        assert_eq!(gate.outstanding(), 10);
+        assert!(!gate.try_acquire(1), "full gate rejects more weight");
+        gate.release(10);
+    }
+
+    #[test]
+    fn acquire_blocks_until_release() {
+        let gate = Arc::new(Gate::new(1));
+        gate.acquire(1);
+        let gate2 = gate.clone();
+        let waiter = std::thread::spawn(move || {
+            gate2.acquire(1); // blocks until the main thread releases
+            gate2.release(1);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!waiter.is_finished(), "acquire should still be blocked");
+        gate.release(1);
+        waiter.join().unwrap();
+        assert_eq!(gate.outstanding(), 0);
+    }
+
+    #[test]
+    fn permit_releases_on_drop() {
+        let gate = Arc::new(Gate::new(2));
+        gate.acquire(2);
+        let permit = gate.clone().into_permit(2);
+        assert_eq!(gate.outstanding(), 2);
+        drop(permit);
+        assert_eq!(gate.outstanding(), 0);
+    }
+
+    #[test]
+    fn watermark_clamped_to_one() {
+        let gate = Gate::new(0);
+        assert_eq!(gate.high_watermark(), 1);
+        assert!(gate.try_acquire(1));
+    }
+}

@@ -1,0 +1,37 @@
+//! The shared execution layer for the GesturePrint workspace.
+//!
+//! Before this crate existed, three different crates hand-rolled their
+//! own parallelism: `gestureprint-core` chunked per-gesture identifier
+//! training over `std::thread::scope`, `gp-datasets` did the same for
+//! capture work items, and `gp-serve` owned a private work-stealing pool
+//! for its micro-batching executor. This crate is the single home for
+//! all of it:
+//!
+//! * [`WorkerPool`] — a fixed-size work-stealing pool over `std`
+//!   primitives. Long-lived workers each own a deque; [`WorkerPool::spawn`]
+//!   round-robins jobs and idle workers steal, so uneven work still keeps
+//!   every thread busy.
+//! * **Ordered maps** — [`WorkerPool::map`] (and the borrowing
+//!   [`WorkerPool::scope_map`] / [`WorkerPool::scope_chunked_map`])
+//!   apply a function across items on the pool and return results in
+//!   input order. The scoped variants accept closures that borrow the
+//!   caller's stack, replacing every ad-hoc `std::thread::scope`
+//!   chunking loop in the workspace.
+//! * [`Gate`] — a weighted high-watermark counter for bounded-queue
+//!   submission: acquiring past the watermark blocks the producer until
+//!   enough outstanding work drains. [`WorkerPool::spawn_gated`] is the
+//!   one-call form (the whole weight releases when the job finishes);
+//!   `gp-serve` instead composes [`Gate::acquire`] with per-segment
+//!   releases so blocked producers unblock as each result publishes,
+//!   not only at batch end. Either way a runaway producer blocks
+//!   instead of growing the queue without limit.
+//!
+//! Everything here is deterministic in the sense callers rely on:
+//! ordered maps return results positionally, so a pure per-item function
+//! yields identical output for 1 or N workers regardless of scheduling.
+
+pub mod gate;
+pub mod pool;
+
+pub use gate::Gate;
+pub use pool::WorkerPool;

@@ -58,6 +58,17 @@ impl SessionCounters {
 struct BusInner {
     events: Vec<ServeEvent>,
     sessions: BTreeMap<SessionId, SessionCounters>,
+    /// Closed sessions in close order (tagged with their close epoch),
+    /// awaiting possible eviction.
+    closed: std::collections::VecDeque<(u64, SessionId)>,
+    /// Monotonic count of [`EventBus::mark_closed`] calls; each closed
+    /// entry carries the value at its close as an eligibility epoch.
+    closes: u64,
+    /// Aggregate of evicted closed sessions (so totals stay correct
+    /// after their per-session entries are dropped).
+    evicted: SessionCounters,
+    /// Number of closed sessions folded into `evicted`.
+    evicted_sessions: u64,
     /// Segments dispatched to workers whose result has not been
     /// published yet.
     in_flight: usize,
@@ -87,6 +98,55 @@ impl EventBus {
 
     pub(crate) fn record_segment(&self, id: SessionId) {
         self.lock().sessions.entry(id).or_default().segments += 1;
+    }
+
+    /// Records that a session was closed; it becomes a candidate for
+    /// [`EventBus::sweep_closed`]. Callers must mark a session closed
+    /// only *after* enqueuing its final segment, so any sweep whose
+    /// eligibility epoch covers this close also covers that segment.
+    pub(crate) fn mark_closed(&self, id: SessionId) {
+        let mut inner = self.lock();
+        let epoch = inner.closes;
+        inner.closes += 1;
+        inner.closed.push_back((epoch, id));
+    }
+
+    /// The current close epoch — a snapshot taken *before* a flush
+    /// bounds which closed sessions that drain may evict.
+    pub(crate) fn close_epoch(&self) -> u64 {
+        self.lock().closes
+    }
+
+    /// Folds the oldest closed sessions into the evicted aggregate
+    /// until at most `retain` closed sessions keep their own entry,
+    /// considering only sessions closed before `up_to_epoch`.
+    ///
+    /// The epoch bound is what makes eviction race-free against
+    /// concurrent `close_session` calls: the engine snapshots
+    /// [`EventBus::close_epoch`] before `flush`, so every eligible
+    /// session's final segment was dispatched by that flush and
+    /// published before `wait_idle` returned — its counters are final,
+    /// folding them keeps every aggregate total exact, and a published
+    /// result can never resurrect an evicted session's entry.
+    pub(crate) fn sweep_closed(&self, retain: usize, up_to_epoch: u64) {
+        let mut inner = self.lock();
+        while inner.closed.len() > retain
+            && inner
+                .closed
+                .front()
+                .is_some_and(|&(epoch, _)| epoch < up_to_epoch)
+        {
+            let (_, id) = inner.closed.pop_front().expect("front checked above");
+            if let Some(c) = inner.sessions.remove(&id) {
+                inner.evicted_sessions += 1;
+                inner.evicted.frames += c.frames;
+                inner.evicted.segments += c.segments;
+                inner.evicted.results += c.results;
+                for &latency in &c.latencies {
+                    inner.evicted.record_latency(latency);
+                }
+            }
+        }
     }
 
     pub(crate) fn add_in_flight(&self, n: usize) {
@@ -130,25 +190,25 @@ impl EventBus {
 
     /// Snapshot of the accumulated per-session statistics.
     pub(crate) fn stats(&self) -> ServeStats {
+        let snapshot = |c: &SessionCounters| {
+            let mut latencies = c.latencies.clone();
+            latencies.sort_unstable();
+            SessionStats {
+                frames: c.frames,
+                segments: c.segments,
+                results: c.results,
+                latencies,
+            }
+        };
         let inner = self.lock();
         ServeStats {
             sessions: inner
                 .sessions
                 .iter()
-                .map(|(&id, c)| {
-                    let mut latencies = c.latencies.clone();
-                    latencies.sort_unstable();
-                    (
-                        id,
-                        SessionStats {
-                            frames: c.frames,
-                            segments: c.segments,
-                            results: c.results,
-                            latencies,
-                        },
-                    )
-                })
+                .map(|(&id, c)| (id, snapshot(c)))
                 .collect(),
+            evicted_sessions: inner.evicted_sessions,
+            evicted: snapshot(&inner.evicted),
         }
     }
 }
@@ -180,33 +240,41 @@ impl SessionStats {
 /// A point-in-time snapshot of the engine's accounting.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ServeStats {
-    /// Per-session counters, keyed by session id.
+    /// Per-session counters, keyed by session id. Live sessions plus
+    /// the most recently closed ones; older closed sessions are folded
+    /// into [`ServeStats::evicted`].
     pub sessions: BTreeMap<SessionId, SessionStats>,
+    /// Closed sessions whose per-session entries were evicted.
+    pub evicted_sessions: u64,
+    /// Aggregate counters of the evicted sessions — included in every
+    /// `total_*` so eviction never changes the totals.
+    pub evicted: SessionStats,
 }
 
 impl ServeStats {
-    /// Total frames pushed across all sessions.
+    /// Total frames pushed across all sessions (evicted included).
     pub fn total_frames(&self) -> u64 {
-        self.sessions.values().map(|s| s.frames).sum()
+        self.sessions.values().map(|s| s.frames).sum::<u64>() + self.evicted.frames
     }
 
-    /// Total segments closed across all sessions (including segments
-    /// noise canceling then dropped).
+    /// Total segments closed across all sessions (evicted included, and
+    /// including segments noise canceling then dropped).
     pub fn total_segments(&self) -> u64 {
-        self.sessions.values().map(|s| s.segments).sum()
+        self.sessions.values().map(|s| s.segments).sum::<u64>() + self.evicted.segments
     }
 
-    /// Total results published across all sessions.
+    /// Total results published across all sessions (evicted included).
     pub fn total_results(&self) -> u64 {
-        self.sessions.values().map(|s| s.results).sum()
+        self.sessions.values().map(|s| s.results).sum::<u64>() + self.evicted.results
     }
 
     /// The `p`-th segment-to-result latency percentile across all
-    /// sessions.
+    /// sessions, including the evicted aggregate's retained samples.
     pub fn latency_percentile(&self, p: f64) -> Option<Duration> {
         let mut all: Vec<Duration> = self
             .sessions
             .values()
+            .chain(std::iter::once(&self.evicted))
             .flat_map(|s| s.latencies.iter().copied())
             .collect();
         all.sort_unstable();
@@ -268,6 +336,7 @@ mod tests {
             ]
             .into_iter()
             .collect(),
+            ..Default::default()
         };
         assert_eq!(stats.total_frames(), 15);
         assert_eq!(stats.total_results(), 3);
@@ -287,6 +356,60 @@ mod tests {
             .latencies
             .contains(&ms(LATENCY_RESERVOIR as u64 + 99)));
         assert!(!counters.latencies.contains(&ms(0)));
+    }
+
+    #[test]
+    fn sweep_folds_oldest_closed_sessions_into_aggregate() {
+        let bus = EventBus::default();
+        for i in 0..5u64 {
+            let id = SessionId(i);
+            bus.register_session(id);
+            bus.set_frames(id, 10 + i);
+            bus.record_segment(id);
+            bus.mark_closed(id);
+        }
+        let before = bus.stats();
+        assert_eq!(before.sessions.len(), 5);
+        let (frames, segments) = (before.total_frames(), before.total_segments());
+
+        bus.sweep_closed(2, bus.close_epoch());
+        let after = bus.stats();
+        // The two most recently closed keep their entries…
+        assert_eq!(
+            after.sessions.keys().copied().collect::<Vec<_>>(),
+            vec![SessionId(3), SessionId(4)]
+        );
+        assert_eq!(after.evicted_sessions, 3);
+        // …and every aggregate total is unchanged by eviction.
+        assert_eq!(after.total_frames(), frames);
+        assert_eq!(after.total_segments(), segments);
+
+        // Sweeping again with room to spare is a no-op.
+        bus.sweep_closed(2, bus.close_epoch());
+        assert_eq!(bus.stats(), after);
+    }
+
+    #[test]
+    fn sweep_respects_the_eligibility_epoch() {
+        let bus = EventBus::default();
+        for i in 0..3u64 {
+            bus.register_session(SessionId(i));
+            bus.mark_closed(SessionId(i));
+        }
+        let snapshot = bus.close_epoch();
+        // Sessions closed after the snapshot (a racing `close_session`)
+        // must survive a sweep bounded by it, even with `retain: 0`.
+        for i in 3..6u64 {
+            bus.register_session(SessionId(i));
+            bus.mark_closed(SessionId(i));
+        }
+        bus.sweep_closed(0, snapshot);
+        let stats = bus.stats();
+        assert_eq!(stats.evicted_sessions, 3);
+        assert_eq!(
+            stats.sessions.keys().copied().collect::<Vec<_>>(),
+            vec![SessionId(3), SessionId(4), SessionId(5)]
+        );
     }
 
     #[test]

@@ -15,13 +15,13 @@
 //! even that.
 
 use crate::bus::{EventBus, ServeEvent, ServeStats};
-use crate::pool::WorkerPool;
 use crate::session::{Session, SessionId};
 use gestureprint_core::GesturePrint;
 use gp_pipeline::{
     GestureSegment, LabeledSample, OnlineSegmenter, Preprocessor, PreprocessorConfig,
 };
 use gp_radar::Frame;
+use gp_runtime::{Gate, WorkerPool};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -39,6 +39,18 @@ pub struct ServeConfig {
     pub max_batch: usize,
     /// Worker threads for the executor (`0` = available parallelism).
     pub workers: usize,
+    /// Backpressure high watermark: the maximum number of segments
+    /// dispatched but not yet published. Once reached, the thread that
+    /// closes the next batch blocks in `push_frame`/`flush` until the
+    /// executor drains below the watermark, so a producer that outpaces
+    /// inference cannot grow the queue without limit. (A batch larger
+    /// than the watermark is still admitted when the queue is empty.)
+    pub pending_high_watermark: usize,
+    /// How many *closed* sessions keep their own [`crate::bus::SessionStats`]
+    /// entry. Older closed sessions are folded into the evicted
+    /// aggregate on [`ServeEngine::drain`], keeping totals correct while
+    /// bounding per-session state for millions of short-lived streams.
+    pub retain_closed_sessions: usize,
 }
 
 impl Default for ServeConfig {
@@ -47,6 +59,8 @@ impl Default for ServeConfig {
             preprocessor: PreprocessorConfig::default(),
             max_batch: 8,
             workers: 0,
+            pending_high_watermark: 256,
+            retain_closed_sessions: 1024,
         }
     }
 }
@@ -73,6 +87,9 @@ pub struct ServeEngine {
     config: ServeConfig,
     preprocessor: Preprocessor,
     pool: WorkerPool,
+    /// Bounded-submission gate: weight = segments dispatched but not
+    /// yet published.
+    gate: Arc<Gate>,
     sessions: RwLock<HashMap<SessionId, Arc<Mutex<Session>>>>,
     pending: Mutex<VecDeque<SegmentJob>>,
     next_session: AtomicU64,
@@ -84,12 +101,14 @@ impl ServeEngine {
     /// Creates an engine serving a trained system.
     pub fn new(system: GesturePrint, config: ServeConfig) -> Self {
         let pool = WorkerPool::new(config.workers);
+        let gate = Arc::new(Gate::new(config.pending_high_watermark));
         let preprocessor = Preprocessor::new(config.preprocessor.clone());
         ServeEngine {
             system: Arc::new(system),
             config,
             preprocessor,
             pool,
+            gate,
             sessions: RwLock::new(HashMap::new()),
             pending: Mutex::new(VecDeque::new()),
             next_session: AtomicU64::new(0),
@@ -111,6 +130,14 @@ impl ServeEngine {
     /// Number of executor worker threads.
     pub fn workers(&self) -> usize {
         self.pool.threads()
+    }
+
+    /// Segments dispatched to the executor whose result has not been
+    /// published yet — bounded by
+    /// [`ServeConfig::pending_high_watermark`] (except a single
+    /// oversized batch admitted on an empty queue).
+    pub fn outstanding(&self) -> usize {
+        self.gate.outstanding()
     }
 
     /// Opens a new stream session and returns its id.
@@ -193,10 +220,16 @@ impl ServeEngine {
                 .map(|c| (c, self.next_seq.fetch_add(1, Ordering::Relaxed)));
             (finished, session.frames_seen())
         };
-        // The registry entry is gone; persist the stream's final frame
-        // count into the bus so statistics survive the close.
+        // The registry entry is gone; enqueue the final segment (if
+        // any) and persist the stream's final frame count *before*
+        // marking the session closed: `mark_closed` makes the session
+        // eligible for stats eviction, and eviction's correctness rests
+        // on everything the session will ever account for being
+        // enqueued by then (see [`crate::bus::EventBus::sweep_closed`]).
+        let completed = self.record_completed(id, finished);
         self.bus.set_frames(id, frames_seen as u64);
-        self.record_completed(id, finished)
+        self.bus.mark_closed(id);
+        completed
     }
 
     /// Accounts for a possibly-closed segment: records it, and enqueues
@@ -261,18 +294,26 @@ impl ServeEngine {
     }
 
     fn dispatch(&self, batch: Vec<SegmentJob>) {
+        // Backpressure: block here — on the producer that closed the
+        // batch — while the executor already has a high watermark's
+        // worth of segments outstanding.
+        self.gate.acquire(batch.len());
         self.bus.add_in_flight(batch.len());
         let system = self.system.clone();
         let bus = self.bus.clone();
+        let gate = self.gate.clone();
         self.pool.spawn(move || {
-            // Guard: if inference panics, release the batch's in-flight
-            // slots so `drain` cannot hang on lost segments.
+            // Guard: if inference panics, release the batch's gate
+            // weight and in-flight slots so neither blocked producers
+            // nor `drain` can hang on lost segments.
             struct Forfeit {
                 bus: Arc<EventBus>,
+                gate: Arc<gp_runtime::Gate>,
                 remaining: usize,
             }
             impl Drop for Forfeit {
                 fn drop(&mut self) {
+                    self.gate.release(self.remaining);
                     for _ in 0..self.remaining {
                         self.bus.forfeit_in_flight();
                     }
@@ -280,12 +321,17 @@ impl ServeEngine {
             }
             let mut guard = Forfeit {
                 bus: bus.clone(),
+                gate,
                 remaining: batch.len(),
             };
             let samples: Vec<&LabeledSample> = batch.iter().map(|j| &j.sample).collect();
             let inferences = system.infer_batch(&samples);
             for (job, inference) in batch.iter().zip(inferences) {
                 guard.remaining -= 1;
+                // Gate weight releases *before* the publish: once
+                // `wait_idle` observes every result, the gate is
+                // provably back to zero (`drain` relies on this).
+                guard.gate.release(1);
                 bus.publish(ServeEvent {
                     session: job.session,
                     seq: job.seq,
@@ -301,8 +347,17 @@ impl ServeEngine {
     /// returns every event published since the last drain, sorted by
     /// `(session, seq)` for deterministic consumption.
     pub fn drain(&self) -> Vec<ServeEvent> {
+        // Eviction eligibility is snapshotted *before* the flush: a
+        // session closed before this point has already enqueued its
+        // final segment (see `close_session`), so the flush dispatches
+        // it and `wait_idle` sees its result published — its accounting
+        // is final. Sessions closed concurrently after the snapshot
+        // simply wait for the next drain.
+        let eligible = self.bus.close_epoch();
         self.flush();
         self.bus.wait_idle();
+        self.bus
+            .sweep_closed(self.config.retain_closed_sessions, eligible);
         let mut events = self.bus.take_events();
         events.sort_by_key(|e| (e.session, e.seq));
         events

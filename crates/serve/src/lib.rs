@@ -14,8 +14,11 @@
 //! * **Micro-batching executor** — segments that close are preprocessed
 //!   and collected *across sessions* into batches of up to
 //!   [`ServeConfig::max_batch`], then run through
-//!   [`gestureprint_core::GesturePrint::infer_batch`] on a work-stealing
-//!   [`WorkerPool`] (the ROADMAP's "parallelism beyond scoped threads").
+//!   [`gestureprint_core::GesturePrint::infer_batch`] on the shared
+//!   work-stealing [`gp_runtime::WorkerPool`]. Submission is bounded:
+//!   once [`ServeConfig::pending_high_watermark`] segments are pending
+//!   or in flight, `push_frame` blocks the producer (backpressure)
+//!   instead of growing the queue without limit.
 //! * **Event/result bus** ([`ServeEvent`], [`ServeStats`]) — classified
 //!   segments flow out with per-session frame/segment/result counters
 //!   and segment-to-result latency percentiles (p50/p99).
@@ -53,10 +56,11 @@
 
 pub mod bus;
 pub mod engine;
-pub mod pool;
 pub mod session;
 
 pub use bus::{ServeEvent, ServeStats, SessionStats};
 pub use engine::{ServeConfig, ServeEngine};
-pub use pool::WorkerPool;
+// The execution substrate lives in `gp-runtime` (shared with training
+// and the dataset builder); re-exported for serving callers.
+pub use gp_runtime::{Gate, WorkerPool};
 pub use session::SessionId;

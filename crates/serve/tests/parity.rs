@@ -107,17 +107,13 @@ fn concurrent_sessions_are_isolated() {
     );
     let stream = stream_fixture();
     let sessions: Vec<_> = (0..4).map(|_| engine.open_session()).collect();
-    std::thread::scope(|scope| {
-        for &session in &sessions {
-            let frames = &stream.frames;
-            let engine = &engine;
-            scope.spawn(move || {
-                for frame in frames {
-                    engine.push_frame(session, frame.clone());
-                }
-                engine.close_session(session);
-            });
+    // Concurrent drivers on the shared runtime pool (one per session).
+    let drivers = gp_serve::WorkerPool::new(sessions.len());
+    drivers.scope_map(sessions.clone(), |_, session| {
+        for frame in &stream.frames {
+            engine.push_frame(session, frame.clone());
         }
+        engine.close_session(session);
     });
     let events = engine.drain();
     assert_eq!(events.len(), baseline.len() * sessions.len());
@@ -154,6 +150,66 @@ fn idle_session_buffer_stays_bounded() {
     engine.close_session(session);
     assert_eq!(engine.session_count(), 0);
     assert!(engine.drain().is_empty());
+}
+
+#[test]
+fn closed_session_stats_evict_into_aggregate_with_exact_totals() {
+    // Keep only 2 closed sessions' individual stats; replay 6 sessions
+    // sequentially and check totals survive eviction bit-for-bit.
+    let evicting = ServeEngine::new(
+        toy_system(),
+        ServeConfig {
+            retain_closed_sessions: 2,
+            ..ServeConfig::default()
+        },
+    );
+    let reference = ServeEngine::new(toy_system(), ServeConfig::default());
+    let stream = stream_fixture();
+    for _ in 0..6 {
+        for engine in [&evicting, &reference] {
+            let session = engine.open_session();
+            for frame in &stream.frames {
+                engine.push_frame(session, frame.clone());
+            }
+            engine.close_session(session);
+            engine.drain();
+        }
+    }
+    let stats = evicting.stats();
+    let baseline = reference.stats();
+    assert_eq!(stats.sessions.len(), 2, "older closed sessions evicted");
+    assert_eq!(stats.evicted_sessions, 4);
+    assert_eq!(baseline.evicted_sessions, 0, "default cap keeps all 6");
+    assert_eq!(stats.total_frames(), baseline.total_frames());
+    assert_eq!(stats.total_segments(), baseline.total_segments());
+    assert_eq!(stats.total_results(), baseline.total_results());
+    assert!(stats.latency_percentile(99.0).is_some());
+}
+
+#[test]
+fn pending_high_watermark_bounds_outstanding_segments() {
+    let engine = ServeEngine::new(
+        toy_system(),
+        ServeConfig {
+            workers: 1,
+            max_batch: 1,
+            pending_high_watermark: 2,
+            ..ServeConfig::default()
+        },
+    );
+    let stream = stream_fixture();
+    let session = engine.open_session();
+    for frame in &stream.frames {
+        engine.push_frame(session, frame.clone());
+        assert!(
+            engine.outstanding() <= 2,
+            "producer overran the pending high watermark"
+        );
+    }
+    engine.close_session(session);
+    let events = engine.drain();
+    assert!(!events.is_empty(), "bounded replay still publishes results");
+    assert_eq!(engine.outstanding(), 0);
 }
 
 #[test]

@@ -2,22 +2,33 @@
 //! radar streams through the `gp-serve` engine.
 //!
 //! Trains a GesturePrint system on the mTransSee tiny cohort, then opens
-//! 8 concurrent sessions (one driver thread each) replaying multi-gesture
-//! recordings frame-by-frame. Segments are detected online, micro-batched
-//! across sessions, and classified (gesture + user) on the work-stealing
-//! worker pool. Prints per-session predictions against ground truth plus
-//! aggregate frames/sec and p50/p99 segment-to-result latency.
+//! 8 concurrent sessions (driven on a `gp-runtime` worker pool, one
+//! driver per session) replaying multi-gesture recordings frame-by-frame,
+//! *paced* at a fixed frame rate with deterministic jitter (20× real
+//! time) so the latency numbers are steady-state rather than burst.
+//! Segments are detected online, micro-batched across sessions, and
+//! classified (gesture + user) on the work-stealing worker pool. Prints
+//! per-session predictions against ground truth plus aggregate
+//! frames/sec and p50/p99 segment-to-result latency.
+//!
+//! Serving configuration (preprocessor included) comes from
+//! `gp_bench::serve_config`, the single source shared with the serve
+//! bench, so segmentation parameters cannot drift between the two.
 //!
 //! ```sh
 //! cargo run --release --example streaming_serve
 //! ```
 
 use gestureprint::core::{GesturePrint, GesturePrintConfig, IdentificationMode};
-use gestureprint::serve::{ServeConfig, ServeEngine};
+use gestureprint::serve::ServeEngine;
+use gp_bench::{drive_sessions, serve_config, ReplayPacer};
 use gp_testkit::{quick_train, stream_capture, tiny_dataset, GestureStream};
 
 const SESSIONS: usize = 8;
 const GESTURES_PER_SESSION: usize = 3;
+/// Replay rate: the simulated radar records at 10 fps; replaying at 20×
+/// real time keeps the demo snappy while still pacing the stream.
+const REPLAY_FPS: f64 = 200.0;
 
 fn main() {
     // 1. Train on the shared tiny cohort: 3 users × 5 mTransSee gestures.
@@ -53,29 +64,29 @@ fn main() {
         .collect();
     let total_frames: usize = streams.iter().map(|(_, s)| s.frames.len()).sum();
 
-    // 3. Serve: one driver thread per session pushes frames as fast as
-    //    they "arrive"; the engine micro-batches ready segments across
-    //    sessions onto the worker pool.
-    let engine = ServeEngine::new(system, ServeConfig::default());
+    // 3. Serve: one pool driver per session paces frames onto the
+    //    engine at REPLAY_FPS (deterministic ±10% jitter); the engine
+    //    micro-batches ready segments across sessions onto the worker
+    //    pool.
+    let engine = ServeEngine::new(system, serve_config(0, 8));
     let sessions: Vec<_> = (0..SESSIONS).map(|_| engine.open_session()).collect();
     println!(
-        "replaying {SESSIONS} concurrent sessions ({total_frames} frames) \
-         on {} workers, micro-batch {}...\n",
+        "replaying {SESSIONS} concurrent sessions ({total_frames} frames, paced \
+         {REPLAY_FPS:.0} fps) on {} workers, micro-batch {}...\n",
         engine.workers(),
         engine.config().max_batch,
     );
     let start = std::time::Instant::now();
-    std::thread::scope(|scope| {
-        for (&session, (_, stream)) in sessions.iter().zip(&streams) {
-            let engine = &engine;
-            scope.spawn(move || {
-                for frame in &stream.frames {
-                    engine.push_frame(session, frame.clone());
-                }
-                engine.close_session(session);
-            });
-        }
-    });
+    let session_streams: Vec<_> = sessions
+        .iter()
+        .zip(&streams)
+        .map(|(&session, (_, stream))| (session, stream))
+        .collect();
+    drive_sessions(
+        &engine,
+        &session_streams,
+        Some(ReplayPacer::new(REPLAY_FPS, 0.1, 0xA11CE)),
+    );
     let events = engine.drain();
     let elapsed = start.elapsed();
 

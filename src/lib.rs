@@ -22,6 +22,7 @@
 //! | [`nn`] | `gp-nn` | tensors, layers, optimizers |
 //! | [`models`] | `gp-models` | GesIDNet and baselines |
 //! | [`core`] | `gp-core` | end-to-end system (train / infer, serialized & parallel modes) |
+//! | [`runtime`] | `gp-runtime` | work-stealing pool, scoped parallel maps, backpressure gate |
 //! | [`serve`] | `gp-serve` | streaming multi-session engine, micro-batched execution |
 //! | [`eval`] | `gp-eval` | accuracy / F1 / AUC / ROC / EER, k-fold, t-SNE |
 //!
@@ -41,4 +42,5 @@ pub use gp_nn as nn;
 pub use gp_pipeline as pipeline;
 pub use gp_pointcloud as pointcloud;
 pub use gp_radar as radar;
+pub use gp_runtime as runtime;
 pub use gp_serve as serve;

@@ -12,6 +12,8 @@
 //! - `--test`                  run every benchmark exactly once (CI smoke mode)
 //! - `--save-baseline <path>`  merge this run's means into a JSON baseline file
 //! - `--baseline <path>`       print each benchmark's delta vs a saved baseline
+//! - `--regression-threshold <pct>`  with `--baseline`: exit non-zero if any
+//!   benchmark's mean regressed by more than `pct` percent (CI gate)
 //! - any other non-flag argument filters benchmarks by substring
 
 use std::collections::BTreeMap;
@@ -192,6 +194,15 @@ pub struct Criterion {
     save_path: Option<String>,
     /// Means measured by this instance, pending the save-on-drop merge.
     results: Baseline,
+    /// Regression gate (`--regression-threshold <pct>`): max allowed
+    /// mean regression vs the baseline, in percent.
+    fail_threshold: Option<f64>,
+    /// Benchmarks that exceeded `fail_threshold`, reported on drop.
+    regressions: Vec<String>,
+    /// Whether drop exits the process on regressions (only when the
+    /// gate was requested via CLI args, so tests can inspect
+    /// [`Criterion::regression_failures`] safely).
+    exit_on_regression: bool,
 }
 
 impl Default for Criterion {
@@ -201,10 +212,22 @@ impl Default for Criterion {
         let mut filter = None;
         let mut compare = None;
         let mut save_path = None;
+        let mut fail_threshold = None;
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
                 "--test" => test_mode = true,
+                "--regression-threshold" => {
+                    if let Some(pct) = args.get(i + 1) {
+                        match pct.parse::<f64>() {
+                            Ok(pct) => fail_threshold = Some(pct),
+                            Err(_) => {
+                                eprintln!("warning: bad --regression-threshold {pct}")
+                            }
+                        }
+                        i += 1;
+                    }
+                }
                 "--save-baseline" => {
                     if let Some(path) = args.get(i + 1) {
                         save_path = Some(path.clone());
@@ -231,6 +254,9 @@ impl Default for Criterion {
             compare,
             save_path,
             results: Baseline::default(),
+            fail_threshold,
+            regressions: Vec::new(),
+            exit_on_regression: fail_threshold.is_some(),
             measure: Duration::from_millis(300),
         }
     }
@@ -287,10 +313,15 @@ impl Criterion {
         self.results.record(id, stats.mean_ns);
         let delta = match self.compare.as_ref().and_then(|b| b.mean_ns(id)) {
             Some(base) if base > 0.0 => {
-                format!(
-                    "  Δ {:+.1}% vs baseline",
-                    100.0 * (stats.mean_ns - base) / base
-                )
+                let pct = 100.0 * (stats.mean_ns - base) / base;
+                if let Some(threshold) = self.fail_threshold {
+                    if pct > threshold {
+                        self.regressions.push(format!(
+                            "{id}: {pct:+.1}% vs baseline (threshold +{threshold:.1}%)"
+                        ));
+                    }
+                }
+                format!("  Δ {pct:+.1}% vs baseline")
             }
             Some(_) => String::new(),
             None if self.compare.is_some() => "  (no baseline entry)".into(),
@@ -306,11 +337,30 @@ impl Criterion {
     }
 }
 
+impl Criterion {
+    /// Benchmarks that regressed past `--regression-threshold` so far.
+    pub fn regression_failures(&self) -> &[String] {
+        &self.regressions
+    }
+}
+
 impl Drop for Criterion {
     fn drop(&mut self) {
         if let Some(path) = &self.save_path {
             if let Err(e) = self.results.merge_into_file(path) {
                 eprintln!("warning: cannot save baseline {path}: {e}");
+            }
+        }
+        if !self.regressions.is_empty() {
+            eprintln!("benchmark regression(s) past the threshold:");
+            for r in &self.regressions {
+                eprintln!("  {r}");
+            }
+            if self.exit_on_regression {
+                // The regression gate is a CI failure; exiting here (the
+                // group's Criterion drops after its benches ran) reports
+                // all of this group's regressions first.
+                std::process::exit(1);
             }
         }
     }
@@ -440,6 +490,9 @@ mod tests {
             compare: None,
             save_path: None,
             results: Baseline::default(),
+            fail_threshold: None,
+            regressions: Vec::new(),
+            exit_on_regression: false,
             measure: Duration::from_millis(1),
         }
     }
@@ -477,6 +530,26 @@ mod tests {
         c.bench_function("tiny", |b| b.iter(|| std::hint::black_box(1 + 1)));
         let mean = c.results.mean_ns("tiny").expect("mean recorded");
         assert!(mean > 0.0);
+    }
+
+    #[test]
+    fn regression_threshold_flags_slowdowns_only() {
+        let mut baseline = Baseline::default();
+        // An absurdly fast baseline: any real measurement regresses.
+        baseline.record("gate/slow", 0.001);
+        // An absurdly slow baseline: any real measurement improves.
+        baseline.record("gate/fast", 1e15);
+        let mut c = quiet(false, None);
+        c.compare = Some(baseline);
+        c.fail_threshold = Some(25.0);
+        c.benchmark_group("gate")
+            .bench_function("slow", |b| b.iter(|| std::hint::black_box(1 + 1)))
+            .bench_function("fast", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        let failures = c.regression_failures();
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].starts_with("gate/slow"), "{failures:?}");
+        // `exit_on_regression` is false for struct-built instances, so
+        // dropping `c` must not kill the test process.
     }
 
     #[test]
