@@ -65,7 +65,8 @@ fn throughput_report() {
     const SESSIONS: usize = 8;
     const REPLAY_FPS: f64 = 200.0;
     let stream = stream_fixture();
-    let engine = ServeEngine::new(toy_system(), serve_config(0, 8));
+    let config = serve_config(0, 8);
+    let engine = ServeEngine::new(toy_system(), config.clone());
     let sessions: Vec<_> = (0..SESSIONS)
         .map(|_| (engine.open_session(), &stream))
         .collect();
@@ -89,6 +90,16 @@ fn throughput_report() {
          latency p50 {p50:.2?} p99 {p99:.2?}",
         stream.frames.len(),
     );
+
+    // Persist the same numbers as a gp-codec report artifact so runs
+    // are machine-comparable, not just human-readable.
+    let artifact =
+        gp_bench::serve_report_artifact(&config, SESSIONS, REPLAY_FPS, &stats, results, elapsed);
+    let path = std::path::Path::new("results").join("serve_steady_state.json");
+    match std::fs::create_dir_all("results").and_then(|()| std::fs::write(&path, &artifact)) {
+        Ok(()) => println!("report artifact: {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
 }
 
 criterion_group!(benches, bench_serve);

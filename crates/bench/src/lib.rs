@@ -25,8 +25,10 @@
 //!   on a `gp_runtime::WorkerPool` (the migrated form of the scoped
 //!   driver threads the bench and example used to hand-roll).
 
+use gestureprint_core::artifact::{kinds, Artifact};
+use gp_codec::{Encode, Value};
 use gp_runtime::WorkerPool;
-use gp_serve::{ServeConfig, ServeEngine, SessionId};
+use gp_serve::{ServeConfig, ServeEngine, ServeStats, SessionId};
 use gp_testkit::GestureStream;
 use std::time::{Duration, Instant};
 
@@ -42,6 +44,43 @@ pub fn serve_config(workers: usize, max_batch: usize) -> ServeConfig {
         max_batch,
         ..ServeConfig::default()
     }
+}
+
+/// Builds a `gestureprint.report` artifact capturing one paced serve
+/// replay: the exact [`ServeConfig`] served, the workload shape, and
+/// the operational numbers (frames/sec, latency percentiles) — so
+/// steady-state serving results are machine-comparable across runs,
+/// not just printed.
+pub fn serve_report_artifact(
+    config: &ServeConfig,
+    sessions: usize,
+    replay_fps: f64,
+    stats: &ServeStats,
+    results: usize,
+    elapsed: Duration,
+) -> Vec<u8> {
+    let frames = stats.total_frames();
+    let fps = frames as f64 / elapsed.as_secs_f64().max(1e-9);
+    let latency_s = |p: f64| {
+        stats
+            .latency_percentile(p)
+            .map(|d| d.as_secs_f64())
+            .encode()
+    };
+    let payload = Value::record([
+        ("report", Value::Str("serve_steady_state".into())),
+        ("serve_config", config.encode()),
+        ("sessions", sessions.encode()),
+        ("replay_fps", replay_fps.encode()),
+        ("frames", frames.encode()),
+        ("segments", stats.total_segments().encode()),
+        ("results", results.encode()),
+        ("elapsed_s", elapsed.as_secs_f64().encode()),
+        ("frames_per_sec", fps.encode()),
+        ("latency_p50_s", latency_s(50.0)),
+        ("latency_p99_s", latency_s(99.0)),
+    ]);
+    Artifact::new(kinds::REPORT, payload).to_bytes()
 }
 
 /// Fixed-fps replay pacing with deterministic jitter.

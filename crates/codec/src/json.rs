@@ -1,0 +1,620 @@
+//! Compact JSON encoder and strict decoder for [`Value`].
+//!
+//! The encoder emits minimal JSON (no whitespace, sorted map keys), so
+//! equal values produce byte-identical text. The decoder is *strict*:
+//! it enforces the JSON grammar (no trailing commas, no leading zeros,
+//! no unescaped control characters), rejects duplicate map keys, bounds
+//! nesting at [`MAX_DEPTH`], and refuses trailing content.
+//!
+//! Floats round-trip precisely: every finite `f64` is printed with
+//! Rust's shortest-round-trip formatting (plus a `.0` when the text
+//! would otherwise look like an integer) and parses back bit-exactly.
+//! JSON has no NaN/±inf, so the encoder rejects non-finite floats with
+//! [`EncodeError::NonFiniteFloat`] instead of silently corrupting them.
+
+use crate::value::{base64_decode, base64_encode, Value};
+use std::collections::BTreeMap;
+
+/// Maximum nesting depth both encoder and decoder accept.
+pub const MAX_DEPTH: usize = 128;
+
+/// The JSON object key marking a [`Value::Bytes`] payload.
+pub const BYTES_KEY: &str = "$bytes";
+
+/// Errors from [`to_json`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// A float was NaN or ±inf; JSON cannot represent those.
+    NonFiniteFloat,
+    /// Value nesting exceeded [`MAX_DEPTH`].
+    TooDeep,
+    /// A map consisted of exactly the reserved [`BYTES_KEY`] key with a
+    /// string value, which would decode as bytes instead.
+    ReservedKey,
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::NonFiniteFloat => write!(f, "non-finite float has no JSON form"),
+            EncodeError::TooDeep => write!(f, "value nesting exceeds {MAX_DEPTH}"),
+            EncodeError::ReservedKey => {
+                write!(f, "map {{\"{BYTES_KEY}\": <str>}} is reserved for bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Errors from [`from_json`], with the byte offset they occurred at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Serialises a value as compact JSON.
+///
+/// # Errors
+///
+/// See [`EncodeError`].
+pub fn to_json(value: &Value) -> Result<String, EncodeError> {
+    let mut out = String::new();
+    write_value(value, 0, &mut out)?;
+    Ok(out)
+}
+
+fn write_value(value: &Value, depth: usize, out: &mut String) -> Result<(), EncodeError> {
+    if depth > MAX_DEPTH {
+        return Err(EncodeError::TooDeep);
+    }
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => {
+            if !f.is_finite() {
+                return Err(EncodeError::NonFiniteFloat);
+            }
+            // Rust's `{}` is the shortest decimal that round-trips the
+            // exact f64; keep a float marker so the decoder does not
+            // read `1.0` back as the int `1`.
+            let text = f.to_string();
+            out.push_str(&text);
+            if !text.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Bytes(b) => {
+            out.push_str("{\"");
+            out.push_str(BYTES_KEY);
+            out.push_str("\":\"");
+            out.push_str(&base64_encode(b));
+            out.push_str("\"}");
+        }
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, depth + 1, out)?;
+            }
+            out.push(']');
+        }
+        Value::Map(map) => {
+            if map.len() == 1 {
+                if let Some(Value::Str(_)) = map.get(BYTES_KEY) {
+                    return Err(EncodeError::ReservedKey);
+                }
+            }
+            out.push('{');
+            for (i, (key, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(key, out);
+                out.push(':');
+                write_value(item, depth + 1, out)?;
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses JSON text into a [`Value`], strictly.
+///
+/// # Errors
+///
+/// See [`JsonError`]; the offset points at the offending byte.
+pub fn from_json(text: &str) -> Result<Value, JsonError> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value(0)?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.err("trailing content after JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting exceeds {MAX_DEPTH}")));
+        }
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_seq(depth),
+            Some(b'{') => self.parse_map(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected '{word}'")))
+        }
+    }
+
+    fn parse_seq(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_map(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(map));
+        }
+        loop {
+            self.skip_ws();
+            let key_offset = self.pos;
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected a string key"));
+            }
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value(depth + 1)?;
+            if map.insert(key, value).is_some() {
+                return Err(JsonError {
+                    message: "duplicate map key".into(),
+                    offset: key_offset,
+                });
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+        // The bytes marker: exactly {"$bytes": "<base64>"}.
+        if map.len() == 1 {
+            if let Some(Value::Str(b64)) = map.get(BYTES_KEY) {
+                let bytes = base64_decode(b64)
+                    .map_err(|e| self.err(format!("bad {BYTES_KEY} payload: {e}")))?;
+                return Ok(Value::Bytes(bytes));
+            }
+        }
+        Ok(Value::Map(map))
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            match c {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a \uXXXX low half must follow.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 1;
+                                let lo = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let n = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(n).ok_or_else(|| self.err("bad surrogate pair"))?
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err(self.err("lone low surrogate"));
+                            } else {
+                                char::from_u32(hi).ok_or_else(|| self.err("bad \\u escape"))?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("invalid escape character")),
+                    }
+                }
+                c if c < 0x20 => {
+                    return Err(self.err("unescaped control character in string"));
+                }
+                _ => {
+                    // Consume one UTF-8 encoded char (input is &str, so
+                    // the encoding is already valid).
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..end]).expect("valid utf8"));
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, JsonError> {
+        let mut n = 0u32;
+        for _ in 0..4 {
+            let Some(c) = self.peek() else {
+                return Err(self.err("truncated \\u escape"));
+            };
+            let d = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("non-hex digit in \\u escape"))?;
+            n = (n << 4) | d;
+            self.pos += 1;
+        }
+        Ok(n)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: 0 | [1-9][0-9]* (strict: no leading zeros).
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+                if matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    return Err(self.err("leading zero in number"));
+                }
+            }
+            Some(c) if c.is_ascii_digit() => {
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("expected a digit")),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.err("expected a digit after '.'"));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.err("expected a digit in exponent"));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+            // Magnitude beyond i64: fall through to the float path (the
+            // standard JSON reading of big integer literals).
+        }
+        let f: f64 = text
+            .parse()
+            .map_err(|_| self.err("malformed number literal"))?;
+        if f.is_finite() {
+            Ok(Value::Float(f))
+        } else {
+            Err(self.err("number overflows f64"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: Value) -> Value {
+        from_json(&to_json(&v).expect("encode")).expect("decode")
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(0),
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::Float(0.0),
+            Value::Float(-1.5),
+            Value::Float(1e-300),
+            Value::Float(f64::MAX),
+            Value::Float(f64::MIN_POSITIVE),
+            Value::Str(String::new()),
+            Value::Str("hello \"quoted\" \\ / \n\t\r\u{8}\u{c}\u{1} λ 🦀".into()),
+            Value::Bytes(vec![]),
+            Value::Bytes((0..=255).collect()),
+        ] {
+            assert_eq!(roundtrip(v.clone()), v, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn whole_floats_keep_their_floatness() {
+        assert_eq!(to_json(&Value::Float(1.0)).unwrap(), "1.0");
+        assert_eq!(to_json(&Value::Float(-0.0)).unwrap(), "-0.0");
+        assert_eq!(roundtrip(Value::Float(3.0)), Value::Float(3.0));
+        assert_eq!(from_json("3").unwrap(), Value::Int(3));
+        assert_eq!(from_json("3.0").unwrap(), Value::Float(3.0));
+        assert_eq!(from_json("3e2").unwrap(), Value::Float(300.0));
+    }
+
+    #[test]
+    fn compact_and_deterministic() {
+        let v = Value::record([
+            ("b", Value::Seq(vec![Value::Int(1), Value::Null])),
+            ("a", Value::Float(2.5)),
+        ]);
+        assert_eq!(to_json(&v).unwrap(), r#"{"a":2.5,"b":[1,null]}"#);
+    }
+
+    #[test]
+    fn nonfinite_floats_rejected() {
+        for f in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(
+                to_json(&Value::Float(f)),
+                Err(EncodeError::NonFiniteFloat),
+                "{f}"
+            );
+        }
+    }
+
+    #[test]
+    fn bytes_marker_is_reserved() {
+        let fake = Value::Map(
+            [(BYTES_KEY.to_string(), Value::Str("Zm9v".into()))]
+                .into_iter()
+                .collect(),
+        );
+        assert_eq!(to_json(&fake), Err(EncodeError::ReservedKey));
+        // A map with $bytes among *other* keys is fine and stays a map.
+        let mixed = Value::record([(BYTES_KEY, Value::Str("x".into())), ("k", Value::Int(1))]);
+        assert_eq!(roundtrip(mixed.clone()), mixed);
+        // A $bytes key with a non-string value also stays a map.
+        let nonstr = Value::record([(BYTES_KEY, Value::Int(3))]);
+        assert_eq!(roundtrip(nonstr.clone()), nonstr);
+    }
+
+    #[test]
+    fn bad_bytes_payload_is_an_error() {
+        assert!(from_json(r#"{"$bytes":"!!!"}"#).is_err());
+    }
+
+    #[test]
+    fn decoder_accepts_whitespace() {
+        let v = from_json(" {\n  \"a\" : [ 1 , 2 ] ,\t\"b\" : null\r\n} ").unwrap();
+        assert_eq!(
+            v,
+            Value::record([
+                ("a", Value::Seq(vec![Value::Int(1), Value::Int(2)])),
+                ("b", Value::Null),
+            ])
+        );
+    }
+
+    #[test]
+    fn strictness() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":1,}",
+            "{a:1}",
+            "01",
+            "-",
+            "1.",
+            ".5",
+            "1e",
+            "+1",
+            "nul",
+            "truex",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "\"ctrl \u{1} char\"",
+            "\"\\ud800\"",
+            "\"\\udc00\"",
+            "\"\\ud800\\u0041\"",
+            "1 2",
+            "[1] []",
+            "{\"a\":1,\"a\":2}",
+            "1e999",
+        ] {
+            assert!(from_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        assert_eq!(
+            from_json("\"\\ud83e\\udd80\"").unwrap(),
+            Value::Str("🦀".into())
+        );
+    }
+
+    #[test]
+    fn nesting_limit_enforced_both_ways() {
+        let mut deep = Value::Int(1);
+        for _ in 0..=MAX_DEPTH {
+            deep = Value::Seq(vec![deep]);
+        }
+        assert_eq!(to_json(&deep), Err(EncodeError::TooDeep));
+
+        let text = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 2),
+            "]".repeat(MAX_DEPTH + 2)
+        );
+        assert!(from_json(&text).is_err());
+
+        // Exactly at the limit is fine.
+        let mut ok = Value::Int(1);
+        for _ in 0..MAX_DEPTH {
+            ok = Value::Seq(vec![ok]);
+        }
+        let text = to_json(&ok).unwrap();
+        assert_eq!(from_json(&text).unwrap(), ok);
+    }
+
+    #[test]
+    fn big_integer_literals_become_floats() {
+        assert_eq!(
+            from_json("123456789012345678901234567890").unwrap(),
+            Value::Float(123456789012345678901234567890.0)
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Property tests: arbitrary `Value` → JSON → `Value` is the identity
+//! for every JSON-representable value, and the documented policies
+//! (non-finite floats, nesting limits, reserved bytes key) hold.
+
+use gp_codec::json::{from_json, to_json, EncodeError, MAX_DEPTH};
+use gp_codec::Value;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Draws one arbitrary value: scalars biased over containers so trees
+/// stay small, strings biased toward escape-heavy characters, depth
+/// capped well inside the codec limit.
+fn gen_value(rng: &mut StdRng, depth: usize) -> Value {
+    let roll = if depth >= 5 {
+        rng.gen_range(0usize..6) // scalars only at the depth cap
+    } else {
+        rng.gen_range(0usize..9)
+    };
+    match roll {
+        0 => Value::Null,
+        1 => Value::Bool(rng.gen_bool(0.5)),
+        2 => Value::Int(rng.gen_range(i64::MIN..i64::MAX)),
+        3 => {
+            // Mix plain magnitudes with bit-pattern floats so subnormals
+            // and extreme exponents hit the round-trip check too.
+            if rng.gen_bool(0.5) {
+                Value::Float(rng.gen_range(-1e12f64..1e12))
+            } else {
+                let f = f64::from_bits(rng.gen_range(0u64..u64::MAX));
+                Value::Float(if f.is_finite() { f } else { 0.5 })
+            }
+        }
+        4 => Value::Str(gen_string(rng)),
+        5 => Value::Bytes(
+            (0..rng.gen_range(0usize..24))
+                .map(|_| rng.gen_range(0u32..256) as u8)
+                .collect(),
+        ),
+        6 => Value::Seq(
+            (0..rng.gen_range(0usize..5))
+                .map(|_| gen_value(rng, depth + 1))
+                .collect(),
+        ),
+        _ => {
+            let mut map = BTreeMap::new();
+            for _ in 0..rng.gen_range(0usize..5) {
+                map.insert(gen_string(rng), gen_value(rng, depth + 1));
+            }
+            // `{"$bytes": <str>}` is the reserved bytes marker; nudge a
+            // collided draw out of the reserved shape instead of
+            // generating an unencodable value.
+            if map.len() == 1 {
+                if let Some(Value::Str(_)) = map.get("$bytes") {
+                    map.insert("k".into(), Value::Null);
+                }
+            }
+            Value::Map(map)
+        }
+    }
+}
+
+/// Escape-heavy strings: quotes, backslashes, control characters,
+/// multi-byte UTF-8, and astral-plane chars (surrogate-pair escapes).
+fn gen_string(rng: &mut StdRng) -> String {
+    const POOL: &[char] = &[
+        'a',
+        'Z',
+        '0',
+        ' ',
+        '"',
+        '\\',
+        '/',
+        '\n',
+        '\r',
+        '\t',
+        '\u{8}',
+        '\u{c}',
+        '\u{1}',
+        '\u{1f}',
+        'é',
+        'λ',
+        '中',
+        '\u{2028}',
+        '🦀',
+        '\u{10FFFF}',
+    ];
+    let n = rng.gen_range(0usize..12);
+    (0..n)
+        .map(|_| POOL[rng.gen_range(0usize..POOL.len())])
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn json_roundtrip_is_identity(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let value = gen_value(&mut rng, 0);
+        let text = to_json(&value).expect("finite values encode");
+        let back = from_json(&text)
+            .unwrap_or_else(|e| panic!("decode failed: {e}\n  json: {text}"));
+        prop_assert_eq!(&back, &value, "json: {}", text);
+        // Encoding is deterministic: same value, same bytes.
+        prop_assert_eq!(to_json(&back).unwrap(), text);
+    }
+
+    #[test]
+    fn nonfinite_floats_are_rejected_wherever_they_hide(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bad = match rng.gen_range(0usize..3) {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            _ => f64::NEG_INFINITY,
+        };
+        // Bury the bad float at a random spot in a small tree.
+        let value = Value::Seq(vec![
+            gen_value(&mut rng, 4),
+            Value::record([("x", Value::Float(bad))]),
+        ]);
+        prop_assert_eq!(to_json(&value), Err(EncodeError::NonFiniteFloat));
+    }
+
+    #[test]
+    fn deep_nesting_policy(extra in 1usize..4) {
+        // Beyond the limit: both directions refuse.
+        let mut deep = Value::Int(7);
+        for _ in 0..MAX_DEPTH + extra {
+            deep = Value::Seq(vec![deep]);
+        }
+        prop_assert_eq!(to_json(&deep), Err(EncodeError::TooDeep));
+        let text = format!(
+            "{}7{}",
+            "[".repeat(MAX_DEPTH + extra + 1),
+            "]".repeat(MAX_DEPTH + extra + 1)
+        );
+        prop_assert!(from_json(&text).is_err(), "decoder accepted depth past the limit");
+    }
+
+    #[test]
+    fn float_text_reparses_bit_exactly(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = f64::from_bits(rng.gen_range(0u64..u64::MAX));
+        if !f.is_finite() {
+            return Ok(());
+        }
+        let text = to_json(&Value::Float(f)).unwrap();
+        match from_json(&text).unwrap() {
+            Value::Float(back) => prop_assert_eq!(back.to_bits(), f.to_bits(), "text {}", text),
+            other => prop_assert!(false, "float decoded as {:?}", other),
+        }
+    }
+}

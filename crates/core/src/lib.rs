@@ -11,7 +11,11 @@
 //!   identifiers selected by the recognised gesture — the paper's
 //!   default) or **parallel** mode (one identifier across all gestures),
 //! * [`report`] — classification reports (accuracy / macro-F1 /
-//!   macro-AUC) and verification scores for EER, matching §VI-A3.
+//!   macro-AUC) and verification scores for EER, matching §VI-A3,
+//! * [`artifact`] — the versioned persistence layer: models, full
+//!   systems and reports travel as self-describing `gp-codec` artifacts
+//!   (`save_artifact()` / `load_artifact(bytes)`, no out-of-band
+//!   arguments).
 //!
 //! # Example
 //!
@@ -33,12 +37,14 @@
 //! println!("gesture {} by user {}", out.gesture, out.user);
 //! ```
 
+pub mod artifact;
 pub mod crossval;
 pub mod persist;
 pub mod report;
 pub mod system;
 pub mod train;
 
+pub use artifact::{Artifact, ArtifactError, ModelArtifact, SCHEMA_VERSION};
 pub use crossval::kfold_reports;
 pub use report::{classification_report, ClassificationReport};
 pub use system::{GesturePrint, GesturePrintConfig, IdentificationMode, Inference};

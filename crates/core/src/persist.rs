@@ -1,28 +1,41 @@
-//! Model persistence: save and restore trained classifiers.
+//! Legacy model persistence: the flat weight stream with out-of-band
+//! architecture arguments.
 //!
-//! Architectures are reconstructed from `(kind, classes, feature)` and
-//! the flat parameter stream of `gp_nn::serialize`; the loader verifies
-//! tensor shapes, so loading into the wrong architecture fails cleanly.
+//! Superseded by the self-describing artifact API in [`crate::artifact`]
+//! — [`TrainedModel::save_artifact`] / [`TrainedModel::load_artifact`]
+//! carry `(kind, classes, feature)` *inside* the bytes, so nothing can
+//! drift out of sync. These shims remain for callers holding old flat
+//! streams; they delegate to the same `gp_nn::serialize` weight format
+//! the artifact payload embeds.
 
 use crate::train::{ModelKind, TrainedModel};
 use gp_models::features::FeatureConfig;
 use gp_nn::serialize::{load_params, save_params, LoadParamsError};
 
 impl TrainedModel {
-    /// Serialises the model parameters into a byte buffer.
-    pub fn save(&mut self) -> Vec<u8> {
-        save_params(self.model_mut()).to_vec()
+    /// Serialises the model parameters into a raw weight stream with no
+    /// architecture metadata.
+    ///
+    /// Note this no longer requires `&mut self`: parameter export reads
+    /// weights through [`gp_nn::Parameterized::visit_params`].
+    #[deprecated(note = "use save_artifact(): artifacts are self-describing and versioned")]
+    pub fn save(&self) -> Vec<u8> {
+        save_params(self.model_ref()).to_vec()
     }
 
     /// Restores a model saved by [`TrainedModel::save`].
     ///
-    /// The architecture is rebuilt from `(kind, classes, feature)`; the
-    /// stream only holds weights.
+    /// The architecture is rebuilt from the *out-of-band*
+    /// `(kind, classes, feature)` arguments; the stream only holds
+    /// weights, so supplying different arguments than at save time
+    /// silently changes what the weights mean (the reason this API is
+    /// deprecated in favour of [`TrainedModel::load_artifact`]).
     ///
     /// # Errors
     ///
     /// Returns [`LoadParamsError`] if the stream is malformed or was
     /// saved from a different architecture.
+    #[deprecated(note = "use load_artifact(): artifacts are self-describing and versioned")]
     pub fn load(
         kind: ModelKind,
         classes: usize,
@@ -36,6 +49,7 @@ impl TrainedModel {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims' own coverage
 mod tests {
     use super::*;
     use crate::train::{train_classifier, TrainConfig};
@@ -85,7 +99,7 @@ mod tests {
         let data = samples();
         let pairs: Vec<(&LabeledSample, usize)> = data.iter().map(|s| (s, s.user)).collect();
         for kind in [ModelKind::GesIdNet, ModelKind::PointNet, ModelKind::Lstm] {
-            let mut model = train_classifier(
+            let model = train_classifier(
                 &pairs,
                 2,
                 &TrainConfig {
@@ -110,7 +124,7 @@ mod tests {
     fn loading_into_wrong_architecture_fails() {
         let data = samples();
         let pairs: Vec<(&LabeledSample, usize)> = data.iter().map(|s| (s, s.user)).collect();
-        let mut model = train_classifier(&pairs, 2, &quick());
+        let model = train_classifier(&pairs, 2, &quick());
         let bytes = model.save();
         assert!(TrainedModel::load(ModelKind::PointNet, 2, quick().feature, &bytes).is_err());
         assert!(TrainedModel::load(ModelKind::GesIdNet, 5, quick().feature, &bytes).is_err());

@@ -25,6 +25,34 @@ pub struct ClassificationReport {
     pub labels: Vec<usize>,
 }
 
+impl gp_codec::Encode for ClassificationReport {
+    fn encode(&self) -> gp_codec::Value {
+        gp_codec::Value::record([
+            ("accuracy", self.accuracy.encode()),
+            ("macro_f1", self.macro_f1.encode()),
+            ("macro_auc", self.macro_auc.encode()),
+            ("eer", self.eer.encode()),
+            ("probabilities", self.probabilities.encode()),
+            ("predictions", self.predictions.encode()),
+            ("labels", self.labels.encode()),
+        ])
+    }
+}
+
+impl gp_codec::Decode for ClassificationReport {
+    fn decode(value: &gp_codec::Value) -> Result<Self, gp_codec::DecodeError> {
+        Ok(ClassificationReport {
+            accuracy: value.get("accuracy")?,
+            macro_f1: value.get("macro_f1")?,
+            macro_auc: value.get("macro_auc")?,
+            eer: value.get("eer")?,
+            probabilities: value.get("probabilities")?,
+            predictions: value.get("predictions")?,
+            labels: value.get("labels")?,
+        })
+    }
+}
+
 /// Evaluates `model` on `(sample, label)` pairs.
 pub fn classification_report(
     model: &TrainedModel,

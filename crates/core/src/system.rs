@@ -37,6 +37,54 @@ impl Default for GesturePrintConfig {
     }
 }
 
+impl IdentificationMode {
+    /// Stable serialization tag (persisted in artifacts; do not rename).
+    pub fn tag(self) -> &'static str {
+        match self {
+            IdentificationMode::Serialized => "serialized",
+            IdentificationMode::Parallel => "parallel",
+        }
+    }
+}
+
+impl gp_codec::Encode for IdentificationMode {
+    fn encode(&self) -> gp_codec::Value {
+        gp_codec::Value::Str(self.tag().to_owned())
+    }
+}
+
+impl gp_codec::Decode for IdentificationMode {
+    fn decode(value: &gp_codec::Value) -> Result<Self, gp_codec::DecodeError> {
+        match value.as_str()? {
+            "serialized" => Ok(IdentificationMode::Serialized),
+            "parallel" => Ok(IdentificationMode::Parallel),
+            other => Err(gp_codec::DecodeError::new(format!(
+                "unknown identification mode '{other}'"
+            ))),
+        }
+    }
+}
+
+impl gp_codec::Encode for GesturePrintConfig {
+    fn encode(&self) -> gp_codec::Value {
+        gp_codec::Value::record([
+            ("mode", self.mode.encode()),
+            ("train", self.train.encode()),
+            ("threads", self.threads.encode()),
+        ])
+    }
+}
+
+impl gp_codec::Decode for GesturePrintConfig {
+    fn decode(value: &gp_codec::Value) -> Result<Self, gp_codec::DecodeError> {
+        Ok(GesturePrintConfig {
+            mode: value.get("mode")?,
+            train: value.get("train")?,
+            threads: value.get("threads")?,
+        })
+    }
+}
+
 /// The inference result for one gesture sample.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Inference {
@@ -128,6 +176,30 @@ impl GesturePrint {
             gestures,
             users,
         }
+    }
+
+    /// Reassembles a system from already-trained parts (the artifact
+    /// loader's constructor; see [`crate::artifact`]).
+    pub(crate) fn from_parts(
+        gesture_model: TrainedModel,
+        identifiers: Vec<TrainedModel>,
+        mode: IdentificationMode,
+        gestures: usize,
+        users: usize,
+    ) -> Self {
+        GesturePrint {
+            gesture_model,
+            identifiers,
+            mode,
+            gestures,
+            users,
+        }
+    }
+
+    /// The per-gesture (serialized) or single (parallel) identifiers,
+    /// in dispatch order.
+    pub(crate) fn identifiers(&self) -> &[TrainedModel] {
+        &self.identifiers
     }
 
     /// The identification mode.

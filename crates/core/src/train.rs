@@ -24,6 +24,26 @@ pub enum ModelKind {
 }
 
 impl ModelKind {
+    /// Every architecture, in declaration order.
+    pub const ALL: [ModelKind; 5] = [
+        ModelKind::GesIdNet,
+        ModelKind::GesIdNetNoFusion,
+        ModelKind::PointNet,
+        ModelKind::ProfileCnn,
+        ModelKind::Lstm,
+    ];
+
+    /// Stable serialization tag (persisted in artifacts; do not rename).
+    pub fn tag(self) -> &'static str {
+        match self {
+            ModelKind::GesIdNet => "gesidnet",
+            ModelKind::GesIdNetNoFusion => "gesidnet_no_fusion",
+            ModelKind::PointNet => "pointnet",
+            ModelKind::ProfileCnn => "profile_cnn",
+            ModelKind::Lstm => "lstm",
+        }
+    }
+
     /// Display name.
     pub fn name(self) -> &'static str {
         match self {
@@ -33,6 +53,22 @@ impl ModelKind {
             ModelKind::ProfileCnn => "ProfileCNN",
             ModelKind::Lstm => "LSTM",
         }
+    }
+}
+
+impl gp_codec::Encode for ModelKind {
+    fn encode(&self) -> gp_codec::Value {
+        gp_codec::Value::Str(self.tag().to_owned())
+    }
+}
+
+impl gp_codec::Decode for ModelKind {
+    fn decode(value: &gp_codec::Value) -> Result<Self, gp_codec::DecodeError> {
+        let tag = value.as_str()?;
+        ModelKind::ALL
+            .into_iter()
+            .find(|k| k.tag() == tag)
+            .ok_or_else(|| gp_codec::DecodeError::new(format!("unknown model kind '{tag}'")))
     }
 }
 
@@ -68,6 +104,34 @@ impl Default for TrainConfig {
             feature: FeatureConfig::default(),
             seed: 7,
         }
+    }
+}
+
+impl gp_codec::Encode for TrainConfig {
+    fn encode(&self) -> gp_codec::Value {
+        gp_codec::Value::record([
+            ("model", self.model.encode()),
+            ("epochs", self.epochs.encode()),
+            ("learning_rate", self.learning_rate.encode()),
+            ("batch_size", self.batch_size.encode()),
+            ("augment", self.augment.encode()),
+            ("feature", self.feature.encode()),
+            ("seed", self.seed.encode()),
+        ])
+    }
+}
+
+impl gp_codec::Decode for TrainConfig {
+    fn decode(value: &gp_codec::Value) -> Result<Self, gp_codec::DecodeError> {
+        Ok(TrainConfig {
+            model: value.get("model")?,
+            epochs: value.get("epochs")?,
+            learning_rate: value.get("learning_rate")?,
+            batch_size: value.get("batch_size")?,
+            augment: value.get("augment")?,
+            feature: value.get("feature")?,
+            seed: value.get("seed")?,
+        })
     }
 }
 
@@ -165,6 +229,23 @@ impl TrainedModel {
 
     pub(crate) fn model_mut(&mut self) -> &mut dyn gp_nn::Parameterized {
         &mut *self.model
+    }
+
+    pub(crate) fn model_ref(&self) -> &dyn gp_nn::Parameterized {
+        &*self.model
+    }
+
+    /// The feature-encoding configuration the model was trained with.
+    pub fn feature(&self) -> &FeatureConfig {
+        &self.feature
+    }
+
+    pub(crate) fn encode_seed(&self) -> u64 {
+        self.encode_seed
+    }
+
+    pub(crate) fn set_encode_seed(&mut self, seed: u64) {
+        self.encode_seed = seed;
     }
 }
 

@@ -8,7 +8,6 @@ use gp_radar::{Backend, Environment, RadarConfig, RadarSimulator, Scene};
 use gp_runtime::WorkerPool;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 /// Options controlling how a dataset is generated.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,7 +38,7 @@ impl Default for BuildOptions {
 }
 
 /// One generated sample with its capture metadata.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetSample {
     /// The labeled gesture cloud (labels: gesture id, user id).
     pub labeled: LabeledSample,

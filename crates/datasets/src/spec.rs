@@ -1,15 +1,15 @@
 //! Dataset specifications and the paper's preset configurations.
 
+use gp_codec::{Decode, DecodeError, Encode, Value};
 use gp_kinematics::gestures::GestureSet;
 use gp_radar::Environment;
-use serde::{Deserialize, Serialize};
 
 /// How large to build a dataset.
 ///
 /// `Paper` reproduces the published cohort sizes; `Small` is a reduced
 /// configuration for CPU-budget runs (experiment binaries default to it
 /// and report which scale was used).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
     /// Reduced cohort for quick runs.
     Small,
@@ -36,8 +36,34 @@ impl Scale {
     }
 }
 
+impl Encode for Scale {
+    fn encode(&self) -> Value {
+        match self {
+            Scale::Small => Value::Str("small".into()),
+            Scale::Paper => Value::Str("paper".into()),
+            Scale::Custom { users, reps } => {
+                Value::record([("users", users.encode()), ("reps", reps.encode())])
+            }
+        }
+    }
+}
+
+impl Decode for Scale {
+    fn decode(value: &Value) -> Result<Self, DecodeError> {
+        match value {
+            Value::Str(s) if s == "small" => Ok(Scale::Small),
+            Value::Str(s) if s == "paper" => Ok(Scale::Paper),
+            Value::Str(s) => Err(DecodeError::new(format!("unknown scale '{s}'"))),
+            map => Ok(Scale::Custom {
+                users: map.get("users")?,
+                reps: map.get("reps")?,
+            }),
+        }
+    }
+}
+
 /// A full dataset specification.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetSpec {
     /// Dataset name (used in reports).
     pub name: String,
@@ -66,6 +92,36 @@ impl DatasetSpec {
             * self.reps
             * self.distances.len()
             * self.speed_scales.len()
+    }
+}
+
+impl Encode for DatasetSpec {
+    fn encode(&self) -> Value {
+        Value::record([
+            ("name", self.name.encode()),
+            ("set", self.set.encode()),
+            ("environment", self.environment.encode()),
+            ("users", self.users.encode()),
+            ("reps", self.reps.encode()),
+            ("distances", self.distances.encode()),
+            ("speed_scales", self.speed_scales.encode()),
+            ("user_seed", self.user_seed.encode()),
+        ])
+    }
+}
+
+impl Decode for DatasetSpec {
+    fn decode(value: &Value) -> Result<Self, DecodeError> {
+        Ok(DatasetSpec {
+            name: value.get("name")?,
+            set: value.get("set")?,
+            environment: value.get("environment")?,
+            users: value.get("users")?,
+            reps: value.get("reps")?,
+            distances: value.get("distances")?,
+            speed_scales: value.get("speed_scales")?,
+            user_seed: value.get("user_seed")?,
+        })
     }
 }
 

@@ -14,5 +14,5 @@ pub mod split;
 pub mod tsne;
 
 pub use metrics::{accuracy, confusion_matrix, macro_auc, macro_f1, ConfusionMatrix};
-pub use roc::{eer, roc_curve, RocPoint};
+pub use roc::{eer, eer_from_curve, roc_curve, RocEerSummary, RocPoint};
 pub use split::{kfold_indices, train_test_split};

@@ -1,5 +1,7 @@
 //! ROC curves and equal error rate (paper Fig. 10).
 
+use gp_codec::{Decode, DecodeError, Encode, Value};
+
 /// One operating point of a ROC curve.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RocPoint {
@@ -9,6 +11,95 @@ pub struct RocPoint {
     pub fpr: f64,
     /// True-positive rate at the threshold.
     pub tpr: f64,
+}
+
+impl Encode for RocPoint {
+    fn encode(&self) -> Value {
+        Value::record([
+            // The strictest operating point carries threshold = +inf,
+            // which JSON cannot represent; it persists as null.
+            (
+                "threshold",
+                if self.threshold.is_finite() {
+                    self.threshold.encode()
+                } else {
+                    Value::Null
+                },
+            ),
+            ("fpr", self.fpr.encode()),
+            ("tpr", self.tpr.encode()),
+        ])
+    }
+}
+
+impl Decode for RocPoint {
+    fn decode(value: &Value) -> Result<Self, DecodeError> {
+        Ok(RocPoint {
+            threshold: value
+                .get::<Option<f64>>("threshold")?
+                .unwrap_or(f64::INFINITY),
+            fpr: value.get("fpr")?,
+            tpr: value.get("tpr")?,
+        })
+    }
+}
+
+/// A persistable ROC/EER summary for one scenario: the operating curve,
+/// its equal error rate, and the pooled score counts — everything a
+/// later run needs to compare Fig. 10-style results machine-to-machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RocEerSummary {
+    /// Scenario label (dataset name, model arm, ...).
+    pub scenario: String,
+    /// The full ROC curve, strictest threshold first.
+    pub points: Vec<RocPoint>,
+    /// Equal error rate over the same scores.
+    pub eer: f64,
+    /// Number of positive verification scores pooled.
+    pub positives: usize,
+    /// Number of negative verification scores pooled.
+    pub negatives: usize,
+}
+
+impl RocEerSummary {
+    /// Builds the summary from pooled verification scores (see
+    /// [`one_vs_rest_scores`]).
+    pub fn from_scores(scenario: impl Into<String>, scores: &[f64], positives: &[bool]) -> Self {
+        let pos = positives.iter().filter(|p| **p).count();
+        let points = roc_curve(scores, positives);
+        let eer = eer_from_curve(&points);
+        RocEerSummary {
+            scenario: scenario.into(),
+            points,
+            eer,
+            positives: pos,
+            negatives: positives.len() - pos,
+        }
+    }
+}
+
+impl Encode for RocEerSummary {
+    fn encode(&self) -> Value {
+        Value::record([
+            ("scenario", self.scenario.encode()),
+            ("points", self.points.encode()),
+            ("eer", self.eer.encode()),
+            ("positives", self.positives.encode()),
+            ("negatives", self.negatives.encode()),
+        ])
+    }
+}
+
+impl Decode for RocEerSummary {
+    fn decode(value: &Value) -> Result<Self, DecodeError> {
+        Ok(RocEerSummary {
+            scenario: value.get("scenario")?,
+            points: value.get("points")?,
+            eer: value.get("eer")?,
+            positives: value.get("positives")?,
+            negatives: value.get("negatives")?,
+        })
+    }
 }
 
 /// Computes the ROC curve for verification scores (higher = more likely
@@ -51,7 +142,16 @@ pub fn roc_curve(scores: &[f64], positives: &[bool]) -> Vec<RocPoint> {
 /// Equal error rate: the rate where `FPR = FNR = 1 − TPR`, linearly
 /// interpolated between the two ROC points that bracket the crossing.
 pub fn eer(scores: &[f64], positives: &[bool]) -> f64 {
-    let curve = roc_curve(scores, positives);
+    eer_from_curve(&roc_curve(scores, positives))
+}
+
+/// [`eer`] over an already-computed ROC curve, so callers that keep the
+/// curve (e.g. [`RocEerSummary`]) do not sort the scores twice.
+///
+/// # Panics
+///
+/// Panics on an empty curve ([`roc_curve`] never produces one).
+pub fn eer_from_curve(curve: &[RocPoint]) -> f64 {
     let mut prev = curve[0];
     for &pt in &curve[1..] {
         let prev_diff = prev.fpr - (1.0 - prev.tpr);

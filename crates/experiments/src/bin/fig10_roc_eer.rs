@@ -5,9 +5,13 @@
 //! an average EER of 0.75%, none exceeding 1.6%).
 
 use gestureprint_core::{classification_report, train_classifier};
+use gp_codec::{Encode, Value};
 use gp_datasets::presets;
-use gp_eval::roc::{eer, one_vs_rest_scores, roc_curve};
-use gp_experiments::{build_dataset, default_train, parse_scale, scale_name, split80, write_csv};
+use gp_eval::roc::{one_vs_rest_scores, RocEerSummary};
+use gp_experiments::{
+    build_dataset, default_train, parse_scale, scale_name, split80, write_csv,
+    write_report_artifact,
+};
 use gp_pipeline::LabeledSample;
 use gp_radar::Environment;
 
@@ -26,7 +30,7 @@ fn main() {
         presets::mtranssee(scale, &[1.2]),
     ];
     let mut rows = Vec::new();
-    let mut eers = Vec::new();
+    let mut summaries = Vec::new();
     for spec in specs {
         let ds = build_dataset(&spec);
         let samples: Vec<&LabeledSample> = ds.samples.iter().map(|s| &s.labeled).collect();
@@ -37,24 +41,35 @@ fn main() {
         let report = classification_report(&model, &ui_test);
         let (scores, positives) =
             one_vs_rest_scores(&report.probabilities, &report.labels, spec.users);
-        let curve = roc_curve(&scores, &positives);
-        let e = eer(&scores, &positives);
+        let summary = RocEerSummary::from_scores(spec.name.clone(), &scores, &positives);
         println!(
             "{:<28} EER {:.3}%  ({} ROC points)",
             spec.name,
-            e * 100.0,
-            curve.len()
+            summary.eer * 100.0,
+            summary.points.len()
         );
-        for pt in curve.iter().step_by((curve.len() / 60).max(1)) {
+        for pt in summary
+            .points
+            .iter()
+            .step_by((summary.points.len() / 60).max(1))
+        {
             rows.push(format!("{},{:.5},{:.5}", spec.name, pt.fpr, pt.tpr));
         }
-        eers.push(e);
+        summaries.push(summary);
     }
-    let avg = eers.iter().sum::<f64>() / eers.len() as f64;
+    let avg = summaries.iter().map(|s| s.eer).sum::<f64>() / summaries.len() as f64;
     println!(
         "\naverage EER: {:.3}% (paper: 0.75%, max 1.58%)",
         avg * 100.0
     );
     let p = write_csv("fig10_roc.csv", "scenario,fpr,tpr", &rows).expect("csv");
     println!("csv: {}", p.display());
+    let payload = Value::record([
+        ("figure", Value::Str("fig10_roc_eer".into())),
+        ("scale", scale.encode()),
+        ("average_eer", avg.encode()),
+        ("scenarios", summaries.encode()),
+    ]);
+    let p = write_report_artifact("fig10_roc_eer.json", payload).expect("report artifact");
+    println!("report artifact: {}", p.display());
 }

@@ -3,9 +3,13 @@
 //!
 //! The paper shows users vary their motion speed across repetitions; the
 //! segment-length distributions per gesture make that visible.
+//!
+//! Emits `results/fig13_duration.csv` (for plotting) and the
+//! machine-comparable `results/fig13_duration.json` report artifact.
 
+use gp_codec::{Encode, Value};
 use gp_datasets::{build, presets, BuildOptions, Scale};
-use gp_experiments::{parse_scale, write_csv};
+use gp_experiments::{parse_scale, write_csv, write_report_artifact};
 use gp_kinematics::gestures::GestureSet;
 use gp_radar::Environment;
 
@@ -16,6 +20,7 @@ fn main() {
     };
     println!("== Fig. 13: gesture lasting time (frames) ==");
     let mut rows = Vec::new();
+    let mut entries: Vec<Value> = Vec::new();
     for env in [Environment::MeetingRoom, Environment::Office] {
         let spec = presets::gestureprint(env, scale);
         let ds = build(&spec, &BuildOptions::default());
@@ -37,6 +42,14 @@ fn main() {
             let name = GestureSet::Asl15.gesture_name(gp_kinematics::gestures::GestureId(g));
             println!("{name:<14} {min:>6} {mean:>6.1} {max:>6}");
             rows.push(format!("{},{name},{min},{mean:.1},{max}", env.name()));
+            entries.push(Value::record([
+                ("environment", env.encode()),
+                ("gesture", name.encode()),
+                ("samples", durations.len().encode()),
+                ("min_frames", min.encode()),
+                ("mean_frames", mean.encode()),
+                ("max_frames", max.encode()),
+            ]));
         }
         let all: Vec<usize> = ds
             .samples
@@ -53,5 +66,12 @@ fn main() {
     )
     .expect("csv");
     println!("\ncsv: {}", p.display());
+    let payload = Value::record([
+        ("figure", Value::Str("fig13_duration".into())),
+        ("scale", scale.encode()),
+        ("rows", Value::Seq(entries)),
+    ]);
+    let p = write_report_artifact("fig13_duration.json", payload).expect("report artifact");
+    println!("report artifact: {}", p.display());
     println!("paper shape: lasting time varies across repetitions (≈15–35 frames) and by gesture.");
 }

@@ -165,6 +165,22 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::io::Result<s
     Ok(path)
 }
 
+/// Writes a figure/table result as a `gestureprint.report` artifact
+/// under `results/`, alongside the CSV the binary also emits — the CSV
+/// stays for plotting, the artifact makes runs machine-comparable
+/// (typed payload, schema version, producing revision).
+pub fn write_report_artifact(
+    name: &str,
+    payload: gp_codec::Value,
+) -> std::io::Result<std::path::PathBuf> {
+    use gestureprint_core::artifact::{kinds, Artifact};
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, Artifact::new(kinds::REPORT, payload).to_bytes())?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +196,22 @@ mod tests {
         let p = write_csv("test_tmp.csv", "a,b", &["1,2".into()]).unwrap();
         let content = std::fs::read_to_string(&p).unwrap();
         assert!(content.contains("a,b"));
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn report_artifact_writes_and_reloads() {
+        use gestureprint_core::artifact::{kinds, Artifact};
+        use gp_codec::{Encode, Value};
+        let payload = Value::record([
+            ("figure", "test".encode()),
+            ("rows", vec![1i64, 2].encode()),
+        ]);
+        let p = write_report_artifact("test_tmp_report.json", payload.clone()).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        let artifact = Artifact::from_bytes(&bytes).unwrap();
+        assert!(artifact.expect_kind(kinds::REPORT).is_ok());
+        assert_eq!(artifact.payload, payload);
         std::fs::remove_file(p).unwrap();
     }
 }

@@ -12,7 +12,6 @@
 //! * [`GestureSet::MTransSee5`] — mTransSee-style 5 arm motions.
 
 use crate::path::HandPath;
-use serde::{Deserialize, Serialize};
 
 mod asl;
 mod mhomeges;
@@ -20,11 +19,11 @@ mod mtranssee;
 mod pantomime;
 
 /// Index of a gesture within a [`GestureSet`] (also its class label).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct GestureId(pub usize);
 
 /// One of the four gesture vocabularies used in the evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GestureSet {
     /// 15 ASL signs (self-collected GesturePrint dataset).
     Asl15,
@@ -56,7 +55,33 @@ impl GestureMotion {
     }
 }
 
+impl gp_codec::Encode for GestureSet {
+    fn encode(&self) -> gp_codec::Value {
+        gp_codec::Value::Str(self.tag().to_owned())
+    }
+}
+
+impl gp_codec::Decode for GestureSet {
+    fn decode(value: &gp_codec::Value) -> Result<Self, gp_codec::DecodeError> {
+        let tag = value.as_str()?;
+        GestureSet::ALL
+            .into_iter()
+            .find(|s| s.tag() == tag)
+            .ok_or_else(|| gp_codec::DecodeError::new(format!("unknown gesture set '{tag}'")))
+    }
+}
+
 impl GestureSet {
+    /// Stable serialization tag (persisted in artifacts; do not rename).
+    pub fn tag(self) -> &'static str {
+        match self {
+            GestureSet::Asl15 => "asl15",
+            GestureSet::Pantomime21 => "pantomime21",
+            GestureSet::MHomeGes10 => "mhomeges10",
+            GestureSet::MTransSee5 => "mtranssee5",
+        }
+    }
+
     /// All four sets, in paper Tab. I order.
     pub const ALL: [GestureSet; 4] = [
         GestureSet::Asl15,

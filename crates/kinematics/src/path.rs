@@ -12,10 +12,9 @@
 //! * `+z` — up.
 
 use gp_pointcloud::Vec3;
-use serde::{Deserialize, Serialize};
 
 /// One control point of a hand path.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Keyframe {
     /// Normalised time in `[0, 1]`.
     pub t: f64,
@@ -34,7 +33,7 @@ impl Keyframe {
 }
 
 /// A smooth wrist trajectory defined by keyframes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HandPath {
     keyframes: Vec<Keyframe>,
 }

@@ -7,10 +7,9 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Which hand the user favours for single-arm gestures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Handedness {
     /// Right-handed (about 90 % of users).
     Right,
@@ -25,7 +24,7 @@ pub enum Handedness {
 /// are what makes the same gesture look different across users in radar
 /// point clouds — they are the signal GesturePrint's user identification
 /// learns.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UserProfile {
     /// Stable user identifier (also the class label for identification).
     pub user_id: usize,

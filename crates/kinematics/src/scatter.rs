@@ -9,10 +9,9 @@
 
 use crate::skeleton::{ArmPose, BodyPose};
 use gp_pointcloud::Vec3;
-use serde::{Deserialize, Serialize};
 
 /// A point reflector with motion state.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Scatterer {
     /// World position (m).
     pub position: Vec3,

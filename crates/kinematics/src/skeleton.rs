@@ -6,10 +6,9 @@
 //! — a visible biometric in side-view point clouds).
 
 use gp_pointcloud::Vec3;
-use serde::{Deserialize, Serialize};
 
 /// The pose of one arm in world coordinates.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ArmPose {
     /// Shoulder joint.
     pub shoulder: Vec3,
@@ -22,7 +21,7 @@ pub struct ArmPose {
 }
 
 /// The pose of the whole upper body in world coordinates.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BodyPose {
     /// Torso reference point (chest centre).
     pub torso_center: Vec3,

@@ -116,6 +116,13 @@ impl Parameterized for PointNet {
         self.head_a.for_each_param(f);
         self.head_b.for_each_param(f);
     }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&[f32])) {
+        self.l1.visit_params(f);
+        self.l2.visit_params(f);
+        self.head_a.visit_params(f);
+        self.head_b.visit_params(f);
+    }
 }
 
 /// Profile CNN: two 3×3 conv + 2×2 pool stages over the Doppler×range
@@ -247,6 +254,13 @@ impl Parameterized for ProfileCnn {
         self.head_a.for_each_param(f);
         self.head_b.for_each_param(f);
     }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&[f32])) {
+        self.conv1.visit_params(f);
+        self.conv2.visit_params(f);
+        self.head_a.visit_params(f);
+        self.head_b.visit_params(f);
+    }
 }
 
 /// Temporal baseline: per-frame features through an LSTM, classifying
@@ -298,6 +312,11 @@ impl Parameterized for LstmNet {
     fn for_each_param(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
         self.lstm.for_each_param(f);
         self.head.for_each_param(f);
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&[f32])) {
+        self.lstm.visit_params(f);
+        self.head.visit_params(f);
     }
 }
 

@@ -51,6 +51,30 @@ impl Default for FeatureConfig {
     }
 }
 
+impl gp_codec::Encode for FeatureConfig {
+    fn encode(&self) -> gp_codec::Value {
+        gp_codec::Value::record([
+            ("num_points", self.num_points.encode()),
+            ("profile_shape", self.profile_shape.encode()),
+            ("doppler_span", self.doppler_span.encode()),
+            ("range_span", self.range_span.encode()),
+            ("max_frames", self.max_frames.encode()),
+        ])
+    }
+}
+
+impl gp_codec::Decode for FeatureConfig {
+    fn decode(value: &gp_codec::Value) -> Result<Self, gp_codec::DecodeError> {
+        Ok(FeatureConfig {
+            num_points: value.get("num_points")?,
+            profile_shape: value.get("profile_shape")?,
+            doppler_span: value.get("doppler_span")?,
+            range_span: value.get("range_span")?,
+            max_frames: value.get("max_frames")?,
+        })
+    }
+}
+
 /// An encoded sample.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ModelInput {

@@ -188,6 +188,11 @@ impl Parameterized for SharedMlp {
         self.l1.for_each_param(f);
         self.l2.for_each_param(f);
     }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&[f32])) {
+        self.l1.visit_params(f);
+        self.l2.visit_params(f);
+    }
 }
 
 /// One pooled group: member indices, MLP trace, pool argmax.
@@ -806,6 +811,24 @@ impl Parameterized for GesIDNet {
         self.head2_a.for_each_param(f);
         self.head2_b.for_each_param(f);
         self.head2_c.for_each_param(f);
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&[f32])) {
+        for m in &self.sa1_mlps {
+            m.visit_params(f);
+        }
+        self.low_proj.visit_params(f);
+        self.sa2_mlp.visit_params(f);
+        self.high_proj.visit_params(f);
+        self.rb_low.visit_params(f);
+        self.rb_high.visit_params(f);
+        self.g1.visit_params(f);
+        self.g2.visit_params(f);
+        self.head1_a.visit_params(f);
+        self.head1_b.visit_params(f);
+        self.head2_a.visit_params(f);
+        self.head2_b.visit_params(f);
+        self.head2_c.visit_params(f);
     }
 }
 

@@ -4,11 +4,10 @@
 use crate::init::he_uniform;
 use crate::Parameterized;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A 3×3 same-padding convolution over `(channels, height, width)`
 /// feature maps stored as flat `Vec<f32>` in channel-major order.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Conv2d {
     in_channels: usize,
     out_channels: usize,
@@ -124,6 +123,11 @@ impl Parameterized for Conv2d {
     fn for_each_param(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
         f(&mut self.w, &mut self.gw);
         f(&mut self.b, &mut self.gb);
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&[f32])) {
+        f(&self.w);
+        f(&self.b);
     }
 }
 

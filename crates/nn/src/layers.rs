@@ -4,14 +4,13 @@ use crate::init::he_uniform;
 use crate::matrix::Matrix;
 use crate::Parameterized;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A fully connected layer `y = x·Wᵀ + b`.
 ///
 /// Used both as a classic dense layer (batch rows) and as a *shared MLP*
 /// across points: pass a `(points × features)` matrix and every point is
 /// transformed with the same weights, exactly PointNet's weight sharing.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Linear {
     w: Matrix,   // out × in
     b: Vec<f32>, // out
@@ -85,6 +84,11 @@ impl Parameterized for Linear {
     fn for_each_param(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
         f(self.w.as_mut_slice(), self.gw.as_mut_slice());
         f(&mut self.b, &mut self.gb);
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&[f32])) {
+        f(self.w.as_slice());
+        f(&self.b);
     }
 }
 
@@ -377,7 +381,7 @@ mod tests {
     #[test]
     fn param_count() {
         let mut rng = StdRng::seed_from_u64(0);
-        let mut l = Linear::new(10, 4, &mut rng);
+        let l = Linear::new(10, 4, &mut rng);
         assert_eq!(l.param_count(), 44);
     }
 }

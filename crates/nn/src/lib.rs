@@ -65,10 +65,16 @@ pub trait Parameterized {
     /// Calls `f(param, grad)` for every parameter tensor.
     fn for_each_param(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32]));
 
+    /// Calls `f(param)` for every parameter tensor, read-only and in
+    /// the same order as [`Parameterized::for_each_param`] — the export
+    /// side of serialization, which must not require `&mut` access to a
+    /// trained model.
+    fn visit_params(&self, f: &mut dyn FnMut(&[f32]));
+
     /// Total number of scalar parameters.
-    fn param_count(&mut self) -> usize {
+    fn param_count(&self) -> usize {
         let mut n = 0;
-        self.for_each_param(&mut |p, _| n += p.len());
+        self.visit_params(&mut |p| n += p.len());
         n
     }
 

@@ -4,10 +4,9 @@
 use crate::init::xavier_uniform;
 use crate::Parameterized;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Standard LSTM: gates `i, f, g, o` with weights over `[x_t, h_{t−1}]`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Lstm {
     input: usize,
     hidden: usize,
@@ -156,6 +155,11 @@ impl Parameterized for Lstm {
     fn for_each_param(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
         f(&mut self.w, &mut self.gw);
         f(&mut self.b, &mut self.gb);
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&[f32])) {
+        f(&self.w);
+        f(&self.b);
     }
 }
 

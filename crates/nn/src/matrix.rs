@@ -1,9 +1,7 @@
 //! A dense row-major `f32` matrix.
 
-use serde::{Deserialize, Serialize};
-
 /// A dense row-major matrix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,

@@ -12,9 +12,12 @@ const MAGIC: u32 = 0x4750_4E4E; // "GPNN"
 const VERSION: u32 = 1;
 
 /// Serialises all parameters of `model` into a byte buffer.
-pub fn save_params(model: &mut dyn Parameterized) -> Bytes {
+///
+/// Export is read-only ([`Parameterized::visit_params`]): saving a
+/// trained model does not require `&mut` access to it.
+pub fn save_params(model: &dyn Parameterized) -> Bytes {
     let mut tensors: Vec<Vec<f32>> = Vec::new();
-    model.for_each_param(&mut |p, _| tensors.push(p.to_vec()));
+    model.visit_params(&mut |p| tensors.push(p.to_vec()));
     let mut buf =
         BytesMut::with_capacity(16 + tensors.iter().map(|t| 4 + t.len() * 4).sum::<usize>());
     buf.put_u32_le(MAGIC);
@@ -84,7 +87,7 @@ pub fn load_params(model: &mut dyn Parameterized, bytes: &[u8]) -> Result<(), Lo
     // count-sized allocation, so a corrupt file errors instead of
     // requesting absurd capacity.
     let mut shapes = Vec::new();
-    model.for_each_param(&mut |p, _| shapes.push(p.len()));
+    model.visit_params(&mut |p| shapes.push(p.len()));
     if shapes.len() != count {
         return Err(LoadParamsError::TensorCountMismatch {
             stored: count,

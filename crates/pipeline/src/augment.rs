@@ -5,12 +5,12 @@
 //! the classifier robust to position jitter and unseen distances
 //! (paper Fig. 12's with/without-DA comparison).
 
+use gp_codec::{Decode, DecodeError, Encode, Value};
 use gp_pointcloud::{PointCloud, Vec3};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Augmentation parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AugmenterConfig {
     /// Number of jittered copies per original sample.
     pub copies: usize,
@@ -24,6 +24,24 @@ impl Default for AugmenterConfig {
             copies: 3,
             sigma: 0.02,
         }
+    }
+}
+
+impl Encode for AugmenterConfig {
+    fn encode(&self) -> Value {
+        Value::record([
+            ("copies", self.copies.encode()),
+            ("sigma", self.sigma.encode()),
+        ])
+    }
+}
+
+impl Decode for AugmenterConfig {
+    fn decode(value: &Value) -> Result<Self, DecodeError> {
+        Ok(AugmenterConfig {
+            copies: value.get("copies")?,
+            sigma: value.get("sigma")?,
+        })
     }
 }
 

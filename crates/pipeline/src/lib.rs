@@ -56,6 +56,24 @@ pub struct PreprocessorConfig {
     pub noise: NoiseCancelerConfig,
 }
 
+impl gp_codec::Encode for PreprocessorConfig {
+    fn encode(&self) -> gp_codec::Value {
+        gp_codec::Value::record([
+            ("segmenter", self.segmenter.encode()),
+            ("noise", self.noise.encode()),
+        ])
+    }
+}
+
+impl gp_codec::Decode for PreprocessorConfig {
+    fn decode(value: &gp_codec::Value) -> Result<Self, gp_codec::DecodeError> {
+        Ok(PreprocessorConfig {
+            segmenter: value.get("segmenter")?,
+            noise: value.get("noise")?,
+        })
+    }
+}
+
 /// The complete preprocessing pipeline: segmentation + aggregation +
 /// noise canceling.
 #[derive(Debug, Clone, Default)]

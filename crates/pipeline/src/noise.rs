@@ -6,12 +6,12 @@
 //! most points is the user (the *main cluster*), everything else is
 //! discarded. Paper parameters: `D_max = 1 m`, `N_min = 4`.
 
+use gp_codec::{Decode, DecodeError, Encode, Value};
 use gp_pointcloud::dbscan::{dbscan, DbscanConfig};
 use gp_pointcloud::{Clustering, PointCloud};
-use serde::{Deserialize, Serialize};
 
 /// Noise-canceling parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NoiseCancelerConfig {
     /// DBSCAN neighbourhood radius — the paper's `D_max` (m).
     pub max_distance: f64,
@@ -25,6 +25,24 @@ impl Default for NoiseCancelerConfig {
             max_distance: 1.0,
             min_points: 4,
         }
+    }
+}
+
+impl Encode for NoiseCancelerConfig {
+    fn encode(&self) -> Value {
+        Value::record([
+            ("max_distance", self.max_distance.encode()),
+            ("min_points", self.min_points.encode()),
+        ])
+    }
+}
+
+impl Decode for NoiseCancelerConfig {
+    fn decode(value: &Value) -> Result<Self, DecodeError> {
+        Ok(NoiseCancelerConfig {
+            max_distance: value.get("max_distance")?,
+            min_points: value.get("min_points")?,
+        })
     }
 }
 

@@ -1,11 +1,10 @@
 //! Sample types flowing between the pipeline and the classifiers.
 
 use gp_pointcloud::PointCloud;
-use serde::{Deserialize, Serialize};
 
 /// The output of preprocessing one gesture: a clean aggregated cloud plus
 /// timing metadata.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GestureSample {
     /// Noise-cancelled aggregated gesture point cloud.
     pub cloud: PointCloud,
@@ -19,7 +18,7 @@ pub struct GestureSample {
 }
 
 /// A training/evaluation sample with its ground-truth labels.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LabeledSample {
     /// The preprocessed gesture cloud.
     pub cloud: PointCloud,

@@ -13,12 +13,12 @@
 //! uninterrupted motion burst is often only 6–7 frames. The end rule (a
 //! fully static window) already bridges such intra-gesture pauses.
 
+use gp_codec::{Decode, DecodeError, Encode, Value};
 use gp_radar::Frame;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Segmentation parameters (paper §V values as defaults).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SegmenterConfig {
     /// Length `N` of the trailing window used to estimate the dynamic
     /// point-count threshold.
@@ -51,8 +51,34 @@ impl Default for SegmenterConfig {
     }
 }
 
+impl Encode for SegmenterConfig {
+    fn encode(&self) -> Value {
+        Value::record([
+            ("threshold_window", self.threshold_window.encode()),
+            ("motion_window", self.motion_window.encode()),
+            ("min_motion_frames", self.min_motion_frames.encode()),
+            ("min_threshold", self.min_threshold.encode()),
+            ("quantiles", self.quantiles.encode()),
+            ("spread_fraction", self.spread_fraction.encode()),
+        ])
+    }
+}
+
+impl Decode for SegmenterConfig {
+    fn decode(value: &Value) -> Result<Self, DecodeError> {
+        Ok(SegmenterConfig {
+            threshold_window: value.get("threshold_window")?,
+            motion_window: value.get("motion_window")?,
+            min_motion_frames: value.get("min_motion_frames")?,
+            min_threshold: value.get("min_threshold")?,
+            quantiles: value.get("quantiles")?,
+            spread_fraction: value.get("spread_fraction")?,
+        })
+    }
+}
+
 /// A detected gesture segment: frame indices `[start, end)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GestureSegment {
     /// First motion frame (inclusive).
     pub start: usize,
@@ -70,6 +96,21 @@ impl GestureSegment {
     /// Whether the segment is empty (never produced by the segmenter).
     pub fn is_empty(&self) -> bool {
         self.end <= self.start
+    }
+}
+
+impl Encode for GestureSegment {
+    fn encode(&self) -> Value {
+        Value::record([("start", self.start.encode()), ("end", self.end.encode())])
+    }
+}
+
+impl Decode for GestureSegment {
+    fn decode(value: &Value) -> Result<Self, DecodeError> {
+        Ok(GestureSegment {
+            start: value.get("start")?,
+            end: value.get("end")?,
+        })
     }
 }
 

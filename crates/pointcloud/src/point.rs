@@ -1,6 +1,5 @@
 //! Core point-cloud types: [`Vec3`], [`Point`], [`PointCloud`].
 
-use serde::{Deserialize, Serialize};
 use std::iter::FromIterator;
 use std::ops::{Add, AddAssign, Index, Mul, Neg, Sub};
 
@@ -9,7 +8,7 @@ use std::ops::{Add, AddAssign, Index, Mul, Neg, Sub};
 /// The coordinate convention follows the radar device: `x` is lateral
 /// (positive to the radar's right), `y` points away from the radar
 /// (range direction), and `z` is height.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Vec3 {
     /// Lateral coordinate (m).
     pub x: f64,
@@ -149,7 +148,7 @@ impl Neg for Vec3 {
 ///
 /// Matches the TI point-cloud format consumed by the paper: a 3-D position
 /// plus the radial Doppler velocity and the detection SNR.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Point {
     /// Position in radar coordinates (m).
     pub position: Vec3,
@@ -192,7 +191,7 @@ impl Point {
 /// `PointCloud` behaves like a `Vec<Point>` with geometry helpers. It
 /// implements [`FromIterator`] and [`Extend`] so clouds compose with
 /// iterator pipelines.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct PointCloud {
     points: Vec<Point>,
 }

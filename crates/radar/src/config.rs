@@ -5,13 +5,11 @@
 //! maximum range, ±2.7 m/s maximum radial velocity, 0.34 m/s velocity
 //! resolution, mounted at 1.25 m height.
 
-use serde::{Deserialize, Serialize};
-
 /// Speed of light (m/s).
 pub const SPEED_OF_LIGHT: f64 = 2.997_924_58e8;
 
 /// FMCW radar configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RadarConfig {
     /// Carrier (chirp start) frequency (Hz).
     pub carrier_hz: f64,

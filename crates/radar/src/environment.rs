@@ -11,10 +11,9 @@ use gp_kinematics::Scatterer;
 use gp_pointcloud::Vec3;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// The rooms used across the four datasets (paper Tab. I, Fig. 8).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Environment {
     /// Small office, 2.4 m × 4.1 m (GesturePrint dataset).
     Office,
@@ -26,8 +25,24 @@ pub enum Environment {
     OpenSpace,
 }
 
+impl gp_codec::Encode for Environment {
+    fn encode(&self) -> gp_codec::Value {
+        gp_codec::Value::Str(self.tag().to_owned())
+    }
+}
+
+impl gp_codec::Decode for Environment {
+    fn decode(value: &gp_codec::Value) -> Result<Self, gp_codec::DecodeError> {
+        let tag = value.as_str()?;
+        Environment::ALL
+            .into_iter()
+            .find(|e| e.tag() == tag)
+            .ok_or_else(|| gp_codec::DecodeError::new(format!("unknown environment '{tag}'")))
+    }
+}
+
 /// A nearly-static reflector that sways slightly around an anchor.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SwayingReflector {
     /// Anchor position (world frame, m).
     pub anchor: Vec3,
@@ -56,6 +71,16 @@ impl SwayingReflector {
 }
 
 impl Environment {
+    /// Stable serialization tag (persisted in artifacts; do not rename).
+    pub fn tag(self) -> &'static str {
+        match self {
+            Environment::Office => "office",
+            Environment::MeetingRoom => "meeting_room",
+            Environment::Home => "home",
+            Environment::OpenSpace => "open_space",
+        }
+    }
+
     /// All presets.
     pub const ALL: [Environment; 4] = [
         Environment::Office,

@@ -1,10 +1,9 @@
 //! Radar frames: timestamped point clouds.
 
 use gp_pointcloud::PointCloud;
-use serde::{Deserialize, Serialize};
 
 /// One radar frame: the point cloud detected during one chirp burst.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Frame {
     /// Frame timestamp (s, from the start of the capture).
     pub timestamp: f64,

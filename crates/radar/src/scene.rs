@@ -8,12 +8,11 @@
 use crate::environment::{Environment, SwayingReflector};
 use gp_kinematics::{Performance, Scatterer};
 use gp_pointcloud::Vec3;
-use serde::{Deserialize, Serialize};
 
 /// A person walking along a straight line at constant speed, with gait
 /// bobbing and arm swing — the paper's "someone else walks past behind
 /// the user" case.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Walker {
     /// Starting torso position (m).
     pub start: Vec3,

@@ -38,6 +38,9 @@ struct SessionCounters {
     frames: u64,
     segments: u64,
     results: u64,
+    /// Frames dropped by load shedding
+    /// ([`crate::ServeEngine::try_push_frame`] on a saturated engine).
+    shed_frames: u64,
     latencies: Vec<Duration>,
     /// Ring cursor once `latencies` reaches [`LATENCY_RESERVOIR`].
     next_latency: usize,
@@ -100,6 +103,11 @@ impl EventBus {
         self.lock().sessions.entry(id).or_default().segments += 1;
     }
 
+    /// Records one frame dropped by load shedding.
+    pub(crate) fn record_shed_frame(&self, id: SessionId) {
+        self.lock().sessions.entry(id).or_default().shed_frames += 1;
+    }
+
     /// Records that a session was closed; it becomes a candidate for
     /// [`EventBus::sweep_closed`]. Callers must mark a session closed
     /// only *after* enqueuing its final segment, so any sweep whose
@@ -142,6 +150,7 @@ impl EventBus {
                 inner.evicted.frames += c.frames;
                 inner.evicted.segments += c.segments;
                 inner.evicted.results += c.results;
+                inner.evicted.shed_frames += c.shed_frames;
                 for &latency in &c.latencies {
                     inner.evicted.record_latency(latency);
                 }
@@ -197,6 +206,7 @@ impl EventBus {
                 frames: c.frames,
                 segments: c.segments,
                 results: c.results,
+                shed_frames: c.shed_frames,
                 latencies,
             }
         };
@@ -224,6 +234,11 @@ pub struct SessionStats {
     pub segments: u64,
     /// Classified results published for the session.
     pub results: u64,
+    /// Frames dropped by load shedding: offered through
+    /// [`crate::ServeEngine::try_push_frame`] while the engine was
+    /// saturated. Not included in [`SessionStats::frames`] — shed
+    /// frames never enter the session.
+    pub shed_frames: u64,
     /// Sorted segment-to-result latency samples (the most recent
     /// measurements, capped at a fixed reservoir size).
     pub latencies: Vec<Duration>,
@@ -266,6 +281,12 @@ impl ServeStats {
     /// Total results published across all sessions (evicted included).
     pub fn total_results(&self) -> u64 {
         self.sessions.values().map(|s| s.results).sum::<u64>() + self.evicted.results
+    }
+
+    /// Total frames dropped by load shedding across all sessions
+    /// (evicted included).
+    pub fn total_shed_frames(&self) -> u64 {
+        self.sessions.values().map(|s| s.shed_frames).sum::<u64>() + self.evicted.shed_frames
     }
 
     /// The `p`-th segment-to-result latency percentile across all
@@ -322,6 +343,7 @@ mod tests {
                         segments: 2,
                         results: 2,
                         latencies: vec![ms(1), ms(3)],
+                        ..Default::default()
                     },
                 ),
                 (
@@ -331,6 +353,7 @@ mod tests {
                         segments: 1,
                         results: 1,
                         latencies: vec![ms(2)],
+                        ..Default::default()
                     },
                 ),
             ]

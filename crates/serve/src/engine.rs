@@ -65,6 +65,36 @@ impl Default for ServeConfig {
     }
 }
 
+impl gp_codec::Encode for ServeConfig {
+    fn encode(&self) -> gp_codec::Value {
+        gp_codec::Value::record([
+            ("preprocessor", self.preprocessor.encode()),
+            ("max_batch", self.max_batch.encode()),
+            ("workers", self.workers.encode()),
+            (
+                "pending_high_watermark",
+                self.pending_high_watermark.encode(),
+            ),
+            (
+                "retain_closed_sessions",
+                self.retain_closed_sessions.encode(),
+            ),
+        ])
+    }
+}
+
+impl gp_codec::Decode for ServeConfig {
+    fn decode(value: &gp_codec::Value) -> Result<Self, gp_codec::DecodeError> {
+        Ok(ServeConfig {
+            preprocessor: value.get("preprocessor")?,
+            max_batch: value.get("max_batch")?,
+            workers: value.get("workers")?,
+            pending_high_watermark: value.get("pending_high_watermark")?,
+            retain_closed_sessions: value.get("retain_closed_sessions")?,
+        })
+    }
+}
+
 /// One preprocessed segment waiting for (or undergoing) inference.
 struct SegmentJob {
     session: SessionId,
@@ -200,6 +230,44 @@ impl ServeEngine {
             completed.map(|c| (c, self.next_seq.fetch_add(1, Ordering::Relaxed)))
         };
         self.record_completed(id, completed)
+    }
+
+    /// Load-shedding variant of [`ServeEngine::push_frame`]: a
+    /// saturated engine *drops* the frame instead of risking a blocking
+    /// dispatch, so an over-rate producer degrades (loses frames) rather
+    /// than stalls.
+    ///
+    /// Admission control reserves a full batch's worth of headroom
+    /// under the backpressure gate via [`Gate::try_acquire`]. When
+    /// `max_batch` more segments would not fit below
+    /// [`ServeConfig::pending_high_watermark`], the frame is shed:
+    /// it never enters the session (not counted in
+    /// [`crate::SessionStats::frames`]), the session's
+    /// [`crate::SessionStats::shed_frames`] counter increments, and
+    /// `None` is returned. When admitted, the frame proceeds exactly
+    /// like [`ServeEngine::push_frame`], and because the reserved
+    /// headroom covers the largest possible batch, a dispatch this
+    /// frame triggers never blocks a lone producer. (Producers racing
+    /// each other can still briefly block on the gate between admission
+    /// and dispatch — bounded by one batch in flight.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a live session.
+    pub fn try_push_frame(&self, id: SessionId, frame: Frame) -> Option<usize> {
+        let headroom = self.config.max_batch.max(1);
+        if !self.gate.try_acquire(headroom) {
+            // Enforce liveness on the shed path too: recording a shed
+            // for a closed session would resurrect its (possibly
+            // already evicted) stats entry outside the eviction
+            // protocol, and the documented panic must not depend on
+            // which branch a frame takes.
+            assert!(self.session(id).is_some(), "try_push_frame on unknown {id}");
+            self.bus.record_shed_frame(id);
+            return None;
+        }
+        self.gate.release(headroom);
+        Some(self.push_frame(id, frame))
     }
 
     /// Closes a session: flushes a gesture still open at stream end and

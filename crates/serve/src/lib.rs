@@ -18,7 +18,10 @@
 //!   work-stealing [`gp_runtime::WorkerPool`]. Submission is bounded:
 //!   once [`ServeConfig::pending_high_watermark`] segments are pending
 //!   or in flight, `push_frame` blocks the producer (backpressure)
-//!   instead of growing the queue without limit.
+//!   instead of growing the queue without limit, while
+//!   [`ServeEngine::try_push_frame`] *sheds* the frame instead — for
+//!   producers that must never stall — counting it in the session's
+//!   [`SessionStats::shed_frames`].
 //! * **Event/result bus** ([`ServeEvent`], [`ServeStats`]) — classified
 //!   segments flow out with per-session frame/segment/result counters
 //!   and segment-to-result latency percentiles (p50/p99).

@@ -1,0 +1,110 @@
+//! Load shedding: an over-rate producer using
+//! [`ServeEngine::try_push_frame`] sheds frames instead of blocking
+//! when the executor is saturated, and the shed frames are accounted
+//! per session.
+
+use gp_serve::{ServeConfig, ServeEngine};
+use gp_testkit::{stream_fixture, toy_system};
+
+fn tight_config() -> ServeConfig {
+    ServeConfig {
+        // One-segment batches against a one-segment watermark: the gate
+        // is saturated the moment any inference is in flight.
+        max_batch: 1,
+        pending_high_watermark: 1,
+        workers: 1,
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn over_rate_producer_sheds_instead_of_blocking() {
+    let engine = ServeEngine::new(toy_system(), tight_config());
+    let stream = stream_fixture();
+    let session = engine.open_session();
+
+    let mut accepted = 0u64;
+    let mut shed = 0u64;
+    // Replay at full speed — far beyond the executor's drain rate. The
+    // blocking `push_frame` would stall this loop at the watermark;
+    // `try_push_frame` must instead return `None` and move on.
+    for frame in &stream.frames {
+        match engine.try_push_frame(session, frame.clone()) {
+            Some(_) => accepted += 1,
+            None => shed += 1,
+        }
+    }
+    engine.close_session(session);
+    let results = engine.drain().len();
+
+    assert!(
+        shed > 0,
+        "a full-speed replay against a 1-segment watermark must shed \
+         (accepted {accepted}, results {results})"
+    );
+    assert!(accepted > 0, "shedding must not reject an idle engine");
+
+    // Accounting: every offered frame is either in the session or shed.
+    let stats = engine.stats();
+    assert_eq!(stats.total_shed_frames(), shed);
+    assert_eq!(stats.total_frames(), accepted);
+    assert_eq!(
+        stats.total_frames() + stats.total_shed_frames(),
+        stream.frames.len() as u64
+    );
+    let per_session = &stats.sessions[&session];
+    assert_eq!(per_session.shed_frames, shed, "shed count is per-session");
+
+    // After the drain the gate is idle again: nothing sheds.
+    let fresh = engine.open_session();
+    assert!(
+        engine
+            .try_push_frame(fresh, stream.frames[0].clone())
+            .is_some(),
+        "an idle engine admits frames"
+    );
+    engine.close_session(fresh);
+    engine.drain();
+}
+
+#[test]
+fn shed_frames_survive_stats_eviction() {
+    let engine = ServeEngine::new(
+        toy_system(),
+        ServeConfig {
+            retain_closed_sessions: 0,
+            ..tight_config()
+        },
+    );
+    let stream = stream_fixture();
+    let session = engine.open_session();
+    let mut shed = 0u64;
+    for frame in &stream.frames {
+        if engine.try_push_frame(session, frame.clone()).is_none() {
+            shed += 1;
+        }
+    }
+    engine.close_session(session);
+    engine.drain();
+    // Another drain sweeps the closed session into the evicted
+    // aggregate; the shed total must survive the fold.
+    engine.drain();
+    let stats = engine.stats();
+    assert!(!stats.sessions.contains_key(&session), "entry evicted");
+    assert_eq!(stats.total_shed_frames(), shed);
+}
+
+#[test]
+fn quiet_sessions_never_shed() {
+    // Default watermark (256) with a light single stream: shedding is
+    // purely an overload behaviour.
+    let engine = ServeEngine::new(toy_system(), ServeConfig::default());
+    let stream = stream_fixture();
+    let session = engine.open_session();
+    for frame in &stream.frames {
+        assert!(engine.try_push_frame(session, frame.clone()).is_some());
+    }
+    engine.close_session(session);
+    engine.drain();
+    assert_eq!(engine.stats().total_shed_frames(), 0);
+}

@@ -1,0 +1,169 @@
+//! Golden artifact compatibility: the committed fixtures under
+//! `crates/testkit/fixtures/` were written by an earlier revision of
+//! the artifact schema and MUST keep loading on every PR. A failure
+//! here means the schema drifted silently — either restore
+//! compatibility (preferred: additive fields with `get_or` defaults)
+//! or bump `SCHEMA_VERSION` *and* regenerate the fixtures consciously:
+//!
+//! ```sh
+//! cargo test -p gp-testkit --test golden_artifacts -- --ignored
+//! ```
+//!
+//! (see TESTING.md "Golden artifact fixtures").
+
+use gestureprint_core::artifact::{kinds, Artifact, ModelArtifact, SCHEMA_VERSION};
+use gestureprint_core::{
+    classification_report, train_classifier, ClassificationReport, ModelKind, TrainConfig,
+    TrainedModel,
+};
+use gp_codec::{Decode, Encode, Value};
+use gp_models::features::FeatureConfig;
+use gp_pipeline::LabeledSample;
+use gp_testkit::toy_labeled_samples;
+use std::path::{Path, PathBuf};
+
+fn fixture_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+fn read_fixture(name: &str) -> Vec<u8> {
+    std::fs::read(fixture_path(name)).unwrap_or_else(|e| {
+        panic!("missing golden fixture {name}: {e} (see file docs to regenerate)")
+    })
+}
+
+/// The exact configuration the model fixture was trained with. Changing
+/// this requires regenerating the fixtures.
+fn fixture_train_config() -> TrainConfig {
+    TrainConfig {
+        model: ModelKind::Lstm, // the smallest architecture → smallest committed file
+        epochs: 8,
+        augment: None,
+        feature: FeatureConfig {
+            num_points: 24,
+            ..FeatureConfig::default()
+        },
+        seed: 42,
+        ..TrainConfig::default()
+    }
+}
+
+fn fixture_samples() -> Vec<LabeledSample> {
+    toy_labeled_samples(3)
+}
+
+fn train_fixture_model() -> TrainedModel {
+    let samples = fixture_samples();
+    let pairs: Vec<(&LabeledSample, usize)> = samples.iter().map(|s| (s, s.user)).collect();
+    train_classifier(&pairs, 2, &fixture_train_config())
+}
+
+#[test]
+fn model_fixture_still_loads() {
+    let bytes = read_fixture("model_lstm_v1.json");
+    let artifact = Artifact::from_bytes(&bytes).expect("envelope parses");
+    assert!(
+        artifact.schema_version <= SCHEMA_VERSION,
+        "fixture from the future? regenerate it"
+    );
+    assert!(artifact.expect_kind(kinds::MODEL).is_ok());
+
+    let model = TrainedModel::load_artifact(&bytes).expect("model reconstructs from bytes alone");
+    assert_eq!(model.kind(), ModelKind::Lstm);
+    assert_eq!(model.classes(), 2);
+    for s in &fixture_samples() {
+        let p = model.probabilities(s);
+        assert_eq!(p.len(), 2);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-6, "{p:?}");
+    }
+
+    // Anti-drift: decoding the payload and re-encoding it must be the
+    // identity. A renamed/removed field fails the decode above; an
+    // *added* field defaulting via `get_or` changes the re-encoding and
+    // fails here — forcing a conscious fixture regeneration instead of
+    // silent drift.
+    let reencoded = ModelArtifact::decode(&artifact.payload)
+        .expect("payload decodes")
+        .encode();
+    assert_eq!(
+        reencoded, artifact.payload,
+        "model payload schema drifted; regenerate fixtures deliberately"
+    );
+}
+
+#[test]
+fn report_fixture_still_loads() {
+    let bytes = read_fixture("report_v1.json");
+    let artifact = Artifact::from_bytes(&bytes).expect("envelope parses");
+    assert!(artifact.expect_kind(kinds::REPORT).is_ok());
+    let report: ClassificationReport = artifact.payload.get("report").expect("report decodes");
+    // Internal consistency, not golden numbers: metrics must agree with
+    // the persisted raw predictions (robust to cross-platform libm
+    // differences at regeneration time).
+    let manual = report
+        .predictions
+        .iter()
+        .zip(&report.labels)
+        .filter(|(p, l)| p == l)
+        .count() as f64
+        / report.labels.len().max(1) as f64;
+    assert!((report.accuracy - manual).abs() < 1e-12);
+    assert_eq!(report.probabilities.len(), report.labels.len());
+    let reencoded: Value = report.encode();
+    assert_eq!(
+        &reencoded,
+        artifact.payload.field("report").unwrap(),
+        "report payload schema drifted; regenerate fixtures deliberately"
+    );
+}
+
+#[test]
+fn baseline_fixture_still_parses() {
+    let text = String::from_utf8(read_fixture("baseline_v1.json")).expect("utf8");
+    let baseline = criterion::Baseline::parse(&text)
+        .expect("committed baseline must stay readable by --baseline");
+    assert_eq!(baseline.mean_ns("dsp/fft_256"), Some(52341.7));
+    assert_eq!(
+        baseline.mean_ns("serve/stream_replay_1worker"),
+        Some(1.25e9)
+    );
+    assert_eq!(baseline.mean_ns("absent"), None);
+}
+
+/// Rewrites every golden fixture from the current schema. Run after a
+/// *deliberate* schema change (with a `SCHEMA_VERSION` bump when the
+/// change is breaking):
+///
+/// ```sh
+/// cargo test -p gp-testkit --test golden_artifacts -- --ignored
+/// ```
+#[test]
+#[ignore = "regenerates the committed golden fixtures in place"]
+fn regenerate_golden_fixtures() {
+    let model = train_fixture_model();
+    std::fs::create_dir_all(Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")).unwrap();
+    std::fs::write(fixture_path("model_lstm_v1.json"), model.save_artifact()).unwrap();
+
+    let samples = fixture_samples();
+    let pairs: Vec<(&LabeledSample, usize)> = samples.iter().map(|s| (s, s.user)).collect();
+    let report = classification_report(&model, &pairs);
+    let payload = Value::record([
+        ("report", report.encode()),
+        ("task", Value::Str("user_identification".into())),
+        ("dataset", Value::Str("toy_labeled_samples(3)".into())),
+    ]);
+    std::fs::write(
+        fixture_path("report_v1.json"),
+        Artifact::new(kinds::REPORT, payload).to_bytes(),
+    )
+    .unwrap();
+
+    let mut baseline = criterion::Baseline::default();
+    baseline.record("dsp/fft_256", 52341.7);
+    baseline.record("serve/stream_replay_1worker", 1.25e9);
+    std::fs::write(fixture_path("baseline_v1.json"), baseline.to_json()).unwrap();
+
+    println!("regenerated fixtures under {}", fixture_path("").display());
+}

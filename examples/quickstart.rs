@@ -58,7 +58,24 @@ fn main() {
         test.len()
     );
 
-    // 4. Inspect one inference in detail.
+    // 4. Persist and reload: the whole two-stage system (gesture model,
+    //    per-gesture identifiers, feature config) travels as ONE
+    //    self-describing artifact — no architecture arguments needed at
+    //    load time, and predictions are bit-identical.
+    let bytes = system.save_artifact();
+    let restored = GesturePrint::load_artifact(&bytes).expect("artifact reloads");
+    assert!(
+        test.iter().all(|s| system.infer(s) == restored.infer(s)),
+        "reloaded system must predict identically"
+    );
+    println!(
+        "artifact round trip: {} bytes → {} gestures × {} users, predictions identical",
+        bytes.len(),
+        restored.gestures(),
+        restored.users()
+    );
+
+    // 5. Inspect one inference in detail.
     let sample = test[0];
     let out = system.infer(sample);
     println!(

@@ -66,6 +66,16 @@ fn main() {
         },
     );
 
+    // A deployed controller restarts: reload the trained system from
+    // its artifact bytes (in a real deployment, from disk) and serve
+    // the household with identical behaviour.
+    let bytes = system.save_artifact();
+    let system = GesturePrint::load_artifact(&bytes).expect("controller state reloads");
+    println!(
+        "controller state persisted and reloaded ({} bytes, schema-versioned)",
+        bytes.len()
+    );
+
     println!("\nincoming gestures:");
     let mut correct = 0;
     for sample in &test {

@@ -13,6 +13,7 @@
 //!
 //! | Module | Crate | Contents |
 //! |---|---|---|
+//! | [`codec`] | `gp-codec` | self-describing values, strict JSON, `Encode`/`Decode` |
 //! | [`dsp`] | `gp-dsp` | FFT, windows, CA-CFAR |
 //! | [`pointcloud`] | `gp-pointcloud` | point types, HD/CD/JSD metrics, DBSCAN |
 //! | [`kinematics`] | `gp-kinematics` | arm model, gesture trajectories, user biometrics |
@@ -21,7 +22,7 @@
 //! | [`datasets`] | `gp-datasets` | synthetic dataset builders |
 //! | [`nn`] | `gp-nn` | tensors, layers, optimizers |
 //! | [`models`] | `gp-models` | GesIDNet and baselines |
-//! | [`core`] | `gp-core` | end-to-end system (train / infer, serialized & parallel modes) |
+//! | [`core`] | `gp-core` | end-to-end system (train / infer, serialized & parallel modes, versioned artifacts) |
 //! | [`runtime`] | `gp-runtime` | work-stealing pool, scoped parallel maps, backpressure gate |
 //! | [`serve`] | `gp-serve` | streaming multi-session engine, micro-batched execution |
 //! | [`eval`] | `gp-eval` | accuracy / F1 / AUC / ROC / EER, k-fold, t-SNE |
@@ -33,6 +34,7 @@
 //! identification, and evaluate both tasks.
 
 pub use gestureprint_core as core;
+pub use gp_codec as codec;
 pub use gp_datasets as datasets;
 pub use gp_dsp as dsp;
 pub use gp_eval as eval;

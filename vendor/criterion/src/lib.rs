@@ -93,8 +93,9 @@ impl SampleStats {
 
 /// A saved baseline: benchmark id → mean ns/iter.
 ///
-/// Serialised as a flat JSON object. The vendored `serde` derives are
-/// no-ops, so the (trivial) format is written and parsed by hand here.
+/// Serialised as a flat JSON object through `gp-codec` (the workspace's
+/// real serialization layer); files written by the old hand-rolled
+/// writer remain readable, since they are a subset of strict JSON.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Baseline {
     entries: BTreeMap<String, f64>,
@@ -152,32 +153,27 @@ impl Baseline {
         std::fs::write(path, merged.to_json())
     }
 
-    /// Serialises as a flat JSON object (keys sorted).
+    /// Serialises as a flat JSON object (keys sorted, full `f64`
+    /// precision via the gp-codec encoder).
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n");
-        for (i, (id, mean)) in self.entries.iter().enumerate() {
-            let comma = if i + 1 == self.entries.len() { "" } else { "," };
-            out.push_str(&format!("  \"{id}\": {mean:.1}{comma}\n"));
-        }
-        out.push('}');
-        out
+        let map: BTreeMap<String, gp_codec::Value> = self
+            .entries
+            .iter()
+            .map(|(id, &mean)| (id.clone(), gp_codec::Value::Float(mean)))
+            .collect();
+        gp_codec::json::to_json(&gp_codec::Value::Map(map)).expect("benchmark means are finite")
     }
 
-    /// Parses the flat `{"id": mean, ...}` object written by
-    /// [`Baseline::to_json`]. Benchmark ids contain no quotes or escape
-    /// sequences, so a minimal scanner suffices.
+    /// Parses the flat `{"id": mean, ...}` object through the gp-codec
+    /// strict decoder. Accepts everything [`Baseline::to_json`] writes
+    /// plus files from the pre-gp-codec writer (pretty-printed, means
+    /// formatted to one decimal).
     pub fn parse(text: &str) -> Option<Baseline> {
-        let body = text.trim().strip_prefix('{')?.strip_suffix('}')?;
+        let value = gp_codec::json::from_json(text).ok()?;
+        let map = value.as_map().ok()?;
         let mut entries = BTreeMap::new();
-        for part in body.split(',') {
-            let part = part.trim();
-            if part.is_empty() {
-                continue;
-            }
-            let (key, value) = part.split_once(':')?;
-            let key = key.trim().strip_prefix('"')?.strip_suffix('"')?;
-            let value: f64 = value.trim().parse().ok()?;
-            entries.insert(key.to_string(), value);
+        for (id, mean) in map {
+            entries.insert(id.clone(), mean.as_f64().ok()?);
         }
         Some(Baseline { entries })
     }
@@ -591,6 +587,16 @@ mod tests {
         assert_eq!(parsed, b);
         assert_eq!(parsed.mean_ns("dsp/fft_256"), Some(1234.5));
         assert_eq!(parsed.mean_ns("missing"), None);
+    }
+
+    #[test]
+    fn baseline_reads_pre_codec_files() {
+        // The exact shape the old hand-rolled writer produced: pretty
+        // indentation, one-decimal means, integer-looking values.
+        let legacy = "{\n  \"dsp/fft_256\": 1234.5,\n  \"serve/stream_replay\": 9\n}";
+        let parsed = Baseline::parse(legacy).expect("legacy format stays readable");
+        assert_eq!(parsed.mean_ns("dsp/fft_256"), Some(1234.5));
+        assert_eq!(parsed.mean_ns("serve/stream_replay"), Some(9.0));
     }
 
     #[test]
