@@ -90,6 +90,13 @@ fn throughput_report() {
          latency p50 {p50:.2?} p99 {p99:.2?}",
         stream.frames.len(),
     );
+    if let Some(spread) = gp_bench::per_session_p99_spread(&stats) {
+        println!(
+            "cross-session p99 spread: min {:.2?} median {:.2?} max {:.2?} \
+             (tight spread = no session absorbs the tail for the others)",
+            spread.min, spread.median, spread.max,
+        );
+    }
 
     // Persist the same numbers as a gp-codec report artifact so runs
     // are machine-comparable, not just human-readable.

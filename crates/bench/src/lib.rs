@@ -67,6 +67,7 @@ pub fn serve_report_artifact(
             .map(|d| d.as_secs_f64())
             .encode()
     };
+    let spread = per_session_p99_spread(stats);
     let payload = Value::record([
         ("report", Value::Str("serve_steady_state".into())),
         ("serve_config", config.encode()),
@@ -79,8 +80,53 @@ pub fn serve_report_artifact(
         ("frames_per_sec", fps.encode()),
         ("latency_p50_s", latency_s(50.0)),
         ("latency_p99_s", latency_s(99.0)),
+        (
+            "p99_spread_s",
+            spread
+                .map(|s| {
+                    Value::record([
+                        ("min", s.min.as_secs_f64().encode()),
+                        ("median", s.median.as_secs_f64().encode()),
+                        ("max", s.max.as_secs_f64().encode()),
+                    ])
+                })
+                .encode(),
+        ),
     ]);
     Artifact::new(kinds::REPORT, payload).to_bytes()
+}
+
+/// Cross-session latency spread: min / median / max of the *per-session*
+/// p99s. A tight spread means no tenant is quietly absorbing the tail
+/// for the others — the fairness number the multi-session reports print
+/// next to the pooled percentiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct P99Spread {
+    /// Best per-session p99.
+    pub min: Duration,
+    /// Median per-session p99.
+    pub median: Duration,
+    /// Worst per-session p99.
+    pub max: Duration,
+}
+
+/// Computes the [`P99Spread`] over every session (evicted aggregate
+/// excluded — it pools many sessions) that has latency samples.
+pub fn per_session_p99_spread(stats: &ServeStats) -> Option<P99Spread> {
+    let mut p99s: Vec<Duration> = stats
+        .sessions
+        .values()
+        .filter_map(|s| s.latency_percentile(99.0))
+        .collect();
+    if p99s.is_empty() {
+        return None;
+    }
+    p99s.sort_unstable();
+    Some(P99Spread {
+        min: p99s[0],
+        median: p99s[p99s.len() / 2],
+        max: p99s[p99s.len() - 1],
+    })
 }
 
 /// Fixed-fps replay pacing with deterministic jitter.

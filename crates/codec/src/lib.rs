@@ -47,9 +47,11 @@
 //! assert_eq!(back.x, 1.5);
 //! ```
 
+pub mod framing;
 pub mod json;
 pub mod value;
 
+pub use framing::{encode_frame, FrameDecoder, FrameError};
 pub use json::{from_json, to_json, EncodeError, JsonError};
 pub use value::{DecodeError, Value};
 

@@ -1,0 +1,146 @@
+//! Property tests for the wire framing: arbitrary message sequences
+//! survive arbitrary chunk splits; corrupt payloads are rejected
+//! *without* panicking or desyncing the stream; header-level damage and
+//! oversized declarations fail closed (fatal, never a panic); raw
+//! garbage never panics the decoder.
+
+use gp_codec::framing::{checksum, FRAME_HEADER_LEN};
+use gp_codec::{encode_frame, FrameDecoder, FrameError};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const MAX_FRAME: usize = 256;
+
+fn gen_payload(rng: &mut StdRng) -> Vec<u8> {
+    let n = rng.gen_range(0usize..48);
+    (0..n).map(|_| rng.gen_range(0u32..256) as u8).collect()
+}
+
+/// Feeds `stream` into `dec` in random chunks, collecting every decoded
+/// payload and recoverable error.
+fn drive(
+    dec: &mut FrameDecoder,
+    stream: &[u8],
+    rng: &mut StdRng,
+) -> (Vec<Vec<u8>>, Vec<FrameError>) {
+    let mut out = Vec::new();
+    let mut errs = Vec::new();
+    let mut pos = 0;
+    while pos < stream.len() {
+        let take = rng.gen_range(1usize..16).min(stream.len() - pos);
+        dec.extend(&stream[pos..pos + take]);
+        pos += take;
+        loop {
+            match dec.next() {
+                Ok(Some(p)) => out.push(p),
+                Ok(None) => break,
+                Err(e) if e.desyncs() => {
+                    errs.push(e);
+                    return (out, errs);
+                }
+                Err(e) => errs.push(e),
+            }
+        }
+    }
+    (out, errs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn arbitrary_chunking_roundtrips_every_message(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let messages: Vec<Vec<u8>> = (0..rng.gen_range(1usize..8))
+            .map(|_| gen_payload(&mut rng))
+            .collect();
+        let stream: Vec<u8> = messages
+            .iter()
+            .map(|m| encode_frame(m, MAX_FRAME).unwrap())
+            .collect::<Vec<_>>()
+            .concat();
+        let mut dec = FrameDecoder::new(MAX_FRAME);
+        let (out, errs) = drive(&mut dec, &stream, &mut rng);
+        prop_assert!(errs.is_empty(), "clean stream produced {errs:?}");
+        prop_assert_eq!(out, messages);
+        prop_assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn corrupt_payload_never_desyncs_the_following_frames(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let before = gen_payload(&mut rng);
+        // Non-empty victim so there is a payload byte to flip.
+        let mut victim = gen_payload(&mut rng);
+        victim.push(rng.gen_range(0u32..256) as u8);
+        let after = gen_payload(&mut rng);
+
+        let mut corrupted = encode_frame(&victim, MAX_FRAME).unwrap();
+        let idx = FRAME_HEADER_LEN + rng.gen_range(0usize..victim.len());
+        let flip = (rng.gen_range(1u32..256)) as u8; // non-zero: guaranteed change
+        corrupted[idx] ^= flip;
+        // The flip must actually break the checksum (FNV-1a is not
+        // collision-free in principle; in practice a single-byte xor
+        // always changes it — assert so a silent pass can't hide).
+        prop_assert_ne!(checksum(&corrupted[FRAME_HEADER_LEN..]), checksum(&victim));
+
+        let stream: Vec<u8> = [
+            encode_frame(&before, MAX_FRAME).unwrap(),
+            corrupted,
+            encode_frame(&after, MAX_FRAME).unwrap(),
+        ]
+        .concat();
+        let mut dec = FrameDecoder::new(MAX_FRAME);
+        let (out, errs) = drive(&mut dec, &stream, &mut rng);
+        prop_assert_eq!(out, vec![before, after]);
+        prop_assert_eq!(errs, vec![FrameError::Corrupt { len: victim.len() }]);
+    }
+
+    #[test]
+    fn header_damage_fails_closed_without_panicking(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let payload = gen_payload(&mut rng);
+        let mut frame = encode_frame(&payload, MAX_FRAME).unwrap();
+        // Damage one of the first 7 bytes (magic, version or length).
+        let idx = rng.gen_range(0usize..7);
+        frame[idx] ^= (rng.gen_range(1u32..256)) as u8;
+        let mut dec = FrameDecoder::new(MAX_FRAME);
+        let (out, _errs) = drive(&mut dec, &frame, &mut rng);
+        // A length flip can only shrink-or-grow the declared payload:
+        // grown past the cap → Oversized (fatal); shrunk → the checksum
+        // (over the wrong slice) almost surely fails → Corrupt; magic or
+        // version flips are fatal. In *no* case may the damaged frame
+        // decode as the original payload, and nothing may panic.
+        prop_assert!(!out.contains(&payload), "damaged header decoded the original");
+    }
+
+    #[test]
+    fn oversized_declarations_are_fatal(extra in 1usize..1024) {
+        let payload = vec![0xABu8; MAX_FRAME + extra];
+        // Sender refuses…
+        prop_assert_eq!(
+            encode_frame(&payload, MAX_FRAME),
+            Err(FrameError::Oversized { len: MAX_FRAME + extra, max: MAX_FRAME })
+        );
+        // …and a decoder receiving one (framed under a laxer cap) drops
+        // the connection instead of trusting the length.
+        let frame = encode_frame(&payload, 1 << 20).unwrap();
+        let mut dec = FrameDecoder::new(MAX_FRAME);
+        dec.extend(&frame);
+        let err = dec.next().unwrap_err();
+        prop_assert!(err.desyncs());
+        prop_assert_eq!(err, FrameError::Oversized { len: MAX_FRAME + extra, max: MAX_FRAME });
+    }
+
+    #[test]
+    fn raw_garbage_never_panics(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(0usize..512);
+        let garbage: Vec<u8> = (0..n).map(|_| rng.gen_range(0u32..256) as u8).collect();
+        let mut dec = FrameDecoder::new(MAX_FRAME);
+        let (_out, _errs) = drive(&mut dec, &garbage, &mut rng);
+        // Reaching here without a panic is the property; drive() stops
+        // at the first fatal error, which garbage usually hits fast.
+    }
+}

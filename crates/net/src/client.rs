@@ -1,0 +1,259 @@
+//! A simple blocking client for the gp-net protocol — the reference
+//! peer for tests, benches, and the example; real sensors only need to
+//! speak the byte format in [`crate::wire`].
+
+use crate::wire::{from_wire, to_wire, ClientMsg, ServerMsg, WireLedger, WIRE_VERSION};
+use gp_codec::FrameDecoder;
+use gp_radar::Frame;
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+
+/// One result streamed back by the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientResult {
+    /// Per-session dispatch sequence number.
+    pub seq: u64,
+    /// Segment start, absolute frame index.
+    pub start: u64,
+    /// Segment end (exclusive), absolute frame index.
+    pub end: u64,
+    /// Recognised gesture class.
+    pub gesture: u64,
+    /// Identified user class.
+    pub user: u64,
+    /// Segment-detected → result-published latency, microseconds.
+    pub latency_us: u64,
+}
+
+/// Everything a graceful close returns: the results received after
+/// `Close` was sent plus the server's final admission ledger.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// Results that arrived between `Close` and `Bye`.
+    pub results: Vec<ClientResult>,
+    /// The session's final admission ledger from [`ServerMsg::Bye`].
+    pub ledger: WireLedger,
+}
+
+enum ClientStream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl ClientStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            ClientStream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            ClientStream::Unix(s) => s.read(buf),
+        }
+    }
+
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        match self {
+            ClientStream::Tcp(s) => s.write_all(buf),
+            #[cfg(unix)]
+            ClientStream::Unix(s) => s.write_all(buf),
+        }
+    }
+
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            ClientStream::Tcp(s) => s.set_nonblocking(nonblocking),
+            #[cfg(unix)]
+            ClientStream::Unix(s) => s.set_nonblocking(nonblocking),
+        }
+    }
+}
+
+/// A connected, handshaken gp-net session.
+pub struct NetClient {
+    stream: ClientStream,
+    decoder: FrameDecoder,
+    session: u64,
+    max_frame: usize,
+}
+
+fn protocol_err(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+impl NetClient {
+    /// Connects over TCP and completes the `Hello`/`Welcome` handshake.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures; a `Welcome` that never comes (or
+    /// a server `Error`) surfaces as `InvalidData`.
+    pub fn connect_tcp(addr: impl ToSocketAddrs, max_frame: usize) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Self::handshake(ClientStream::Tcp(stream), max_frame)
+    }
+
+    /// Connects over a Unix domain socket and completes the handshake.
+    ///
+    /// # Errors
+    ///
+    /// As [`NetClient::connect_tcp`].
+    #[cfg(unix)]
+    pub fn connect_unix(path: impl AsRef<std::path::Path>, max_frame: usize) -> io::Result<Self> {
+        let stream = UnixStream::connect(path)?;
+        Self::handshake(ClientStream::Unix(stream), max_frame)
+    }
+
+    fn handshake(mut stream: ClientStream, max_frame: usize) -> io::Result<Self> {
+        let hello = to_wire(
+            &ClientMsg::Hello {
+                version: WIRE_VERSION,
+            },
+            max_frame,
+        );
+        stream.write_all(&hello)?;
+        let mut client = NetClient {
+            stream,
+            decoder: FrameDecoder::new(max_frame),
+            session: 0,
+            max_frame,
+        };
+        match client.recv_blocking()? {
+            ServerMsg::Welcome { session } => {
+                client.session = session;
+                Ok(client)
+            }
+            ServerMsg::Error { message } => Err(protocol_err(message)),
+            other => Err(protocol_err(format!("expected Welcome, got {other:?}"))),
+        }
+    }
+
+    /// The engine session id the server assigned to this stream.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// Sends one radar frame (blocking write).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors — including the broken pipe that
+    /// surfaces when the server hung up after a protocol error.
+    pub fn send_frame(&mut self, frame: &Frame) -> io::Result<()> {
+        let bytes = to_wire(&ClientMsg::Frame(frame.clone()), self.max_frame);
+        self.stream.write_all(&bytes)
+    }
+
+    /// Receives any results already buffered or readable without
+    /// blocking.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and protocol violations.
+    pub fn try_recv_results(&mut self) -> io::Result<Vec<ClientResult>> {
+        self.stream.set_nonblocking(true)?;
+        let mut results = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => self.decoder.extend(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.stream.set_nonblocking(false)?;
+                    return Err(e);
+                }
+            }
+        }
+        self.stream.set_nonblocking(false)?;
+        while let Some(msg) = self.next_decoded()? {
+            match msg {
+                ServerMsg::Result {
+                    seq,
+                    start,
+                    end,
+                    gesture,
+                    user,
+                    latency_us,
+                } => results.push(ClientResult {
+                    seq,
+                    start,
+                    end,
+                    gesture,
+                    user,
+                    latency_us,
+                }),
+                ServerMsg::Error { message } => return Err(protocol_err(message)),
+                other => return Err(protocol_err(format!("unexpected {other:?}"))),
+            }
+        }
+        Ok(results)
+    }
+
+    /// Sends `Close` and blocks until the server's `Bye`, collecting
+    /// every result that arrives in between.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; an EOF before `Bye` is `UnexpectedEof`.
+    pub fn close(mut self) -> io::Result<SessionReport> {
+        let close = to_wire(&ClientMsg::Close, self.max_frame);
+        self.stream.write_all(&close)?;
+        let mut results = Vec::new();
+        loop {
+            match self.recv_blocking()? {
+                ServerMsg::Result {
+                    seq,
+                    start,
+                    end,
+                    gesture,
+                    user,
+                    latency_us,
+                } => results.push(ClientResult {
+                    seq,
+                    start,
+                    end,
+                    gesture,
+                    user,
+                    latency_us,
+                }),
+                ServerMsg::Bye(ledger) => return Ok(SessionReport { results, ledger }),
+                ServerMsg::Error { message } => return Err(protocol_err(message)),
+                other => return Err(protocol_err(format!("unexpected {other:?}"))),
+            }
+        }
+    }
+
+    /// Blocking read of the next server message.
+    fn recv_blocking(&mut self) -> io::Result<ServerMsg> {
+        loop {
+            if let Some(msg) = self.next_decoded()? {
+                return Ok(msg);
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server hung up mid-protocol",
+                    ))
+                }
+                Ok(n) => self.decoder.extend(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn next_decoded(&mut self) -> io::Result<Option<ServerMsg>> {
+        match self.decoder.next() {
+            Ok(Some(payload)) => from_wire::<ServerMsg>(&payload)
+                .map(Some)
+                .map_err(|e| protocol_err(format!("bad server message: {e}"))),
+            Ok(None) => Ok(None),
+            Err(e) => Err(protocol_err(format!("framing error from server: {e}"))),
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! The gp-net wire protocol: messages carried inside
+//! [`gp_codec::framing`] envelopes.
+//!
+//! Payloads are gp-codec JSON — self-describing, deterministic, and
+//! float-precise (a frame's timestamps and point kinematics survive the
+//! wire bit-exactly, so a socket replay segments identically to an
+//! in-process replay). Every message is a map with a `"type"` tag; the
+//! decoder rejects unknown tags and malformed shapes with a
+//! [`gp_codec::DecodeError`], never a panic.
+//!
+//! Client → server: [`ClientMsg::Hello`] (protocol handshake), a stream
+//! of [`ClientMsg::Frame`]s, then [`ClientMsg::Close`]. Server →
+//! client: [`ServerMsg::Welcome`], zero or more [`ServerMsg::Result`]s,
+//! and a final [`ServerMsg::Bye`] carrying the session's admission
+//! ledger — or [`ServerMsg::Error`] before a fatal disconnect.
+
+use gp_codec::{Decode, DecodeError, Encode, Value};
+use gp_pointcloud::{Point, PointCloud, Vec3};
+use gp_radar::Frame;
+
+/// Application-protocol version, carried in [`ClientMsg::Hello`]
+/// (independent of the byte-framing version).
+pub const WIRE_VERSION: u32 = 1;
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientMsg {
+    /// Handshake: must be the first message on a connection.
+    Hello {
+        /// The client's [`WIRE_VERSION`].
+        version: u32,
+    },
+    /// One radar frame of the session's stream.
+    Frame(Frame),
+    /// End of stream: the server flushes the session and answers with
+    /// remaining results plus [`ServerMsg::Bye`].
+    Close,
+}
+
+/// Per-session admission ledger reported in [`ServerMsg::Bye`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireLedger {
+    /// Frames admitted into the session.
+    pub admitted: u64,
+    /// Frames shed by the session's own admission budget.
+    pub shed_budget: u64,
+    /// Frames shed by engine saturation.
+    pub shed_capacity: u64,
+    /// Frames deferred (admitted late) under engine saturation.
+    pub deferred: u64,
+    /// Segments detected (including noise-canceled ones).
+    pub segments: u64,
+    /// Classified results published.
+    pub results: u64,
+    /// Results the server dropped because this client read too slowly.
+    pub dropped_results: u64,
+}
+
+impl Encode for WireLedger {
+    fn encode(&self) -> Value {
+        Value::record([
+            ("admitted", self.admitted.encode()),
+            ("shed_budget", self.shed_budget.encode()),
+            ("shed_capacity", self.shed_capacity.encode()),
+            ("deferred", self.deferred.encode()),
+            ("segments", self.segments.encode()),
+            ("results", self.results.encode()),
+            ("dropped_results", self.dropped_results.encode()),
+        ])
+    }
+}
+
+impl Decode for WireLedger {
+    fn decode(value: &Value) -> Result<Self, DecodeError> {
+        Ok(WireLedger {
+            admitted: value.get("admitted")?,
+            shed_budget: value.get("shed_budget")?,
+            shed_capacity: value.get("shed_capacity")?,
+            deferred: value.get("deferred")?,
+            segments: value.get("segments")?,
+            results: value.get("results")?,
+            dropped_results: value.get("dropped_results")?,
+        })
+    }
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerMsg {
+    /// Handshake reply: the stream was accepted as `session`.
+    Welcome {
+        /// The engine session id assigned to this connection.
+        session: u64,
+    },
+    /// One classified gesture segment.
+    Result {
+        /// Dispatch sequence number (ascending per session).
+        seq: u64,
+        /// Segment start, absolute frame index in the session.
+        start: u64,
+        /// Segment end (exclusive), absolute frame index.
+        end: u64,
+        /// Recognised gesture class.
+        gesture: u64,
+        /// Identified user class.
+        user: u64,
+        /// Segment-detected → result-published latency, microseconds.
+        latency_us: u64,
+    },
+    /// End of session: the final admission ledger. Closes the stream.
+    Bye(WireLedger),
+    /// Fatal protocol error; the server closes the connection after
+    /// sending this.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+fn tagged(tag: &str, mut fields: Vec<(&'static str, Value)>) -> Value {
+    fields.push(("type", Value::Str(tag.to_owned())));
+    Value::record(fields)
+}
+
+fn frame_to_value(frame: &Frame) -> Value {
+    // Compact row-per-point layout: [x, y, z, doppler, snr].
+    let points: Vec<Value> = frame
+        .cloud
+        .iter()
+        .map(|p| {
+            Value::Seq(vec![
+                p.position.x.encode(),
+                p.position.y.encode(),
+                p.position.z.encode(),
+                p.doppler.encode(),
+                p.snr.encode(),
+            ])
+        })
+        .collect();
+    Value::record([
+        ("t", frame.timestamp.encode()),
+        ("points", Value::Seq(points)),
+    ])
+}
+
+fn frame_from_value(value: &Value) -> Result<Frame, DecodeError> {
+    let timestamp: f64 = value.get("t")?;
+    let rows = value.field("points")?.as_seq()?;
+    let mut cloud = PointCloud::with_capacity(rows.len());
+    for row in rows {
+        let row = row.as_seq()?;
+        if row.len() != 5 {
+            return Err(DecodeError::new(format!(
+                "expected a 5-element point row, found {} elements",
+                row.len()
+            )));
+        }
+        cloud.push(Point::new(
+            Vec3::new(row[0].as_f64()?, row[1].as_f64()?, row[2].as_f64()?),
+            row[3].as_f64()?,
+            row[4].as_f64()?,
+        ));
+    }
+    Ok(Frame::new(timestamp, cloud))
+}
+
+impl Encode for ClientMsg {
+    fn encode(&self) -> Value {
+        match self {
+            ClientMsg::Hello { version } => tagged("hello", vec![("version", version.encode())]),
+            ClientMsg::Frame(frame) => tagged("frame", vec![("frame", frame_to_value(frame))]),
+            ClientMsg::Close => tagged("close", vec![]),
+        }
+    }
+}
+
+impl Decode for ClientMsg {
+    fn decode(value: &Value) -> Result<Self, DecodeError> {
+        let tag: String = value.get("type")?;
+        match tag.as_str() {
+            "hello" => Ok(ClientMsg::Hello {
+                version: value.get("version")?,
+            }),
+            "frame" => Ok(ClientMsg::Frame(frame_from_value(value.field("frame")?)?)),
+            "close" => Ok(ClientMsg::Close),
+            other => Err(DecodeError::new(format!(
+                "unknown client message type '{other}'"
+            ))),
+        }
+    }
+}
+
+impl Encode for ServerMsg {
+    fn encode(&self) -> Value {
+        match self {
+            ServerMsg::Welcome { session } => {
+                tagged("welcome", vec![("session", session.encode())])
+            }
+            ServerMsg::Result {
+                seq,
+                start,
+                end,
+                gesture,
+                user,
+                latency_us,
+            } => tagged(
+                "result",
+                vec![
+                    ("seq", seq.encode()),
+                    ("start", start.encode()),
+                    ("end", end.encode()),
+                    ("gesture", gesture.encode()),
+                    ("user", user.encode()),
+                    ("latency_us", latency_us.encode()),
+                ],
+            ),
+            ServerMsg::Bye(ledger) => tagged("bye", vec![("ledger", ledger.encode())]),
+            ServerMsg::Error { message } => tagged("error", vec![("message", message.encode())]),
+        }
+    }
+}
+
+impl Decode for ServerMsg {
+    fn decode(value: &Value) -> Result<Self, DecodeError> {
+        let tag: String = value.get("type")?;
+        match tag.as_str() {
+            "welcome" => Ok(ServerMsg::Welcome {
+                session: value.get("session")?,
+            }),
+            "result" => Ok(ServerMsg::Result {
+                seq: value.get("seq")?,
+                start: value.get("start")?,
+                end: value.get("end")?,
+                gesture: value.get("gesture")?,
+                user: value.get("user")?,
+                latency_us: value.get("latency_us")?,
+            }),
+            "bye" => Ok(ServerMsg::Bye(value.get("ledger")?)),
+            "error" => Ok(ServerMsg::Error {
+                message: value.get("message")?,
+            }),
+            other => Err(DecodeError::new(format!(
+                "unknown server message type '{other}'"
+            ))),
+        }
+    }
+}
+
+/// Encodes a message to its framed wire bytes.
+///
+/// # Panics
+///
+/// Panics if the encoded payload exceeds `max_frame` — sender-side
+/// messages are built from bounded radar frames, so exceeding the cap
+/// is a configuration bug, not a data condition.
+pub fn to_wire<T: Encode>(msg: &T, max_frame: usize) -> Vec<u8> {
+    let json = gp_codec::to_json(&msg.encode()).expect("wire messages are finite and shallow");
+    gp_codec::encode_frame(json.as_bytes(), max_frame).expect("wire message exceeds frame cap")
+}
+
+/// Decodes one deframed payload into a message.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for non-UTF-8 bytes, malformed JSON, or a
+/// well-formed value of the wrong shape.
+pub fn from_wire<T: Decode>(payload: &[u8]) -> Result<T, DecodeError> {
+    let text =
+        std::str::from_utf8(payload).map_err(|_| DecodeError::new("wire payload is not UTF-8"))?;
+    gp_codec::decode_from_json(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_client(msg: &ClientMsg) -> ClientMsg {
+        let bytes = to_wire(msg, 1 << 16);
+        let mut dec = gp_codec::FrameDecoder::new(1 << 16);
+        dec.extend(&bytes);
+        let payload = dec.next().unwrap().expect("one full frame");
+        from_wire(&payload).unwrap()
+    }
+
+    #[test]
+    fn client_messages_roundtrip() {
+        let cloud: PointCloud = vec![
+            Point::new(Vec3::new(0.125, -1.5, 2.0), 0.25, 15.5),
+            Point::new(Vec3::new(1e-12, 0.0, -3.5), -0.75, 1.0),
+        ]
+        .into_iter()
+        .collect();
+        for msg in [
+            ClientMsg::Hello {
+                version: WIRE_VERSION,
+            },
+            ClientMsg::Frame(Frame::new(1.7, cloud)),
+            ClientMsg::Close,
+        ] {
+            assert_eq!(roundtrip_client(&msg), msg);
+        }
+    }
+
+    #[test]
+    fn server_messages_roundtrip() {
+        for msg in [
+            ServerMsg::Welcome { session: 42 },
+            ServerMsg::Result {
+                seq: 7,
+                start: 10,
+                end: 35,
+                gesture: 3,
+                user: 1,
+                latency_us: 1500,
+            },
+            ServerMsg::Bye(WireLedger {
+                admitted: 100,
+                shed_budget: 20,
+                shed_capacity: 3,
+                deferred: 5,
+                segments: 4,
+                results: 3,
+                dropped_results: 1,
+            }),
+            ServerMsg::Error {
+                message: "bad \"frame\"".into(),
+            },
+        ] {
+            let bytes = to_wire(&msg, 1 << 16);
+            let mut dec = gp_codec::FrameDecoder::new(1 << 16);
+            dec.extend(&bytes);
+            let payload = dec.next().unwrap().unwrap();
+            assert_eq!(from_wire::<ServerMsg>(&payload).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn unknown_tags_and_bad_shapes_fail_typed() {
+        assert!(from_wire::<ClientMsg>(br#"{"type":"warp"}"#).is_err());
+        assert!(from_wire::<ClientMsg>(b"\xFF\xFE").is_err());
+        assert!(
+            from_wire::<ClientMsg>(br#"{"type":"frame","frame":{"t":0.0,"points":[[1]]}}"#)
+                .is_err()
+        );
+        assert!(from_wire::<ServerMsg>(br#"[1,2,3]"#).is_err());
+    }
+}

@@ -1,0 +1,268 @@
+//! Tier-1 socket-front tests: a framed stream over a real socket
+//! produces exactly the results of an in-process replay, the admission
+//! ledger reconciles to the frame, and protocol damage is contained.
+
+use gp_net::wire::{from_wire, to_wire};
+use gp_net::{ClientMsg, NetClient, NetConfig, NetListener, NetServer, ServerMsg, WIRE_VERSION};
+use gp_serve::{AdmissionConfig, ServeConfig, ServeEngine};
+use gp_testkit::{stream_fixture, toy_system};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+const MAX_FRAME: usize = 1 << 20;
+
+fn spawn_tcp(config: ServeConfig) -> (Arc<ServeEngine>, NetServer, std::net::SocketAddr) {
+    let engine = Arc::new(ServeEngine::new(toy_system(), config));
+    let listener = NetListener::bind_tcp("127.0.0.1:0").expect("bind loopback");
+    let server =
+        NetServer::spawn(engine.clone(), listener, NetConfig::default()).expect("spawn server");
+    let addr = server.local_addr().expect("tcp address");
+    (engine, server, addr)
+}
+
+/// Replays the fixture in-process and returns `(start, end, gesture,
+/// user)` per result, in (session, seq) order.
+fn in_process_results(config: ServeConfig) -> Vec<(u64, u64, u64, u64)> {
+    let engine = ServeEngine::new(toy_system(), config);
+    let session = engine.open_session();
+    for frame in &stream_fixture().frames {
+        engine.push_frame(session, frame.clone());
+    }
+    engine.close_session(session);
+    engine
+        .drain()
+        .into_iter()
+        .map(|e| {
+            (
+                e.segment.start as u64,
+                e.segment.end as u64,
+                e.inference.gesture as u64,
+                e.inference.user as u64,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn tcp_stream_matches_in_process_replay() {
+    let config = ServeConfig::default();
+    let expected = in_process_results(config.clone());
+    assert!(!expected.is_empty(), "fixture must produce results");
+
+    let (engine, server, addr) = spawn_tcp(config);
+    let stream = stream_fixture();
+    let mut client = NetClient::connect_tcp(addr, MAX_FRAME).expect("connect");
+    for frame in &stream.frames {
+        client.send_frame(frame).expect("send frame");
+    }
+    let report = client.close().expect("graceful close");
+
+    // With multiple workers, results can cross the wire out of seq
+    // order (poll_events documents this); reorder like drain() does.
+    let mut results = report.results.clone();
+    results.sort_by_key(|r| r.seq);
+    let got: Vec<(u64, u64, u64, u64)> = results
+        .iter()
+        .map(|r| (r.start, r.end, r.gesture, r.user))
+        .collect();
+    assert_eq!(got, expected, "socket replay must equal in-process replay");
+
+    // The ledger reconciles exactly: every frame sent was admitted
+    // (nothing shed a quiet single stream), every enqueued segment
+    // published.
+    assert_eq!(report.ledger.admitted, stream.frames.len() as u64);
+    assert_eq!(report.ledger.shed_budget, 0);
+    assert_eq!(report.ledger.shed_capacity, 0);
+    assert_eq!(report.ledger.results, expected.len() as u64);
+    assert_eq!(report.ledger.dropped_results, 0);
+
+    server.shutdown();
+    assert_eq!(engine.session_count(), 0, "no session leaked");
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_serves_the_same_protocol() {
+    let dir = std::env::temp_dir().join(format!("gp-net-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("socket dir");
+    let path = dir.join("serve.sock");
+    let _ = std::fs::remove_file(&path);
+
+    let engine = Arc::new(ServeEngine::new(toy_system(), ServeConfig::default()));
+    let listener = NetListener::bind_unix(&path).expect("bind unix socket");
+    let server =
+        NetServer::spawn(engine.clone(), listener, NetConfig::default()).expect("spawn server");
+
+    let stream = stream_fixture();
+    let mut client = NetClient::connect_unix(&path, MAX_FRAME).expect("connect");
+    for frame in &stream.frames {
+        client.send_frame(frame).expect("send frame");
+    }
+    let report = client.close().expect("graceful close");
+    assert_eq!(report.ledger.admitted, stream.frames.len() as u64);
+    assert!(!report.results.is_empty());
+
+    server.shutdown();
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir(&dir);
+}
+
+#[test]
+fn per_session_budget_sheds_over_rate_client_exactly() {
+    // Engine-default admission: every socket session gets a tiny fixed
+    // allowance (no refill), so a firehose client is mostly shed.
+    let allowance = 30.0;
+    let (engine, server, addr) = spawn_tcp(ServeConfig {
+        admission: Some(AdmissionConfig::new(0.0, allowance)),
+        ..ServeConfig::default()
+    });
+
+    let stream = stream_fixture();
+    let sent = stream.frames.len() as u64;
+    let mut client = NetClient::connect_tcp(addr, MAX_FRAME).expect("connect");
+    for frame in &stream.frames {
+        client.send_frame(frame).expect("send frame");
+    }
+    let report = client.close().expect("graceful close");
+
+    assert_eq!(
+        report.ledger.admitted, allowance as u64,
+        "exactly the burst allowance is admitted"
+    );
+    assert_eq!(
+        report.ledger.admitted + report.ledger.shed_budget + report.ledger.shed_capacity,
+        sent,
+        "every frame sent is accounted admitted or shed"
+    );
+    assert!(report.ledger.shed_budget > 0);
+
+    server.shutdown();
+    drop(engine);
+}
+
+#[test]
+fn corrupt_frame_is_skipped_without_desyncing_the_stream() {
+    let (_engine, server, addr) = spawn_tcp(ServeConfig::default());
+    let stream = stream_fixture();
+
+    let mut sock = TcpStream::connect(addr).expect("connect");
+    sock.write_all(&to_wire(
+        &ClientMsg::Hello {
+            version: WIRE_VERSION,
+        },
+        MAX_FRAME,
+    ))
+    .expect("hello");
+
+    // One corrupted frame (payload byte flipped → checksum mismatch)
+    // between two good ones: the good frames must both be decoded.
+    let good = to_wire(&ClientMsg::Frame(stream.frames[0].clone()), MAX_FRAME);
+    let mut corrupt = to_wire(&ClientMsg::Frame(stream.frames[1].clone()), MAX_FRAME);
+    let flip = corrupt.len() - 3;
+    corrupt[flip] ^= 0x55;
+    sock.write_all(&good).expect("good frame");
+    sock.write_all(&corrupt).expect("corrupt frame");
+    sock.write_all(&good).expect("good frame again");
+    sock.write_all(&to_wire(&ClientMsg::Close, MAX_FRAME))
+        .expect("close");
+
+    // Read server messages until Bye.
+    let mut decoder = gp_codec::FrameDecoder::new(MAX_FRAME);
+    let ledger = loop {
+        let mut chunk = [0u8; 4096];
+        let n = sock.read(&mut chunk).expect("read");
+        assert!(n > 0, "server hung up before Bye");
+        decoder.extend(&chunk[..n]);
+        let mut bye = None;
+        while let Some(payload) = decoder.next().expect("well-framed server bytes") {
+            if let ServerMsg::Bye(ledger) = from_wire::<ServerMsg>(&payload).expect("server msg") {
+                bye = Some(ledger);
+            }
+        }
+        if let Some(ledger) = bye {
+            break ledger;
+        }
+    };
+
+    assert_eq!(ledger.admitted, 2, "both good frames decoded and admitted");
+    let stats = server.stats();
+    assert_eq!(stats.decoded_frames, 2);
+    assert_eq!(stats.protocol_errors, 1, "the corrupt frame was counted");
+    server.shutdown();
+}
+
+#[test]
+fn malformed_message_gets_an_error_reply_and_disconnect() {
+    let (engine, server, addr) = spawn_tcp(ServeConfig::default());
+
+    let mut sock = TcpStream::connect(addr).expect("connect");
+    // Well-framed, but not a message: the server must answer with a
+    // typed Error and hang up — never panic, never desync others.
+    let junk = gp_codec::encode_frame(b"this is not json", MAX_FRAME).expect("frame junk");
+    sock.write_all(&junk).expect("send junk");
+
+    let mut decoder = gp_codec::FrameDecoder::new(MAX_FRAME);
+    let mut saw_error = false;
+    loop {
+        let mut chunk = [0u8; 4096];
+        let n = sock.read(&mut chunk).expect("read");
+        if n == 0 {
+            break; // server hung up after the error
+        }
+        decoder.extend(&chunk[..n]);
+        while let Some(payload) = decoder.next().expect("well-framed server bytes") {
+            if matches!(
+                from_wire::<ServerMsg>(&payload).expect("server msg"),
+                ServerMsg::Error { .. }
+            ) {
+                saw_error = true;
+            }
+        }
+    }
+    assert!(saw_error, "a protocol violation must get a typed Error");
+    assert!(server.stats().protocol_errors >= 1);
+
+    // The server is still healthy: a fresh client streams fine.
+    let mut client = NetClient::connect_tcp(addr, MAX_FRAME).expect("connect after error");
+    client
+        .send_frame(&stream_fixture().frames[0])
+        .expect("send");
+    let report = client.close().expect("close");
+    assert_eq!(report.ledger.admitted, 1);
+
+    server.shutdown();
+    assert_eq!(engine.session_count(), 0);
+}
+
+#[test]
+fn wrong_wire_version_is_rejected_at_handshake() {
+    let (_engine, server, addr) = spawn_tcp(ServeConfig::default());
+    let mut sock = TcpStream::connect(addr).expect("connect");
+    sock.write_all(&to_wire(
+        &ClientMsg::Hello {
+            version: WIRE_VERSION + 1,
+        },
+        MAX_FRAME,
+    ))
+    .expect("bad hello");
+
+    let mut decoder = gp_codec::FrameDecoder::new(MAX_FRAME);
+    let mut messages = Vec::new();
+    loop {
+        let mut chunk = [0u8; 4096];
+        let n = sock.read(&mut chunk).expect("read");
+        if n == 0 {
+            break;
+        }
+        decoder.extend(&chunk[..n]);
+        while let Some(payload) = decoder.next().expect("well-framed") {
+            messages.push(from_wire::<ServerMsg>(&payload).expect("server msg"));
+        }
+    }
+    assert!(
+        matches!(messages.as_slice(), [ServerMsg::Error { .. }]),
+        "expected exactly one Error, got {messages:?}"
+    );
+    server.shutdown();
+}

@@ -1,0 +1,164 @@
+//! Token-bucket rate budgets for per-tenant admission control.
+//!
+//! A [`TokenBucket`] holds up to `burst` tokens and refills at a fixed
+//! `rate` (tokens per second). Admitting one unit of work takes one
+//! token; when the bucket is empty the work is *over budget* and the
+//! caller sheds it. Unlike the engine-global [`crate::Gate`], a bucket
+//! belongs to one tenant, so an over-rate tenant exhausts only its own
+//! budget and cannot starve anyone else — the fairness building block
+//! the serving layer's per-session admission is built on.
+//!
+//! The bucket does no clock reads of its own: every operation takes the
+//! current time as a monotonic `now` in seconds (the caller picks the
+//! epoch). That keeps refill deterministic under test — feed synthetic
+//! timestamps — while production callers pass `Instant::elapsed` of a
+//! fixed epoch.
+
+/// A token bucket: capacity `burst`, refilling at `rate` tokens/second.
+///
+/// Not internally synchronised; callers wrap it in their own lock (the
+/// serving layer keeps one bucket inside each session's mutex).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TokenBucket {
+    rate: f64,
+    burst: f64,
+    tokens: f64,
+    /// Timestamp (caller's epoch, seconds) of the last refill.
+    last: f64,
+}
+
+impl TokenBucket {
+    /// Creates a bucket that starts full.
+    ///
+    /// `rate` is tokens per second; `burst` is the capacity (both are
+    /// clamped to be non-negative; a zero-rate, zero-burst bucket
+    /// rejects everything).
+    pub fn new(rate: f64, burst: f64) -> TokenBucket {
+        let rate = if rate.is_finite() { rate.max(0.0) } else { 0.0 };
+        let burst = if burst.is_finite() {
+            burst.max(0.0)
+        } else {
+            0.0
+        };
+        TokenBucket {
+            rate,
+            burst,
+            tokens: burst,
+            last: 0.0,
+        }
+    }
+
+    /// The refill rate (tokens per second).
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The bucket capacity.
+    pub fn burst(&self) -> f64 {
+        self.burst
+    }
+
+    /// Tokens available at time `now` (refills first).
+    pub fn available(&mut self, now: f64) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+
+    /// Takes `cost` tokens at time `now`; returns `false` (taking
+    /// nothing) when the bucket holds fewer than `cost`.
+    pub fn try_take(&mut self, cost: f64, now: f64) -> bool {
+        self.refill(now);
+        if self.tokens + 1e-9 < cost {
+            return false;
+        }
+        self.tokens -= cost;
+        true
+    }
+
+    /// Returns `cost` tokens to the bucket (capped at `burst`) — used
+    /// when admission succeeded at the budget but was then refused
+    /// downstream, so the tenant is not charged for work that never
+    /// ran.
+    pub fn refund(&mut self, cost: f64) {
+        self.tokens = (self.tokens + cost.max(0.0)).min(self.burst);
+    }
+
+    fn refill(&mut self, now: f64) {
+        // A non-monotonic caller clock only delays refill; it can never
+        // mint tokens retroactively.
+        if now > self.last {
+            self.tokens = (self.tokens + (now - self.last) * self.rate).min(self.burst);
+            self.last = now;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_full_and_drains() {
+        let mut b = TokenBucket::new(10.0, 3.0);
+        assert!(b.try_take(1.0, 0.0));
+        assert!(b.try_take(1.0, 0.0));
+        assert!(b.try_take(1.0, 0.0));
+        assert!(!b.try_take(1.0, 0.0), "burst exhausted");
+    }
+
+    #[test]
+    fn refills_at_rate_capped_at_burst() {
+        let mut b = TokenBucket::new(2.0, 4.0);
+        for _ in 0..4 {
+            assert!(b.try_take(1.0, 0.0));
+        }
+        assert!(!b.try_take(1.0, 0.25), "0.25s × 2/s = 0.5 tokens < 1");
+        assert!(b.try_take(1.0, 0.5), "1 token accrued by 0.5s");
+        // A long idle period refills to burst, no further.
+        assert!((b.available(100.0) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_rate_zero_burst_rejects_everything() {
+        let mut b = TokenBucket::new(0.0, 0.0);
+        assert!(!b.try_take(1.0, 0.0));
+        assert!(!b.try_take(1.0, 1e6));
+    }
+
+    #[test]
+    fn zero_rate_with_burst_is_a_fixed_allowance() {
+        let mut b = TokenBucket::new(0.0, 2.0);
+        assert!(b.try_take(1.0, 0.0));
+        assert!(b.try_take(1.0, 1.0));
+        assert!(!b.try_take(1.0, 1e6), "never refills");
+    }
+
+    #[test]
+    fn refund_returns_tokens_up_to_burst() {
+        let mut b = TokenBucket::new(0.0, 2.0);
+        assert!(b.try_take(2.0, 0.0));
+        b.refund(1.0);
+        assert!(b.try_take(1.0, 0.0));
+        b.refund(50.0); // capped at burst
+        assert!((b.available(0.0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clock_going_backwards_never_mints_tokens() {
+        let mut b = TokenBucket::new(1.0, 1.0);
+        assert!(b.try_take(1.0, 10.0));
+        assert!(!b.try_take(1.0, 5.0), "earlier timestamp refills nothing");
+        assert!(
+            b.try_take(1.0, 11.0),
+            "refill resumes past the high-water time"
+        );
+    }
+
+    #[test]
+    fn non_finite_parameters_are_clamped() {
+        let mut b = TokenBucket::new(f64::NAN, f64::INFINITY);
+        assert_eq!(b.rate(), 0.0);
+        assert_eq!(b.burst(), 0.0);
+        assert!(!b.try_take(1.0, 0.0));
+    }
+}

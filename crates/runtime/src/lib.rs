@@ -25,13 +25,21 @@
 //!   releases so blocked producers unblock as each result publishes,
 //!   not only at batch end. Either way a runaway producer blocks
 //!   instead of growing the queue without limit.
+//! * [`TokenBucket`] — a per-tenant rate budget (capacity `burst`,
+//!   refilling at `rate`/second, caller-supplied clock). Where the
+//!   `Gate` bounds *global* capacity, a bucket bounds one tenant: an
+//!   over-rate tenant exhausts its own tokens and sheds its own work
+//!   instead of consuming shared headroom. `gp-serve` keeps one per
+//!   session for admission control.
 //!
 //! Everything here is deterministic in the sense callers rely on:
 //! ordered maps return results positionally, so a pure per-item function
 //! yields identical output for 1 or N workers regardless of scheduling.
 
+pub mod budget;
 pub mod gate;
 pub mod pool;
 
+pub use budget::TokenBucket;
 pub use gate::Gate;
 pub use pool::WorkerPool;

@@ -37,10 +37,19 @@ const LATENCY_RESERVOIR: usize = 512;
 struct SessionCounters {
     frames: u64,
     segments: u64,
+    /// Segments whose sample survived noise canceling and was enqueued
+    /// for inference — the session is *settled* once `results` catches
+    /// up with this.
+    enqueued: u64,
     results: u64,
     /// Frames dropped by load shedding
     /// ([`crate::ServeEngine::try_push_frame`] on a saturated engine).
     shed_frames: u64,
+    /// Frames dropped by the session's own admission budget.
+    shed_budget: u64,
+    /// Frames a front-end deferred (admission retried later) because
+    /// the engine was saturated while the session was within budget.
+    deferred: u64,
     latencies: Vec<Duration>,
     /// Ring cursor once `latencies` reaches [`LATENCY_RESERVOIR`].
     next_latency: usize,
@@ -103,9 +112,34 @@ impl EventBus {
         self.lock().sessions.entry(id).or_default().segments += 1;
     }
 
+    /// Records one segment enqueued for inference.
+    pub(crate) fn record_enqueued(&self, id: SessionId) {
+        self.lock().sessions.entry(id).or_default().enqueued += 1;
+    }
+
     /// Records one frame dropped by load shedding.
     pub(crate) fn record_shed_frame(&self, id: SessionId) {
         self.lock().sessions.entry(id).or_default().shed_frames += 1;
+    }
+
+    /// Records one frame dropped by the session's own admission budget.
+    pub(crate) fn record_shed_budget(&self, id: SessionId) {
+        self.lock().sessions.entry(id).or_default().shed_budget += 1;
+    }
+
+    /// Records one frame a front-end deferred for later re-admission.
+    pub(crate) fn record_deferred(&self, id: SessionId) {
+        self.lock().sessions.entry(id).or_default().deferred += 1;
+    }
+
+    /// Whether every segment the session enqueued has published its
+    /// result. Sessions already folded into the evicted aggregate were
+    /// settled by construction (eviction requires final accounting).
+    pub(crate) fn is_settled(&self, id: SessionId) -> bool {
+        self.lock()
+            .sessions
+            .get(&id)
+            .is_none_or(|c| c.results == c.enqueued)
     }
 
     /// Records that a session was closed; it becomes a candidate for
@@ -149,8 +183,11 @@ impl EventBus {
                 inner.evicted_sessions += 1;
                 inner.evicted.frames += c.frames;
                 inner.evicted.segments += c.segments;
+                inner.evicted.enqueued += c.enqueued;
                 inner.evicted.results += c.results;
                 inner.evicted.shed_frames += c.shed_frames;
+                inner.evicted.shed_budget += c.shed_budget;
+                inner.evicted.deferred += c.deferred;
                 for &latency in &c.latencies {
                     inner.evicted.record_latency(latency);
                 }
@@ -197,19 +234,15 @@ impl EventBus {
         std::mem::take(&mut self.lock().events)
     }
 
+    /// Snapshot of one session's counters without cloning the whole
+    /// bus — the per-goodbye path for network fronts, O(1) in the
+    /// number of sessions.
+    pub(crate) fn session_stats(&self, id: SessionId) -> Option<SessionStats> {
+        self.lock().sessions.get(&id).map(snapshot)
+    }
+
     /// Snapshot of the accumulated per-session statistics.
     pub(crate) fn stats(&self) -> ServeStats {
-        let snapshot = |c: &SessionCounters| {
-            let mut latencies = c.latencies.clone();
-            latencies.sort_unstable();
-            SessionStats {
-                frames: c.frames,
-                segments: c.segments,
-                results: c.results,
-                shed_frames: c.shed_frames,
-                latencies,
-            }
-        };
         let inner = self.lock();
         ServeStats {
             sessions: inner
@@ -223,28 +256,72 @@ impl EventBus {
     }
 }
 
+/// Builds the public [`SessionStats`] view of one session's counters.
+fn snapshot(c: &SessionCounters) -> SessionStats {
+    let mut latencies = c.latencies.clone();
+    latencies.sort_unstable();
+    SessionStats {
+        frames: c.frames,
+        segments: c.segments,
+        enqueued: c.enqueued,
+        results: c.results,
+        shed_frames: c.shed_frames,
+        shed_budget: c.shed_budget,
+        deferred: c.deferred,
+        latencies,
+    }
+}
+
 /// Accumulated counters for one session.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SessionStats {
-    /// Frames pushed into the session.
+    /// Frames pushed into the session — every one of these was
+    /// *admitted* (shed frames never enter the session).
     pub frames: u64,
     /// Segments the online segmenter closed, including those noise
     /// canceling then dropped — `segments - results` is the session's
     /// drop count once its batches have drained.
     pub segments: u64,
+    /// Segments whose sample survived noise canceling and was enqueued
+    /// for inference. Once a session is closed, `results == enqueued`
+    /// means its accounting is final
+    /// ([`crate::ServeEngine::session_settled`]).
+    pub enqueued: u64,
     /// Classified results published for the session.
     pub results: u64,
-    /// Frames dropped by load shedding: offered through
-    /// [`crate::ServeEngine::try_push_frame`] while the engine was
-    /// saturated. Not included in [`SessionStats::frames`] — shed
+    /// Frames dropped because the *engine* was saturated: offered
+    /// through [`crate::ServeEngine::try_push_frame`] while the global
+    /// gate was full. Not included in [`SessionStats::frames`] — shed
     /// frames never enter the session.
     pub shed_frames: u64,
+    /// Frames dropped by the session's *own* admission budget
+    /// ([`crate::AdmissionConfig`]): the over-rate tenant pays for its
+    /// excess itself. Also never included in [`SessionStats::frames`].
+    pub shed_budget: u64,
+    /// Frames a network front deferred at least once (engine saturated
+    /// while the session was within budget) before they were admitted.
+    /// Deferred frames that were eventually admitted *are* counted in
+    /// [`SessionStats::frames`].
+    pub deferred: u64,
     /// Sorted segment-to-result latency samples (the most recent
     /// measurements, capped at a fixed reservoir size).
     pub latencies: Vec<Duration>,
 }
 
 impl SessionStats {
+    /// Frames admitted into the session — an alias for
+    /// [`SessionStats::frames`], named for the admission ledger
+    /// (`admitted + shed_frames + shed_budget` = frames offered).
+    pub fn admitted(&self) -> u64 {
+        self.frames
+    }
+
+    /// Frames dropped for any reason (engine saturation plus the
+    /// session's own budget).
+    pub fn shed_total(&self) -> u64 {
+        self.shed_frames + self.shed_budget
+    }
+
     /// The `p`-th latency percentile (`0.0..=100.0`), nearest-rank over
     /// the recorded samples.
     pub fn latency_percentile(&self, p: f64) -> Option<Duration> {
@@ -283,10 +360,22 @@ impl ServeStats {
         self.sessions.values().map(|s| s.results).sum::<u64>() + self.evicted.results
     }
 
-    /// Total frames dropped by load shedding across all sessions
-    /// (evicted included).
+    /// Total frames dropped by engine-saturation load shedding across
+    /// all sessions (evicted included).
     pub fn total_shed_frames(&self) -> u64 {
         self.sessions.values().map(|s| s.shed_frames).sum::<u64>() + self.evicted.shed_frames
+    }
+
+    /// Total frames dropped by per-session admission budgets across all
+    /// sessions (evicted included).
+    pub fn total_shed_budget(&self) -> u64 {
+        self.sessions.values().map(|s| s.shed_budget).sum::<u64>() + self.evicted.shed_budget
+    }
+
+    /// Total frames deferred at least once by a network front before
+    /// admission (evicted included).
+    pub fn total_deferred(&self) -> u64 {
+        self.sessions.values().map(|s| s.deferred).sum::<u64>() + self.evicted.deferred
     }
 
     /// The `p`-th segment-to-result latency percentile across all

@@ -21,11 +21,59 @@ use gp_pipeline::{
     GestureSegment, LabeledSample, OnlineSegmenter, Preprocessor, PreprocessorConfig,
 };
 use gp_radar::Frame;
-use gp_runtime::{Gate, WorkerPool};
+use gp_runtime::{Gate, TokenBucket, WorkerPool};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
+
+/// Per-session admission budget: a token bucket refilled at
+/// [`AdmissionConfig::frames_per_sec`] with capacity
+/// [`AdmissionConfig::burst`]. One bucket per session means an
+/// over-rate tenant sheds *its own* frames
+/// ([`crate::SessionStats::shed_budget`]) instead of consuming the
+/// engine-global capacity that quiet sessions rely on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Sustained admission rate (frames per second).
+    pub frames_per_sec: f64,
+    /// Burst allowance (frames): how far a tenant may briefly exceed
+    /// the sustained rate. Buckets start full.
+    pub burst: f64,
+}
+
+impl AdmissionConfig {
+    /// A budget admitting `frames_per_sec` sustained with `burst`
+    /// frames of headroom.
+    pub fn new(frames_per_sec: f64, burst: f64) -> Self {
+        AdmissionConfig {
+            frames_per_sec,
+            burst,
+        }
+    }
+
+    fn bucket(&self) -> TokenBucket {
+        TokenBucket::new(self.frames_per_sec, self.burst)
+    }
+}
+
+impl gp_codec::Encode for AdmissionConfig {
+    fn encode(&self) -> gp_codec::Value {
+        gp_codec::Value::record([
+            ("frames_per_sec", self.frames_per_sec.encode()),
+            ("burst", self.burst.encode()),
+        ])
+    }
+}
+
+impl gp_codec::Decode for AdmissionConfig {
+    fn decode(value: &gp_codec::Value) -> Result<Self, gp_codec::DecodeError> {
+        Ok(AdmissionConfig {
+            frames_per_sec: value.get("frames_per_sec")?,
+            burst: value.get("burst")?,
+        })
+    }
+}
 
 /// Engine configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,6 +99,11 @@ pub struct ServeConfig {
     /// aggregate on [`ServeEngine::drain`], keeping totals correct while
     /// bounding per-session state for millions of short-lived streams.
     pub retain_closed_sessions: usize,
+    /// Default per-session admission budget applied by
+    /// [`ServeEngine::open_session`]; `None` (the default) admits
+    /// without a budget. [`ServeEngine::open_session_with`] overrides
+    /// this per session (weighted tenants).
+    pub admission: Option<AdmissionConfig>,
 }
 
 impl Default for ServeConfig {
@@ -61,13 +114,14 @@ impl Default for ServeConfig {
             workers: 0,
             pending_high_watermark: 256,
             retain_closed_sessions: 1024,
+            admission: None,
         }
     }
 }
 
 impl gp_codec::Encode for ServeConfig {
     fn encode(&self) -> gp_codec::Value {
-        gp_codec::Value::record([
+        let mut fields = vec![
             ("preprocessor", self.preprocessor.encode()),
             ("max_batch", self.max_batch.encode()),
             ("workers", self.workers.encode()),
@@ -79,7 +133,14 @@ impl gp_codec::Encode for ServeConfig {
                 "retain_closed_sessions",
                 self.retain_closed_sessions.encode(),
             ),
-        ])
+        ];
+        // Additive field: emitted only when set, so configs written
+        // before admission control existed re-encode byte-identically
+        // (the golden-fixture identity check relies on this).
+        if let Some(admission) = &self.admission {
+            fields.push(("admission", admission.encode()));
+        }
+        gp_codec::Value::record(fields)
     }
 }
 
@@ -91,8 +152,37 @@ impl gp_codec::Decode for ServeConfig {
             workers: value.get("workers")?,
             pending_high_watermark: value.get("pending_high_watermark")?,
             retain_closed_sessions: value.get("retain_closed_sessions")?,
+            admission: value.get_or("admission", None)?,
         })
     }
+}
+
+/// Outcome of offering one frame through two-stage admission
+/// ([`ServeEngine::offer_frame`]).
+#[derive(Debug)]
+pub enum Admission {
+    /// The frame entered its session; carries the number of segments it
+    /// completed (0 or 1), like [`ServeEngine::push_frame`].
+    Admitted(usize),
+    /// The frame was refused and is handed back untouched.
+    Rejected {
+        /// The refused frame, returned so a deferring caller can retry
+        /// it without having cloned up front.
+        frame: Frame,
+        /// Which admission stage refused it.
+        reason: RejectReason,
+    },
+}
+
+/// Which admission stage refused a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The session's own [`AdmissionConfig`] bucket was empty — a
+    /// definitive, already-recorded shed charged to the tenant.
+    Budget,
+    /// The engine-global gate was full while the session was within
+    /// budget — transient; the caller may defer and retry.
+    Capacity,
 }
 
 /// One preprocessed segment waiting for (or undergoing) inference.
@@ -125,6 +215,8 @@ pub struct ServeEngine {
     next_session: AtomicU64,
     next_seq: AtomicU64,
     bus: Arc<EventBus>,
+    /// Epoch for the admission buckets' caller-supplied clock.
+    epoch: Instant,
 }
 
 impl ServeEngine {
@@ -144,6 +236,7 @@ impl ServeEngine {
             next_session: AtomicU64::new(0),
             next_seq: AtomicU64::new(0),
             bus: Arc::new(EventBus::default()),
+            epoch: Instant::now(),
         }
     }
 
@@ -170,14 +263,23 @@ impl ServeEngine {
         self.gate.outstanding()
     }
 
-    /// Opens a new stream session and returns its id.
+    /// Opens a new stream session (with the engine's default admission
+    /// budget, [`ServeConfig::admission`]) and returns its id.
     pub fn open_session(&self) -> SessionId {
+        self.open_session_with(self.config.admission)
+    }
+
+    /// Opens a new stream session with an explicit admission budget
+    /// (`None` = unlimited), overriding [`ServeConfig::admission`] —
+    /// the hook for weighted tenants.
+    pub fn open_session_with(&self, admission: Option<AdmissionConfig>) -> SessionId {
         let id = SessionId(self.next_session.fetch_add(1, Ordering::Relaxed));
         let segmenter = OnlineSegmenter::new(self.config.preprocessor.segmenter.clone());
+        let budget = admission.map(|a| a.bucket());
         self.sessions
             .write()
             .expect("session registry poisoned")
-            .insert(id, Arc::new(Mutex::new(Session::new(segmenter))));
+            .insert(id, Arc::new(Mutex::new(Session::new(segmenter, budget))));
         self.bus.register_session(id);
         id
     }
@@ -232,42 +334,125 @@ impl ServeEngine {
         self.record_completed(id, completed)
     }
 
-    /// Load-shedding variant of [`ServeEngine::push_frame`]: a
-    /// saturated engine *drops* the frame instead of risking a blocking
-    /// dispatch, so an over-rate producer degrades (loses frames) rather
-    /// than stalls.
+    /// Load-shedding variant of [`ServeEngine::push_frame`]: a frame
+    /// that cannot be admitted is *dropped* instead of risking a
+    /// blocking dispatch, so an over-rate producer degrades (loses
+    /// frames) rather than stalls.
     ///
-    /// Admission control reserves a full batch's worth of headroom
-    /// under the backpressure gate via [`Gate::try_acquire`]. When
-    /// `max_batch` more segments would not fit below
-    /// [`ServeConfig::pending_high_watermark`], the frame is shed:
-    /// it never enters the session (not counted in
-    /// [`crate::SessionStats::frames`]), the session's
-    /// [`crate::SessionStats::shed_frames`] counter increments, and
-    /// `None` is returned. When admitted, the frame proceeds exactly
-    /// like [`ServeEngine::push_frame`], and because the reserved
-    /// headroom covers the largest possible batch, a dispatch this
-    /// frame triggers never blocks a lone producer. (Producers racing
-    /// each other can still briefly block on the gate between admission
-    /// and dispatch — bounded by one batch in flight.)
+    /// Admission runs in two stages, **per-session budget first**:
+    ///
+    /// 1. The session's own [`AdmissionConfig`] token bucket (when
+    ///    configured). An over-budget frame is shed against the tenant
+    ///    ([`crate::SessionStats::shed_budget`]) *before* the global
+    ///    gate is consulted, so a hot tenant's excess never competes
+    ///    for — or is excused by — engine-global capacity.
+    /// 2. The engine-global backpressure gate, reserving a full batch's
+    ///    worth of headroom via [`Gate::try_acquire`]. When `max_batch`
+    ///    more segments would not fit below
+    ///    [`ServeConfig::pending_high_watermark`], the frame is shed
+    ///    against engine saturation
+    ///    ([`crate::SessionStats::shed_frames`]).
+    ///
+    /// Shed frames never enter the session (not counted in
+    /// [`crate::SessionStats::frames`]) and return `None`. When
+    /// admitted, the frame proceeds exactly like
+    /// [`ServeEngine::push_frame`], and because the reserved headroom
+    /// covers the largest possible batch, a dispatch this frame
+    /// triggers never blocks a lone producer. (Producers racing each
+    /// other can still briefly block on the gate between admission and
+    /// dispatch — bounded by one batch in flight.)
+    ///
+    /// Network fronts that would rather *defer* than shed on engine
+    /// saturation use [`ServeEngine::offer_frame`], which hands the
+    /// frame back instead of recording a capacity shed.
     ///
     /// # Panics
     ///
     /// Panics if `id` is not a live session.
     pub fn try_push_frame(&self, id: SessionId, frame: Frame) -> Option<usize> {
-        let headroom = self.config.max_batch.max(1);
-        if !self.gate.try_acquire(headroom) {
-            // Enforce liveness on the shed path too: recording a shed
-            // for a closed session would resurrect its (possibly
-            // already evicted) stats entry outside the eviction
-            // protocol, and the documented panic must not depend on
-            // which branch a frame takes.
-            assert!(self.session(id).is_some(), "try_push_frame on unknown {id}");
-            self.bus.record_shed_frame(id);
-            return None;
+        match self.offer_frame(id, frame) {
+            Admission::Admitted(completed) => Some(completed),
+            Admission::Rejected {
+                reason: RejectReason::Budget,
+                ..
+            } => None, // already recorded as a budget shed
+            Admission::Rejected {
+                reason: RejectReason::Capacity,
+                ..
+            } => {
+                self.bus.record_shed_frame(id);
+                None
+            }
         }
-        self.gate.release(headroom);
-        Some(self.push_frame(id, frame))
+    }
+
+    /// Two-stage admission (session budget, then global gate) that
+    /// hands a refused frame *back* to the caller instead of deciding
+    /// its fate:
+    ///
+    /// * [`RejectReason::Budget`] — the session's own bucket refused;
+    ///   the shed is definitive and already recorded
+    ///   ([`crate::SessionStats::shed_budget`]).
+    /// * [`RejectReason::Capacity`] — the engine is saturated but the
+    ///   session was within budget (its token was refunded). *Nothing*
+    ///   was recorded: the caller chooses to retry later (calling
+    ///   [`ServeEngine::note_deferred`] once per deferred frame) or to
+    ///   drop via [`ServeEngine::try_push_frame`] semantics.
+    ///
+    /// This is the primitive `gp-net` builds socket backpressure on: a
+    /// capacity-rejected frame pauses that connection's reads (TCP
+    /// pushes back on the remote), while a budget-rejected frame is
+    /// simply gone — the tenant outran its own contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a live session.
+    pub fn offer_frame(&self, id: SessionId, frame: Frame) -> Admission {
+        let session = self
+            .session(id)
+            .unwrap_or_else(|| panic!("offer_frame on unknown {id}"));
+        let headroom = self.config.max_batch.max(1);
+        let completed = {
+            let mut session = session.lock().expect("session poisoned");
+            // Stage 1: the session's own budget. Consulted before the
+            // global gate so a hot tenant sheds against itself even
+            // when the engine also happens to be saturated.
+            if let Some(bucket) = session.budget_mut() {
+                let now = self.epoch.elapsed().as_secs_f64();
+                if !bucket.try_take(1.0, now) {
+                    drop(session);
+                    self.bus.record_shed_budget(id);
+                    return Admission::Rejected {
+                        frame,
+                        reason: RejectReason::Budget,
+                    };
+                }
+            }
+            // Stage 2: engine-global capacity.
+            if !self.gate.try_acquire(headroom) {
+                // Not the tenant's fault — give the token back.
+                if let Some(bucket) = session.budget_mut() {
+                    bucket.refund(1.0);
+                }
+                return Admission::Rejected {
+                    frame,
+                    reason: RejectReason::Capacity,
+                };
+            }
+            self.gate.release(headroom);
+            let completed = session.push(frame, &self.preprocessor);
+            completed.map(|c| (c, self.next_seq.fetch_add(1, Ordering::Relaxed)))
+        };
+        Admission::Admitted(self.record_completed(id, completed))
+    }
+
+    /// Records that a front-end deferred a capacity-rejected frame for
+    /// later re-admission (see [`ServeEngine::offer_frame`]). Call once
+    /// per frame, on its first deferral, so
+    /// [`crate::SessionStats::deferred`] counts frames rather than
+    /// retries.
+    pub fn note_deferred(&self, id: SessionId) {
+        self.bus.record_deferred(id);
     }
 
     /// Closes a session: flushes a gesture still open at stream end and
@@ -333,6 +518,7 @@ impl ServeEngine {
             sample: LabeledSample::from_sample(sample, 0, 0),
             detected: Instant::now(),
         };
+        self.bus.record_enqueued(id);
         // Collect under the lock, dispatch after releasing it: dispatch
         // touches the bus and the pool, and other sessions' segment
         // closes must not serialize behind that.
@@ -411,6 +597,36 @@ impl ServeEngine {
         });
     }
 
+    /// Takes every event published so far *without* flushing pending
+    /// partial batches or waiting for in-flight work — the non-blocking
+    /// pump for streaming consumers (the `gp-net` reactor) that must
+    /// never barrier behind inference. Each poll's events are sorted by
+    /// `(session, seq)`, but unlike [`ServeEngine::drain`] there is no
+    /// barrier, so with multiple workers a later poll can surface an
+    /// earlier `seq` from a still-in-flight batch — order-sensitive
+    /// consumers should reorder on `seq` per session.
+    ///
+    /// Pair with a periodic [`ServeEngine::flush`] so lone segments in
+    /// a partial batch don't wait forever, and use
+    /// [`ServeEngine::drain`] when a full barrier (and closed-session
+    /// stats eviction) is actually wanted.
+    pub fn poll_events(&self) -> Vec<ServeEvent> {
+        let mut events = self.bus.take_events();
+        events.sort_by_key(|e| (e.session, e.seq));
+        events
+    }
+
+    /// Whether a session's accounting is final: it has been closed and
+    /// every segment it enqueued for inference has published its
+    /// result. (A live session is never settled — more frames may
+    /// arrive.) Streaming fronts use this to know when a closed
+    /// stream's last results are out before saying goodbye; the queued
+    /// final segment still needs a [`ServeEngine::flush`] (or full
+    /// [`ServeEngine::drain`]) to dispatch first.
+    pub fn session_settled(&self, id: SessionId) -> bool {
+        self.session(id).is_none() && self.bus.is_settled(id)
+    }
+
     /// Flushes pending segments, waits for all in-flight batches, and
     /// returns every event published since the last drain, sorted by
     /// `(session, seq)` for deterministic consumption.
@@ -429,6 +645,19 @@ impl ServeEngine {
         let mut events = self.bus.take_events();
         events.sort_by_key(|e| (e.session, e.seq));
         events
+    }
+
+    /// Snapshot of one session's statistics — O(1) in the number of
+    /// sessions, unlike [`ServeEngine::stats`], so per-connection
+    /// goodbye paths can read their ledger without cloning the world.
+    /// `None` once the session's entry has been evicted (or never
+    /// existed).
+    pub fn session_stats(&self, id: SessionId) -> Option<crate::SessionStats> {
+        let mut stats = self.bus.session_stats(id)?;
+        if let Some(session) = self.session(id) {
+            stats.frames = session.lock().expect("session poisoned").frames_seen() as u64;
+        }
+        Some(stats)
     }
 
     /// Snapshot of per-session and aggregate statistics.

@@ -22,6 +22,15 @@
 //!   [`ServeEngine::try_push_frame`] *sheds* the frame instead — for
 //!   producers that must never stall — counting it in the session's
 //!   [`SessionStats::shed_frames`].
+//! * **Per-session admission** ([`AdmissionConfig`]) — an optional
+//!   token bucket charged *before* the shared gate, in that order: a
+//!   `Budget` rejection is definitive (the tenant is over its own rate,
+//!   counted in [`SessionStats::shed_budget`]), while a `Capacity`
+//!   rejection refunds the token, so transient engine-wide overload is
+//!   never billed to an in-budget tenant. [`ServeEngine::offer_frame`]
+//!   exposes the staged decision (admitted / rejected with the frame
+//!   handed back) for fronts like `gp-net` that want to defer rather
+//!   than drop on capacity.
 //! * **Event/result bus** ([`ServeEvent`], [`ServeStats`]) — classified
 //!   segments flow out with per-session frame/segment/result counters
 //!   and segment-to-result latency percentiles (p50/p99).
@@ -62,7 +71,7 @@ pub mod engine;
 pub mod session;
 
 pub use bus::{ServeEvent, ServeStats, SessionStats};
-pub use engine::{ServeConfig, ServeEngine};
+pub use engine::{Admission, AdmissionConfig, RejectReason, ServeConfig, ServeEngine};
 // The execution substrate lives in `gp-runtime` (shared with training
 // and the dataset builder); re-exported for serving callers.
 pub use gp_runtime::{Gate, WorkerPool};

@@ -4,6 +4,7 @@
 
 use gp_pipeline::{GestureSample, GestureSegment, OnlineSegmenter, Preprocessor};
 use gp_radar::Frame;
+use gp_runtime::TokenBucket;
 use std::collections::VecDeque;
 
 /// Identifier of one radar stream multiplexed through the engine.
@@ -24,15 +25,24 @@ pub(crate) struct Session {
     /// Retained frames; `buffer[0]` has absolute index `base`.
     buffer: VecDeque<Frame>,
     base: usize,
+    /// Per-session admission budget; `None` = unlimited. Guarded by the
+    /// session mutex like the rest of the per-stream state.
+    budget: Option<TokenBucket>,
 }
 
 impl Session {
-    pub(crate) fn new(segmenter: OnlineSegmenter) -> Self {
+    pub(crate) fn new(segmenter: OnlineSegmenter, budget: Option<TokenBucket>) -> Self {
         Session {
             segmenter,
             buffer: VecDeque::new(),
             base: 0,
+            budget,
         }
+    }
+
+    /// The session's admission budget, if one is configured.
+    pub(crate) fn budget_mut(&mut self) -> Option<&mut TokenBucket> {
+        self.budget.as_mut()
     }
 
     /// Feeds one frame; when it closes a gesture, assembles the
@@ -112,7 +122,7 @@ mod tests {
     fn idle_stream_keeps_buffer_bounded() {
         let cfg = SegmenterConfig::default();
         let motion_window = cfg.motion_window;
-        let mut session = Session::new(OnlineSegmenter::new(cfg));
+        let mut session = Session::new(OnlineSegmenter::new(cfg), None);
         let pre = Preprocessor::new(PreprocessorConfig::default());
         for i in 0..5_000 {
             assert!(session.push(frame(i, 1), &pre).is_none());
@@ -127,7 +137,7 @@ mod tests {
 
     #[test]
     fn burst_yields_one_assembled_sample() {
-        let mut session = Session::new(OnlineSegmenter::new(SegmenterConfig::default()));
+        let mut session = Session::new(OnlineSegmenter::new(SegmenterConfig::default()), None);
         let pre = Preprocessor::new(PreprocessorConfig::default());
         let mut out = Vec::new();
         for i in 0..70 {
@@ -146,7 +156,7 @@ mod tests {
 
     #[test]
     fn gesture_open_at_stream_end_is_flushed() {
-        let mut session = Session::new(OnlineSegmenter::new(SegmenterConfig::default()));
+        let mut session = Session::new(OnlineSegmenter::new(SegmenterConfig::default()), None);
         let pre = Preprocessor::new(PreprocessorConfig::default());
         let mut out = Vec::new();
         for i in 0..45 {

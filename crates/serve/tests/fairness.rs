@@ -1,0 +1,132 @@
+//! Fairness regression: one hot (over-budget) tenant must not change
+//! what quiet tenants experience — no sheds charged to them, identical
+//! results, and their admission path never consumed by the hot
+//! session's excess.
+
+use gp_pointcloud::{Point, PointCloud, Vec3};
+use gp_radar::Frame;
+use gp_serve::{AdmissionConfig, ServeConfig, ServeEngine, ServeStats, SessionId};
+use gp_testkit::{stream_fixture, toy_system};
+use std::collections::BTreeMap;
+
+const QUIET_SESSIONS: usize = 4;
+/// Hot frames offered per quiet frame — far beyond the hot budget.
+const HOT_FANOUT: usize = 20;
+
+fn hot_frame(i: usize) -> Frame {
+    let cloud: PointCloud = (0..8)
+        .map(|k| Point::new(Vec3::new(k as f64 * 0.04, 1.1, 1.0), 0.3, 14.0))
+        .collect();
+    Frame::new(i as f64 * 0.005, cloud)
+}
+
+/// Per-quiet-session result signature: segment bounds + predictions.
+type ResultSig = BTreeMap<u64, Vec<(usize, usize, usize, usize)>>;
+
+/// Replays the quiet cohort (optionally alongside a hot tenant) and
+/// returns each quiet session's results plus the final stats and the
+/// hot session id.
+fn run(with_hot: bool) -> (ResultSig, ServeStats, Option<SessionId>) {
+    let engine = ServeEngine::new(
+        toy_system(),
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let stream = stream_fixture();
+    let quiet: Vec<SessionId> = (0..QUIET_SESSIONS).map(|_| engine.open_session()).collect();
+    // The hot tenant gets a real (small) budget and then wildly
+    // overruns it: a sustained 20 fps against a 20x offered rate.
+    let hot = with_hot.then(|| engine.open_session_with(Some(AdmissionConfig::new(20.0, 10.0))));
+
+    let mut hot_i = 0usize;
+    for frame in &stream.frames {
+        for &q in &quiet {
+            let admitted = engine.try_push_frame(q, frame.clone());
+            assert!(admitted.is_some(), "a quiet session must never shed");
+        }
+        if let Some(hot) = hot {
+            for _ in 0..HOT_FANOUT {
+                // Budget-shed excess is the expected steady state.
+                let _ = engine.try_push_frame(hot, hot_frame(hot_i));
+                hot_i += 1;
+            }
+        }
+    }
+    for &q in &quiet {
+        engine.close_session(q);
+    }
+    if let Some(hot) = hot {
+        engine.close_session(hot);
+    }
+
+    let mut results: ResultSig = quiet.iter().map(|q| (q.0, Vec::new())).collect();
+    for event in engine.drain() {
+        if let Some(rows) = results.get_mut(&event.session.0) {
+            rows.push((
+                event.segment.start,
+                event.segment.end,
+                event.inference.gesture,
+                event.inference.user,
+            ));
+        }
+    }
+    (results, engine.stats(), hot)
+}
+
+#[test]
+fn hot_tenant_does_not_disturb_quiet_sessions() {
+    let (baseline, baseline_stats, _) = run(false);
+    let (overloaded, stats, hot) = run(true);
+    let hot = hot.expect("overloaded run has a hot session");
+
+    // The quiet sessions' outputs are bit-identical with and without
+    // the hot tenant: same segments, same predictions, same counts.
+    assert_eq!(
+        overloaded, baseline,
+        "a hot tenant must not change quiet sessions' results"
+    );
+    assert!(
+        baseline.values().any(|rows| !rows.is_empty()),
+        "the fixture stream must produce results for the comparison to mean anything"
+    );
+
+    // No shed of either kind is ever charged to a quiet session.
+    for (id, session) in &stats.sessions {
+        if *id == hot {
+            continue;
+        }
+        assert_eq!(session.shed_budget, 0, "{id}: budget shed on quiet");
+        assert_eq!(session.shed_frames, 0, "{id}: capacity shed on quiet");
+    }
+
+    // The hot tenant paid for its own excess...
+    let hot_stats = &stats.sessions[&hot];
+    assert!(
+        hot_stats.shed_budget > 0,
+        "the hot tenant must overrun its budget (admitted {})",
+        hot_stats.frames
+    );
+    // ...and its admitted+shed ledger reconciles exactly.
+    let hot_offered = stream_fixture().frames.len() as u64 * HOT_FANOUT as u64;
+    assert_eq!(
+        hot_stats.frames + hot_stats.shed_budget + hot_stats.shed_frames,
+        hot_offered,
+        "every hot frame is admitted, budget-shed, or capacity-shed"
+    );
+
+    // Quiet latency accounting survived the overload run (the strict
+    // p99-vs-idle spread bound lives in `benches/net_serve.rs`, where
+    // wall-clock conditions are controlled).
+    let quiet_p99 = |stats: &ServeStats| {
+        stats
+            .sessions
+            .iter()
+            .filter(|(id, _)| **id != hot)
+            .filter_map(|(_, s)| s.latency_percentile(99.0))
+            .max()
+    };
+    assert!(quiet_p99(&stats).is_some(), "quiet sessions have latencies");
+    assert!(quiet_p99(&baseline_stats).is_some());
+}

@@ -3,8 +3,50 @@
 //! when the executor is saturated, and the shed frames are accounted
 //! per session.
 
-use gp_serve::{ServeConfig, ServeEngine};
+use gp_pointcloud::{Point, PointCloud, Vec3};
+use gp_radar::Frame;
+use gp_serve::{Admission, AdmissionConfig, RejectReason, ServeConfig, ServeEngine};
 use gp_testkit::{stream_fixture, toy_system};
+
+/// A motionless single-point frame: feeds a session without ever
+/// closing a segment, so pushing it cannot engage the dispatch gate.
+fn idle_frame(i: usize) -> Frame {
+    let cloud: PointCloud =
+        std::iter::once(Point::new(Vec3::new(0.0, 1.2, 1.0), 0.0, 15.0)).collect();
+    Frame::new(i as f64 * 0.1, cloud)
+}
+
+/// A stream of many short dense motion bursts, each closing its own
+/// segment. A full-speed replay closes segments far faster than one
+/// worker can run inference on them, so against `tight_config` the
+/// gate *must* saturate by throughput — the tests below do not depend
+/// on how the OS happens to interleave the producer and the worker
+/// (the capture fixture's two or three widely-spaced segments do,
+/// which made them flake on loaded single-core machines).
+fn saturating_stream() -> Vec<Frame> {
+    let mut frames = Vec::new();
+    let mut t = 0usize;
+    for _ in 0..40 {
+        for b in 0..8 {
+            let cloud: PointCloud = (0..16)
+                .map(|k| {
+                    Point::new(
+                        Vec3::new(k as f64 * 0.06, 1.0 + b as f64 * 0.02, 1.2),
+                        0.5,
+                        18.0,
+                    )
+                })
+                .collect();
+            frames.push(Frame::new(t as f64 * 0.1, cloud));
+            t += 1;
+        }
+        for _ in 0..12 {
+            frames.push(idle_frame(t));
+            t += 1;
+        }
+    }
+    frames
+}
 
 fn tight_config() -> ServeConfig {
     ServeConfig {
@@ -20,7 +62,7 @@ fn tight_config() -> ServeConfig {
 #[test]
 fn over_rate_producer_sheds_instead_of_blocking() {
     let engine = ServeEngine::new(toy_system(), tight_config());
-    let stream = stream_fixture();
+    let frames = saturating_stream();
     let session = engine.open_session();
 
     let mut accepted = 0u64;
@@ -28,7 +70,7 @@ fn over_rate_producer_sheds_instead_of_blocking() {
     // Replay at full speed — far beyond the executor's drain rate. The
     // blocking `push_frame` would stall this loop at the watermark;
     // `try_push_frame` must instead return `None` and move on.
-    for frame in &stream.frames {
+    for frame in &frames {
         match engine.try_push_frame(session, frame.clone()) {
             Some(_) => accepted += 1,
             None => shed += 1,
@@ -50,7 +92,7 @@ fn over_rate_producer_sheds_instead_of_blocking() {
     assert_eq!(stats.total_frames(), accepted);
     assert_eq!(
         stats.total_frames() + stats.total_shed_frames(),
-        stream.frames.len() as u64
+        frames.len() as u64
     );
     let per_session = &stats.sessions[&session];
     assert_eq!(per_session.shed_frames, shed, "shed count is per-session");
@@ -58,9 +100,7 @@ fn over_rate_producer_sheds_instead_of_blocking() {
     // After the drain the gate is idle again: nothing sheds.
     let fresh = engine.open_session();
     assert!(
-        engine
-            .try_push_frame(fresh, stream.frames[0].clone())
-            .is_some(),
+        engine.try_push_frame(fresh, frames[0].clone()).is_some(),
         "an idle engine admits frames"
     );
     engine.close_session(fresh);
@@ -76,11 +116,10 @@ fn shed_frames_survive_stats_eviction() {
             ..tight_config()
         },
     );
-    let stream = stream_fixture();
     let session = engine.open_session();
     let mut shed = 0u64;
-    for frame in &stream.frames {
-        if engine.try_push_frame(session, frame.clone()).is_none() {
+    for frame in saturating_stream() {
+        if engine.try_push_frame(session, frame).is_none() {
             shed += 1;
         }
     }
@@ -92,6 +131,124 @@ fn shed_frames_survive_stats_eviction() {
     let stats = engine.stats();
     assert!(!stats.sessions.contains_key(&session), "entry evicted");
     assert_eq!(stats.total_shed_frames(), shed);
+}
+
+#[test]
+fn budget_is_consulted_before_the_global_gate() {
+    // Pin the admission order: a session that is over *its own* budget
+    // must be recorded as a budget shed even while the engine-global
+    // gate is also saturated — the tenant's excess is never excused by
+    // (or charged to) engine capacity.
+    let engine = ServeEngine::new(toy_system(), tight_config());
+
+    // Saturate the gate with an unbudgeted session replayed at full
+    // speed (the 1-segment watermark of `tight_config`).
+    let hog = engine.open_session();
+    let mut hog_shed_capacity = 0u64;
+    for frame in saturating_stream() {
+        if engine.try_push_frame(hog, frame).is_none() {
+            hog_shed_capacity += 1;
+        }
+    }
+    assert!(hog_shed_capacity > 0, "the gate must be saturated");
+
+    // A zero-budget session offered frames while the gate is (still)
+    // saturated: every rejection must be a *budget* rejection.
+    let broke = engine.open_session_with(Some(AdmissionConfig::new(0.0, 0.0)));
+    let offered = 25u64;
+    for i in 0..offered as usize {
+        match engine.offer_frame(broke, idle_frame(i)) {
+            Admission::Rejected {
+                reason: RejectReason::Budget,
+                ..
+            } => {}
+            other => panic!("expected a budget rejection, got {other:?}"),
+        }
+    }
+    engine.close_session(broke);
+    engine.close_session(hog);
+    engine.drain();
+
+    let stats = engine.stats();
+    let broke_stats = &stats.sessions[&broke];
+    assert_eq!(broke_stats.shed_budget, offered, "every offer budget-shed");
+    assert_eq!(
+        broke_stats.shed_frames, 0,
+        "a budget-shed frame must never also count as a capacity shed"
+    );
+    assert_eq!(broke_stats.frames, 0, "no frame entered the session");
+    let hog_stats = &stats.sessions[&hog];
+    assert_eq!(
+        hog_stats.shed_budget, 0,
+        "an unbudgeted session never sheds by budget"
+    );
+    assert_eq!(hog_stats.shed_frames, hog_shed_capacity);
+}
+
+#[test]
+fn capacity_rejection_refunds_the_budget_token() {
+    // A within-budget frame rejected for engine capacity must not
+    // consume the session's budget: once capacity frees up, the same
+    // budget admits the same number of frames as if the engine had
+    // never been saturated.
+    let engine = ServeEngine::new(toy_system(), tight_config());
+    let frames = saturating_stream();
+
+    // Burst budget of 10, no refill: without refunds, capacity
+    // rejections would silently drain the 10 tokens. The tenant only
+    // offers while the gate is *observably* saturated
+    // (`outstanding() > 0` against a 1-segment watermark) — offering
+    // unconditionally would spend the whole burst in the first ten
+    // loop iterations, before the hog's first segment even closes.
+    let hog = engine.open_session();
+    let tenant = engine.open_session_with(Some(AdmissionConfig::new(0.0, 10.0)));
+    let mut capacity_rejections = 0u64;
+    let mut offered = 0usize;
+    for frame in frames {
+        let _ = engine.try_push_frame(hog, frame);
+        if engine.outstanding() > 0 {
+            match engine.offer_frame(tenant, idle_frame(offered)) {
+                Admission::Rejected {
+                    reason: RejectReason::Capacity,
+                    ..
+                } => capacity_rejections += 1,
+                // The gate can drain between the probe and the offer:
+                // such an admission consumes a token for real, which
+                // the final count still accounts for.
+                Admission::Rejected {
+                    reason: RejectReason::Budget,
+                    ..
+                }
+                | Admission::Admitted(_) => {}
+            }
+            offered += 1;
+        }
+    }
+    // Drain the gate, then spend the remaining budget.
+    engine.close_session(hog);
+    engine.drain();
+    let stats = engine.stats();
+    let spent = stats.sessions[&tenant].frames;
+    for i in offered..offered + 200 {
+        if let Admission::Rejected { reason, .. } = engine.offer_frame(tenant, idle_frame(i)) {
+            assert_eq!(reason, RejectReason::Budget, "gate is idle after drain");
+            break;
+        }
+    }
+    engine.close_session(tenant);
+    engine.drain();
+
+    let stats = engine.stats();
+    let tenant_stats = &stats.sessions[&tenant];
+    assert!(
+        capacity_rejections > 0,
+        "the saturated gate must have rejected some within-budget offers"
+    );
+    assert_eq!(
+        tenant_stats.frames, 10,
+        "refunded tokens let the full burst through eventually \
+         (spent {spent} while saturated, {capacity_rejections} capacity rejections)"
+    );
 }
 
 #[test]

@@ -24,7 +24,8 @@
 //! | [`models`] | `gp-models` | GesIDNet and baselines |
 //! | [`core`] | `gp-core` | end-to-end system (train / infer, serialized & parallel modes, versioned artifacts) |
 //! | [`runtime`] | `gp-runtime` | work-stealing pool, scoped parallel maps, backpressure gate |
-//! | [`serve`] | `gp-serve` | streaming multi-session engine, micro-batched execution |
+//! | [`serve`] | `gp-serve` | streaming multi-session engine, micro-batched execution, per-session admission |
+//! | [`net`] | `gp-net` | socket front: framed TCP/UDS streams, reactor, budget-aware backpressure |
 //! | [`eval`] | `gp-eval` | accuracy / F1 / AUC / ROC / EER, k-fold, t-SNE |
 //!
 //! # Quickstart
@@ -40,6 +41,7 @@ pub use gp_dsp as dsp;
 pub use gp_eval as eval;
 pub use gp_kinematics as kinematics;
 pub use gp_models as models;
+pub use gp_net as net;
 pub use gp_nn as nn;
 pub use gp_pipeline as pipeline;
 pub use gp_pointcloud as pointcloud;
