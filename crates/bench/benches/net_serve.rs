@@ -25,7 +25,7 @@ use gp_net::wire::{from_wire, to_wire};
 use gp_net::{ClientMsg, NetClient, NetConfig, NetListener, NetServer};
 use gp_pointcloud::{Point, PointCloud, Vec3};
 use gp_radar::Frame;
-use gp_serve::{AdmissionConfig, ServeEngine, SessionId};
+use gp_serve::{AdmissionConfig, Histogram, ServeEngine, SessionId};
 use gp_testkit::{stream_fixture, toy_system};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -90,6 +90,9 @@ fn bench_frame(tick: usize, phase: usize) -> Frame {
 struct PhaseOutcome {
     /// Pooled p99 over the quiet sessions' segment-to-result latencies.
     quiet_p99: Duration,
+    /// The full pooled quiet-session latency distribution (exact
+    /// histogram merge), carried into the snapshot artifact.
+    quiet_latency: Histogram,
     quiet_shed: u64,
     hot_admitted: u64,
     hot_shed_budget: u64,
@@ -245,17 +248,21 @@ fn run_phase(quiet: usize, hot: usize) -> PhaseOutcome {
 
     // Pooled quiet latency distribution (graceful closes keep every
     // session's stats entry around; see retain_closed_sessions above).
-    let mut quiet_latencies: Vec<Duration> = quiet_sessions
-        .iter()
-        .filter_map(|id| stats.sessions.get(&SessionId(*id)))
-        .flat_map(|s| s.latencies.iter().copied())
-        .collect();
-    quiet_latencies.sort_unstable();
+    // Histogram merge is exact: the pooled percentile weighs every
+    // session's samples, not a subsample.
+    let mut quiet_latency = Histogram::new();
+    for id in &quiet_sessions {
+        if let Some(s) = stats.sessions.get(&SessionId(*id)) {
+            quiet_latency.merge(&s.latency);
+        }
+    }
     assert!(
-        !quiet_latencies.is_empty(),
+        !quiet_latency.is_empty(),
         "quiet sessions must produce latency samples"
     );
-    let quiet_p99 = quiet_latencies[(quiet_latencies.len() - 1) * 99 / 100];
+    let quiet_p99 = quiet_latency
+        .percentile_duration(99.0)
+        .expect("non-empty histogram has a p99");
 
     // Exact books, engine side: every decoded frame is admitted or shed.
     let accounted = stats.total_frames() + stats.total_shed_budget() + stats.total_shed_frames();
@@ -274,6 +281,7 @@ fn run_phase(quiet: usize, hot: usize) -> PhaseOutcome {
 
     PhaseOutcome {
         quiet_p99,
+        quiet_latency,
         quiet_shed,
         hot_admitted,
         hot_shed_budget,
@@ -378,40 +386,54 @@ fn fairness_report(smoke: bool) {
     write_artifact(quiet, hot, &idle, &over, delta);
 }
 
-/// Persists the fairness run as a `gestureprint.report` artifact so the
-/// isolation numbers are machine-comparable across runs.
+/// Persists the fairness run in the `gp-telemetry` snapshot schema
+/// (wrapped in the `gestureprint.telemetry` artifact envelope): exact
+/// ledger counters, the *full* pooled quiet-latency distributions per
+/// phase, and the workload shape as attrs — so the isolation numbers
+/// are machine-comparable across runs at any percentile, not only the
+/// p99 this run happened to print.
 fn write_artifact(quiet: usize, hot: usize, idle: &PhaseOutcome, over: &PhaseOutcome, delta: f64) {
-    use gestureprint_core::artifact::{kinds, Artifact};
     use gp_codec::{Encode, Value};
-    let phase = |p: &PhaseOutcome| {
-        Value::record([
-            ("frames_sent", p.frames_sent.encode()),
-            ("decoded", p.decoded.encode()),
-            ("accounted", p.accounted.encode()),
-            ("quiet_p99_s", p.quiet_p99.as_secs_f64().encode()),
-            ("quiet_shed", p.quiet_shed.encode()),
-            ("hot_admitted", p.hot_admitted.encode()),
-            ("hot_shed_budget", p.hot_shed_budget.encode()),
-            ("elapsed_s", p.elapsed.as_secs_f64().encode()),
-        ])
-    };
-    let payload = Value::record([
-        ("report", Value::Str("net_fairness".into())),
-        ("quiet_sessions", quiet.encode()),
-        ("hot_sessions", hot.encode()),
-        ("quiet_fps", QUIET_FPS.encode()),
-        ("hot_fanout", HOT_FANOUT.encode()),
-        ("budget_rate", BUDGET.0.encode()),
-        ("budget_burst", BUDGET.1.encode()),
-        ("idle", phase(idle)),
-        ("overload", phase(over)),
-        ("quiet_p99_delta", delta.encode()),
+    use gp_serve::TelemetrySnapshot;
+    let mut snapshot = TelemetrySnapshot::new();
+    for (phase, p) in [("idle", idle), ("overload", over)] {
+        let c = |name: &str, v: u64| (format!("fairness.{phase}.{name}"), v);
+        snapshot.counters.extend([
+            c("frames_sent", p.frames_sent),
+            c("decoded", p.decoded),
+            c("accounted", p.accounted),
+            c("quiet_shed", p.quiet_shed),
+            c("hot_admitted", p.hot_admitted),
+            c("hot_shed_budget", p.hot_shed_budget),
+        ]);
+        snapshot.histograms.insert(
+            format!("fairness.{phase}.quiet_latency"),
+            p.quiet_latency.clone(),
+        );
+        snapshot.attrs.insert(
+            format!("fairness.{phase}.elapsed_s"),
+            p.elapsed.as_secs_f64().encode(),
+        );
+    }
+    snapshot.attrs.extend([
+        ("bench".to_owned(), Value::Str("net_fairness".into())),
+        ("quiet_sessions".to_owned(), quiet.encode()),
+        ("hot_sessions".to_owned(), hot.encode()),
+        ("quiet_fps".to_owned(), QUIET_FPS.encode()),
+        ("hot_fanout".to_owned(), HOT_FANOUT.encode()),
+        ("budget_rate".to_owned(), BUDGET.0.encode()),
+        ("budget_burst".to_owned(), BUDGET.1.encode()),
+        ("quiet_p99_delta".to_owned(), delta.encode()),
     ]);
-    let artifact = Artifact::new(kinds::REPORT, payload).to_bytes();
-    let path = std::path::Path::new("results").join("net_fairness.json");
-    match std::fs::create_dir_all("results").and_then(|()| std::fs::write(&path, &artifact)) {
-        Ok(()) => println!("report artifact: {}", path.display()),
-        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    let artifact = gp_bench::telemetry_artifact(&snapshot);
+    // net_fairness.json is the scratch copy of the latest local run;
+    // BENCH_net_fairness.json is the committed trajectory artifact.
+    for name in ["net_fairness.json", "BENCH_net_fairness.json"] {
+        let path = std::path::Path::new("results").join(name);
+        match std::fs::create_dir_all("results").and_then(|()| std::fs::write(&path, &artifact)) {
+            Ok(()) => println!("telemetry artifact: {}", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
     }
 }
 

@@ -107,6 +107,29 @@ fn throughput_report() {
         Ok(()) => println!("report artifact: {}", path.display()),
         Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
     }
+
+    // Export the replay's full telemetry registry — the per-stage
+    // latency breakdown behind the pooled p50/p99 above — as the
+    // committed BENCH trajectory artifact.
+    if let Some(mut snapshot) = engine.telemetry_snapshot() {
+        use gp_codec::{Encode, Value};
+        snapshot
+            .attrs
+            .insert("bench".into(), Value::Str("serve_steady_state".into()));
+        snapshot.attrs.insert("sessions".into(), SESSIONS.encode());
+        snapshot
+            .attrs
+            .insert("replay_fps".into(), REPLAY_FPS.encode());
+        snapshot
+            .attrs
+            .insert("frames_per_session".into(), stream.frames.len().encode());
+        print!("{}", snapshot.render_table("serve.stage."));
+        let bench_path = std::path::Path::new("results").join("BENCH_serve.json");
+        match std::fs::write(&bench_path, gp_bench::telemetry_artifact(&snapshot)) {
+            Ok(()) => println!("telemetry artifact: {}", bench_path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", bench_path.display()),
+        }
+    }
 }
 
 criterion_group!(benches, bench_serve);

@@ -26,9 +26,9 @@
 //!   driver threads the bench and example used to hand-roll).
 
 use gestureprint_core::artifact::{kinds, Artifact};
-use gp_codec::{Encode, Value};
+use gp_codec::{Decode, Encode, Value};
 use gp_runtime::WorkerPool;
-use gp_serve::{ServeConfig, ServeEngine, ServeStats, SessionId};
+use gp_serve::{ServeConfig, ServeEngine, ServeStats, SessionId, TelemetrySnapshot};
 use gp_testkit::GestureStream;
 use std::time::{Duration, Instant};
 
@@ -94,6 +94,30 @@ pub fn serve_report_artifact(
         ),
     ]);
     Artifact::new(kinds::REPORT, payload).to_bytes()
+}
+
+/// Wraps a telemetry snapshot in the versioned artifact envelope
+/// (`gestureprint.telemetry`) — the `BENCH_*.json` trajectory format
+/// the benches commit and the soak job uploads. The snapshot schema is
+/// versioned independently of the envelope, so either layer can evolve
+/// without breaking old readers.
+pub fn telemetry_artifact(snapshot: &TelemetrySnapshot) -> Vec<u8> {
+    Artifact::new(kinds::TELEMETRY, snapshot.encode()).to_bytes()
+}
+
+/// Decodes a `BENCH_*.json` artifact back into its snapshot — the
+/// compat direction CI checks against the committed artifacts.
+///
+/// # Errors
+///
+/// Returns the envelope error (wrong kind, future schema, malformed
+/// bytes) or the snapshot's own decode error as a string.
+pub fn telemetry_from_artifact(bytes: &[u8]) -> Result<TelemetrySnapshot, String> {
+    let artifact = Artifact::from_bytes(bytes).map_err(|e| e.to_string())?;
+    artifact
+        .expect_kind(kinds::TELEMETRY)
+        .map_err(|e| e.to_string())?;
+    TelemetrySnapshot::decode(&artifact.payload).map_err(|e| e.to_string())
 }
 
 /// Cross-session latency spread: min / median / max of the *per-session*
@@ -256,6 +280,25 @@ mod tests {
         let pacer = ReplayPacer::new(100.0, 0.0, 0);
         assert_eq!(pacer.offset_for(0), Duration::ZERO);
         assert_eq!(pacer.offset_for(10), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn telemetry_artifact_roundtrips_through_envelope() {
+        let engine = ServeEngine::new(gp_testkit::toy_system(), serve_config(1, 2));
+        let stream = gp_testkit::stream_fixture();
+        let session = engine.open_session();
+        for frame in &stream.frames {
+            engine.push_frame(session, frame.clone());
+        }
+        engine.close_session(session);
+        engine.drain();
+        let snap = engine.telemetry_snapshot().expect("telemetry defaults on");
+        let bytes = telemetry_artifact(&snap);
+        let back = telemetry_from_artifact(&bytes).expect("decodable artifact");
+        assert_eq!(back, snap);
+        // Wrong-kind bytes fail typed, not garbled.
+        let wrong = Artifact::new(kinds::REPORT, snap.encode()).to_bytes();
+        assert!(telemetry_from_artifact(&wrong).is_err());
     }
 
     #[test]

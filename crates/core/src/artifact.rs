@@ -44,6 +44,8 @@ pub mod kinds {
     pub const SYSTEM: &str = "gestureprint.system";
     /// An evaluation report (metrics, figure data).
     pub const REPORT: &str = "gestureprint.report";
+    /// A telemetry snapshot (`gp-telemetry` registry export).
+    pub const TELEMETRY: &str = "gestureprint.telemetry";
 }
 
 /// Errors from reading an artifact.

@@ -5,6 +5,7 @@
 use crate::wire::{from_wire, to_wire, ClientMsg, ServerMsg, WireLedger, WIRE_VERSION};
 use gp_codec::FrameDecoder;
 use gp_radar::Frame;
+use gp_telemetry::TelemetrySnapshot;
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 #[cfg(unix)]
@@ -75,6 +76,30 @@ pub struct NetClient {
     decoder: FrameDecoder,
     session: u64,
     max_frame: usize,
+    /// Results that arrived while waiting for a `Stats` reply; drained
+    /// ahead of the socket by the next receive call so ordering holds.
+    pending: Vec<ClientResult>,
+}
+
+fn to_client_result(msg: &ServerMsg) -> Option<ClientResult> {
+    match *msg {
+        ServerMsg::Result {
+            seq,
+            start,
+            end,
+            gesture,
+            user,
+            latency_us,
+        } => Some(ClientResult {
+            seq,
+            start,
+            end,
+            gesture,
+            user,
+            latency_us,
+        }),
+        _ => None,
+    }
 }
 
 fn protocol_err(message: impl Into<String>) -> io::Error {
@@ -118,6 +143,7 @@ impl NetClient {
             decoder: FrameDecoder::new(max_frame),
             session: 0,
             max_frame,
+            pending: Vec::new(),
         };
         match client.recv_blocking()? {
             ServerMsg::Welcome { session } => {
@@ -153,7 +179,8 @@ impl NetClient {
     /// Propagates socket errors and protocol violations.
     pub fn try_recv_results(&mut self) -> io::Result<Vec<ClientResult>> {
         self.stream.set_nonblocking(true)?;
-        let mut results = Vec::new();
+        // Results buffered while a `query_stats` waited come first.
+        let mut results = std::mem::take(&mut self.pending);
         let mut chunk = [0u8; 4096];
         loop {
             match self.stream.read(&mut chunk) {
@@ -170,26 +197,38 @@ impl NetClient {
         self.stream.set_nonblocking(false)?;
         while let Some(msg) = self.next_decoded()? {
             match msg {
-                ServerMsg::Result {
-                    seq,
-                    start,
-                    end,
-                    gesture,
-                    user,
-                    latency_us,
-                } => results.push(ClientResult {
-                    seq,
-                    start,
-                    end,
-                    gesture,
-                    user,
-                    latency_us,
-                }),
+                ServerMsg::Result { .. } => {
+                    results.extend(to_client_result(&msg));
+                }
                 ServerMsg::Error { message } => return Err(protocol_err(message)),
                 other => return Err(protocol_err(format!("unexpected {other:?}"))),
             }
         }
         Ok(results)
+    }
+
+    /// Sends [`ClientMsg::StatsQuery`] and blocks until the server's
+    /// [`ServerMsg::Stats`] reply, returning the live telemetry
+    /// snapshot. Results that arrive while waiting are buffered and
+    /// surfaced by the next [`NetClient::try_recv_results`] or
+    /// [`NetClient::close`] — never lost or reordered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and protocol violations.
+    pub fn query_stats(&mut self) -> io::Result<TelemetrySnapshot> {
+        let query = to_wire(&ClientMsg::StatsQuery, self.max_frame);
+        self.stream.write_all(&query)?;
+        loop {
+            match self.recv_blocking()? {
+                ServerMsg::Stats(snapshot) => return Ok(snapshot),
+                msg @ ServerMsg::Result { .. } => {
+                    self.pending.extend(to_client_result(&msg));
+                }
+                ServerMsg::Error { message } => return Err(protocol_err(message)),
+                other => return Err(protocol_err(format!("unexpected {other:?}"))),
+            }
+        }
     }
 
     /// Sends `Close` and blocks until the server's `Bye`, collecting
@@ -201,24 +240,12 @@ impl NetClient {
     pub fn close(mut self) -> io::Result<SessionReport> {
         let close = to_wire(&ClientMsg::Close, self.max_frame);
         self.stream.write_all(&close)?;
-        let mut results = Vec::new();
+        let mut results = std::mem::take(&mut self.pending);
         loop {
             match self.recv_blocking()? {
-                ServerMsg::Result {
-                    seq,
-                    start,
-                    end,
-                    gesture,
-                    user,
-                    latency_us,
-                } => results.push(ClientResult {
-                    seq,
-                    start,
-                    end,
-                    gesture,
-                    user,
-                    latency_us,
-                }),
+                msg @ ServerMsg::Result { .. } => {
+                    results.extend(to_client_result(&msg));
+                }
                 ServerMsg::Bye(ledger) => return Ok(SessionReport { results, ledger }),
                 ServerMsg::Error { message } => return Err(protocol_err(message)),
                 other => return Err(protocol_err(format!("unexpected {other:?}"))),

@@ -23,6 +23,12 @@
 //! admission ledger — every frame a client sent is accounted admitted,
 //! budget-shed, or capacity-shed, with nothing lost in between.
 //!
+//! Observability rides the same wire: [`wire::ClientMsg::StatsQuery`]
+//! mid-stream returns a live, versioned
+//! [`gp_telemetry::TelemetrySnapshot`] ([`NetClient::query_stats`]) —
+//! per-stage latency histograms, pool utilization, and the reactor's
+//! `net.*` counters in one export.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -51,4 +57,6 @@ pub mod wire;
 
 pub use client::{ClientResult, NetClient, SessionReport};
 pub use server::{NetConfig, NetListener, NetServer, NetStats};
+// Re-exported so socket peers can name the `StatsQuery` reply type.
+pub use gp_telemetry::TelemetrySnapshot;
 pub use wire::{ClientMsg, ServerMsg, WireLedger, WIRE_VERSION};

@@ -30,8 +30,14 @@
 //! **Slow readers are shed, not grown.** Outbound buffers are capped
 //! ([`NetConfig::out_buffer_cap`]); a result that would overflow a slow
 //! reader's buffer is counted ([`NetStats::dropped_results`]) and
-//! dropped rather than ballooning server memory. `Welcome`/`Bye`/
-//! `Error` control messages are always queued.
+//! dropped rather than ballooning server memory. `Welcome`/`Stats`/
+//! `Bye`/`Error` control messages are always queued.
+//!
+//! **Live observability.** [`ClientMsg::StatsQuery`] mid-stream is
+//! answered with [`ServerMsg::Stats`] carrying the current
+//! [`gp_telemetry::TelemetrySnapshot`] — stage latency histograms,
+//! pool utilization, and the reactor's own `net.*` counters, which are
+//! registered in the engine's registry when its telemetry is on.
 //!
 //! **Exact goodbyes.** On [`ClientMsg::Close`] the engine session is
 //! closed; once [`ServeEngine::session_settled`] reports every enqueued
@@ -48,12 +54,13 @@ use crate::wire::{from_wire, to_wire, ClientMsg, ServerMsg, WireLedger, WIRE_VER
 use gp_codec::FrameDecoder;
 use gp_radar::Frame;
 use gp_serve::{Admission, RejectReason, ServeEngine, SessionId};
+use gp_telemetry::{Counter, Registry};
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -287,15 +294,33 @@ impl Conn {
     }
 }
 
-#[derive(Debug, Default)]
+/// Socket-front counters, registered as `net.*` in the telemetry
+/// registry — the engine's shared one when its telemetry is on (so one
+/// [`gp_telemetry::TelemetrySnapshot`] covers serve + pool + net), a
+/// private one otherwise.
+#[derive(Debug)]
 struct NetCounters {
-    accepted: AtomicU64,
-    closed: AtomicU64,
-    decoded_frames: AtomicU64,
-    protocol_errors: AtomicU64,
-    disconnects: AtomicU64,
-    dropped_results: AtomicU64,
-    orphaned_results: AtomicU64,
+    accepted: Arc<Counter>,
+    closed: Arc<Counter>,
+    decoded_frames: Arc<Counter>,
+    protocol_errors: Arc<Counter>,
+    disconnects: Arc<Counter>,
+    dropped_results: Arc<Counter>,
+    orphaned_results: Arc<Counter>,
+}
+
+impl NetCounters {
+    fn register(registry: &Registry) -> NetCounters {
+        NetCounters {
+            accepted: registry.counter("net.accepted"),
+            closed: registry.counter("net.closed"),
+            decoded_frames: registry.counter("net.decoded_frames"),
+            protocol_errors: registry.counter("net.protocol_errors"),
+            disconnects: registry.counter("net.disconnects"),
+            dropped_results: registry.counter("net.dropped_results"),
+            orphaned_results: registry.counter("net.orphaned_results"),
+        }
+    }
 }
 
 /// A snapshot of socket-front counters (engine-side admission counters
@@ -325,13 +350,13 @@ pub struct NetStats {
 impl NetCounters {
     fn snapshot(&self) -> NetStats {
         NetStats {
-            accepted: self.accepted.load(Ordering::Relaxed),
-            closed: self.closed.load(Ordering::Relaxed),
-            decoded_frames: self.decoded_frames.load(Ordering::Relaxed),
-            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
-            disconnects: self.disconnects.load(Ordering::Relaxed),
-            dropped_results: self.dropped_results.load(Ordering::Relaxed),
-            orphaned_results: self.orphaned_results.load(Ordering::Relaxed),
+            accepted: self.accepted.get(),
+            closed: self.closed.get(),
+            decoded_frames: self.decoded_frames.get(),
+            protocol_errors: self.protocol_errors.get(),
+            disconnects: self.disconnects.get(),
+            dropped_results: self.dropped_results.get(),
+            orphaned_results: self.orphaned_results.get(),
         }
     }
 }
@@ -360,13 +385,21 @@ impl NetServer {
         listener.set_nonblocking()?;
         let addr = listener.local_addr();
         let stop = Arc::new(AtomicBool::new(false));
-        let counters = Arc::new(NetCounters::default());
+        // Publish net.* counters into the engine's registry when its
+        // telemetry is on; a private registry keeps them (and
+        // StatsQuery) working when it is off.
+        let registry = engine
+            .registry()
+            .cloned()
+            .unwrap_or_else(|| Arc::new(Registry::new()));
+        let counters = Arc::new(NetCounters::register(&registry));
         let reactor = Reactor {
             engine,
             listener,
             config,
             stop: stop.clone(),
             counters: counters.clone(),
+            registry,
             conns: HashMap::new(),
             routes: HashMap::new(),
             next_conn: 0,
@@ -428,6 +461,9 @@ struct Reactor {
     config: NetConfig,
     stop: Arc<AtomicBool>,
     counters: Arc<NetCounters>,
+    /// The registry `net.*` counters live in (shared with the engine
+    /// when its telemetry is on); source for `StatsQuery` fallback.
+    registry: Arc<Registry>,
     conns: HashMap<u64, Conn>,
     /// Engine session → owning connection, for result routing.
     routes: HashMap<SessionId, u64>,
@@ -517,7 +553,7 @@ impl Reactor {
                     self.next_conn += 1;
                     self.conns
                         .insert(id, Conn::new(stream, self.config.max_frame));
-                    self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                    self.counters.accepted.inc();
                     any = true;
                 }
                 Ok(None) => break,
@@ -597,7 +633,7 @@ impl Reactor {
                         // Mid-stream disconnect: salvage accounting and
                         // still attempt a goodbye (the peer may have
                         // only half-closed); a failed write tears down.
-                        self.counters.disconnects.fetch_add(1, Ordering::Relaxed);
+                        self.counters.disconnects.inc();
                         self.finish_stream(id);
                     }
                     break;
@@ -642,9 +678,7 @@ impl Reactor {
                 Err(e) if !e.desyncs() => {
                     // Corrupt frame: checksum mismatch. Skippable
                     // without losing framing — count and continue.
-                    self.counters
-                        .protocol_errors
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.counters.protocol_errors.inc();
                     continue;
                 }
                 Err(e) => {
@@ -685,7 +719,7 @@ impl Reactor {
                 conn.queue(&welcome);
             }
             (ConnState::Streaming(session), ClientMsg::Frame(frame)) => {
-                self.counters.decoded_frames.fetch_add(1, Ordering::Relaxed);
+                self.counters.decoded_frames.inc();
                 match self.engine.offer_frame(session, frame) {
                     Admission::Admitted(_) => {}
                     Admission::Rejected {
@@ -702,6 +736,19 @@ impl Reactor {
                         self.conns.get_mut(&id).expect("conn exists").deferred = Some(frame);
                     }
                 }
+            }
+            (ConnState::Streaming(_), ClientMsg::StatsQuery) => {
+                // Live telemetry export. The engine's snapshot covers
+                // the whole registry (serve stages, pool, net.*); the
+                // reactor's private registry answers when engine
+                // telemetry is off. A stats reply is a control message:
+                // always queued, like Welcome/Bye.
+                let snapshot = self
+                    .engine
+                    .telemetry_snapshot()
+                    .unwrap_or_else(|| self.registry.snapshot());
+                let bytes = to_wire(&ServerMsg::Stats(snapshot), self.config.max_frame);
+                self.conns.get_mut(&id).expect("conn exists").queue(&bytes);
             }
             (ConnState::Streaming(session), ClientMsg::Close) => {
                 self.engine.close_session(session);
@@ -722,9 +769,7 @@ impl Reactor {
         }
         for event in events {
             let Some(&conn_id) = self.routes.get(&event.session) else {
-                self.counters
-                    .orphaned_results
-                    .fetch_add(1, Ordering::Relaxed);
+                self.counters.orphaned_results.inc();
                 continue;
             };
             if !self.config.send_results {
@@ -742,9 +787,7 @@ impl Reactor {
             let conn = self.conns.get_mut(&conn_id).expect("routed conn exists");
             if conn.out_backlog() + bytes.len() > self.config.out_buffer_cap {
                 conn.dropped_results += 1;
-                self.counters
-                    .dropped_results
-                    .fetch_add(1, Ordering::Relaxed);
+                self.counters.dropped_results.inc();
             } else {
                 conn.queue(&bytes);
             }
@@ -788,9 +831,7 @@ impl Reactor {
     /// Sends a protocol error and schedules teardown, first settling
     /// the engine side of any live session.
     fn fatal(&mut self, id: u64, message: &str) {
-        self.counters
-            .protocol_errors
-            .fetch_add(1, Ordering::Relaxed);
+        self.counters.protocol_errors.inc();
         self.finish_stream(id);
         let bytes = to_wire(
             &ServerMsg::Error {
@@ -833,7 +874,7 @@ impl Reactor {
             if matches!(cause, Teardown::Graceful) {
                 conn.stream.shutdown_write();
             }
-            self.counters.closed.fetch_add(1, Ordering::Relaxed);
+            self.counters.closed.inc();
         }
     }
 }

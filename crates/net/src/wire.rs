@@ -9,14 +9,17 @@
 //! [`gp_codec::DecodeError`], never a panic.
 //!
 //! Client → server: [`ClientMsg::Hello`] (protocol handshake), a stream
-//! of [`ClientMsg::Frame`]s, then [`ClientMsg::Close`]. Server →
-//! client: [`ServerMsg::Welcome`], zero or more [`ServerMsg::Result`]s,
-//! and a final [`ServerMsg::Bye`] carrying the session's admission
-//! ledger — or [`ServerMsg::Error`] before a fatal disconnect.
+//! of [`ClientMsg::Frame`]s (with [`ClientMsg::StatsQuery`] allowed at
+//! any point mid-stream), then [`ClientMsg::Close`]. Server → client:
+//! [`ServerMsg::Welcome`], zero or more [`ServerMsg::Result`]s, one
+//! [`ServerMsg::Stats`] per query, and a final [`ServerMsg::Bye`]
+//! carrying the session's admission ledger — or [`ServerMsg::Error`]
+//! before a fatal disconnect.
 
 use gp_codec::{Decode, DecodeError, Encode, Value};
 use gp_pointcloud::{Point, PointCloud, Vec3};
 use gp_radar::Frame;
+use gp_telemetry::TelemetrySnapshot;
 
 /// Application-protocol version, carried in [`ClientMsg::Hello`]
 /// (independent of the byte-framing version).
@@ -32,6 +35,10 @@ pub enum ClientMsg {
     },
     /// One radar frame of the session's stream.
     Frame(Frame),
+    /// Ask for a live [`ServerMsg::Stats`] telemetry snapshot. Valid
+    /// any time mid-stream; the reply is ordered with surrounding
+    /// results.
+    StatsQuery,
     /// End of stream: the server flushes the session and answers with
     /// remaining results plus [`ServerMsg::Bye`].
     Close,
@@ -107,6 +114,10 @@ pub enum ServerMsg {
         /// Segment-detected → result-published latency, microseconds.
         latency_us: u64,
     },
+    /// Reply to [`ClientMsg::StatsQuery`]: the server's current
+    /// telemetry registry export (independently versioned via
+    /// [`gp_telemetry::TELEMETRY_SCHEMA_VERSION`]).
+    Stats(TelemetrySnapshot),
     /// End of session: the final admission ledger. Closes the stream.
     Bye(WireLedger),
     /// Fatal protocol error; the server closes the connection after
@@ -169,6 +180,7 @@ impl Encode for ClientMsg {
         match self {
             ClientMsg::Hello { version } => tagged("hello", vec![("version", version.encode())]),
             ClientMsg::Frame(frame) => tagged("frame", vec![("frame", frame_to_value(frame))]),
+            ClientMsg::StatsQuery => tagged("stats_query", vec![]),
             ClientMsg::Close => tagged("close", vec![]),
         }
     }
@@ -182,6 +194,7 @@ impl Decode for ClientMsg {
                 version: value.get("version")?,
             }),
             "frame" => Ok(ClientMsg::Frame(frame_from_value(value.field("frame")?)?)),
+            "stats_query" => Ok(ClientMsg::StatsQuery),
             "close" => Ok(ClientMsg::Close),
             other => Err(DecodeError::new(format!(
                 "unknown client message type '{other}'"
@@ -214,6 +227,7 @@ impl Encode for ServerMsg {
                     ("latency_us", latency_us.encode()),
                 ],
             ),
+            ServerMsg::Stats(snapshot) => tagged("stats", vec![("snapshot", snapshot.encode())]),
             ServerMsg::Bye(ledger) => tagged("bye", vec![("ledger", ledger.encode())]),
             ServerMsg::Error { message } => tagged("error", vec![("message", message.encode())]),
         }
@@ -235,6 +249,7 @@ impl Decode for ServerMsg {
                 user: value.get("user")?,
                 latency_us: value.get("latency_us")?,
             }),
+            "stats" => Ok(ServerMsg::Stats(value.get("snapshot")?)),
             "bye" => Ok(ServerMsg::Bye(value.get("ledger")?)),
             "error" => Ok(ServerMsg::Error {
                 message: value.get("message")?,
@@ -295,6 +310,7 @@ mod tests {
                 version: WIRE_VERSION,
             },
             ClientMsg::Frame(Frame::new(1.7, cloud)),
+            ClientMsg::StatsQuery,
             ClientMsg::Close,
         ] {
             assert_eq!(roundtrip_client(&msg), msg);
@@ -303,6 +319,14 @@ mod tests {
 
     #[test]
     fn server_messages_roundtrip() {
+        let mut snapshot = TelemetrySnapshot::new();
+        snapshot.counters.insert("net.accepted".into(), 3);
+        let mut hist = gp_telemetry::Histogram::new();
+        hist.record(1500);
+        hist.record(90_000);
+        snapshot
+            .histograms
+            .insert("serve.stage.inference".into(), hist);
         for msg in [
             ServerMsg::Welcome { session: 42 },
             ServerMsg::Result {
@@ -313,6 +337,7 @@ mod tests {
                 user: 1,
                 latency_us: 1500,
             },
+            ServerMsg::Stats(snapshot),
             ServerMsg::Bye(WireLedger {
                 admitted: 100,
                 shed_budget: 20,
@@ -343,5 +368,9 @@ mod tests {
                 .is_err()
         );
         assert!(from_wire::<ServerMsg>(br#"[1,2,3]"#).is_err());
+        // A snapshot from a future schema fails typed, not silently.
+        let future = br#"{"type":"stats","snapshot":{"schema_version":99,"counters":{},"gauges":{},"histograms":{},"attrs":{}}}"#;
+        let err = from_wire::<ServerMsg>(future).unwrap_err();
+        assert!(err.to_string().contains("newer than supported"));
     }
 }

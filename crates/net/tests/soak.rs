@@ -7,6 +7,8 @@
 //! Run with `cargo test -p gp-net --test soak -- --ignored` (CI runs it
 //! in the scheduled tier-2 job).
 
+use gestureprint_core::artifact::{kinds, Artifact};
+use gp_codec::Encode;
 use gp_net::{NetClient, NetConfig, NetListener, NetServer};
 use gp_pointcloud::{Point, PointCloud, Vec3};
 use gp_radar::Frame;
@@ -193,4 +195,19 @@ fn soak_sessions_with_chaos_reconcile_exactly() {
         "every enqueued segment published its result"
     );
     assert_eq!(net.protocol_errors, 0, "chaos sent no malformed bytes");
+
+    // Export the run's full telemetry (stage histograms, pool
+    // utilization, net.* counters — one registry) as a versioned
+    // artifact for the scheduled CI job to upload.
+    let snapshot = engine
+        .telemetry_snapshot()
+        .expect("soak engine runs with telemetry on");
+    assert_eq!(
+        snapshot.counters.get("net.decoded_frames"),
+        Some(&net.decoded_frames),
+        "net counters publish into the engine's registry"
+    );
+    let artifact = Artifact::new(kinds::TELEMETRY, snapshot.encode()).to_bytes();
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/soak_telemetry.json", artifact).expect("write soak telemetry");
 }

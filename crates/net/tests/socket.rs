@@ -109,6 +109,76 @@ fn unix_socket_serves_the_same_protocol() {
 }
 
 #[test]
+fn stats_query_returns_live_versioned_snapshot() {
+    let config = ServeConfig::default();
+    let expected = in_process_results(config.clone());
+    let (engine, server, addr) = spawn_tcp(config);
+    let stream = stream_fixture();
+    let mut client = NetClient::connect_tcp(addr, MAX_FRAME).expect("connect");
+
+    // Stream half, then ask for stats mid-stream.
+    let half = stream.frames.len() / 2;
+    for frame in &stream.frames[..half] {
+        client.send_frame(frame).expect("send frame");
+    }
+    let snap = client.query_stats().expect("stats reply");
+
+    // The snapshot crossed a real socket, decoded, and is versioned.
+    assert_eq!(
+        snap.schema_version,
+        gp_serve::TelemetrySnapshot::new().schema_version
+    );
+    // The reactor handles messages in order, so every frame sent before
+    // the query was decoded (and admitted) before the snapshot.
+    assert_eq!(
+        snap.counters.get("net.decoded_frames"),
+        Some(&(half as u64))
+    );
+    assert_eq!(snap.counters.get("net.accepted"), Some(&1));
+    let admission = snap
+        .histograms
+        .get("serve.stage.admission_wait")
+        .expect("engine stage histograms ride the same snapshot");
+    assert_eq!(admission.count(), half as u64);
+    assert!(snap.gauges.contains_key("serve.pool.workers"));
+
+    // The query didn't perturb the stream: the rest of the replay still
+    // matches in-process results exactly, nothing lost or reordered.
+    for frame in &stream.frames[half..] {
+        client.send_frame(frame).expect("send frame");
+    }
+    let report = client.close().expect("graceful close");
+    let mut results = report.results.clone();
+    results.sort_by_key(|r| r.seq);
+    let got: Vec<(u64, u64, u64, u64)> = results
+        .iter()
+        .map(|r| (r.start, r.end, r.gesture, r.user))
+        .collect();
+    assert_eq!(got, expected);
+
+    server.shutdown();
+    drop(engine);
+}
+
+#[test]
+fn stats_query_works_with_engine_telemetry_off() {
+    let (_engine, server, addr) = spawn_tcp(ServeConfig {
+        telemetry: false,
+        ..ServeConfig::default()
+    });
+    let stream = stream_fixture();
+    let mut client = NetClient::connect_tcp(addr, MAX_FRAME).expect("connect");
+    client.send_frame(&stream.frames[0]).expect("send frame");
+    let snap = client.query_stats().expect("stats reply");
+    // The reactor's private registry still answers with net.* counters;
+    // engine stage histograms are simply absent.
+    assert_eq!(snap.counters.get("net.decoded_frames"), Some(&1));
+    assert!(!snap.histograms.contains_key("serve.stage.admission_wait"));
+    client.close().expect("graceful close");
+    server.shutdown();
+}
+
+#[test]
 fn per_session_budget_sheds_over_rate_client_exactly() {
     // Engine-default admission: every socket session gets a tiny fixed
     // allowance (no refill), so a firehose client is mostly shed.

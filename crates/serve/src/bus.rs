@@ -2,12 +2,17 @@
 //!
 //! Workers publish one [`ServeEvent`] per classified segment; the bus
 //! also keeps running per-session counters (frames in, segments
-//! detected, results out) and the segment-to-result latency samples that
-//! back the p50/p99 numbers in [`ServeStats`].
+//! detected, results out) and a per-session [`Histogram`] of
+//! segment-to-result latencies that backs the p50/p99 numbers in
+//! [`ServeStats`]. Histograms are bounded-memory and merge *exactly*,
+//! so folding evicted sessions into the aggregate weighs every sample
+//! once — unlike the fixed sample ring this replaced, where later
+//! sessions' samples silently overwrote earlier ones.
 
 use crate::session::SessionId;
 use gestureprint_core::Inference;
 use gp_pipeline::GestureSegment;
+use gp_telemetry::{Histogram, SpanId};
 use std::collections::BTreeMap;
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
@@ -20,6 +25,9 @@ pub struct ServeEvent {
     /// Global dispatch sequence number (ascending within a session in
     /// segment order).
     pub seq: u64,
+    /// Stage-tracing span minted when the frame that closed this
+    /// segment was admitted.
+    pub span: SpanId,
     /// Segment boundaries in the session's absolute frame indices.
     pub segment: GestureSegment,
     /// The two-task inference result (gesture + user + probabilities).
@@ -27,11 +35,6 @@ pub struct ServeEvent {
     /// Segment-detected → result-published latency.
     pub latency: Duration,
 }
-
-/// Cap on retained latency samples per session: a ring of the most
-/// recent measurements, so a long-lived session's accounting stays
-/// bounded while percentiles still reflect current behaviour.
-const LATENCY_RESERVOIR: usize = 512;
 
 #[derive(Debug, Default, Clone)]
 struct SessionCounters {
@@ -50,20 +53,9 @@ struct SessionCounters {
     /// Frames a front-end deferred (admission retried later) because
     /// the engine was saturated while the session was within budget.
     deferred: u64,
-    latencies: Vec<Duration>,
-    /// Ring cursor once `latencies` reaches [`LATENCY_RESERVOIR`].
-    next_latency: usize,
-}
-
-impl SessionCounters {
-    fn record_latency(&mut self, latency: Duration) {
-        if self.latencies.len() < LATENCY_RESERVOIR {
-            self.latencies.push(latency);
-        } else {
-            self.latencies[self.next_latency] = latency;
-            self.next_latency = (self.next_latency + 1) % LATENCY_RESERVOIR;
-        }
-    }
+    /// Segment-to-result latency histogram: bounded memory, every
+    /// sample weighed (no reservoir sampling).
+    latency: Histogram,
 }
 
 #[derive(Debug, Default)]
@@ -188,9 +180,11 @@ impl EventBus {
                 inner.evicted.shed_frames += c.shed_frames;
                 inner.evicted.shed_budget += c.shed_budget;
                 inner.evicted.deferred += c.deferred;
-                for &latency in &c.latencies {
-                    inner.evicted.record_latency(latency);
-                }
+                // Exact: bucket-wise addition. The old sample ring
+                // overwrote older evicted sessions' samples here,
+                // skewing the aggregate percentiles towards whichever
+                // session was folded last.
+                inner.evicted.latency.merge(&c.latency);
             }
         }
     }
@@ -213,7 +207,7 @@ impl EventBus {
         let mut inner = self.lock();
         let counters = inner.sessions.entry(event.session).or_default();
         counters.results += 1;
-        counters.record_latency(event.latency);
+        counters.latency.record_duration(event.latency);
         inner.events.push(event);
         inner.in_flight = inner.in_flight.saturating_sub(1);
         drop(inner);
@@ -252,14 +246,15 @@ impl EventBus {
                 .collect(),
             evicted_sessions: inner.evicted_sessions,
             evicted: snapshot(&inner.evicted),
+            // Stage histograms live in the engine's telemetry, not on
+            // the bus; `ServeEngine::stats` fills them in.
+            stages: StageBreakdown::default(),
         }
     }
 }
 
 /// Builds the public [`SessionStats`] view of one session's counters.
 fn snapshot(c: &SessionCounters) -> SessionStats {
-    let mut latencies = c.latencies.clone();
-    latencies.sort_unstable();
     SessionStats {
         frames: c.frames,
         segments: c.segments,
@@ -268,7 +263,7 @@ fn snapshot(c: &SessionCounters) -> SessionStats {
         shed_frames: c.shed_frames,
         shed_budget: c.shed_budget,
         deferred: c.deferred,
-        latencies,
+        latency: c.latency.clone(),
     }
 }
 
@@ -303,9 +298,10 @@ pub struct SessionStats {
     /// Deferred frames that were eventually admitted *are* counted in
     /// [`SessionStats::frames`].
     pub deferred: u64,
-    /// Sorted segment-to-result latency samples (the most recent
-    /// measurements, capped at a fixed reservoir size).
-    pub latencies: Vec<Duration>,
+    /// Segment-to-result latency histogram (µs buckets): every result
+    /// is weighed, memory stays fixed, and histograms from different
+    /// sessions merge exactly.
+    pub latency: Histogram,
 }
 
 impl SessionStats {
@@ -323,9 +319,43 @@ impl SessionStats {
     }
 
     /// The `p`-th latency percentile (`0.0..=100.0`), nearest-rank over
-    /// the recorded samples.
+    /// the histogram buckets: exact at the extremes, within one
+    /// sub-bucket (≤25%, never under-reporting) elsewhere.
     pub fn latency_percentile(&self, p: f64) -> Option<Duration> {
-        percentile(&self.latencies, p)
+        self.latency.percentile_duration(p)
+    }
+}
+
+/// Per-stage latency breakdown along the span path: where a result's
+/// end-to-end latency actually went. Filled from the engine's
+/// gp-telemetry stage histograms; empty when telemetry is disabled.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StageBreakdown {
+    /// Frame ingest → admission decision (session-lock contention plus
+    /// budget/gate probes).
+    pub admission_wait: Histogram,
+    /// Online segmentation + preprocessing of the admitted frame.
+    pub segmentation: Histogram,
+    /// Segment enqueued → batch claimed by a worker.
+    pub queue_wait: Histogram,
+    /// Batch inference time as each result experienced it (the whole
+    /// batch's, not an N-th share).
+    pub inference: Histogram,
+    /// Inference end → result event published on the bus.
+    pub publish: Histogram,
+}
+
+impl StageBreakdown {
+    /// The stages in span order, with their histogram names as
+    /// registered in the telemetry registry.
+    pub fn named(&self) -> [(&'static str, &Histogram); 5] {
+        [
+            ("admission_wait", &self.admission_wait),
+            ("segmentation", &self.segmentation),
+            ("queue_wait", &self.queue_wait),
+            ("inference", &self.inference),
+            ("publish", &self.publish),
+        ]
     }
 }
 
@@ -341,6 +371,11 @@ pub struct ServeStats {
     /// Aggregate counters of the evicted sessions — included in every
     /// `total_*` so eviction never changes the totals.
     pub evicted: SessionStats,
+    /// Per-stage latency breakdown (admission-wait, segmentation,
+    /// queue-wait, inference, publish), p50/p99 per stage via each
+    /// histogram's [`Histogram::percentile`]. Empty histograms when
+    /// [`crate::ServeConfig::telemetry`] is off.
+    pub stages: StageBreakdown,
 }
 
 impl ServeStats {
@@ -379,27 +414,21 @@ impl ServeStats {
     }
 
     /// The `p`-th segment-to-result latency percentile across all
-    /// sessions, including the evicted aggregate's retained samples.
+    /// sessions, evicted aggregate included — an exact merge of every
+    /// session's histogram.
     pub fn latency_percentile(&self, p: f64) -> Option<Duration> {
-        let mut all: Vec<Duration> = self
-            .sessions
-            .values()
-            .chain(std::iter::once(&self.evicted))
-            .flat_map(|s| s.latencies.iter().copied())
-            .collect();
-        all.sort_unstable();
-        percentile(&all, p)
+        self.pooled_latency().percentile_duration(p)
     }
-}
 
-/// Nearest-rank percentile over an ascending-sorted slice.
-fn percentile(sorted: &[Duration], p: f64) -> Option<Duration> {
-    if sorted.is_empty() {
-        return None;
+    /// The exact merge of every session's latency histogram (evicted
+    /// aggregate included).
+    pub fn pooled_latency(&self) -> Histogram {
+        let mut pooled = self.evicted.latency.clone();
+        for s in self.sessions.values() {
+            pooled.merge(&s.latency);
+        }
+        pooled
     }
-    let clamped = p.clamp(0.0, 100.0);
-    let idx = ((clamped / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-    Some(sorted[idx])
 }
 
 #[cfg(test)]
@@ -410,15 +439,12 @@ mod tests {
         Duration::from_millis(v)
     }
 
-    #[test]
-    fn percentile_nearest_rank() {
-        let sorted: Vec<Duration> = (1..=100).map(ms).collect();
-        assert_eq!(percentile(&sorted, 0.0), Some(ms(1)));
-        assert_eq!(percentile(&sorted, 50.0), Some(ms(51))); // round(49.5) = 50
-        assert_eq!(percentile(&sorted, 99.0), Some(ms(99)));
-        assert_eq!(percentile(&sorted, 100.0), Some(ms(100)));
-        assert_eq!(percentile(&[], 50.0), None);
-        assert_eq!(percentile(&[ms(7)], 99.0), Some(ms(7)));
+    fn hist_of(samples: &[Duration]) -> Histogram {
+        let mut h = Histogram::new();
+        for &d in samples {
+            h.record_duration(d);
+        }
+        h
     }
 
     #[test]
@@ -431,7 +457,7 @@ mod tests {
                         frames: 10,
                         segments: 2,
                         results: 2,
-                        latencies: vec![ms(1), ms(3)],
+                        latency: hist_of(&[ms(1), ms(3)]),
                         ..Default::default()
                     },
                 ),
@@ -441,7 +467,7 @@ mod tests {
                         frames: 5,
                         segments: 1,
                         results: 1,
-                        latencies: vec![ms(2)],
+                        latency: hist_of(&[ms(2)]),
                         ..Default::default()
                     },
                 ),
@@ -452,22 +478,69 @@ mod tests {
         };
         assert_eq!(stats.total_frames(), 15);
         assert_eq!(stats.total_results(), 3);
-        assert_eq!(stats.latency_percentile(50.0), Some(ms(2)));
+        // Percentiles bracket the true nearest-rank value: exact at
+        // the extremes, within one log-linear sub-bucket in between.
+        let p50 = stats.latency_percentile(50.0).unwrap();
+        assert!(p50 >= ms(2) && p50 <= ms(2) + ms(2) / 4, "p50 = {p50:?}");
         assert_eq!(stats.latency_percentile(100.0), Some(ms(3)));
+        assert_eq!(stats.latency_percentile(0.0), Some(ms(1)));
+        assert_eq!(stats.pooled_latency().count(), 3);
     }
 
     #[test]
-    fn latency_reservoir_is_bounded() {
-        let mut counters = SessionCounters::default();
-        for i in 0..(LATENCY_RESERVOIR as u64 + 100) {
-            counters.record_latency(ms(i));
+    fn eviction_merges_latency_histograms_exactly() {
+        // Regression test for the old fixed-ring aggregate: folding
+        // two evicted sessions with > ring-size samples each used to
+        // leave only the *last* session's samples in the aggregate,
+        // reporting its latency as the evicted p50/p99. Histograms
+        // merge bucket-wise, so the pooled percentiles weigh every
+        // session's every sample.
+        let bus = EventBus::default();
+        let (fast, slow) = (SessionId(1), SessionId(2));
+        for id in [fast, slow] {
+            bus.register_session(id);
         }
-        assert_eq!(counters.latencies.len(), LATENCY_RESERVOIR);
-        // The ring overwrote the oldest samples with the newest.
-        assert!(counters
-            .latencies
-            .contains(&ms(LATENCY_RESERVOIR as u64 + 99)));
-        assert!(!counters.latencies.contains(&ms(0)));
+        for i in 0..600u64 {
+            for (id, latency) in [(fast, ms(1)), (slow, ms(100))] {
+                bus.add_in_flight(1);
+                bus.publish(ServeEvent {
+                    session: id,
+                    seq: i,
+                    span: SpanId(i),
+                    segment: GestureSegment {
+                        start: i as usize,
+                        end: i as usize + 1,
+                    },
+                    inference: Inference {
+                        gesture: 0,
+                        user: 0,
+                        gesture_probs: Vec::new(),
+                        user_probs: Vec::new(),
+                    },
+                    latency,
+                });
+            }
+        }
+        bus.mark_closed(fast);
+        bus.mark_closed(slow);
+        bus.sweep_closed(0, bus.close_epoch());
+
+        let stats = bus.stats();
+        assert_eq!(stats.evicted_sessions, 2);
+        // Every sample survived the fold…
+        assert_eq!(stats.evicted.latency.count(), 1200);
+        // …so the merged distribution still sees the fast session:
+        // half the mass is at 1 ms (the ring would have reported
+        // ~100 ms here), and the extremes are exact.
+        let p25 = stats.evicted.latency_percentile(25.0).unwrap();
+        assert!(p25 <= ms(1) + ms(1) / 4, "p25 = {p25:?} skewed high");
+        assert_eq!(stats.evicted.latency_percentile(0.0), Some(ms(1)));
+        assert_eq!(stats.evicted.latency_percentile(100.0), Some(ms(100)));
+        let p99 = stats.evicted.latency_percentile(99.0).unwrap();
+        assert!(
+            p99 >= ms(100) && p99 <= ms(100) + ms(100) / 4,
+            "p99 = {p99:?}"
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! [`ServeEngine::drain`] sorts events by `(session, seq)` to remove
 //! even that.
 
-use crate::bus::{EventBus, ServeEvent, ServeStats};
+use crate::bus::{EventBus, ServeEvent, ServeStats, StageBreakdown};
 use crate::session::{Session, SessionId};
 use gestureprint_core::GesturePrint;
 use gp_pipeline::{
@@ -22,6 +22,7 @@ use gp_pipeline::{
 };
 use gp_radar::Frame;
 use gp_runtime::{Gate, TokenBucket, WorkerPool};
+use gp_telemetry::{AtomicHistogram, Registry, SpanId, TelemetrySnapshot};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -104,6 +105,11 @@ pub struct ServeConfig {
     /// without a budget. [`ServeEngine::open_session_with`] overrides
     /// this per session (weighted tenants).
     pub admission: Option<AdmissionConfig>,
+    /// Whether the engine records per-stage telemetry (span timing
+    /// into the gp-telemetry registry). On by default; the overhead
+    /// smoke in `gp-bench` pins the cost at < 5% of throughput. Off
+    /// disables all stage clocks and the registry itself.
+    pub telemetry: bool,
 }
 
 impl Default for ServeConfig {
@@ -115,6 +121,7 @@ impl Default for ServeConfig {
             pending_high_watermark: 256,
             retain_closed_sessions: 1024,
             admission: None,
+            telemetry: true,
         }
     }
 }
@@ -134,11 +141,14 @@ impl gp_codec::Encode for ServeConfig {
                 self.retain_closed_sessions.encode(),
             ),
         ];
-        // Additive field: emitted only when set, so configs written
-        // before admission control existed re-encode byte-identically
-        // (the golden-fixture identity check relies on this).
+        // Additive fields: emitted only when non-default, so configs
+        // written before they existed re-encode byte-identically (the
+        // golden-fixture identity check relies on this).
         if let Some(admission) = &self.admission {
             fields.push(("admission", admission.encode()));
+        }
+        if !self.telemetry {
+            fields.push(("telemetry", self.telemetry.encode()));
         }
         gp_codec::Value::record(fields)
     }
@@ -153,6 +163,7 @@ impl gp_codec::Decode for ServeConfig {
             pending_high_watermark: value.get("pending_high_watermark")?,
             retain_closed_sessions: value.get("retain_closed_sessions")?,
             admission: value.get_or("admission", None)?,
+            telemetry: value.get_or("telemetry", true)?,
         })
     }
 }
@@ -189,11 +200,45 @@ pub enum RejectReason {
 struct SegmentJob {
     session: SessionId,
     seq: u64,
+    /// Span of the frame that closed this segment (minted at ingest).
+    span: SpanId,
     segment: GestureSegment,
     /// Labels are inference-ignored placeholders (`0, 0`): the serving
     /// path classifies unlabeled live segments.
     sample: LabeledSample,
     detected: Instant,
+    /// When the job entered the batch queue — the clock behind the
+    /// `queue_wait` stage histogram.
+    enqueued: Instant,
+}
+
+/// Per-stage latency histograms: one result's end-to-end latency
+/// decomposed along the span's path through the engine.
+struct StageMetrics {
+    admission_wait: Arc<AtomicHistogram>,
+    segmentation: Arc<AtomicHistogram>,
+    queue_wait: Arc<AtomicHistogram>,
+    inference: Arc<AtomicHistogram>,
+    publish: Arc<AtomicHistogram>,
+}
+
+impl StageMetrics {
+    fn register(registry: &Registry) -> StageMetrics {
+        StageMetrics {
+            admission_wait: registry.histogram("serve.stage.admission_wait"),
+            segmentation: registry.histogram("serve.stage.segmentation"),
+            queue_wait: registry.histogram("serve.stage.queue_wait"),
+            inference: registry.histogram("serve.stage.inference"),
+            publish: registry.histogram("serve.stage.publish"),
+        }
+    }
+}
+
+/// The engine's telemetry half: the shared registry every subsystem
+/// publishes into, plus the engine's own stage histograms.
+struct EngineTelemetry {
+    registry: Arc<Registry>,
+    stages: Arc<StageMetrics>,
 }
 
 /// The streaming multi-session inference engine.
@@ -214,7 +259,12 @@ pub struct ServeEngine {
     pending: Mutex<VecDeque<SegmentJob>>,
     next_session: AtomicU64,
     next_seq: AtomicU64,
+    /// Span ids minted at frame ingest ([`ServeConfig::telemetry`] on
+    /// or off — events always carry a span).
+    next_span: AtomicU64,
     bus: Arc<EventBus>,
+    /// `Some` when [`ServeConfig::telemetry`] is on.
+    telemetry: Option<EngineTelemetry>,
     /// Epoch for the admission buckets' caller-supplied clock.
     epoch: Instant,
 }
@@ -225,6 +275,12 @@ impl ServeEngine {
         let pool = WorkerPool::new(config.workers);
         let gate = Arc::new(Gate::new(config.pending_high_watermark));
         let preprocessor = Preprocessor::new(config.preprocessor.clone());
+        let telemetry = config.telemetry.then(|| {
+            let registry = Arc::new(Registry::new());
+            pool.instrument(&registry, "serve.pool");
+            let stages = Arc::new(StageMetrics::register(&registry));
+            EngineTelemetry { registry, stages }
+        });
         ServeEngine {
             system: Arc::new(system),
             config,
@@ -235,7 +291,9 @@ impl ServeEngine {
             pending: Mutex::new(VecDeque::new()),
             next_session: AtomicU64::new(0),
             next_seq: AtomicU64::new(0),
+            next_span: AtomicU64::new(0),
             bus: Arc::new(EventBus::default()),
+            telemetry,
             epoch: Instant::now(),
         }
     }
@@ -323,15 +381,32 @@ impl ServeEngine {
         let session = self
             .session(id)
             .unwrap_or_else(|| panic!("push_frame on unknown {id}"));
+        // Frame ingest: mint the stage-tracing span. Stage clocks tick
+        // only when telemetry is on.
+        let span = self.mint_span();
+        let ingest = self.telemetry.as_ref().map(|t| (t, Instant::now()));
         let completed = {
             let mut session = session.lock().expect("session poisoned");
+            // `admission_wait` for the direct path is the time spent
+            // contending for the session lock (no budget/gate stage).
+            let seg_start = ingest.as_ref().map(|(t, start)| {
+                t.stages.admission_wait.record_duration(start.elapsed());
+                Instant::now()
+            });
             let completed = session.push(frame, &self.preprocessor);
+            if let (Some((t, _)), Some(seg_start)) = (&ingest, seg_start) {
+                t.stages.segmentation.record_duration(seg_start.elapsed());
+            }
             // Sequence numbers are drawn while the session lock is still
             // held, so concurrent pushers to one session cannot invert
             // the per-session `seq` order `drain` sorts by.
             completed.map(|c| (c, self.next_seq.fetch_add(1, Ordering::Relaxed)))
         };
-        self.record_completed(id, completed)
+        self.record_completed(id, completed, span)
+    }
+
+    fn mint_span(&self) -> SpanId {
+        SpanId(self.next_span.fetch_add(1, Ordering::Relaxed))
     }
 
     /// Load-shedding variant of [`ServeEngine::push_frame`]: a frame
@@ -412,6 +487,8 @@ impl ServeEngine {
             .session(id)
             .unwrap_or_else(|| panic!("offer_frame on unknown {id}"));
         let headroom = self.config.max_batch.max(1);
+        let span = self.mint_span();
+        let ingest = self.telemetry.as_ref().map(|t| (t, Instant::now()));
         let completed = {
             let mut session = session.lock().expect("session poisoned");
             // Stage 1: the session's own budget. Consulted before the
@@ -440,10 +517,19 @@ impl ServeEngine {
                 };
             }
             self.gate.release(headroom);
+            // Admission decided: both stages passed. `admission_wait`
+            // covers lock contention + budget + gate probe.
+            let seg_start = ingest.as_ref().map(|(t, start)| {
+                t.stages.admission_wait.record_duration(start.elapsed());
+                Instant::now()
+            });
             let completed = session.push(frame, &self.preprocessor);
+            if let (Some((t, _)), Some(seg_start)) = (&ingest, seg_start) {
+                t.stages.segmentation.record_duration(seg_start.elapsed());
+            }
             completed.map(|c| (c, self.next_seq.fetch_add(1, Ordering::Relaxed)))
         };
-        Admission::Admitted(self.record_completed(id, completed))
+        Admission::Admitted(self.record_completed(id, completed, span))
     }
 
     /// Records that a front-end deferred a capacity-rejected frame for
@@ -466,6 +552,9 @@ impl ServeEngine {
             .expect("session registry poisoned")
             .remove(&id);
         let Some(session) = session else { return 0 };
+        // A segment flushed by stream end is "ingested" by the close
+        // itself — it still gets a span for its trip through the queue.
+        let span = self.mint_span();
         let (finished, frames_seen) = {
             let mut session = session.lock().expect("session poisoned");
             let finished = session
@@ -479,7 +568,7 @@ impl ServeEngine {
         // eligible for stats eviction, and eviction's correctness rests
         // on everything the session will ever account for being
         // enqueued by then (see [`crate::bus::EventBus::sweep_closed`]).
-        let completed = self.record_completed(id, finished);
+        let completed = self.record_completed(id, finished, span);
         self.bus.set_frames(id, frames_seen as u64);
         self.bus.mark_closed(id);
         completed
@@ -491,12 +580,13 @@ impl ServeEngine {
         &self,
         id: SessionId,
         completed: Option<((GestureSegment, Option<gp_pipeline::GestureSample>), u64)>,
+        span: SpanId,
     ) -> usize {
         match completed {
             Some(((segment, sample), seq)) => {
                 self.bus.record_segment(id);
                 if let Some(sample) = sample {
-                    self.enqueue(id, segment, sample, seq);
+                    self.enqueue(id, segment, sample, seq, span);
                 }
                 1
             }
@@ -510,13 +600,17 @@ impl ServeEngine {
         segment: GestureSegment,
         sample: gp_pipeline::GestureSample,
         seq: u64,
+        span: SpanId,
     ) {
+        let now = Instant::now();
         let job = SegmentJob {
             session: id,
             seq,
+            span,
             segment,
             sample: LabeledSample::from_sample(sample, 0, 0),
-            detected: Instant::now(),
+            detected: now,
+            enqueued: now,
         };
         self.bus.record_enqueued(id);
         // Collect under the lock, dispatch after releasing it: dispatch
@@ -556,6 +650,7 @@ impl ServeEngine {
         let system = self.system.clone();
         let bus = self.bus.clone();
         let gate = self.gate.clone();
+        let stages = self.telemetry.as_ref().map(|t| t.stages.clone());
         self.pool.spawn(move || {
             // Guard: if inference panics, release the batch's gate
             // weight and in-flight slots so neither blocked producers
@@ -578,8 +673,22 @@ impl ServeEngine {
                 gate,
                 remaining: batch.len(),
             };
+            // A worker claimed the batch: the queue-wait stage ends
+            // here for every job in it.
+            if let Some(stages) = &stages {
+                let claimed = Instant::now();
+                for job in &batch {
+                    stages
+                        .queue_wait
+                        .record_duration(claimed.saturating_duration_since(job.enqueued));
+                }
+            }
             let samples: Vec<&LabeledSample> = batch.iter().map(|j| &j.sample).collect();
+            let infer_start = stages.as_ref().map(|_| Instant::now());
             let inferences = system.infer_batch(&samples);
+            // Every result in the batch experienced the whole batch's
+            // inference time — that is its latency, not an N-th share.
+            let infer_done = infer_start.map(|start| (start.elapsed(), Instant::now()));
             for (job, inference) in batch.iter().zip(inferences) {
                 guard.remaining -= 1;
                 // Gate weight releases *before* the publish: once
@@ -589,10 +698,18 @@ impl ServeEngine {
                 bus.publish(ServeEvent {
                     session: job.session,
                     seq: job.seq,
+                    span: job.span,
                     segment: job.segment,
                     inference,
                     latency: job.detected.elapsed(),
                 });
+                if let (Some(stages), Some((infer_elapsed, done_at))) = (&stages, &infer_done) {
+                    stages.inference.record_duration(*infer_elapsed);
+                    // Publish delay includes waiting behind this
+                    // batch's earlier results — the real delay this
+                    // result saw between inference end and its event.
+                    stages.publish.record_duration(done_at.elapsed());
+                }
             }
         });
     }
@@ -672,6 +789,42 @@ impl ServeEngine {
             let frames = session.lock().expect("session poisoned").frames_seen() as u64;
             stats.sessions.entry(id).or_default().frames = frames;
         }
+        drop(sessions);
+        if let Some(t) = &self.telemetry {
+            stats.stages = StageBreakdown {
+                admission_wait: t.stages.admission_wait.snapshot(),
+                segmentation: t.stages.segmentation.snapshot(),
+                queue_wait: t.stages.queue_wait.snapshot(),
+                inference: t.stages.inference.snapshot(),
+                publish: t.stages.publish.snapshot(),
+            };
+        }
         stats
+    }
+
+    /// The shared telemetry registry, the namespace every subsystem
+    /// publishes into: the engine's stage histograms and pool
+    /// utilization live here, and fronts (gp-net) register their own
+    /// counters alongside. `None` when [`ServeConfig::telemetry`] is
+    /// off.
+    pub fn registry(&self) -> Option<&Arc<Registry>> {
+        self.telemetry.as_ref().map(|t| &t.registry)
+    }
+
+    /// A point-in-time [`TelemetrySnapshot`] of the whole registry,
+    /// with the engine's instantaneous gauges (gate depth, live
+    /// sessions) refreshed first. `None` when telemetry is off.
+    pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        let t = self.telemetry.as_ref()?;
+        t.registry
+            .gauge("serve.gate.depth")
+            .set(self.gate.outstanding() as i64);
+        t.registry
+            .gauge("serve.gate.high_watermark")
+            .set(self.config.pending_high_watermark as i64);
+        t.registry
+            .gauge("serve.sessions.live")
+            .set(self.session_count() as i64);
+        Some(t.registry.snapshot())
     }
 }

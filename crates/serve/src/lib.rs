@@ -33,7 +33,16 @@
 //!   than drop on capacity.
 //! * **Event/result bus** ([`ServeEvent`], [`ServeStats`]) — classified
 //!   segments flow out with per-session frame/segment/result counters
-//!   and segment-to-result latency percentiles (p50/p99).
+//!   and segment-to-result latency percentiles (p50/p99), backed by
+//!   mergeable `gp_telemetry` histograms.
+//! * **Observability** — with [`ServeConfig::telemetry`] on (the
+//!   default), every frame's span is timed through the five pipeline
+//!   stages (admission-wait → segmentation → queue-wait → inference →
+//!   publish) into a shared [`gp_telemetry::Registry`];
+//!   [`ServeStats::stages`] exposes the breakdown, and
+//!   [`ServeEngine::telemetry_snapshot`] exports the registry (stage
+//!   histograms, pool utilization, gate-depth gauges) as a versioned
+//!   [`gp_telemetry::TelemetrySnapshot`].
 //!
 //! # Example
 //!
@@ -70,8 +79,11 @@ pub mod bus;
 pub mod engine;
 pub mod session;
 
-pub use bus::{ServeEvent, ServeStats, SessionStats};
+pub use bus::{ServeEvent, ServeStats, SessionStats, StageBreakdown};
 pub use engine::{Admission, AdmissionConfig, RejectReason, ServeConfig, ServeEngine};
+// The observability layer is shared with gp-net and gp-runtime;
+// re-exported so serving callers can name snapshot/histogram types.
+pub use gp_telemetry::{Histogram, Registry, SpanId, TelemetrySnapshot};
 // The execution substrate lives in `gp-runtime` (shared with training
 // and the dataset builder); re-exported for serving callers.
 pub use gp_runtime::{Gate, WorkerPool};

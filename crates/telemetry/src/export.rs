@@ -1,0 +1,114 @@
+//! Periodic snapshot export.
+//!
+//! A [`PeriodicExporter`] samples a [`Registry`] on a fixed interval
+//! from a background thread and hands each [`TelemetrySnapshot`] to a
+//! caller-supplied sink (write a file, append a trajectory, push over
+//! a socket). The exporter takes one final snapshot on shutdown, so a
+//! short-lived process still exports its end state.
+
+use crate::registry::Registry;
+use crate::snapshot::TelemetrySnapshot;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Background snapshot pump. Stops (and flushes a final snapshot) on
+/// [`PeriodicExporter::stop`] or drop.
+pub struct PeriodicExporter {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl PeriodicExporter {
+    /// Spawns an exporter sampling `registry` every `interval`.
+    pub fn spawn(
+        registry: Arc<Registry>,
+        interval: Duration,
+        mut sink: impl FnMut(TelemetrySnapshot) + Send + 'static,
+    ) -> PeriodicExporter {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("gp-telemetry-export".into())
+            .spawn(move || {
+                // Sleep in small slices so stop() returns promptly even
+                // with a long interval.
+                let slice = interval
+                    .min(Duration::from_millis(20))
+                    .max(Duration::from_millis(1));
+                let mut elapsed = Duration::ZERO;
+                while !stop_flag.load(Ordering::Acquire) {
+                    std::thread::sleep(slice);
+                    elapsed += slice;
+                    if elapsed >= interval {
+                        elapsed = Duration::ZERO;
+                        sink(registry.snapshot());
+                    }
+                }
+                sink(registry.snapshot());
+            })
+            .expect("spawn telemetry exporter thread");
+        PeriodicExporter {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the exporter, flushing one final snapshot to the sink.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for PeriodicExporter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn exporter_flushes_final_snapshot_on_stop() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("ticks").add(3);
+        let seen: Arc<Mutex<Vec<TelemetrySnapshot>>> = Arc::default();
+        let sink = seen.clone();
+        let exporter = PeriodicExporter::spawn(
+            registry.clone(),
+            Duration::from_secs(3600), // never fires on its own
+            move |snap| sink.lock().unwrap().push(snap),
+        );
+        exporter.stop();
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 1, "exactly the final flush");
+        assert_eq!(seen[0].counters.get("ticks"), Some(&3));
+    }
+
+    #[test]
+    fn exporter_samples_periodically() {
+        let registry = Arc::new(Registry::new());
+        let seen: Arc<Mutex<usize>> = Arc::default();
+        let sink = seen.clone();
+        let exporter = PeriodicExporter::spawn(registry, Duration::from_millis(5), move |_| {
+            *sink.lock().unwrap() += 1;
+        });
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while *seen.lock().unwrap() < 3 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        exporter.stop();
+        assert!(*seen.lock().unwrap() >= 3, "periodic ticks fired");
+    }
+}

@@ -119,6 +119,62 @@ fn report_fixture_still_loads() {
     );
 }
 
+/// The deterministic snapshot the telemetry fixture is built from — no
+/// timers, fixed values, so regeneration is byte-stable across machines.
+fn fixture_telemetry_snapshot() -> gp_telemetry::TelemetrySnapshot {
+    use gp_telemetry::{Histogram, TelemetrySnapshot};
+    let mut snap = TelemetrySnapshot::new();
+    snap.counters.insert("net.accepted".into(), 8);
+    snap.counters.insert("net.decoded_frames".into(), 2880);
+    snap.counters.insert("serve.pool.jobs".into(), 96);
+    snap.counters.insert("serve.pool.busy_us".into(), 410_000);
+    snap.gauges.insert("serve.gate.depth".into(), 0);
+    snap.gauges.insert("serve.pool.workers".into(), 2);
+    let mut inference = Histogram::new();
+    for v in [850u64, 900, 1_200, 1_450, 3_900, 52_000] {
+        inference.record(v);
+    }
+    snap.histograms
+        .insert("serve.stage.inference".into(), inference);
+    snap.histograms
+        .insert("serve.stage.queue_wait".into(), Histogram::new());
+    snap.attrs.insert("sessions".into(), Value::Int(8));
+    snap
+}
+
+#[test]
+fn telemetry_fixture_still_loads() {
+    use gp_telemetry::{TelemetrySnapshot, TELEMETRY_SCHEMA_VERSION};
+    let bytes = read_fixture("telemetry_v1.json");
+    let artifact = Artifact::from_bytes(&bytes).expect("envelope parses");
+    assert!(artifact.expect_kind(kinds::TELEMETRY).is_ok());
+    let snap = TelemetrySnapshot::decode(&artifact.payload).expect("snapshot decodes");
+    assert!(
+        snap.schema_version <= TELEMETRY_SCHEMA_VERSION,
+        "fixture from the future? regenerate it"
+    );
+    // The histograms survive with exact counts and queryable
+    // percentiles — the properties every snapshot consumer relies on.
+    let inference = snap
+        .histograms
+        .get("serve.stage.inference")
+        .expect("stage histogram present");
+    assert_eq!(inference.count(), 6);
+    assert_eq!(inference.percentile(0.0), Some(850));
+    assert_eq!(inference.percentile(100.0), Some(52_000));
+
+    // Anti-drift: decode → encode must be the identity, so schema
+    // changes force a conscious regeneration (see model fixture docs).
+    assert_eq!(
+        snap.encode(),
+        artifact.payload,
+        "telemetry snapshot schema drifted; regenerate fixtures deliberately"
+    );
+    // And the current encoder still produces these exact bytes for the
+    // fixture's snapshot — byte-stable serialization, both directions.
+    assert_eq!(snap, fixture_telemetry_snapshot());
+}
+
 #[test]
 fn baseline_fixture_still_parses() {
     let text = String::from_utf8(read_fixture("baseline_v1.json")).expect("utf8");
@@ -164,6 +220,12 @@ fn regenerate_golden_fixtures() {
     baseline.record("dsp/fft_256", 52341.7);
     baseline.record("serve/stream_replay_1worker", 1.25e9);
     std::fs::write(fixture_path("baseline_v1.json"), baseline.to_json()).unwrap();
+
+    std::fs::write(
+        fixture_path("telemetry_v1.json"),
+        Artifact::new(kinds::TELEMETRY, fixture_telemetry_snapshot().encode()).to_bytes(),
+    )
+    .unwrap();
 
     println!("regenerated fixtures under {}", fixture_path("").display());
 }

@@ -124,6 +124,16 @@ fn main() {
         l.results,
     );
 
+    // Live observability over the same wire: one more connection asks
+    // the server for its telemetry snapshot — per-stage latency
+    // histograms, pool utilization, net.* counters — and renders the
+    // final breakdown table from it.
+    let mut observer = NetClient::connect_tcp(addr, MAX_FRAME).expect("connect observer");
+    let snapshot = observer.query_stats().expect("stats over the wire");
+    observer.close().expect("close observer");
+    println!("\nper-stage latency breakdown (queried over the socket):");
+    print!("{}", snapshot.render_table("serve.stage."));
+
     let net = server.stats();
     server.shutdown();
     println!(

@@ -156,4 +156,11 @@ fn main() {
     println!(
         "accuracy on scored segments: gestures {gesture_hits}/{scored}, users {user_hits}/{scored}",
     );
+
+    // 6. Where the time went: the telemetry registry's per-stage
+    //    latency breakdown of the end-to-end numbers above.
+    if let Some(snapshot) = engine.telemetry_snapshot() {
+        println!("\nper-stage latency breakdown:");
+        print!("{}", snapshot.render_table("serve.stage."));
+    }
 }

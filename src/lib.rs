@@ -23,6 +23,7 @@
 //! | [`nn`] | `gp-nn` | tensors, layers, optimizers |
 //! | [`models`] | `gp-models` | GesIDNet and baselines |
 //! | [`core`] | `gp-core` | end-to-end system (train / infer, serialized & parallel modes, versioned artifacts) |
+//! | [`telemetry`] | `gp-telemetry` | metrics registry, mergeable latency histograms, stage spans, versioned snapshots |
 //! | [`runtime`] | `gp-runtime` | work-stealing pool, scoped parallel maps, backpressure gate |
 //! | [`serve`] | `gp-serve` | streaming multi-session engine, micro-batched execution, per-session admission |
 //! | [`net`] | `gp-net` | socket front: framed TCP/UDS streams, reactor, budget-aware backpressure |
@@ -48,3 +49,4 @@ pub use gp_pointcloud as pointcloud;
 pub use gp_radar as radar;
 pub use gp_runtime as runtime;
 pub use gp_serve as serve;
+pub use gp_telemetry as telemetry;
