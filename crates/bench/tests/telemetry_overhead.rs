@@ -9,7 +9,10 @@ use gp_testkit::{stream_fixture, toy_system, GestureStream};
 use std::time::{Duration, Instant};
 
 const ROUNDS: usize = 7;
-const REPLAYS_PER_ROUND: usize = 3;
+// Long enough rounds that scheduler noise is small relative to the
+// measurement — the blocked GEMM kernels made each replay fast enough
+// that short rounds flaked under a fully parallel `cargo test`.
+const REPLAYS_PER_ROUND: usize = 6;
 const MAX_OVERHEAD: f64 = 0.05;
 
 fn engine(telemetry: bool) -> ServeEngine {

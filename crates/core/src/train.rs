@@ -284,6 +284,26 @@ pub fn train_classifier(
     classes: usize,
     config: &TrainConfig,
 ) -> TrainedModel {
+    train_classifier_instrumented(samples, classes, config, None)
+}
+
+/// [`train_classifier`] with optional telemetry: when a registry is
+/// given, per-epoch wall time lands in the `train.stage.epoch`
+/// histogram and per-mini-batch step time (forward + backward +
+/// optimizer update) in `train.stage.batch_step`, alongside
+/// `train.samples` / `train.batches` counters — the same registry and
+/// naming scheme the serving stack exports, so training runs can emit
+/// `BENCH_*.json` artifacts through the identical snapshot path.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or any label is `>= classes`.
+pub fn train_classifier_instrumented(
+    samples: &[(&LabeledSample, usize)],
+    classes: usize,
+    config: &TrainConfig,
+    telemetry: Option<&gp_telemetry::Registry>,
+) -> TrainedModel {
     assert!(!samples.is_empty(), "cannot train on an empty sample set");
     assert!(
         samples.iter().all(|(_, l)| *l < classes),
@@ -316,24 +336,39 @@ pub fn train_classifier(
         }
     }
 
+    let epoch_hist = telemetry.map(|t| t.histogram("train.stage.epoch"));
+    let step_hist = telemetry.map(|t| t.histogram("train.stage.batch_step"));
+    let sample_counter = telemetry.map(|t| t.counter("train.samples"));
+    let batch_counter = telemetry.map(|t| t.counter("train.batches"));
+
     let mut adam = Adam::new(config.learning_rate);
     let mut order: Vec<usize> = (0..encoded.len()).collect();
     for _epoch in 0..config.epochs {
+        let epoch_start = std::time::Instant::now();
         order.shuffle(&mut rng);
-        let mut in_batch = 0usize;
-        for &i in &order {
-            let (input, label) = &encoded[i];
-            model.train_step(input, *label);
-            in_batch += 1;
-            if in_batch == config.batch_size {
-                adam.begin_step();
-                model.for_each_param(&mut |p, g| adam.update(p, g));
-                in_batch = 0;
-            }
-        }
-        if in_batch > 0 {
+        // Mini-batch loop: each chunk goes through the model's batched
+        // step (gradients accumulate across the chunk), then one
+        // optimizer step — the same step cadence as the historical
+        // sample-at-a-time loop, including the short tail chunk.
+        for chunk in order.chunks(config.batch_size.max(1)) {
+            let step_start = std::time::Instant::now();
+            let inputs: Vec<&ModelInput> = chunk.iter().map(|&i| &encoded[i].0).collect();
+            let labels: Vec<usize> = chunk.iter().map(|&i| encoded[i].1).collect();
+            model.train_step_batch(&inputs, &labels);
             adam.begin_step();
             model.for_each_param(&mut |p, g| adam.update(p, g));
+            if let Some(h) = &step_hist {
+                h.record_duration(step_start.elapsed());
+            }
+            if let Some(c) = &sample_counter {
+                c.add(chunk.len() as u64);
+            }
+            if let Some(c) = &batch_counter {
+                c.inc();
+            }
+        }
+        if let Some(h) = &epoch_hist {
+            h.record_duration(epoch_start.elapsed());
         }
     }
 
@@ -444,6 +479,43 @@ mod tests {
             assert_eq!(predicted[i], model.predict(s), "sample {i}");
         }
         assert!(model.probabilities_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn instrumented_training_records_stage_histograms() {
+        let samples = toy_samples();
+        let pairs: Vec<(&LabeledSample, usize)> = samples.iter().map(|s| (s, s.user)).collect();
+        let cfg = quick_config(ModelKind::PointNet);
+        let registry = gp_telemetry::Registry::new();
+        let _ = train_classifier_instrumented(&pairs, 2, &cfg, Some(&registry));
+        let snap = registry.snapshot();
+        let epochs = snap.histograms["train.stage.epoch"].count();
+        assert_eq!(epochs, cfg.epochs as u64);
+        let batches_per_epoch = samples.len().div_ceil(cfg.batch_size) as u64;
+        assert_eq!(
+            snap.histograms["train.stage.batch_step"].count(),
+            epochs * batches_per_epoch
+        );
+        assert_eq!(
+            snap.counters["train.samples"],
+            (samples.len() * cfg.epochs) as u64
+        );
+        assert_eq!(snap.counters["train.batches"], epochs * batches_per_epoch);
+    }
+
+    #[test]
+    fn instrumented_and_plain_training_agree() {
+        // Telemetry is observation only: the trained weights must be
+        // identical with and without a registry attached.
+        let samples = toy_samples();
+        let pairs: Vec<(&LabeledSample, usize)> = samples.iter().map(|s| (s, s.user)).collect();
+        let cfg = quick_config(ModelKind::GesIdNet);
+        let registry = gp_telemetry::Registry::new();
+        let a = train_classifier(&pairs, 2, &cfg);
+        let b = train_classifier_instrumented(&pairs, 2, &cfg, Some(&registry));
+        for s in &samples {
+            assert_eq!(a.probabilities(s), b.probabilities(s));
+        }
     }
 
     #[test]

@@ -249,6 +249,71 @@ struct FusionTrace {
     weights: [f32; 2],     // softmax(g(resized), g(own))
 }
 
+/// Per-sample geometry shared by the stacked forward paths: the point
+/// cloud, its FPS centroids, and the per-sample centroid counts.
+struct BatchGeometry {
+    clouds: Vec<PointCloud>,
+    centroids: Vec<Vec<Vec3>>,
+    counts1: Vec<usize>,
+}
+
+/// Stacked SA2 grouping over the whole batch: the group rows, their
+/// lengths, the per-sample SA2 centroid counts, and each group's member
+/// indices as **global** rows of the stacked `sa1_concat`.
+struct Sa2Stack {
+    stacked: Matrix,
+    lens: Vec<usize>,
+    counts2: Vec<usize>,
+    members: Vec<Vec<usize>>,
+}
+
+/// Trace of one shared-MLP + segmented-pool stage over stacked groups.
+struct StackedScaleTrace {
+    lens: Vec<usize>,
+    mlp: SharedMlpTrace,
+    pool_args: Vec<Vec<usize>>,
+}
+
+/// Attention-fusion intermediates for a whole batch (row `i` belongs to
+/// sample `i`): the batched sibling of [`FusionTrace`].
+struct BatchFusionTrace {
+    other: Matrix,
+    resized_pre: Matrix,
+    resized: Matrix,
+    own: Matrix,
+    weights: Vec<[f32; 2]>,
+}
+
+/// Trace of a batched training forward pass: every intermediate the
+/// batched backward needs, with all samples' groups stacked per stage.
+struct BatchTrace {
+    sa1: Vec<StackedScaleTrace>,
+    sa1_concat: Matrix, // (Σ n₁) × c1
+    counts1: Vec<usize>,
+    low_pre: Matrix,
+    f1_args: Vec<Vec<usize>>,
+    sa2_members: Vec<Vec<usize>>,
+    sa2_lens: Vec<usize>,
+    sa2_mlp_trace: SharedMlpTrace,
+    sa2_pool_args: Vec<Vec<usize>>,
+    sa2_out: Matrix, // (Σ n₂) × out
+    counts2: Vec<usize>,
+    high_pre: Matrix,
+    f2_args: Vec<Vec<usize>>,
+    fusion1: Option<BatchFusionTrace>,
+    y1: Matrix,
+    fusion2: Option<BatchFusionTrace>,
+    y2: Matrix,
+    h1_pre: Matrix,
+    h1_act: Matrix,
+    logits1: Matrix,
+    h2_pre_a: Matrix,
+    h2_act_a: Matrix,
+    h2_pre_b: Matrix,
+    h2_act_b: Matrix,
+    logits2: Matrix,
+}
+
 /// The GesIDNet model.
 #[derive(Debug, Clone)]
 pub struct GesIDNet {
@@ -496,49 +561,79 @@ impl GesIDNet {
         out
     }
 
-    /// The stacked forward over distinct inputs (see
-    /// [`GesIDNet::forward_batch`] for the kernel layout).
-    fn forward_stacked(&self, inputs: &[&ModelInput]) -> Matrix {
-        let b = inputs.len();
-        let cfg = &self.config;
-        let c1_dim: usize = cfg.sa1_scales.iter().map(|s| s.out).sum();
-
-        // Per-sample geometry: FPS centroids, exactly as the per-sample
-        // path computes them (grouping is geometry-dependent, so it
-        // cannot batch across distinct clouds — the MLPs below can).
-        let mut clouds = Vec::with_capacity(b);
-        let mut centroids: Vec<Vec<Vec3>> = Vec::with_capacity(b);
+    /// Per-sample geometry: FPS centroids, exactly as the per-sample
+    /// path computes them (grouping is geometry-dependent, so it cannot
+    /// batch across distinct clouds — the MLPs can).
+    fn batch_geometry(&self, inputs: &[&ModelInput]) -> BatchGeometry {
+        let mut clouds = Vec::with_capacity(inputs.len());
+        let mut centroids: Vec<Vec<Vec3>> = Vec::with_capacity(inputs.len());
         for input in inputs {
             let pos_cloud = PointCloud::from_positions(input.positions.iter().copied());
-            let idx = farthest_point_indices(&pos_cloud, cfg.sa1_centroids);
+            let idx = farthest_point_indices(&pos_cloud, self.config.sa1_centroids);
             centroids.push(idx.iter().map(|&i| input.positions[i]).collect());
             clouds.push(pos_cloud);
         }
-        let counts1: Vec<usize> = centroids.iter().map(|c| c.len()).collect();
-        let total_c1: usize = counts1.iter().sum();
+        let counts1 = centroids.iter().map(|c| c.len()).collect();
+        BatchGeometry {
+            clouds,
+            centroids,
+            counts1,
+        }
+    }
+
+    /// SA2 grouping over SA1 centroids, stacked across the batch.
+    /// Member indices are recorded as global `sa1_concat` rows so the
+    /// backward pass can scatter gradients without per-sample offsets.
+    fn stack_sa2(&self, geo: &BatchGeometry, sa1_concat: &Matrix) -> Sa2Stack {
+        let cfg = &self.config;
+        let sa2 = &cfg.sa2_scale;
+        let sa2_width = 3 + sa1_concat.cols();
+        let mut counts2: Vec<usize> = Vec::with_capacity(geo.centroids.len());
+        let mut lens: Vec<usize> = Vec::new();
+        let mut members_all: Vec<Vec<usize>> = Vec::new();
+        let mut rows: Vec<f32> = Vec::new();
+        let mut row_off = 0; // sample s's first row within sa1_concat
+        for (s, cents) in geo.centroids.iter().enumerate() {
+            let cent_cloud = PointCloud::from_positions(cents.iter().copied());
+            let c2_idx = farthest_point_indices(&cent_cloud, cfg.sa2_centroids);
+            counts2.push(c2_idx.len());
+            for &ci in &c2_idx {
+                let c = cents[ci];
+                let members =
+                    neighbors::ball_query_padded(&cent_cloud, c, sa2.radius, sa2.max_points);
+                for &m in &members {
+                    let d = (cents[m] - c) * (1.0 / sa2.radius);
+                    rows.push(d.x as f32);
+                    rows.push(d.y as f32);
+                    rows.push(d.z as f32);
+                    rows.extend_from_slice(sa1_concat.row(row_off + m));
+                }
+                lens.push(members.len());
+                members_all.push(members.iter().map(|&m| row_off + m).collect());
+            }
+            row_off += geo.counts1[s];
+        }
+        Sa2Stack {
+            stacked: Matrix::from_vec(rows.len() / sa2_width, sa2_width, rows),
+            lens,
+            counts2,
+            members: members_all,
+        }
+    }
+
+    /// The stacked forward over distinct inputs (see
+    /// [`GesIDNet::forward_batch`] for the kernel layout).
+    fn forward_stacked(&self, inputs: &[&ModelInput]) -> Matrix {
+        let cfg = &self.config;
+        let c1_dim: usize = cfg.sa1_scales.iter().map(|s| s.out).sum();
+        let geo = self.batch_geometry(inputs);
+        let total_c1: usize = geo.counts1.iter().sum();
 
         // --- SA1: per scale, stack every group of every sample -------
         let mut sa1_concat = Matrix::zeros(total_c1, c1_dim);
         let mut col_off = 0;
-        let group_width = 3 + POINT_FEATURES;
         for (scale, mlp) in cfg.sa1_scales.iter().zip(&self.sa1_mlps) {
-            let mut lens: Vec<usize> = Vec::with_capacity(total_c1);
-            let mut rows: Vec<f32> = Vec::new();
-            for (s, input) in inputs.iter().enumerate() {
-                for &c in &centroids[s] {
-                    let members =
-                        neighbors::ball_query_padded(&clouds[s], c, scale.radius, scale.max_points);
-                    for &m in &members {
-                        let d = (input.positions[m] - c) * (1.0 / scale.radius);
-                        rows.push(d.x as f32);
-                        rows.push(d.y as f32);
-                        rows.push(d.z as f32);
-                        rows.extend_from_slice(input.points.row(m));
-                    }
-                    lens.push(members.len());
-                }
-            }
-            let stacked = Matrix::from_vec(rows.len() / group_width, group_width, rows);
+            let (stacked, lens) = stack_sa1_scale(inputs, &geo, scale);
             let pooled = MaxPool.forward_segments(&mlp.infer(&stacked), &lens);
             for r in 0..total_c1 {
                 sa1_concat.row_mut(r)[col_off..col_off + scale.out].copy_from_slice(pooled.row(r));
@@ -549,56 +644,21 @@ impl GesIDNet {
         // --- Low-level feature F1: one projection over all samples'
         // centroid rows, pooled per sample ----------------------------
         let low = Relu.forward(&self.low_proj.forward(&sa1_concat));
-        let f1 = MaxPool.forward_segments(&low, &counts1); // b × low_dim
+        let f1 = MaxPool.forward_segments(&low, &geo.counts1); // b × low_dim
 
         // --- SA2 over SA1 centroids, stacked across the batch --------
-        let sa2 = &cfg.sa2_scale;
-        let sa2_width = 3 + c1_dim;
-        let mut counts2: Vec<usize> = Vec::with_capacity(b);
-        let mut lens2: Vec<usize> = Vec::new();
-        let mut rows2: Vec<f32> = Vec::new();
-        let mut row_off = 0; // sample s's first row within sa1_concat
-        for (s, _) in inputs.iter().enumerate() {
-            let cent_cloud = PointCloud::from_positions(centroids[s].iter().copied());
-            let c2_idx = farthest_point_indices(&cent_cloud, cfg.sa2_centroids);
-            counts2.push(c2_idx.len());
-            for &ci in &c2_idx {
-                let c = centroids[s][ci];
-                let members =
-                    neighbors::ball_query_padded(&cent_cloud, c, sa2.radius, sa2.max_points);
-                for &m in &members {
-                    let d = (centroids[s][m] - c) * (1.0 / sa2.radius);
-                    rows2.push(d.x as f32);
-                    rows2.push(d.y as f32);
-                    rows2.push(d.z as f32);
-                    rows2.extend_from_slice(sa1_concat.row(row_off + m));
-                }
-                lens2.push(members.len());
-            }
-            row_off += counts1[s];
-        }
-        let stacked2 = Matrix::from_vec(rows2.len() / sa2_width, sa2_width, rows2);
-        let sa2_out = MaxPool.forward_segments(&self.sa2_mlp.infer(&stacked2), &lens2);
+        let sa2s = self.stack_sa2(&geo, &sa1_concat);
+        let sa2_out = MaxPool.forward_segments(&self.sa2_mlp.infer(&sa2s.stacked), &sa2s.lens);
 
         // --- High-level feature F2 -----------------------------------
         let high = Relu.forward(&self.high_proj.forward(&sa2_out));
-        let f2 = MaxPool.forward_segments(&high, &counts2); // b × high_dim
+        let f2 = MaxPool.forward_segments(&high, &sa2s.counts2); // b × high_dim
 
         // --- Attention fusion (Eqs. 2–3), batched: score all samples'
         // candidates with two multi-row passes of g, then weight
         // per row. Only Y¹ is needed — P1 is the inference output. ----
         let y1 = if cfg.fusion {
-            let resized = Relu.forward(&self.rb_low.forward(&f2)); // b × low_dim
-            let scores_resized = self.g1.forward(&resized); // b × 1
-            let scores_own = self.g1.forward(&f1); // b × 1
-            let mut y = Matrix::zeros(b, cfg.low_dim);
-            for r in 0..b {
-                let w = softmax(&[scores_resized.at(r, 0), scores_own.at(r, 0)]);
-                for (j, out) in y.row_mut(r).iter_mut().enumerate() {
-                    *out = w[0] * resized.at(r, j) + w[1] * f1.at(r, j);
-                }
-            }
-            y
+            fuse_batch(&self.rb_low, &self.g1, &f2, &f1).0
         } else {
             f1
         };
@@ -606,6 +666,204 @@ impl GesIDNet {
         // --- Primary head P1 as multi-row matmuls --------------------
         let hidden = Relu.forward(&self.head1_a.forward(&y1));
         self.head1_b.forward(&hidden)
+    }
+
+    /// Batched training forward: the same stacked kernel layout as
+    /// [`GesIDNet::forward_stacked`], but keeping every intermediate
+    /// (MLP traces, segment argmaxes, fusion weights) and running the
+    /// auxiliary head P2, which inference skips.
+    fn forward_batch_trace(&self, inputs: &[&ModelInput]) -> BatchTrace {
+        let cfg = &self.config;
+        let c1_dim: usize = cfg.sa1_scales.iter().map(|s| s.out).sum();
+        let geo = self.batch_geometry(inputs);
+        let total_c1: usize = geo.counts1.iter().sum();
+
+        // --- SA1 with traces -----------------------------------------
+        let mut sa1_concat = Matrix::zeros(total_c1, c1_dim);
+        let mut sa1 = Vec::with_capacity(self.sa1_mlps.len());
+        let mut col_off = 0;
+        for (scale, mlp) in cfg.sa1_scales.iter().zip(&self.sa1_mlps) {
+            let (stacked, lens) = stack_sa1_scale(inputs, &geo, scale);
+            let (out, mlp_trace) = mlp.forward(stacked);
+            let (pooled, pool_args) = MaxPool.forward_segments_trace(&out, &lens);
+            for r in 0..total_c1 {
+                sa1_concat.row_mut(r)[col_off..col_off + scale.out].copy_from_slice(pooled.row(r));
+            }
+            col_off += scale.out;
+            sa1.push(StackedScaleTrace {
+                lens,
+                mlp: mlp_trace,
+                pool_args,
+            });
+        }
+
+        // --- Low-level feature F1 ------------------------------------
+        let low_pre = self.low_proj.forward(&sa1_concat);
+        let low_act = Relu.forward(&low_pre);
+        let (f1, f1_args) = MaxPool.forward_segments_trace(&low_act, &geo.counts1);
+
+        // --- SA2 with traces -----------------------------------------
+        let sa2s = self.stack_sa2(&geo, &sa1_concat);
+        let (out2, sa2_mlp_trace) = self.sa2_mlp.forward(sa2s.stacked);
+        let (sa2_out, sa2_pool_args) = MaxPool.forward_segments_trace(&out2, &sa2s.lens);
+
+        // --- High-level feature F2 -----------------------------------
+        let high_pre = self.high_proj.forward(&sa2_out);
+        let high_act = Relu.forward(&high_pre);
+        let (f2, f2_args) = MaxPool.forward_segments_trace(&high_act, &sa2s.counts2);
+
+        // --- Attention fusion, both levels ---------------------------
+        let (y1, fusion1) = if cfg.fusion {
+            let (y, t) = fuse_batch(&self.rb_low, &self.g1, &f2, &f1);
+            (y, Some(t))
+        } else {
+            (f1.clone(), None)
+        };
+        let (y2, fusion2) = if cfg.fusion {
+            let (y, t) = fuse_batch(&self.rb_high, &self.g2, &f1, &f2);
+            (y, Some(t))
+        } else {
+            (f2.clone(), None)
+        };
+
+        // --- Heads (multi-row) ---------------------------------------
+        let h1_pre = self.head1_a.forward(&y1);
+        let h1_act = Relu.forward(&h1_pre);
+        let logits1 = self.head1_b.forward(&h1_act);
+
+        let h2_pre_a = self.head2_a.forward(&y2);
+        let h2_act_a = Relu.forward(&h2_pre_a);
+        let h2_pre_b = self.head2_b.forward(&h2_act_a);
+        let h2_act_b = Relu.forward(&h2_pre_b);
+        let logits2 = self.head2_c.forward(&h2_act_b);
+
+        BatchTrace {
+            sa1,
+            sa1_concat,
+            counts1: geo.counts1,
+            low_pre,
+            f1_args,
+            sa2_members: sa2s.members,
+            sa2_lens: sa2s.lens,
+            sa2_mlp_trace,
+            sa2_pool_args,
+            sa2_out,
+            counts2: sa2s.counts2,
+            high_pre,
+            f2_args,
+            fusion1,
+            y1,
+            fusion2,
+            y2,
+            h1_pre,
+            h1_act,
+            logits1,
+            h2_pre_a,
+            h2_act_a,
+            h2_pre_b,
+            h2_act_b,
+            logits2,
+        }
+    }
+
+    /// Batched backward: mirrors [`GesIDNet::backward_full`] stage for
+    /// stage, but every Linear/ReLU backward runs once over all
+    /// samples' stacked rows and every pooled gradient scatters through
+    /// [`MaxPool::backward_segments`]. Gradients accumulate for the
+    /// whole mini-batch; the caller takes one optimizer step. Returns
+    /// the summed loss.
+    fn backward_batch(&mut self, t: &BatchTrace, labels: &[usize]) -> f32 {
+        let b = labels.len();
+        let mut total_loss = 0.0f32;
+        let mut g1m = Matrix::zeros(b, self.config.classes);
+        let mut g2m = Matrix::zeros(b, self.config.classes);
+        for (i, &label) in labels.iter().enumerate() {
+            let (l1, grad1) = softmax_cross_entropy(t.logits1.row(i), label);
+            let (l2, grad2) = softmax_cross_entropy(t.logits2.row(i), label);
+            g1m.row_mut(i).copy_from_slice(&grad1);
+            for (dst, g) in g2m.row_mut(i).iter_mut().zip(&grad2) {
+                *dst = g * self.config.aux_weight;
+            }
+            total_loss += l1 + self.config.aux_weight * l2;
+        }
+
+        // Head 1 backward → dY1 (b × low_dim).
+        let g = self.head1_b.backward(&t.h1_act, &g1m);
+        let g = Relu.backward(&t.h1_pre, &g);
+        let dy1 = self.head1_a.backward(&t.y1, &g);
+
+        // Head 2 backward → dY2 (b × high_dim).
+        let g = self.head2_c.backward(&t.h2_act_b, &g2m);
+        let g = Relu.backward(&t.h2_pre_b, &g);
+        let g = self.head2_b.backward(&t.h2_act_a, &g);
+        let g = Relu.backward(&t.h2_pre_a, &g);
+        let dy2 = self.head2_a.backward(&t.y2, &g);
+
+        // Fusion backward → dF1, dF2 (accumulated from both levels).
+        let (df1, df2) = match (&t.fusion1, &t.fusion2) {
+            (Some(t1), Some(t2)) => {
+                let (d_other, d_own) =
+                    fuse_backward_batch(&mut self.rb_low, &mut self.g1, t1, &dy1);
+                let mut df2 = d_other;
+                let mut df1 = d_own;
+                let (d_other, d_own) =
+                    fuse_backward_batch(&mut self.rb_high, &mut self.g2, t2, &dy2);
+                df1.add_assign(&d_other);
+                df2.add_assign(&d_own);
+                (df1, df2)
+            }
+            _ => (dy1, dy2),
+        };
+
+        // High branch backward: F2 → sa2_out rows.
+        let g_high = MaxPool.backward_segments(&t.counts2, &t.f2_args, &df2);
+        let g_high = Relu.backward(&t.high_pre, &g_high);
+        let d_sa2_out = self.high_proj.backward(&t.sa2_out, &g_high);
+
+        // SA2 backward: one stacked MLP pass, then scatter into the
+        // global SA1 concat rows each group gathered from.
+        let g_pool2 = MaxPool.backward_segments(&t.sa2_lens, &t.sa2_pool_args, &d_sa2_out);
+        let g_group2 = self.sa2_mlp.backward(&t.sa2_mlp_trace, &g_pool2);
+        let mut d_sa1_concat = Matrix::zeros(t.sa1_concat.rows(), t.sa1_concat.cols());
+        let mut base = 0;
+        for members in &t.sa2_members {
+            for (r, &m) in members.iter().enumerate() {
+                let src = g_group2.row(base + r);
+                let dst = d_sa1_concat.row_mut(m);
+                for (d, s) in dst.iter_mut().zip(&src[3..]) {
+                    *d += s;
+                }
+                // positional gradient (src[0..3]) stops here: point
+                // coordinates are inputs, not parameters.
+            }
+            base += members.len();
+        }
+
+        // Low branch backward: F1 → SA1 concat rows.
+        let g_low = MaxPool.backward_segments(&t.counts1, &t.f1_args, &df1);
+        let g_low = Relu.backward(&t.low_pre, &g_low);
+        let d_low = self.low_proj.backward(&t.sa1_concat, &g_low);
+        d_sa1_concat.add_assign(&d_low);
+
+        // SA1 backward per scale: slice this scale's columns out of the
+        // concat gradient and push all samples' groups through the
+        // shared MLP in one stacked pass.
+        let mut offset = 0;
+        for (scale_i, scale) in self.config.sa1_scales.iter().enumerate() {
+            let st = &t.sa1[scale_i];
+            let width = scale.out;
+            let mut d_scale = Matrix::zeros(d_sa1_concat.rows(), width);
+            for r in 0..d_sa1_concat.rows() {
+                d_scale
+                    .row_mut(r)
+                    .copy_from_slice(&d_sa1_concat.row(r)[offset..offset + width]);
+            }
+            let g_pool = MaxPool.backward_segments(&st.lens, &st.pool_args, &d_scale);
+            let _ = self.sa1_mlps[scale_i].backward(&st.mlp, &g_pool);
+            offset += width;
+        }
+
+        total_loss
     }
 
     fn backward_full(&mut self, input: &ModelInput, trace: &Trace, label: usize) -> f32 {
@@ -698,6 +956,110 @@ impl GesIDNet {
     }
 }
 
+/// Stacks every SA1 group of every sample for one scale into a single
+/// `(Σ group rows) × (3 + POINT_FEATURES)` matrix, plus the per-group
+/// row counts (sample-major, centroid order — the same order the
+/// per-sample path visits groups).
+fn stack_sa1_scale(
+    inputs: &[&ModelInput],
+    geo: &BatchGeometry,
+    scale: &SaScale,
+) -> (Matrix, Vec<usize>) {
+    let group_width = 3 + POINT_FEATURES;
+    let mut lens: Vec<usize> = Vec::new();
+    let mut rows: Vec<f32> = Vec::new();
+    for (s, input) in inputs.iter().enumerate() {
+        for &c in &geo.centroids[s] {
+            let members =
+                neighbors::ball_query_padded(&geo.clouds[s], c, scale.radius, scale.max_points);
+            for &m in &members {
+                let d = (input.positions[m] - c) * (1.0 / scale.radius);
+                rows.push(d.x as f32);
+                rows.push(d.y as f32);
+                rows.push(d.z as f32);
+                rows.extend_from_slice(input.points.row(m));
+            }
+            lens.push(members.len());
+        }
+    }
+    (
+        Matrix::from_vec(rows.len() / group_width, group_width, rows),
+        lens,
+    )
+}
+
+/// Batched attention fusion (Eqs. 2–3): the RB and both scoring passes
+/// run as multi-row kernels, then each row is softmax-weighted
+/// independently. Row `i` is bit-identical to [`fuse`] on sample `i`'s
+/// features (row-independent kernels, same operation order).
+fn fuse_batch(rb: &Linear, g: &Linear, other: &Matrix, own: &Matrix) -> (Matrix, BatchFusionTrace) {
+    let resized_pre = rb.forward(other);
+    let resized = Relu.forward(&resized_pre);
+    let scores_resized = g.forward(&resized); // b × 1
+    let scores_own = g.forward(own); // b × 1
+    let b = own.rows();
+    let mut y = Matrix::zeros(b, own.cols());
+    let mut weights = Vec::with_capacity(b);
+    for r in 0..b {
+        let w = softmax(&[scores_resized.at(r, 0), scores_own.at(r, 0)]);
+        for (j, out) in y.row_mut(r).iter_mut().enumerate() {
+            *out = w[0] * resized.at(r, j) + w[1] * own.at(r, j);
+        }
+        weights.push([w[0], w[1]]);
+    }
+    (
+        y,
+        BatchFusionTrace {
+            other: other.clone(),
+            resized_pre,
+            resized,
+            own: own.clone(),
+            weights,
+        },
+    )
+}
+
+/// Backward of [`fuse_batch`]; returns `(d_other, d_own)` with one row
+/// per sample. The attention-weight path (through the softmax over the
+/// two candidate scores) is computed row-wise; the RB and `g` backward
+/// passes run over all rows at once.
+fn fuse_backward_batch(
+    rb: &mut Linear,
+    g: &mut Linear,
+    t: &BatchFusionTrace,
+    dy: &Matrix,
+) -> (Matrix, Matrix) {
+    let b = dy.rows();
+    let mut d_resized = Matrix::zeros(b, t.resized.cols());
+    let mut d_own = Matrix::zeros(b, t.own.cols());
+    let mut da = Matrix::zeros(b, 1);
+    let mut db = Matrix::zeros(b, 1);
+    for r in 0..b {
+        let [wa, wb] = t.weights[r];
+        let dy_r = dy.row(r);
+        // Direct path.
+        for (d, v) in d_resized.row_mut(r).iter_mut().zip(dy_r) {
+            *d = v * wa;
+        }
+        for (d, v) in d_own.row_mut(r).iter_mut().zip(dy_r) {
+            *d = v * wb;
+        }
+        // Attention-weight path through the softmax over (a, b).
+        let dwa: f32 = dy_r.iter().zip(t.resized.row(r)).map(|(d, v)| d * v).sum();
+        let dwb: f32 = dy_r.iter().zip(t.own.row(r)).map(|(d, v)| d * v).sum();
+        let common = wa * dwa + wb * dwb;
+        da.set(r, 0, wa * (dwa - common));
+        db.set(r, 0, wb * (dwb - common));
+    }
+    // Through g on both candidates, all rows at once.
+    d_resized.add_assign(&g.backward(&t.resized, &da));
+    d_own.add_assign(&g.backward(&t.own, &db));
+    // Through the RB to the other level's raw feature.
+    let g_rb = Relu.backward(&t.resized_pre, &d_resized);
+    let d_other = rb.backward(&t.other, &g_rb);
+    (d_other, d_own)
+}
+
 /// Attention fusion forward (Eqs. 2–3): resize `other` to `own`'s level
 /// via the RB, score both with `g`, softmax-weight and sum.
 fn fuse(rb: &Linear, g: &Linear, other: &[f32], own: &[f32]) -> (Vec<f32>, FusionTrace) {
@@ -782,6 +1144,21 @@ impl PointModel for GesIDNet {
     fn train_step(&mut self, input: &ModelInput, label: usize) -> f32 {
         let trace = self.forward_full(input);
         self.backward_full(input, &trace, label)
+    }
+
+    fn train_step_batch(&mut self, inputs: &[&ModelInput], labels: &[usize]) -> f32 {
+        assert_eq!(inputs.len(), labels.len(), "inputs/labels length mismatch");
+        match inputs.len() {
+            0 => 0.0,
+            // A batch of one gains nothing from stacking; delegating
+            // keeps batch_size=1 training bit-identical to the
+            // historical per-sample loop.
+            1 => self.train_step(inputs[0], labels[0]),
+            _ => {
+                let trace = self.forward_batch_trace(inputs);
+                self.backward_batch(&trace, labels)
+            }
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -1076,6 +1453,236 @@ mod tests {
         assert_eq!(low.len(), net.config().low_dim);
         assert_eq!(high.len(), net.config().high_dim);
         assert_eq!(fused.len(), net.config().low_dim);
+    }
+
+    fn grads_of(net: &mut GesIDNet) -> Vec<f32> {
+        let mut g = Vec::new();
+        net.for_each_param(&mut |_, gs| g.extend_from_slice(gs));
+        g
+    }
+
+    #[test]
+    fn train_step_batch_of_one_bit_identical_to_train_step() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut a = GesIDNet::new(GesIDNetConfig::tiny(3), &mut rng);
+        let mut b = a.clone();
+        let input = toy_input(40, 0.0);
+        let la = a.train_step(&input, 2);
+        let lb = b.train_step_batch(&[&input], &[2]);
+        assert_eq!(la, lb);
+        assert_eq!(grads_of(&mut a), grads_of(&mut b));
+    }
+
+    #[test]
+    fn batched_gradients_match_sequential_sum() {
+        // One batched backward must accumulate the same total gradient
+        // as per-sample steps over the batch. Not bit-exact — the
+        // batched path associates the float additions differently — so
+        // compare with a relative tolerance.
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut seq = GesIDNet::new(GesIDNetConfig::for_classes(3), &mut rng);
+        let mut bat = seq.clone();
+        let inputs: Vec<ModelInput> = (0..4).map(|k| toy_input(50 + k, 0.15 * k as f64)).collect();
+        let labels = [0usize, 1, 2, 1];
+
+        let mut seq_loss = 0.0f32;
+        for (x, &y) in inputs.iter().zip(&labels) {
+            seq_loss += seq.train_step(x, y);
+        }
+        let refs: Vec<&ModelInput> = inputs.iter().collect();
+        let bat_loss = bat.train_step_batch(&refs, &labels);
+
+        assert!(
+            (seq_loss - bat_loss).abs() <= 1e-4 * (1.0 + seq_loss.abs()),
+            "loss: sequential {seq_loss} vs batched {bat_loss}"
+        );
+        let gs = grads_of(&mut seq);
+        let gb = grads_of(&mut bat);
+        assert_eq!(gs.len(), gb.len());
+        let mut worst = 0.0f32;
+        for (i, (s, b)) in gs.iter().zip(&gb).enumerate() {
+            let rel = (s - b).abs() / (1e-4 + s.abs().max(b.abs()));
+            assert!(
+                rel < 1e-2,
+                "grad {i}: sequential {s} vs batched {b} (rel {rel})"
+            );
+            worst = worst.max(rel);
+        }
+        assert!(worst.is_finite());
+    }
+
+    #[test]
+    fn batched_gradients_match_sequential_without_fusion() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let cfg = GesIDNetConfig {
+            fusion: false,
+            ..GesIDNetConfig::tiny(2)
+        };
+        let mut seq = GesIDNet::new(cfg, &mut rng);
+        let mut bat = seq.clone();
+        let inputs: Vec<ModelInput> = (0..3).map(|k| toy_input(60 + k, 0.2 * k as f64)).collect();
+        let labels = [1usize, 0, 1];
+        for (x, &y) in inputs.iter().zip(&labels) {
+            seq.train_step(x, y);
+        }
+        let refs: Vec<&ModelInput> = inputs.iter().collect();
+        bat.train_step_batch(&refs, &labels);
+        for (i, (s, b)) in grads_of(&mut seq)
+            .iter()
+            .zip(&grads_of(&mut bat))
+            .enumerate()
+        {
+            let rel = (s - b).abs() / (1e-4 + s.abs().max(b.abs()));
+            assert!(rel < 1e-2, "grad {i}: {s} vs {b}");
+        }
+    }
+
+    #[test]
+    fn batched_gradients_match_finite_differences() {
+        // The batched backward checked directly against numeric
+        // differentiation of the batched loss (not just against the
+        // sequential path) — same spot-check scheme as the per-sample
+        // gradient test.
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut net = GesIDNet::new(GesIDNetConfig::tiny(3), &mut rng);
+        let inputs: Vec<ModelInput> = (0..3).map(|k| toy_input(70 + k, 0.1 * k as f64)).collect();
+        let refs: Vec<&ModelInput> = inputs.iter().collect();
+        let labels = [2usize, 0, 1];
+
+        net.zero_grads();
+        net.train_step_batch(&refs, &labels);
+        let mut analytic = Vec::new();
+        net.for_each_param(&mut |_, g| analytic.extend_from_slice(g));
+
+        let loss_of = |net: &GesIDNet| {
+            let t = net.forward_batch_trace(&refs);
+            let mut loss = 0.0f32;
+            for (i, &label) in labels.iter().enumerate() {
+                let (l1, _) = softmax_cross_entropy(t.logits1.row(i), label);
+                let (l2, _) = softmax_cross_entropy(t.logits2.row(i), label);
+                loss += l1 + l2;
+            }
+            loss
+        };
+
+        let eps = 1e-2f32;
+        let total = analytic.len();
+        let step = (total / 60).max(1);
+        let mut checked = 0;
+        let mut failures = Vec::new();
+        for idx in (0..total).step_by(step) {
+            let mut pos = 0;
+            net.for_each_param(&mut |p, _| {
+                if idx >= pos && idx < pos + p.len() {
+                    p[idx - pos] += eps;
+                }
+                pos += p.len();
+            });
+            let lp = loss_of(&net);
+            let mut pos = 0;
+            net.for_each_param(&mut |p, _| {
+                if idx >= pos && idx < pos + p.len() {
+                    p[idx - pos] -= 2.0 * eps;
+                }
+                pos += p.len();
+            });
+            let lm = loss_of(&net);
+            let mut pos = 0;
+            net.for_each_param(&mut |p, _| {
+                if idx >= pos && idx < pos + p.len() {
+                    p[idx - pos] += eps;
+                }
+                pos += p.len();
+            });
+            let numeric = (lp - lm) / (2.0 * eps);
+            let a = analytic[idx];
+            if (a - numeric).abs() > 4e-2 * (1.0 + numeric.abs()) {
+                failures.push((idx, a, numeric));
+            }
+            checked += 1;
+        }
+        assert!(checked > 20);
+        assert!(
+            failures.len() <= checked / 10,
+            "gradient mismatches: {failures:?}"
+        );
+    }
+
+    #[test]
+    fn batched_training_reduces_loss() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let mut net = GesIDNet::new(GesIDNetConfig::tiny(2), &mut rng);
+        let mut adam = gp_nn::Adam::new(5e-3);
+        let inputs: Vec<ModelInput> = (0..4)
+            .map(|i| toy_input(80 + i, if i % 2 == 0 { -0.5 } else { 0.5 }))
+            .collect();
+        let refs: Vec<&ModelInput> = inputs.iter().collect();
+        let labels = [0usize, 1, 0, 1];
+        let first = net.train_step_batch(&refs, &labels);
+        adam.begin_step();
+        net.for_each_param(&mut |p, g| adam.update(p, g));
+        let mut last = first;
+        for _ in 0..60 {
+            last = net.train_step_batch(&refs, &labels);
+            adam.begin_step();
+            net.for_each_param(&mut |p, g| adam.update(p, g));
+        }
+        assert!(
+            last < first * 0.5,
+            "batched loss should drop: first {first}, last {last}"
+        );
+    }
+
+    #[test]
+    fn batched_training_matches_sequential_predictions() {
+        // Train two clones of the same network on the same data with
+        // the same optimizer cadence — one stepping per-sample
+        // gradients (historical path), one through the batched step.
+        // The gradient sums differ only in float association, so the
+        // trained models must agree on every prediction and land at
+        // close losses.
+        let mut rng = StdRng::seed_from_u64(16);
+        let mut seq = GesIDNet::new(GesIDNetConfig::tiny(2), &mut rng);
+        let mut bat = seq.clone();
+        let mut adam_seq = gp_nn::Adam::new(5e-3);
+        let mut adam_bat = gp_nn::Adam::new(5e-3);
+        let data: Vec<(ModelInput, usize)> = (0..8)
+            .map(|i| {
+                let label = i % 2;
+                (
+                    toy_input(90 + i as u64, if label == 0 { -0.5 } else { 0.5 }),
+                    label,
+                )
+            })
+            .collect();
+
+        let mut seq_loss = 0.0f32;
+        let mut bat_loss = 0.0f32;
+        for _ in 0..25 {
+            for chunk in data.chunks(4) {
+                seq_loss = chunk.iter().map(|(x, y)| seq.train_step(x, *y)).sum();
+                adam_seq.begin_step();
+                seq.for_each_param(&mut |p, g| adam_seq.update(p, g));
+
+                let inputs: Vec<&ModelInput> = chunk.iter().map(|(x, _)| x).collect();
+                let labels: Vec<usize> = chunk.iter().map(|(_, y)| *y).collect();
+                bat_loss = bat.train_step_batch(&inputs, &labels);
+                adam_bat.begin_step();
+                bat.for_each_param(&mut |p, g| adam_bat.update(p, g));
+            }
+        }
+
+        assert!(
+            (seq_loss - bat_loss).abs() <= 0.05 * (1.0 + seq_loss.abs()),
+            "final losses diverged: sequential {seq_loss} vs batched {bat_loss}"
+        );
+        for (i, (x, _)) in data.iter().enumerate() {
+            assert_eq!(
+                argmax(&seq.logits(x)),
+                argmax(&bat.logits(x)),
+                "prediction {i} diverged"
+            );
+        }
     }
 
     #[test]

@@ -53,6 +53,29 @@ pub trait PointModel: Parameterized + Send + Sync {
     /// accumulating parameter gradients. Returns the loss.
     fn train_step(&mut self, input: &ModelInput, label: usize) -> f32;
 
+    /// Training over a mini-batch: accumulates gradients for every
+    /// `(input, label)` pair before the caller takes one optimizer step.
+    /// Returns the summed loss over the batch.
+    ///
+    /// The default loops [`PointModel::train_step`] in order, so it is
+    /// bit-identical to the historical sample-at-a-time loop; models
+    /// with genuinely batched backward passes (GesIDNet) override it to
+    /// push the whole mini-batch through multi-row kernels. Overrides
+    /// compute the same mathematical gradient sum but may associate the
+    /// floating-point additions differently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` and `labels` have different lengths.
+    fn train_step_batch(&mut self, inputs: &[&ModelInput], labels: &[usize]) -> f32 {
+        assert_eq!(inputs.len(), labels.len(), "inputs/labels length mismatch");
+        inputs
+            .iter()
+            .zip(labels)
+            .map(|(x, &y)| self.train_step(x, y))
+            .sum()
+    }
+
     /// Model name for reports.
     fn name(&self) -> &'static str;
 

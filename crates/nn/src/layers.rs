@@ -184,6 +184,77 @@ impl MaxPool {
         out
     }
 
+    /// Like [`MaxPool::forward_segments`], but also returns each
+    /// segment's per-column argmax (row index *local to the segment*)
+    /// so training can route gradients back through the pooled max —
+    /// the batched sibling of [`MaxPool::forward`]'s `(out, arg)` pair.
+    /// Empty segments yield zero rows and empty argmax vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lens` does not sum to `x.rows()`.
+    pub fn forward_segments_trace(&self, x: &Matrix, lens: &[usize]) -> (Matrix, Vec<Vec<usize>>) {
+        let total: usize = lens.iter().sum();
+        assert_eq!(total, x.rows(), "segment lengths must cover all rows");
+        let mut out = Matrix::zeros(lens.len(), x.cols());
+        let mut args = Vec::with_capacity(lens.len());
+        let mut base = 0;
+        for (k, &len) in lens.iter().enumerate() {
+            if len == 0 {
+                args.push(Vec::new());
+                continue;
+            }
+            out.row_mut(k).copy_from_slice(x.row(base));
+            let mut arg = vec![0usize; x.cols()];
+            for r in 1..len {
+                let row = x.row(base + r);
+                let dst = out.row_mut(k);
+                for (j, &v) in row.iter().enumerate() {
+                    if v > dst[j] {
+                        dst[j] = v;
+                        arg[j] = r;
+                    }
+                }
+            }
+            args.push(arg);
+            base += len;
+        }
+        (out, args)
+    }
+
+    /// Scatters per-segment pooled gradients back to the argmax rows of
+    /// the stacked input: row `k` of `grad_out` is segment `k`'s pooled
+    /// gradient, `args[k]` the segment-local argmax from
+    /// [`MaxPool::forward_segments_trace`]. Returns the gradient w.r.t.
+    /// the stacked `(Σ lens × c)` input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lens`, `args`, and `grad_out` disagree on the number
+    /// of segments.
+    pub fn backward_segments(
+        &self,
+        lens: &[usize],
+        args: &[Vec<usize>],
+        grad_out: &Matrix,
+    ) -> Matrix {
+        assert_eq!(lens.len(), args.len(), "segment count mismatch");
+        assert_eq!(lens.len(), grad_out.rows(), "segment count mismatch");
+        let total: usize = lens.iter().sum();
+        let mut g = Matrix::zeros(total, grad_out.cols());
+        let mut base = 0;
+        for (k, &len) in lens.iter().enumerate() {
+            if len == 0 {
+                continue;
+            }
+            for (j, (&r, &gv)) in args[k].iter().zip(grad_out.row(k)).enumerate() {
+                g.row_mut(base + r)[j] += gv;
+            }
+            base += len;
+        }
+        g
+    }
+
     /// Scatters the pooled gradient back to the argmax rows.
     pub fn backward(&self, rows: usize, arg: &[usize], grad_out: &[f32]) -> Matrix {
         let mut g = Matrix::zeros(rows, grad_out.len());
@@ -368,6 +439,56 @@ mod tests {
     #[should_panic(expected = "segment lengths must cover all rows")]
     fn forward_segments_checks_coverage() {
         MaxPool.forward_segments(&Matrix::zeros(3, 2), &[2]);
+    }
+
+    #[test]
+    fn forward_segments_trace_matches_forward_segments() {
+        let x = Matrix::from_rows(&[
+            vec![1.0, 9.0],
+            vec![5.0, 2.0],
+            vec![3.0, 4.0],
+            vec![-1.0, -2.0],
+            vec![7.0, 0.5],
+        ]);
+        let lens = [3usize, 0, 2];
+        let pooled = MaxPool.forward_segments(&x, &lens);
+        let (traced, args) = MaxPool.forward_segments_trace(&x, &lens);
+        assert_eq!(pooled, traced);
+        // Per-segment argmax matches the single-segment kernel's.
+        let (_, arg0) = MaxPool.forward(&Matrix::from_rows(&[
+            x.row(0).to_vec(),
+            x.row(1).to_vec(),
+            x.row(2).to_vec(),
+        ]));
+        assert_eq!(args[0], arg0);
+        assert!(args[1].is_empty(), "empty segment has no argmax");
+        assert_eq!(args[2], vec![1, 1]);
+    }
+
+    #[test]
+    fn backward_segments_matches_per_segment_backward() {
+        let x = Matrix::from_rows(&[
+            vec![1.0, 9.0],
+            vec![5.0, 2.0],
+            vec![3.0, 4.0],
+            vec![-1.0, -2.0],
+            vec![7.0, 0.5],
+        ]);
+        let lens = [3usize, 0, 2];
+        let (_, args) = MaxPool.forward_segments_trace(&x, &lens);
+        let grad_out = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let g = MaxPool.backward_segments(&lens, &args, &grad_out);
+        assert_eq!((g.rows(), g.cols()), (5, 2));
+        // Segment 0: same scatter as the scalar backward.
+        let g0 = MaxPool.backward(3, &args[0], grad_out.row(0));
+        for r in 0..3 {
+            assert_eq!(g.row(r), g0.row(r), "segment 0 row {r}");
+        }
+        // Segment 1 is empty: its gradient row block is absent entirely.
+        // Segment 2 rows follow immediately.
+        let g2 = MaxPool.backward(2, &args[2], grad_out.row(2));
+        assert_eq!(g.row(3), g2.row(0));
+        assert_eq!(g.row(4), g2.row(1));
     }
 
     #[test]

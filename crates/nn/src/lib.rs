@@ -14,7 +14,10 @@
 //! * **Gradient accumulation** — `backward` adds into the layer's `grad`
 //!   buffers; the optimizer consumes and zeroes them via
 //!   [`Parameterized::for_each_param`].
-//! * **Determinism** — all initialisation is seeded.
+//! * **Determinism** — all initialisation is seeded, and the matmul
+//!   kernels ([`kernels`]) accumulate every output element in a fixed
+//!   ascending-k order, so results are bit-stable run to run and across
+//!   the scalar/SIMD backends (`--features simd`).
 //!
 //! # Example
 //!
@@ -43,6 +46,7 @@
 
 pub mod conv;
 pub mod init;
+pub mod kernels;
 pub mod layers;
 pub mod loss;
 pub mod lstm;

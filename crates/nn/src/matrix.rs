@@ -112,74 +112,35 @@ impl Matrix {
         self.data[r * self.cols + c] = v;
     }
 
-    /// `self · other` (naive ikj loop).
+    /// `self · other` through the blocked kernel engine (see
+    /// [`crate::kernels`] for the tiling and determinism contract).
     ///
     /// # Panics
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul inner dimension mismatch");
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(k);
-                let o_row = out.row_mut(i);
-                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        crate::kernels::matmul(self, other)
     }
 
-    /// `self · otherᵀ`.
+    /// `self · otherᵀ` through the blocked kernel engine.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols != other.cols`.
     pub fn matmul_transpose(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "matmul_transpose dimension mismatch");
-        let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                let mut acc = 0.0f32;
-                for k in 0..self.cols {
-                    acc += a_row[k] * b_row[k];
-                }
-                out.set(i, j, acc);
-            }
-        }
-        out
+        crate::kernels::matmul_transpose(self, other)
     }
 
-    /// `selfᵀ · other`.
+    /// `selfᵀ · other` through the blocked kernel engine.
     ///
     /// # Panics
     ///
     /// Panics if `self.rows != other.rows`.
     pub fn transpose_matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "transpose_matmul dimension mismatch");
-        let mut out = Matrix::zeros(self.cols, other.cols);
-        for r in 0..self.rows {
-            let a_row = self.row(r);
-            let b_row = other.row(r);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let o_row = out.row_mut(i);
-                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        crate::kernels::transpose_matmul(self, other)
     }
 
     /// Transposed copy.
