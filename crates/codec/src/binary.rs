@@ -1,0 +1,534 @@
+//! Compact binary encoder/decoder for [`Value`] — the byte backend
+//! behind binary artifacts.
+//!
+//! JSON carries model weight streams as base64 (`{"$bytes": ...}`),
+//! a ~33% size tax on what is by far the largest payload in any model
+//! artifact. This module is a CBOR-style alternative over the *same*
+//! value model: one tag byte per value, LEB128 varints for lengths and
+//! integers, raw bytes for [`Value::Bytes`], IEEE-754 bits for floats.
+//! The two backends are interchangeable — any `Value` a JSON document
+//! can express round-trips identically through either — and the binary
+//! form additionally admits non-finite floats and the reserved
+//! `$bytes`-shaped map JSON cannot carry.
+//!
+//! The encoding is **canonical**: map keys are written in sorted order
+//! (the `BTreeMap` order) and the decoder *requires* strictly ascending
+//! keys, so equal values produce identical bytes and
+//! `to_binary(from_binary(b)) == b` for every accepted input. The
+//! decoder is strict in the same way the JSON decoder is: it bounds
+//! nesting at [`crate::json::MAX_DEPTH`], validates UTF-8, rejects
+//! duplicate keys, and refuses trailing content.
+//!
+//! Wire grammar (all multi-byte integers little-endian):
+//!
+//! ```text
+//! value := 0x00                        # null
+//!        | 0x01 | 0x02                 # false | true
+//!        | 0x03 zigzag-varint          # int
+//!        | 0x04 f64-le-bits            # float
+//!        | 0x05 varint-len utf8        # str
+//!        | 0x06 varint-len raw         # bytes
+//!        | 0x07 varint-count value*    # seq
+//!        | 0x08 varint-count (key value)*   # map
+//! key   := varint(len << 1) utf8       # literal field name
+//!        | varint(idx << 1 | 1)        # KEY_DICT reference
+//! ```
+//!
+//! Map keys use a packed-key extension (in the spirit of CBOR's
+//! packed/stringref extensions): field names in the static [`KEY_DICT`]
+//! table encode as a one-byte index reference instead of inline text.
+//! Canonical form requires the reference whenever the name is in the
+//! table, and the table is **append-only** — positions are part of the
+//! wire format.
+
+use crate::json::{EncodeError, MAX_DEPTH};
+use crate::value::{DecodeError, Value};
+use std::collections::BTreeMap;
+
+/// Well-known field names, encoded in maps as one-byte dictionary
+/// references. **Append-only**: an entry's position is baked into every
+/// binary artifact ever written — never reorder or remove, only push.
+pub const KEY_DICT: &[&str] = &[
+    "schema_version",
+    "kind",
+    "created_rev",
+    "payload",
+    "weights",
+    "feature",
+    "classes",
+    "encode_seed",
+    "mode",
+    "gestures",
+    "users",
+    "gesture_model",
+    "identifiers",
+    "model",
+    "epochs",
+    "learning_rate",
+    "batch_size",
+    "augment",
+    "seed",
+    "num_points",
+    "profile_shape",
+    "doppler_span",
+    "range_span",
+    "max_frames",
+    "threshold",
+    "entries",
+    "user",
+    "centroid",
+    "count",
+    "dim",
+    "version",
+    "name",
+    "value",
+    "values",
+    "scenario",
+    "points",
+];
+
+fn dict_index(key: &str) -> Option<usize> {
+    KEY_DICT.iter().position(|&k| k == key)
+}
+
+const TAG_NULL: u8 = 0x00;
+const TAG_FALSE: u8 = 0x01;
+const TAG_TRUE: u8 = 0x02;
+const TAG_INT: u8 = 0x03;
+const TAG_FLOAT: u8 = 0x04;
+const TAG_STR: u8 = 0x05;
+const TAG_BYTES: u8 = 0x06;
+const TAG_SEQ: u8 = 0x07;
+const TAG_MAP: u8 = 0x08;
+
+/// Serialises a value into the canonical binary form.
+///
+/// # Errors
+///
+/// Returns [`EncodeError::TooDeep`] when nesting exceeds the codec
+/// limit; unlike JSON, every other value (non-finite floats, maps of
+/// any shape) has a binary form.
+pub fn to_binary(value: &Value) -> Result<Vec<u8>, EncodeError> {
+    let mut out = Vec::new();
+    write_value(value, 0, &mut out)?;
+    Ok(out)
+}
+
+/// Encodes a type straight to canonical binary bytes.
+///
+/// # Errors
+///
+/// See [`to_binary`].
+pub fn encode_to_binary<T: crate::Encode>(value: &T) -> Result<Vec<u8>, EncodeError> {
+    to_binary(&value.encode())
+}
+
+/// Parses canonical binary bytes into a [`Value`], strictly.
+///
+/// # Errors
+///
+/// Errors on truncated input, trailing content, invalid tags or UTF-8,
+/// non-canonical varints or map key order, or nesting past the limit.
+pub fn from_binary(bytes: &[u8]) -> Result<Value, DecodeError> {
+    let mut reader = Reader { bytes, pos: 0 };
+    let value = reader.read_value(0)?;
+    if reader.pos != bytes.len() {
+        return Err(DecodeError::new(format!(
+            "trailing content after binary value at byte {}",
+            reader.pos
+        )));
+    }
+    Ok(value)
+}
+
+/// Decodes a type from canonical binary bytes.
+///
+/// # Errors
+///
+/// Returns the binary parse error or the value-shape error.
+pub fn decode_from_binary<T: crate::Decode>(bytes: &[u8]) -> Result<T, DecodeError> {
+    T::decode(&from_binary(bytes)?)
+}
+
+fn write_value(value: &Value, depth: usize, out: &mut Vec<u8>) -> Result<(), EncodeError> {
+    if depth > MAX_DEPTH {
+        return Err(EncodeError::TooDeep);
+    }
+    match value {
+        Value::Null => out.push(TAG_NULL),
+        Value::Bool(false) => out.push(TAG_FALSE),
+        Value::Bool(true) => out.push(TAG_TRUE),
+        Value::Int(i) => {
+            out.push(TAG_INT);
+            write_varint(zigzag(*i), out);
+        }
+        Value::Float(f) => {
+            out.push(TAG_FLOAT);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            write_varint(s.len() as u64, out);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Bytes(b) => {
+            out.push(TAG_BYTES);
+            write_varint(b.len() as u64, out);
+            out.extend_from_slice(b);
+        }
+        Value::Seq(items) => {
+            out.push(TAG_SEQ);
+            write_varint(items.len() as u64, out);
+            for item in items {
+                write_value(item, depth + 1, out)?;
+            }
+        }
+        Value::Map(map) => {
+            out.push(TAG_MAP);
+            write_varint(map.len() as u64, out);
+            // BTreeMap iteration is sorted, which IS the canonical order.
+            for (key, item) in map {
+                match dict_index(key) {
+                    Some(idx) => write_varint((idx as u64) << 1 | 1, out),
+                    None => {
+                        write_varint((key.len() as u64) << 1, out);
+                        out.extend_from_slice(key.as_bytes());
+                    }
+                }
+                write_value(item, depth + 1, out)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn zigzag(i: i64) -> u64 {
+    ((i << 1) ^ (i >> 63)) as u64
+}
+
+fn unzigzag(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
+fn write_varint(mut v: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn err(&self, message: impl std::fmt::Display) -> DecodeError {
+        DecodeError::new(format!("{message} at byte {}", self.pos))
+    }
+
+    fn take(&mut self, n: usize) -> Result<&[u8], DecodeError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| self.err("truncated binary value"))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn read_varint(&mut self) -> Result<u64, DecodeError> {
+        let mut v = 0u64;
+        for shift in 0..10 {
+            let byte = self.take(1)?[0];
+            let payload = u64::from(byte & 0x7F);
+            // The 10th byte may only carry the single remaining bit.
+            if shift == 9 && payload > 1 {
+                return Err(self.err("varint overflows u64"));
+            }
+            v |= payload << (shift * 7);
+            if byte & 0x80 == 0 {
+                // Canonical form: no zero continuation tail.
+                if byte == 0 && shift > 0 {
+                    return Err(self.err("non-canonical varint"));
+                }
+                return Ok(v);
+            }
+        }
+        Err(self.err("varint longer than 10 bytes"))
+    }
+
+    fn read_len(&mut self) -> Result<usize, DecodeError> {
+        let len = self.read_varint()?;
+        // A declared length can never exceed the bytes actually left, so
+        // this also caps allocation before any `with_capacity`.
+        if len > (self.bytes.len() - self.pos) as u64 {
+            return Err(self.err(format!("declared length {len} exceeds input")));
+        }
+        Ok(len as usize)
+    }
+
+    fn read_string(&mut self) -> Result<String, DecodeError> {
+        let len = self.read_len()?;
+        let raw = self.take(len)?;
+        std::str::from_utf8(raw)
+            .map(str::to_owned)
+            .map_err(|_| self.err("invalid UTF-8 in string"))
+    }
+
+    fn read_key(&mut self) -> Result<String, DecodeError> {
+        let n = self.read_varint()?;
+        if n & 1 == 1 {
+            let idx = (n >> 1) as usize;
+            return KEY_DICT
+                .get(idx)
+                .map(|&k| k.to_owned())
+                .ok_or_else(|| self.err(format!("key dictionary index {idx} out of range")));
+        }
+        let len = n >> 1;
+        if len > (self.bytes.len() - self.pos) as u64 {
+            return Err(self.err(format!("declared key length {len} exceeds input")));
+        }
+        let raw = self.take(len as usize)?;
+        let key = std::str::from_utf8(raw)
+            .map(str::to_owned)
+            .map_err(|_| self.err("invalid UTF-8 in map key"))?;
+        // Canonical form: dictionary names must ride as references.
+        if dict_index(&key).is_some() {
+            return Err(self.err(format!("non-canonical literal key '{key}'")));
+        }
+        Ok(key)
+    }
+
+    fn read_value(&mut self, depth: usize) -> Result<Value, DecodeError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting exceeds {MAX_DEPTH}")));
+        }
+        let tag = self.take(1)?[0];
+        match tag {
+            TAG_NULL => Ok(Value::Null),
+            TAG_FALSE => Ok(Value::Bool(false)),
+            TAG_TRUE => Ok(Value::Bool(true)),
+            TAG_INT => Ok(Value::Int(unzigzag(self.read_varint()?))),
+            TAG_FLOAT => {
+                let raw = self.take(8)?;
+                let bits = u64::from_le_bytes(raw.try_into().expect("8 bytes"));
+                Ok(Value::Float(f64::from_bits(bits)))
+            }
+            TAG_STR => Ok(Value::Str(self.read_string()?)),
+            TAG_BYTES => {
+                let len = self.read_len()?;
+                Ok(Value::Bytes(self.take(len)?.to_vec()))
+            }
+            TAG_SEQ => {
+                let count = self.read_len()?;
+                let mut items = Vec::with_capacity(count);
+                for _ in 0..count {
+                    items.push(self.read_value(depth + 1)?);
+                }
+                Ok(Value::Seq(items))
+            }
+            TAG_MAP => {
+                let count = self.read_len()?;
+                let mut map = BTreeMap::new();
+                let mut last_key: Option<String> = None;
+                for _ in 0..count {
+                    let key = self.read_key()?;
+                    if let Some(prev) = &last_key {
+                        if *prev >= key {
+                            return Err(self.err(format!(
+                                "map keys out of canonical order ('{prev}' then '{key}')"
+                            )));
+                        }
+                    }
+                    let value = self.read_value(depth + 1)?;
+                    last_key = Some(key.clone());
+                    map.insert(key, value);
+                }
+                Ok(Value::Map(map))
+            }
+            other => Err(self.err(format!("unknown value tag 0x{other:02X}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn roundtrip(v: Value) -> Value {
+        from_binary(&to_binary(&v).expect("encode")).expect("decode")
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(0),
+            Value::Int(-1),
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::Float(0.0),
+            Value::Float(-0.0),
+            Value::Float(1e-300),
+            Value::Float(f64::MAX),
+            Value::Str(String::new()),
+            Value::Str("hello λ 🦀 \"quoted\"\n".into()),
+            Value::Bytes(vec![]),
+            Value::Bytes((0..=255).collect()),
+            Value::Seq(vec![Value::Int(1), Value::Null]),
+            Value::record([("a", Value::Int(1)), ("b", Value::Str("x".into()))]),
+        ] {
+            assert_eq!(roundtrip(v.clone()), v, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn binary_admits_what_json_cannot() {
+        // Non-finite floats round-trip bit-exactly.
+        for f in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let back = roundtrip(Value::Float(f));
+            match back {
+                Value::Float(b) => assert_eq!(b.to_bits(), f.to_bits()),
+                other => panic!("expected float, got {other:?}"),
+            }
+        }
+        // The $bytes-shaped map JSON reserves is a plain map here.
+        let reserved = Value::record([(json::BYTES_KEY, Value::Str("Zm9v".into()))]);
+        assert_eq!(roundtrip(reserved.clone()), reserved);
+    }
+
+    #[test]
+    fn encoding_is_canonical() {
+        let v = Value::record([
+            ("weights", Value::Bytes(vec![7u8; 64])),
+            ("kind", Value::Str("m".into())),
+            ("n", Value::Int(-3)),
+        ]);
+        let bytes = to_binary(&v).unwrap();
+        assert_eq!(to_binary(&from_binary(&bytes).unwrap()).unwrap(), bytes);
+    }
+
+    #[test]
+    fn zigzag_varint_edges() {
+        for i in [0i64, 1, -1, 63, -64, 64, -65, i64::MIN, i64::MAX] {
+            assert_eq!(unzigzag(zigzag(i)), i, "{i}");
+            assert_eq!(roundtrip(Value::Int(i)), Value::Int(i));
+        }
+        // Small magnitudes stay small on the wire.
+        assert_eq!(to_binary(&Value::Int(5)).unwrap().len(), 2);
+        assert_eq!(to_binary(&Value::Int(-5)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn bytes_carry_no_base64_tax() {
+        let payload = Value::Bytes(vec![0xAB; 3000]);
+        let binary = to_binary(&payload).unwrap();
+        let json_text = json::to_json(&payload).unwrap();
+        assert!(binary.len() < 3000 + 8);
+        assert!(json_text.len() > 4000, "base64 tax: {}", json_text.len());
+    }
+
+    #[test]
+    fn strictness() {
+        // Truncations and garbage.
+        for bad in [
+            &[][..],
+            &[0x03],             // int tag, no varint
+            &[0x04, 0, 0],       // float tag, short payload
+            &[0x05, 5, b'a'],    // declared 5, got 1
+            &[0x06, 0xFF, 0xFF], // truncated varint for a length
+            &[0x09],             // unknown tag
+            &[0x00, 0x00],       // trailing content
+            &[0x05, 1, 0xFF],    // invalid UTF-8
+            &[0x03, 0x80],       // unterminated varint
+            &[0x03, 0x80, 0x00], // non-canonical varint (zero tail)
+            &[0x07, 2, 0x00],    // seq declares 2, holds 1
+            &[0x08, 1, 1, b'a'], // map entry missing its value
+        ] {
+            assert!(from_binary(bad).is_err(), "accepted {bad:?}");
+        }
+        // Varint overflowing u64 (10th byte carries more than one bit).
+        let overflow = [
+            0x03, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x02,
+        ];
+        assert!(from_binary(&overflow).is_err());
+    }
+
+    #[test]
+    fn map_key_order_is_enforced() {
+        // Hand-build b-before-a: tag, count 2, then entries (literal
+        // keys carry their length shifted left one bit).
+        let mut bytes = vec![TAG_MAP, 2];
+        bytes.extend([2, b'b', TAG_NULL]);
+        bytes.extend([2, b'a', TAG_NULL]);
+        let err = from_binary(&bytes).unwrap_err();
+        assert!(err.to_string().contains("canonical order"), "{err}");
+        // Duplicate keys are out of order by definition.
+        let mut dup = vec![TAG_MAP, 2];
+        dup.extend([2, b'a', TAG_NULL]);
+        dup.extend([2, b'a', TAG_NULL]);
+        assert!(from_binary(&dup).is_err());
+    }
+
+    #[test]
+    fn well_known_keys_pack_to_one_byte() {
+        let v = Value::record([("kind", Value::Null)]);
+        let bytes = to_binary(&v).unwrap();
+        // tag, count, dict ref (index of "kind" << 1 | 1), null.
+        let idx = KEY_DICT.iter().position(|&k| k == "kind").unwrap() as u8;
+        assert_eq!(bytes, vec![TAG_MAP, 1, (idx << 1) | 1, TAG_NULL]);
+        assert_eq!(from_binary(&bytes).unwrap(), v);
+        // The literal spelling of a dictionary name is non-canonical.
+        let mut literal = vec![TAG_MAP, 1, (4u8) << 1];
+        literal.extend(b"kind");
+        literal.push(TAG_NULL);
+        let err = from_binary(&literal).unwrap_err();
+        assert!(err.to_string().contains("non-canonical"), "{err}");
+        // Out-of-range dictionary references fail cleanly.
+        let bad_ref = vec![TAG_MAP, 1, 0xFF, 0x01, TAG_NULL];
+        assert!(from_binary(&bad_ref).is_err());
+        // Empty literal keys still work (len 0 << 1 = 0).
+        let empty = Value::record([("", Value::Int(1))]);
+        assert_eq!(roundtrip(empty.clone()), empty);
+    }
+
+    #[test]
+    fn nesting_limit_enforced_both_ways() {
+        let mut deep = Value::Int(1);
+        for _ in 0..=MAX_DEPTH {
+            deep = Value::Seq(vec![deep]);
+        }
+        assert_eq!(to_binary(&deep), Err(EncodeError::TooDeep));
+
+        let mut bytes = Vec::new();
+        for _ in 0..MAX_DEPTH + 2 {
+            bytes.extend([TAG_SEQ, 1]);
+        }
+        bytes.push(TAG_NULL);
+        assert!(from_binary(&bytes).is_err());
+
+        let mut ok = Value::Int(1);
+        for _ in 0..MAX_DEPTH {
+            ok = Value::Seq(vec![ok]);
+        }
+        assert_eq!(roundtrip(ok.clone()), ok);
+    }
+
+    #[test]
+    fn convenience_helpers_roundtrip() {
+        let v = vec![1.5f64, -2.25];
+        let bytes = encode_to_binary(&v).unwrap();
+        let back: Vec<f64> = decode_from_binary(&bytes).unwrap();
+        assert_eq!(back, v);
+    }
+}

@@ -13,6 +13,10 @@
 //!   model: full string escapes, a nesting limit, duplicate-key
 //!   rejection, and precise `f64` round-tripping (every finite float
 //!   survives encode → decode bit-exactly),
+//! * [`binary`] — a canonical CBOR-style byte backend over the same
+//!   model: raw bytes instead of base64, varint integers, strict
+//!   sorted-key maps; interchangeable with JSON for every value JSON
+//!   can express,
 //! * [`Encode`] / [`Decode`] — the traits persistence-shaped APIs
 //!   accept. Implementations are hand-written per struct (the workspace
 //!   has no proc-macro budget for a real derive) and live next to the
@@ -47,10 +51,12 @@
 //! assert_eq!(back.x, 1.5);
 //! ```
 
+pub mod binary;
 pub mod framing;
 pub mod json;
 pub mod value;
 
+pub use binary::{decode_from_binary, encode_to_binary, from_binary, to_binary};
 pub use framing::{encode_frame, FrameDecoder, FrameError};
 pub use json::{from_json, to_json, EncodeError, JsonError};
 pub use value::{DecodeError, Value};

@@ -1,7 +1,9 @@
 //! Property tests: arbitrary `Value` → JSON → `Value` is the identity
-//! for every JSON-representable value, and the documented policies
+//! for every JSON-representable value, the binary backend agrees with
+//! JSON on their shared domain, and the documented policies
 //! (non-finite floats, nesting limits, reserved bytes key) hold.
 
+use gp_codec::binary::{from_binary, to_binary};
 use gp_codec::json::{from_json, to_json, EncodeError, MAX_DEPTH};
 use gp_codec::Value;
 use proptest::prelude::*;
@@ -105,6 +107,64 @@ proptest! {
         prop_assert_eq!(&back, &value, "json: {}", text);
         // Encoding is deterministic: same value, same bytes.
         prop_assert_eq!(to_json(&back).unwrap(), text);
+    }
+
+    #[test]
+    fn binary_roundtrip_is_identity_and_agrees_with_json(seed in any::<u64>()) {
+        // The two backends must be interchangeable on their shared
+        // domain (every JSON-representable value): value → binary →
+        // value and value → JSON → value land on the same tree, and
+        // both encoders are deterministic. This is what lets the
+        // artifact registry re-encode JSON artifacts as binary (and
+        // vice versa) without semantic drift.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let value = gen_value(&mut rng, 0);
+        let bytes = to_binary(&value).expect("finite values encode");
+        let via_binary = from_binary(&bytes)
+            .unwrap_or_else(|e| panic!("binary decode failed: {e}"));
+        prop_assert_eq!(&via_binary, &value);
+        let via_json = from_json(&to_json(&value).unwrap()).unwrap();
+        prop_assert_eq!(&via_binary, &via_json);
+        // Canonical: re-encoding the decoded tree reproduces the bytes.
+        prop_assert_eq!(to_binary(&via_binary).unwrap(), bytes);
+    }
+
+    #[test]
+    fn binary_stays_smaller_on_artifact_shaped_payloads(
+        users in 1usize..6,
+        dim in 4usize..64,
+        seed in any::<u64>(),
+    ) {
+        // Size regression guard for the payload shape the store
+        // persists: byte-blob-heavy records (gallery templates, model
+        // weights). JSON pays base64 plus quoting on these; the binary
+        // backend must never give that advantage back.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let entries: Vec<Value> = (0..users)
+            .map(|u| {
+                let blob: Vec<u8> = (0..dim * 8).map(|_| rng.gen_range(0u32..256) as u8).collect();
+                Value::record([
+                    ("user", Value::Str(format!("user-{u}"))),
+                    ("sum", Value::Bytes(blob)),
+                    ("count", Value::Int(rng.gen_range(1i64..100))),
+                ])
+            })
+            .collect();
+        let payload = Value::record([
+            ("version", Value::Int(1)),
+            ("dim", Value::Int(dim as i64)),
+            ("threshold", Value::Float(rng.gen_range(0.0f64..10.0))),
+            ("entries", Value::Seq(entries)),
+        ]);
+        let binary = to_binary(&payload).unwrap();
+        let json = to_json(&payload).unwrap();
+        prop_assert!(
+            binary.len() < json.len(),
+            "binary ({}) must beat JSON ({}) on blob-heavy records",
+            binary.len(),
+            json.len()
+        );
+        prop_assert_eq!(from_binary(&binary).unwrap(), from_json(&json).unwrap());
     }
 
     #[test]

@@ -29,12 +29,32 @@
 
 use crate::system::{GesturePrint, IdentificationMode};
 use crate::train::{ModelKind, TrainedModel};
-use gp_codec::{json, Decode, DecodeError, Encode, Value};
+use gp_codec::{binary, json, Decode, DecodeError, Encode, Value};
 use gp_models::features::FeatureConfig;
 use gp_nn::serialize::{load_params, save_params, LoadParamsError};
 
 /// The envelope schema version this build reads and writes.
 pub const SCHEMA_VERSION: u32 = 1;
+
+/// Magic prefix of binary-format artifacts. The first byte is not a
+/// legal UTF-8 start byte, so no JSON artifact can collide with it —
+/// [`Artifact::from_bytes`] sniffs this prefix to route between the
+/// two byte backends.
+pub const BINARY_MAGIC: [u8; 4] = [0x8F, b'G', b'P', b'B'];
+
+/// Byte backend an artifact is serialised with. Readers accept both
+/// regardless of what was written; the format is a storage choice, not
+/// a schema difference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArtifactFormat {
+    /// Compact [`gp_codec::json`] text (the historical default; weight
+    /// streams ride as base64).
+    #[default]
+    Json,
+    /// [`BINARY_MAGIC`] + the canonical [`gp_codec::binary`] encoding —
+    /// weight streams ride as raw bytes, ~25-30% smaller end to end.
+    Binary,
+}
 
 /// Well-known artifact kinds.
 pub mod kinds {
@@ -46,6 +66,8 @@ pub mod kinds {
     pub const REPORT: &str = "gestureprint.report";
     /// A telemetry snapshot (`gp-telemetry` registry export).
     pub const TELEMETRY: &str = "gestureprint.telemetry";
+    /// An enrollment gallery (`gp-store` per-user embedding centroids).
+    pub const GALLERY: &str = "gestureprint.gallery";
 }
 
 /// Errors from reading an artifact.
@@ -150,18 +172,51 @@ impl Artifact {
     ///
     /// Same contract as [`Artifact::to_bytes`].
     pub fn into_bytes(self) -> Vec<u8> {
+        self.into_bytes_with(ArtifactFormat::Json)
+    }
+
+    /// Serialises the envelope in the chosen byte format.
+    ///
+    /// # Panics
+    ///
+    /// Panics on payloads past the codec nesting limit; additionally,
+    /// JSON cannot carry non-finite floats (the binary format can).
+    pub fn into_bytes_with(self, format: ArtifactFormat) -> Vec<u8> {
         let envelope = Value::record([
             ("schema_version", self.schema_version.encode()),
             ("kind", self.kind.encode()),
             ("created_rev", self.created_rev.encode()),
             ("payload", self.payload),
         ]);
-        json::to_json(&envelope)
-            .expect("artifact payloads are finite and bounded")
-            .into_bytes()
+        match format {
+            ArtifactFormat::Json => json::to_json(&envelope)
+                .expect("artifact payloads are finite and bounded")
+                .into_bytes(),
+            ArtifactFormat::Binary => {
+                let body = binary::to_binary(&envelope).expect("artifact payloads are bounded");
+                let mut out = Vec::with_capacity(BINARY_MAGIC.len() + body.len());
+                out.extend_from_slice(&BINARY_MAGIC);
+                out.extend_from_slice(&body);
+                out
+            }
+        }
+    }
+
+    /// The byte format `bytes` was serialised with, if recognisable.
+    pub fn sniff_format(bytes: &[u8]) -> Option<ArtifactFormat> {
+        if bytes.starts_with(&BINARY_MAGIC) {
+            Some(ArtifactFormat::Binary)
+        } else if bytes.first() == Some(&b'{') {
+            Some(ArtifactFormat::Json)
+        } else {
+            None
+        }
     }
 
     /// Parses an envelope from bytes, enforcing the version policy.
+    /// Both byte formats load through here — the [`BINARY_MAGIC`]
+    /// prefix routes to the binary decoder, everything else is treated
+    /// as JSON text.
     ///
     /// # Errors
     ///
@@ -169,10 +224,14 @@ impl Artifact {
     /// envelope, [`ArtifactError::FutureSchema`] for artifacts written
     /// by a newer schema.
     pub fn from_bytes(bytes: &[u8]) -> Result<Artifact, ArtifactError> {
-        let text = std::str::from_utf8(bytes)
-            .map_err(|e| ArtifactError::Malformed(format!("not UTF-8: {e}")))?;
-        let value = json::from_json(text)
-            .map_err(|e| ArtifactError::Malformed(format!("bad JSON: {e}")))?;
+        let value = if let Some(body) = bytes.strip_prefix(&BINARY_MAGIC[..]) {
+            binary::from_binary(body)
+                .map_err(|e| ArtifactError::Malformed(format!("bad binary envelope: {e}")))?
+        } else {
+            let text = std::str::from_utf8(bytes)
+                .map_err(|e| ArtifactError::Malformed(format!("not UTF-8: {e}")))?;
+            json::from_json(text).map_err(|e| ArtifactError::Malformed(format!("bad JSON: {e}")))?
+        };
         let schema_version: u32 = value.get("schema_version")?;
         if schema_version > SCHEMA_VERSION {
             return Err(ArtifactError::FutureSchema {
@@ -289,7 +348,14 @@ impl TrainedModel {
     /// result carries its own architecture metadata and needs no
     /// out-of-band arguments to load.
     pub fn save_artifact(&self) -> Vec<u8> {
-        Artifact::new(kinds::MODEL, ModelArtifact::from_model(self).into_value()).into_bytes()
+        self.save_artifact_with(ArtifactFormat::Json)
+    }
+
+    /// [`TrainedModel::save_artifact`] in the chosen byte format; both
+    /// load through the same [`TrainedModel::load_artifact`].
+    pub fn save_artifact_with(&self, format: ArtifactFormat) -> Vec<u8> {
+        Artifact::new(kinds::MODEL, ModelArtifact::from_model(self).into_value())
+            .into_bytes_with(format)
     }
 
     /// Rebuilds a model from [`TrainedModel::save_artifact`] bytes
@@ -312,6 +378,12 @@ impl GesturePrint {
     /// identifier, mode and class counts — as one [`kinds::SYSTEM`]
     /// artifact.
     pub fn save_artifact(&self) -> Vec<u8> {
+        self.save_artifact_with(ArtifactFormat::Json)
+    }
+
+    /// [`GesturePrint::save_artifact`] in the chosen byte format; both
+    /// load through the same [`GesturePrint::load_artifact`].
+    pub fn save_artifact_with(&self, format: ArtifactFormat) -> Vec<u8> {
         let identifiers: Vec<Value> = self
             .identifiers()
             .iter()
@@ -327,7 +399,7 @@ impl GesturePrint {
             ),
             ("identifiers", Value::Seq(identifiers)),
         ]);
-        Artifact::new(kinds::SYSTEM, payload).into_bytes()
+        Artifact::new(kinds::SYSTEM, payload).into_bytes_with(format)
     }
 
     /// Reconstructs a trained system from
@@ -614,6 +686,87 @@ mod tests {
         map.insert("gestures".into(), Value::Int(5));
         let bytes = Artifact::new(kinds::SYSTEM, Value::Map(map)).to_bytes();
         assert!(GesturePrint::load_artifact(&bytes).is_err());
+    }
+
+    #[test]
+    fn binary_artifacts_decode_bit_identical_to_json() {
+        let samples = toy_samples(3);
+        let pairs: Vec<(&LabeledSample, usize)> = samples.iter().map(|s| (s, s.user)).collect();
+        let model = train_classifier(&pairs, 2, &quick(ModelKind::GesIdNet));
+        let json_bytes = model.save_artifact();
+        let bin_bytes = model.save_artifact_with(ArtifactFormat::Binary);
+        assert_eq!(
+            Artifact::sniff_format(&json_bytes),
+            Some(ArtifactFormat::Json)
+        );
+        assert_eq!(
+            Artifact::sniff_format(&bin_bytes),
+            Some(ArtifactFormat::Binary)
+        );
+        // Same envelope, either byte backend.
+        assert_eq!(
+            Artifact::from_bytes(&bin_bytes).unwrap(),
+            Artifact::from_bytes(&json_bytes).unwrap()
+        );
+        let from_json = TrainedModel::load_artifact(&json_bytes).unwrap();
+        let from_bin = TrainedModel::load_artifact(&bin_bytes).unwrap();
+        for s in &samples {
+            assert_eq!(from_json.probabilities(s), from_bin.probabilities(s));
+            assert_eq!(model.probabilities(s), from_bin.probabilities(s));
+        }
+    }
+
+    #[test]
+    fn binary_model_artifacts_are_at_least_25_percent_smaller() {
+        // The size-regression gate: killing the base64 tax on the
+        // weight stream must hold ≥25% end to end, not just on paper.
+        let samples = toy_samples(2);
+        let pairs: Vec<(&LabeledSample, usize)> = samples.iter().map(|s| (s, s.user)).collect();
+        let model = train_classifier(&pairs, 2, &quick(ModelKind::GesIdNet));
+        let json_len = model.save_artifact().len();
+        let bin_len = model.save_artifact_with(ArtifactFormat::Binary).len();
+        assert!(
+            (bin_len as f64) <= (json_len as f64) * 0.75,
+            "binary model artifact regressed: {bin_len} vs {json_len} JSON bytes"
+        );
+    }
+
+    #[test]
+    fn binary_system_artifact_roundtrips() {
+        let samples = toy_samples(3);
+        let refs: Vec<&LabeledSample> = samples.iter().collect();
+        let system = GesturePrint::train(
+            &refs,
+            2,
+            2,
+            &GesturePrintConfig {
+                mode: IdentificationMode::Serialized,
+                train: quick(ModelKind::PointNet),
+                threads: 2,
+            },
+        );
+        let bytes = system.save_artifact_with(ArtifactFormat::Binary);
+        let restored = GesturePrint::load_artifact(&bytes).expect("load binary system");
+        for s in &samples {
+            assert_eq!(system.infer(s), restored.infer(s));
+        }
+    }
+
+    #[test]
+    fn truncated_binary_artifacts_fail_typed() {
+        let artifact = Artifact::new(kinds::REPORT, Value::record([("x", Value::Int(1))]));
+        let bytes = artifact.into_bytes_with(ArtifactFormat::Binary);
+        for cut in [BINARY_MAGIC.len(), BINARY_MAGIC.len() + 1, bytes.len() - 1] {
+            assert!(matches!(
+                Artifact::from_bytes(&bytes[..cut]),
+                Err(ArtifactError::Malformed(_))
+            ));
+        }
+        // Bare magic-less binary body is not UTF-8 → Malformed, no panic.
+        assert!(matches!(
+            Artifact::from_bytes(&bytes[BINARY_MAGIC.len()..]),
+            Err(ArtifactError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod report;
 pub mod system;
 pub mod train;
 
-pub use artifact::{Artifact, ArtifactError, ModelArtifact, SCHEMA_VERSION};
+pub use artifact::{Artifact, ArtifactError, ArtifactFormat, ModelArtifact, SCHEMA_VERSION};
 pub use crossval::kfold_reports;
 pub use report::{classification_report, ClassificationReport};
 pub use system::{GesturePrint, GesturePrintConfig, IdentificationMode, Inference};

@@ -303,6 +303,27 @@ impl GesturePrint {
             .collect()
     }
 
+    /// The user-discriminative embedding of a sample: the fused
+    /// penultimate feature of the identifier the recognised gesture
+    /// dispatches to ([`TrainedModel::embedding`]). This is what
+    /// `gp-store` enrolls into a gallery — identification then becomes
+    /// nearest-gallery matching instead of a closed-set argmax.
+    /// `None` when the identifier architecture has no fusion tap.
+    pub fn embedding(&self, sample: &LabeledSample) -> Option<Vec<f32>> {
+        self.embedding_for_gesture(sample, self.recognize(sample))
+    }
+
+    /// [`GesturePrint::embedding`] for a gesture the caller already
+    /// recognised — the serving path has the gesture from the batched
+    /// inference and must not run the recogniser twice.
+    pub fn embedding_for_gesture(
+        &self,
+        sample: &LabeledSample,
+        gesture: usize,
+    ) -> Option<Vec<f32>> {
+        self.identifier_for(gesture).embedding(sample)
+    }
+
     /// Open-set inference: rejects samples whose identity confidence is
     /// below `threshold` (`None` = unauthorized person or random motion).
     ///
@@ -462,6 +483,59 @@ mod tests {
     #[should_panic(expected = "empty sample set")]
     fn empty_training_rejected() {
         GesturePrint::train(&[], 2, 2, &quick_config(IdentificationMode::Serialized));
+    }
+
+    #[test]
+    fn embeddings_are_deterministic_and_user_discriminative() {
+        let samples = toy_samples(6);
+        let refs: Vec<&LabeledSample> = samples.iter().collect();
+        let system =
+            GesturePrint::train(&refs, 2, 2, &quick_config(IdentificationMode::Serialized));
+        let e = system.embedding(&samples[0]).expect("GesIDNet has a tap");
+        assert!(!e.is_empty());
+        assert_eq!(system.embedding(&samples[0]).unwrap(), e, "deterministic");
+        // Same-user embeddings sit closer than cross-user ones on
+        // average (the property the gallery matcher relies on).
+        let dist = |a: &[f32], b: &[f32]| -> f64 {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (f64::from(x - y)).powi(2))
+                .sum::<f64>()
+                .sqrt()
+        };
+        let embeds: Vec<(usize, Vec<f32>)> = samples
+            .iter()
+            .map(|s| (s.user, system.embedding(s).unwrap()))
+            .collect();
+        let (mut same, mut same_n, mut diff, mut diff_n) = (0.0, 0u32, 0.0, 0u32);
+        for i in 0..embeds.len() {
+            for j in (i + 1)..embeds.len() {
+                let d = dist(&embeds[i].1, &embeds[j].1);
+                if embeds[i].0 == embeds[j].0 {
+                    same += d;
+                    same_n += 1;
+                } else {
+                    diff += d;
+                    diff_n += 1;
+                }
+            }
+        }
+        assert!(
+            same / f64::from(same_n) < diff / f64::from(diff_n),
+            "genuine mean {} >= impostor mean {}",
+            same / f64::from(same_n),
+            diff / f64::from(diff_n)
+        );
+    }
+
+    #[test]
+    fn embedding_is_none_without_a_fusion_tap() {
+        let samples = toy_samples(3);
+        let refs: Vec<&LabeledSample> = samples.iter().collect();
+        let mut config = quick_config(IdentificationMode::Parallel);
+        config.train.model = ModelKind::PointNet;
+        let system = GesturePrint::train(&refs, 2, 2, &config);
+        assert_eq!(system.embedding(&samples[0]), None);
     }
 
     #[test]

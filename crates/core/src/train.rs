@@ -215,6 +215,14 @@ impl TrainedModel {
         self.model.feature_taps(&input)
     }
 
+    /// The fused penultimate representation (GesIDNet's `Y^k`, the
+    /// attention-fusion output feeding the classification head) — the
+    /// enrollment embedding `gp-store` galleries are built from.
+    /// `None` for architectures without a fusion tap.
+    pub fn embedding(&self, sample: &LabeledSample) -> Option<Vec<f32>> {
+        self.feature_taps(sample).map(|(_, _, fused)| fused)
+    }
+
     /// Builds an untrained model shell (used when loading saved weights).
     pub fn untrained(kind: ModelKind, classes: usize, feature: FeatureConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(0);

@@ -76,6 +76,33 @@ impl RocEerSummary {
             negatives: positives.len() - pos,
         }
     }
+
+    /// The strictest decision threshold whose false-accept rate stays at
+    /// or below `target_far` — the calibration point open-set galleries
+    /// operate at instead of a hard-coded cutoff. Scores at or above the
+    /// returned threshold are accepted; because the curve is built from
+    /// a finite score sample, this is the loosest threshold the held-out
+    /// split *measured* as satisfying the FAR bound.
+    ///
+    /// Returns `f64::INFINITY` (accept nothing) when even the strictest
+    /// finite operating point exceeds the bound, which is the safe side
+    /// of the trade. Degenerate curves with no negative scores calibrate
+    /// to the loosest finite threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_far` is negative or NaN.
+    pub fn threshold_at_far(&self, target_far: f64) -> f64 {
+        assert!(
+            target_far >= 0.0,
+            "target FAR must be non-negative, got {target_far}"
+        );
+        self.points
+            .iter()
+            .rev()
+            .find(|p| p.fpr <= target_far)
+            .map_or(f64::INFINITY, |p| p.threshold)
+    }
 }
 
 impl Encode for RocEerSummary {
@@ -246,6 +273,50 @@ mod tests {
         let pos = [true, true, false, true, false, false];
         let e = eer(&scores, &pos);
         assert!(e > 0.0 && e < 0.5, "eer = {e}");
+    }
+
+    #[test]
+    fn threshold_at_far_calibrates_from_the_curve() {
+        // Genuine scores high, impostors low, one overlap at 0.55.
+        let scores = [0.9, 0.8, 0.7, 0.55, 0.55, 0.3, 0.2, 0.1];
+        let pos = [true, true, true, false, true, false, false, false];
+        let summary = RocEerSummary::from_scores("cal", &scores, &pos);
+
+        // FAR 0: the loosest threshold with zero false accepts is 0.7
+        // (accepting >= 0.55 would admit the impostor at 0.55).
+        let t0 = summary.threshold_at_far(0.0);
+        assert_eq!(t0, 0.7);
+        let accepted_impostors = scores
+            .iter()
+            .zip(&pos)
+            .filter(|(s, p)| !**p && **s >= t0)
+            .count();
+        assert_eq!(accepted_impostors, 0);
+
+        // FAR 25%: one of four impostors may pass; 0.55 qualifies.
+        assert_eq!(summary.threshold_at_far(0.25), 0.55);
+        // FAR 100%: everything passes at the loosest threshold.
+        assert_eq!(summary.threshold_at_far(1.0), 0.1);
+    }
+
+    #[test]
+    fn threshold_at_far_is_infinite_when_unreachable() {
+        // Every score tied: any finite threshold accepts the impostor.
+        let scores = [0.5, 0.5];
+        let pos = [true, false];
+        let summary = RocEerSummary::from_scores("tied", &scores, &pos);
+        assert_eq!(summary.threshold_at_far(0.4), f64::INFINITY);
+        // And the infinite point survives the JSON round trip as null.
+        let text = gp_codec::encode_to_json(&summary).unwrap();
+        let back: RocEerSummary = gp_codec::decode_from_json(&text).unwrap();
+        assert_eq!(back.threshold_at_far(0.4), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn threshold_at_far_rejects_negative_targets() {
+        let summary = RocEerSummary::from_scores("bad", &[0.5], &[true]);
+        summary.threshold_at_far(-0.1);
     }
 
     #[test]

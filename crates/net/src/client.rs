@@ -5,6 +5,7 @@
 use crate::wire::{from_wire, to_wire, ClientMsg, ServerMsg, WireLedger, WIRE_VERSION};
 use gp_codec::FrameDecoder;
 use gp_radar::Frame;
+use gp_serve::IdentityOutcome;
 use gp_telemetry::TelemetrySnapshot;
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -12,7 +13,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::os::unix::net::UnixStream;
 
 /// One result streamed back by the server.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClientResult {
     /// Per-session dispatch sequence number.
     pub seq: u64,
@@ -26,6 +27,9 @@ pub struct ClientResult {
     pub user: u64,
     /// Segment-detected → result-published latency, microseconds.
     pub latency_us: u64,
+    /// Identity verdict when the session is in enroll/identify mode
+    /// (`None` for plain classification).
+    pub identity: Option<IdentityOutcome>,
 }
 
 /// Everything a graceful close returns: the results received after
@@ -81,8 +85,8 @@ pub struct NetClient {
     pending: Vec<ClientResult>,
 }
 
-fn to_client_result(msg: &ServerMsg) -> Option<ClientResult> {
-    match *msg {
+fn to_client_result(msg: ServerMsg) -> Option<ClientResult> {
+    match msg {
         ServerMsg::Result {
             seq,
             start,
@@ -90,6 +94,7 @@ fn to_client_result(msg: &ServerMsg) -> Option<ClientResult> {
             gesture,
             user,
             latency_us,
+            identity,
         } => Some(ClientResult {
             seq,
             start,
@@ -97,6 +102,7 @@ fn to_client_result(msg: &ServerMsg) -> Option<ClientResult> {
             gesture,
             user,
             latency_us,
+            identity,
         }),
         _ => None,
     }
@@ -197,14 +203,63 @@ impl NetClient {
         self.stream.set_nonblocking(false)?;
         while let Some(msg) = self.next_decoded()? {
             match msg {
-                ServerMsg::Result { .. } => {
-                    results.extend(to_client_result(&msg));
+                msg @ ServerMsg::Result { .. } => {
+                    results.extend(to_client_result(msg));
                 }
                 ServerMsg::Error { message } => return Err(protocol_err(message)),
                 other => return Err(protocol_err(format!("unexpected {other:?}"))),
             }
         }
         Ok(results)
+    }
+
+    /// Sends [`ClientMsg::Enroll`] and blocks until the server's
+    /// [`ServerMsg::EnrollAck`]: once this returns, every segment that
+    /// completes is enrolled under `user`. Results that arrive while
+    /// waiting are buffered like [`NetClient::query_stats`] does.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; a server without an identity store
+    /// answers with a fatal `Error`, surfaced as `InvalidData`.
+    pub fn enroll(&mut self, user: &str) -> io::Result<()> {
+        let msg = to_wire(
+            &ClientMsg::Enroll {
+                user: user.to_owned(),
+            },
+            self.max_frame,
+        );
+        self.stream.write_all(&msg)?;
+        loop {
+            match self.recv_blocking()? {
+                ServerMsg::EnrollAck { user: acked } => {
+                    if acked == user {
+                        return Ok(());
+                    }
+                    return Err(protocol_err(format!(
+                        "enroll ack for '{acked}', expected '{user}'"
+                    )));
+                }
+                msg @ ServerMsg::Result { .. } => {
+                    self.pending.extend(to_client_result(msg));
+                }
+                ServerMsg::Error { message } => return Err(protocol_err(message)),
+                other => return Err(protocol_err(format!("unexpected {other:?}"))),
+            }
+        }
+    }
+
+    /// Sends [`ClientMsg::Identify`], switching the session into
+    /// open-set identification mode: subsequent results carry an
+    /// identity verdict. There is no ack — a server without an identity
+    /// store hangs up with an `Error` that surfaces on the next receive.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn identify_mode(&mut self) -> io::Result<()> {
+        let msg = to_wire(&ClientMsg::Identify, self.max_frame);
+        self.stream.write_all(&msg)
     }
 
     /// Sends [`ClientMsg::StatsQuery`] and blocks until the server's
@@ -223,7 +278,7 @@ impl NetClient {
             match self.recv_blocking()? {
                 ServerMsg::Stats(snapshot) => return Ok(snapshot),
                 msg @ ServerMsg::Result { .. } => {
-                    self.pending.extend(to_client_result(&msg));
+                    self.pending.extend(to_client_result(msg));
                 }
                 ServerMsg::Error { message } => return Err(protocol_err(message)),
                 other => return Err(protocol_err(format!("unexpected {other:?}"))),
@@ -244,7 +299,7 @@ impl NetClient {
         loop {
             match self.recv_blocking()? {
                 msg @ ServerMsg::Result { .. } => {
-                    results.extend(to_client_result(&msg));
+                    results.extend(to_client_result(msg));
                 }
                 ServerMsg::Bye(ledger) => return Ok(SessionReport { results, ledger }),
                 ServerMsg::Error { message } => return Err(protocol_err(message)),

@@ -29,6 +29,13 @@
 //! per-stage latency histograms, pool utilization, and the reactor's
 //! `net.*` counters in one export.
 //!
+//! Identity rides it too (wire v2): [`NetClient::enroll`] switches a
+//! session into enrollment mode (every completed segment's embedding
+//! joins that user's gallery template in the server's
+//! [`gp_serve::IdentityStore`]), and [`NetClient::identify_mode`] turns
+//! results into open-set identity verdicts — a known user within the
+//! calibrated gallery threshold, or an explicit *unknown*.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -59,4 +66,7 @@ pub use client::{ClientResult, NetClient, SessionReport};
 pub use server::{NetConfig, NetListener, NetServer, NetStats};
 // Re-exported so socket peers can name the `StatsQuery` reply type.
 pub use gp_telemetry::TelemetrySnapshot;
-pub use wire::{ClientMsg, ServerMsg, WireLedger, WIRE_VERSION};
+// Re-exported so result consumers can match identity verdicts without
+// naming gp-serve.
+pub use gp_serve::IdentityOutcome;
+pub use wire::{ClientMsg, ServerMsg, WireLedger, MIN_WIRE_VERSION, WIRE_VERSION};

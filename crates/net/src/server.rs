@@ -50,10 +50,12 @@
 //! [`ServeEngine::poll_events`] pump (never `drain`), and the only
 //! blocking engine calls are bounded gate waits inside `flush`.
 
-use crate::wire::{from_wire, to_wire, ClientMsg, ServerMsg, WireLedger, WIRE_VERSION};
+use crate::wire::{
+    from_wire, to_wire, ClientMsg, ServerMsg, WireLedger, MIN_WIRE_VERSION, WIRE_VERSION,
+};
 use gp_codec::FrameDecoder;
 use gp_radar::Frame;
-use gp_serve::{Admission, RejectReason, ServeEngine, SessionId};
+use gp_serve::{Admission, RejectReason, ServeEngine, SessionId, SessionMode};
 use gp_telemetry::{Counter, Registry};
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -701,10 +703,13 @@ impl Reactor {
         let state = self.conns.get(&id).expect("conn exists").state;
         match (state, msg) {
             (ConnState::Handshake, ClientMsg::Hello { version }) => {
-                if version != WIRE_VERSION {
+                if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
                     self.fatal(
                         id,
-                        &format!("unsupported wire version {version} (want {WIRE_VERSION})"),
+                        &format!(
+                            "unsupported wire version {version} \
+                             (want {MIN_WIRE_VERSION}..={WIRE_VERSION})"
+                        ),
                     );
                     return;
                 }
@@ -750,6 +755,28 @@ impl Reactor {
                 let bytes = to_wire(&ServerMsg::Stats(snapshot), self.config.max_frame);
                 self.conns.get_mut(&id).expect("conn exists").queue(&bytes);
             }
+            (ConnState::Streaming(session), ClientMsg::Enroll { user }) => {
+                // A mode switch only affects segments that *complete*
+                // after it — the engine snapshots the mode at enqueue —
+                // so the ack is an exact promise: everything behind the
+                // ack enrolls under `user`.
+                if self
+                    .engine
+                    .set_session_mode(session, SessionMode::Enroll(user.clone()))
+                {
+                    let bytes = to_wire(&ServerMsg::EnrollAck { user }, self.config.max_frame);
+                    // Acks are control messages: always queued, like
+                    // Welcome/Stats/Bye.
+                    self.conns.get_mut(&id).expect("conn exists").queue(&bytes);
+                } else {
+                    self.fatal(id, "enrollment requires a server-side identity store");
+                }
+            }
+            (ConnState::Streaming(session), ClientMsg::Identify) => {
+                if !self.engine.set_session_mode(session, SessionMode::Identify) {
+                    self.fatal(id, "identification requires a server-side identity store");
+                }
+            }
             (ConnState::Streaming(session), ClientMsg::Close) => {
                 self.engine.close_session(session);
                 self.conns.get_mut(&id).expect("conn exists").state = ConnState::Closing(session);
@@ -782,6 +809,7 @@ impl Reactor {
                 gesture: event.inference.gesture as u64,
                 user: event.inference.user as u64,
                 latency_us: event.latency.as_micros() as u64,
+                identity: event.identity,
             };
             let bytes = to_wire(&msg, self.config.max_frame);
             let conn = self.conns.get_mut(&conn_id).expect("routed conn exists");
@@ -815,6 +843,7 @@ impl Reactor {
                 segments: s.segments,
                 results: s.results,
                 dropped_results: 0,
+                enrolled: s.enrolled,
             })
             .unwrap_or_default();
         self.routes.remove(&session);

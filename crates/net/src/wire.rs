@@ -9,21 +9,37 @@
 //! [`gp_codec::DecodeError`], never a panic.
 //!
 //! Client → server: [`ClientMsg::Hello`] (protocol handshake), a stream
-//! of [`ClientMsg::Frame`]s (with [`ClientMsg::StatsQuery`] allowed at
-//! any point mid-stream), then [`ClientMsg::Close`]. Server → client:
+//! of [`ClientMsg::Frame`]s (with [`ClientMsg::StatsQuery`],
+//! [`ClientMsg::Enroll`], and [`ClientMsg::Identify`] allowed at any
+//! point mid-stream), then [`ClientMsg::Close`]. Server → client:
 //! [`ServerMsg::Welcome`], zero or more [`ServerMsg::Result`]s, one
+//! [`ServerMsg::EnrollAck`] per accepted enrollment switch, one
 //! [`ServerMsg::Stats`] per query, and a final [`ServerMsg::Bye`]
 //! carrying the session's admission ledger — or [`ServerMsg::Error`]
 //! before a fatal disconnect.
+//!
+//! # Versioning
+//!
+//! Wire version 2 added the identity plane (`Enroll`/`Identify`/
+//! `EnrollAck`, the optional `identity` payload on `Result`, and the
+//! `enrolled` ledger field). Every addition is backward compatible:
+//! the server still accepts version-1 clients (which simply never send
+//! identity messages), and a version-1 decoder reading this crate's
+//! `Result`/`Bye` shapes sees the new fields as absent-with-default.
 
 use gp_codec::{Decode, DecodeError, Encode, Value};
 use gp_pointcloud::{Point, PointCloud, Vec3};
 use gp_radar::Frame;
+use gp_serve::IdentityOutcome;
 use gp_telemetry::TelemetrySnapshot;
 
 /// Application-protocol version, carried in [`ClientMsg::Hello`]
 /// (independent of the byte-framing version).
-pub const WIRE_VERSION: u32 = 1;
+pub const WIRE_VERSION: u32 = 2;
+
+/// Oldest client protocol version the server still speaks. Version-1
+/// peers predate the identity plane and never see its messages.
+pub const MIN_WIRE_VERSION: u32 = 1;
 
 /// A client → server message.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +55,19 @@ pub enum ClientMsg {
     /// any time mid-stream; the reply is ordered with surrounding
     /// results.
     StatsQuery,
+    /// Switch the session into enrollment mode: every *subsequently
+    /// completed* segment's embedding is folded into `user`'s gallery
+    /// template. Acknowledged with [`ServerMsg::EnrollAck`]; fatal if
+    /// the server has no identity store. Segments already in flight
+    /// keep the mode they were enqueued under.
+    Enroll {
+        /// The user label to enroll under.
+        user: String,
+    },
+    /// Switch the session into open-set identification mode: results
+    /// carry an identity verdict (accepted user or rejection) alongside
+    /// the gesture. Fatal if the server has no identity store.
+    Identify,
     /// End of stream: the server flushes the session and answers with
     /// remaining results plus [`ServerMsg::Bye`].
     Close,
@@ -61,6 +90,9 @@ pub struct WireLedger {
     pub results: u64,
     /// Results the server dropped because this client read too slowly.
     pub dropped_results: u64,
+    /// Gallery enrollments performed by this session (wire v2; absent
+    /// from version-1 ledgers and decoded as 0).
+    pub enrolled: u64,
 }
 
 impl Encode for WireLedger {
@@ -73,6 +105,7 @@ impl Encode for WireLedger {
             ("segments", self.segments.encode()),
             ("results", self.results.encode()),
             ("dropped_results", self.dropped_results.encode()),
+            ("enrolled", self.enrolled.encode()),
         ])
     }
 }
@@ -87,6 +120,7 @@ impl Decode for WireLedger {
             segments: value.get("segments")?,
             results: value.get("results")?,
             dropped_results: value.get("dropped_results")?,
+            enrolled: value.get_or("enrolled", 0)?,
         })
     }
 }
@@ -113,6 +147,16 @@ pub enum ServerMsg {
         user: u64,
         /// Segment-detected → result-published latency, microseconds.
         latency_us: u64,
+        /// Identity verdict for sessions in enroll/identify mode
+        /// (wire v2). `None` for plain classification sessions and on
+        /// version-1 streams.
+        identity: Option<IdentityOutcome>,
+    },
+    /// Acknowledges a [`ClientMsg::Enroll`] mode switch (wire v2):
+    /// segments completing from here on enroll `user`.
+    EnrollAck {
+        /// The user label now being enrolled.
+        user: String,
     },
     /// Reply to [`ClientMsg::StatsQuery`]: the server's current
     /// telemetry registry export (independently versioned via
@@ -181,6 +225,8 @@ impl Encode for ClientMsg {
             ClientMsg::Hello { version } => tagged("hello", vec![("version", version.encode())]),
             ClientMsg::Frame(frame) => tagged("frame", vec![("frame", frame_to_value(frame))]),
             ClientMsg::StatsQuery => tagged("stats_query", vec![]),
+            ClientMsg::Enroll { user } => tagged("enroll", vec![("user", user.encode())]),
+            ClientMsg::Identify => tagged("identify", vec![]),
             ClientMsg::Close => tagged("close", vec![]),
         }
     }
@@ -195,12 +241,75 @@ impl Decode for ClientMsg {
             }),
             "frame" => Ok(ClientMsg::Frame(frame_from_value(value.field("frame")?)?)),
             "stats_query" => Ok(ClientMsg::StatsQuery),
+            "enroll" => Ok(ClientMsg::Enroll {
+                user: value.get("user")?,
+            }),
+            "identify" => Ok(ClientMsg::Identify),
             "close" => Ok(ClientMsg::Close),
             other => Err(DecodeError::new(format!(
                 "unknown client message type '{other}'"
             ))),
         }
     }
+}
+
+/// Encodes an identity verdict as a self-describing nested map (the
+/// `identity` field of a `result` message).
+fn identity_to_value(identity: &IdentityOutcome) -> Value {
+    match identity {
+        IdentityOutcome::Enrolled { user, samples } => Value::record([
+            ("event", Value::Str("enrolled".into())),
+            ("user", user.encode()),
+            ("samples", samples.encode()),
+        ]),
+        IdentityOutcome::Identified { user, distance } => Value::record([
+            ("event", Value::Str("identified".into())),
+            ("user", user.encode()),
+            ("distance", distance.encode()),
+        ]),
+        IdentityOutcome::Unknown { distance } => Value::record([
+            ("event", Value::Str("unknown".into())),
+            (
+                "distance",
+                match distance {
+                    Some(d) => d.encode(),
+                    None => Value::Null,
+                },
+            ),
+        ]),
+    }
+}
+
+/// Decodes the optional `identity` field of a `result` message. Absent
+/// or `null` (every version-1 result) is `None`, never an error.
+fn identity_from_value(value: &Value) -> Result<Option<IdentityOutcome>, DecodeError> {
+    let raw = match value.as_map()?.get("identity") {
+        None | Some(Value::Null) => return Ok(None),
+        Some(raw) => raw,
+    };
+    let event: String = raw.get("event")?;
+    let identity = match event.as_str() {
+        "enrolled" => IdentityOutcome::Enrolled {
+            user: raw.get("user")?,
+            samples: raw.get("samples")?,
+        },
+        "identified" => IdentityOutcome::Identified {
+            user: raw.get("user")?,
+            distance: raw.get("distance")?,
+        },
+        "unknown" => IdentityOutcome::Unknown {
+            distance: match raw.as_map()?.get("distance") {
+                None | Some(Value::Null) => None,
+                Some(d) => Some(d.as_f64().map_err(|e| e.in_field("distance"))?),
+            },
+        },
+        other => {
+            return Err(
+                DecodeError::new(format!("unknown identity event '{other}'")).in_field("identity"),
+            )
+        }
+    };
+    Ok(Some(identity))
 }
 
 impl Encode for ServerMsg {
@@ -216,17 +325,24 @@ impl Encode for ServerMsg {
                 gesture,
                 user,
                 latency_us,
-            } => tagged(
-                "result",
-                vec![
+                identity,
+            } => {
+                let mut fields = vec![
                     ("seq", seq.encode()),
                     ("start", start.encode()),
                     ("end", end.encode()),
                     ("gesture", gesture.encode()),
                     ("user", user.encode()),
                     ("latency_us", latency_us.encode()),
-                ],
-            ),
+                ];
+                // Omitted (not null) when absent, so a v1-shaped result
+                // stays byte-for-byte what a v1 server produced.
+                if let Some(identity) = identity {
+                    fields.push(("identity", identity_to_value(identity)));
+                }
+                tagged("result", fields)
+            }
+            ServerMsg::EnrollAck { user } => tagged("enroll_ack", vec![("user", user.encode())]),
             ServerMsg::Stats(snapshot) => tagged("stats", vec![("snapshot", snapshot.encode())]),
             ServerMsg::Bye(ledger) => tagged("bye", vec![("ledger", ledger.encode())]),
             ServerMsg::Error { message } => tagged("error", vec![("message", message.encode())]),
@@ -248,6 +364,10 @@ impl Decode for ServerMsg {
                 gesture: value.get("gesture")?,
                 user: value.get("user")?,
                 latency_us: value.get("latency_us")?,
+                identity: identity_from_value(value)?,
+            }),
+            "enroll_ack" => Ok(ServerMsg::EnrollAck {
+                user: value.get("user")?,
             }),
             "stats" => Ok(ServerMsg::Stats(value.get("snapshot")?)),
             "bye" => Ok(ServerMsg::Bye(value.get("ledger")?)),
@@ -311,6 +431,10 @@ mod tests {
             },
             ClientMsg::Frame(Frame::new(1.7, cloud)),
             ClientMsg::StatsQuery,
+            ClientMsg::Enroll {
+                user: "alice".into(),
+            },
+            ClientMsg::Identify,
             ClientMsg::Close,
         ] {
             assert_eq!(roundtrip_client(&msg), msg);
@@ -336,6 +460,54 @@ mod tests {
                 gesture: 3,
                 user: 1,
                 latency_us: 1500,
+                identity: None,
+            },
+            ServerMsg::Result {
+                seq: 8,
+                start: 35,
+                end: 60,
+                gesture: 2,
+                user: 0,
+                latency_us: 900,
+                identity: Some(IdentityOutcome::Enrolled {
+                    user: "alice".into(),
+                    samples: 3,
+                }),
+            },
+            ServerMsg::Result {
+                seq: 9,
+                start: 60,
+                end: 80,
+                gesture: 1,
+                user: 2,
+                latency_us: 800,
+                identity: Some(IdentityOutcome::Identified {
+                    user: "bob".into(),
+                    distance: 0.625,
+                }),
+            },
+            ServerMsg::Result {
+                seq: 10,
+                start: 80,
+                end: 95,
+                gesture: 0,
+                user: 4,
+                latency_us: 700,
+                identity: Some(IdentityOutcome::Unknown {
+                    distance: Some(3.5),
+                }),
+            },
+            ServerMsg::Result {
+                seq: 11,
+                start: 95,
+                end: 110,
+                gesture: 5,
+                user: 3,
+                latency_us: 650,
+                identity: Some(IdentityOutcome::Unknown { distance: None }),
+            },
+            ServerMsg::EnrollAck {
+                user: "alice".into(),
             },
             ServerMsg::Stats(snapshot),
             ServerMsg::Bye(WireLedger {
@@ -346,6 +518,7 @@ mod tests {
                 segments: 4,
                 results: 3,
                 dropped_results: 1,
+                enrolled: 2,
             }),
             ServerMsg::Error {
                 message: "bad \"frame\"".into(),
@@ -357,6 +530,36 @@ mod tests {
             let payload = dec.next().unwrap().unwrap();
             assert_eq!(from_wire::<ServerMsg>(&payload).unwrap(), msg);
         }
+    }
+
+    #[test]
+    fn version_one_shapes_still_decode() {
+        // A wire-v1 result has no identity field: decodes as None.
+        let v1_result = br#"{"type":"result","seq":1,"start":0,"end":20,"gesture":2,"user":1,"latency_us":500}"#;
+        let msg: ServerMsg = from_wire(v1_result).unwrap();
+        assert_eq!(
+            msg,
+            ServerMsg::Result {
+                seq: 1,
+                start: 0,
+                end: 20,
+                gesture: 2,
+                user: 1,
+                latency_us: 500,
+                identity: None,
+            }
+        );
+        // A wire-v1 ledger has no enrolled field: decodes as 0.
+        let v1_bye = br#"{"type":"bye","ledger":{"admitted":9,"shed_budget":1,"shed_capacity":0,"deferred":0,"segments":2,"results":2,"dropped_results":0}}"#;
+        let ServerMsg::Bye(ledger) = from_wire(v1_bye).unwrap() else {
+            panic!("expected Bye");
+        };
+        assert_eq!(ledger.enrolled, 0);
+        assert_eq!(ledger.admitted, 9);
+        // An identity verdict from a *future* version fails typed.
+        let future = br#"{"type":"result","seq":1,"start":0,"end":20,"gesture":2,"user":1,"latency_us":500,"identity":{"event":"teleported"}}"#;
+        let err = from_wire::<ServerMsg>(future).unwrap_err();
+        assert!(err.to_string().contains("identity event"));
     }
 
     #[test]

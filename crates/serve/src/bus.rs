@@ -32,8 +32,40 @@ pub struct ServeEvent {
     pub segment: GestureSegment,
     /// The two-task inference result (gesture + user + probabilities).
     pub inference: Inference,
+    /// What the identity store did with this segment — `None` for
+    /// plain classification sessions or when the engine has no store.
+    pub identity: Option<IdentityOutcome>,
     /// Segment-detected → result-published latency.
     pub latency: Duration,
+}
+
+/// The identity store's verdict on one segment, for sessions in an
+/// enrollment or identification mode (see
+/// [`crate::engine::SessionMode`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum IdentityOutcome {
+    /// The segment's embedding was folded into `user`'s gallery
+    /// template.
+    Enrolled {
+        /// The user enrolled into.
+        user: String,
+        /// That user's gallery sample count after this enrollment.
+        samples: u64,
+    },
+    /// Open-set identification accepted the nearest gallery user.
+    Identified {
+        /// The accepted user.
+        user: String,
+        /// Distance from the probe embedding to that user's centroid.
+        distance: f64,
+    },
+    /// Open-set identification rejected the probe: nobody in the
+    /// gallery was within the calibrated threshold.
+    Unknown {
+        /// Distance to the nearest (rejected) centroid, when the
+        /// gallery was not empty.
+        distance: Option<f64>,
+    },
 }
 
 #[derive(Debug, Default, Clone)]
@@ -53,6 +85,9 @@ struct SessionCounters {
     /// Frames a front-end deferred (admission retried later) because
     /// the engine was saturated while the session was within budget.
     deferred: u64,
+    /// Segments whose embedding was enrolled into the identity store's
+    /// gallery on behalf of this session.
+    enrolled: u64,
     /// Segment-to-result latency histogram: bounded memory, every
     /// sample weighed (no reservoir sampling).
     latency: Histogram,
@@ -124,6 +159,11 @@ impl EventBus {
         self.lock().sessions.entry(id).or_default().deferred += 1;
     }
 
+    /// Records one segment enrolled into the identity gallery.
+    pub(crate) fn record_enrolled(&self, id: SessionId) {
+        self.lock().sessions.entry(id).or_default().enrolled += 1;
+    }
+
     /// Whether every segment the session enqueued has published its
     /// result. Sessions already folded into the evicted aggregate were
     /// settled by construction (eviction requires final accounting).
@@ -180,6 +220,7 @@ impl EventBus {
                 inner.evicted.shed_frames += c.shed_frames;
                 inner.evicted.shed_budget += c.shed_budget;
                 inner.evicted.deferred += c.deferred;
+                inner.evicted.enrolled += c.enrolled;
                 // Exact: bucket-wise addition. The old sample ring
                 // overwrote older evicted sessions' samples here,
                 // skewing the aggregate percentiles towards whichever
@@ -263,6 +304,7 @@ fn snapshot(c: &SessionCounters) -> SessionStats {
         shed_frames: c.shed_frames,
         shed_budget: c.shed_budget,
         deferred: c.deferred,
+        enrolled: c.enrolled,
         latency: c.latency.clone(),
     }
 }
@@ -298,6 +340,9 @@ pub struct SessionStats {
     /// Deferred frames that were eventually admitted *are* counted in
     /// [`SessionStats::frames`].
     pub deferred: u64,
+    /// Segments whose embedding this session enrolled into the
+    /// identity gallery (sessions in an enrollment mode only).
+    pub enrolled: u64,
     /// Segment-to-result latency histogram (µs buckets): every result
     /// is weighed, memory stays fixed, and histograms from different
     /// sessions merge exactly.
@@ -413,6 +458,12 @@ impl ServeStats {
         self.sessions.values().map(|s| s.deferred).sum::<u64>() + self.evicted.deferred
     }
 
+    /// Total segments enrolled into the identity gallery across all
+    /// sessions (evicted included).
+    pub fn total_enrolled(&self) -> u64 {
+        self.sessions.values().map(|s| s.enrolled).sum::<u64>() + self.evicted.enrolled
+    }
+
     /// The `p`-th segment-to-result latency percentile across all
     /// sessions, evicted aggregate included — an exact merge of every
     /// session's histogram.
@@ -517,6 +568,7 @@ mod tests {
                         gesture_probs: Vec::new(),
                         user_probs: Vec::new(),
                     },
+                    identity: None,
                     latency,
                 });
             }

@@ -14,7 +14,7 @@
 //! [`ServeEngine::drain`] sorts events by `(session, seq)` to remove
 //! even that.
 
-use crate::bus::{EventBus, ServeEvent, ServeStats, StageBreakdown};
+use crate::bus::{EventBus, IdentityOutcome, ServeEvent, ServeStats, StageBreakdown};
 use crate::session::{Session, SessionId};
 use gestureprint_core::GesturePrint;
 use gp_pipeline::{
@@ -22,6 +22,7 @@ use gp_pipeline::{
 };
 use gp_radar::Frame;
 use gp_runtime::{Gate, TokenBucket, WorkerPool};
+use gp_store::{Identification, IdentityStore};
 use gp_telemetry::{AtomicHistogram, Registry, SpanId, TelemetrySnapshot};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -196,6 +197,25 @@ pub enum RejectReason {
     Capacity,
 }
 
+/// What a session does with the segments it produces, beyond
+/// classification. Every session starts in [`SessionMode::Classify`];
+/// fronts switch modes via [`ServeEngine::set_session_mode`] (the
+/// gp-net `Enroll`/`Identify` wire messages). The mode is snapshotted
+/// when a segment closes, so a mode switch never retroactively
+/// relabels segments already in flight.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum SessionMode {
+    /// Plain gesture + user classification (no identity resolution).
+    #[default]
+    Classify,
+    /// Classify, then fold each segment's embedding into the named
+    /// user's gallery template.
+    Enroll(String),
+    /// Classify, then resolve each segment's embedding open-set
+    /// against the gallery.
+    Identify,
+}
+
 /// One preprocessed segment waiting for (or undergoing) inference.
 struct SegmentJob {
     session: SessionId,
@@ -210,6 +230,8 @@ struct SegmentJob {
     /// When the job entered the batch queue — the clock behind the
     /// `queue_wait` stage histogram.
     enqueued: Instant,
+    /// The session's mode when this segment closed.
+    mode: SessionMode,
 }
 
 /// Per-stage latency histograms: one result's end-to-end latency
@@ -263,6 +285,11 @@ pub struct ServeEngine {
     /// or off — events always carry a span).
     next_span: AtomicU64,
     bus: Arc<EventBus>,
+    /// The identity store, when this engine serves enrollment and
+    /// open-set identification ([`ServeEngine::with_store`]).
+    store: Option<Arc<IdentityStore>>,
+    /// Per-session segment handling modes; absent = `Classify`.
+    modes: RwLock<HashMap<SessionId, SessionMode>>,
     /// `Some` when [`ServeConfig::telemetry`] is on.
     telemetry: Option<EngineTelemetry>,
     /// Epoch for the admission buckets' caller-supplied clock.
@@ -270,14 +297,36 @@ pub struct ServeEngine {
 }
 
 impl ServeEngine {
-    /// Creates an engine serving a trained system.
+    /// Creates an engine serving a trained system (no identity store:
+    /// sessions classify only).
     pub fn new(system: GesturePrint, config: ServeConfig) -> Self {
+        Self::build(system, config, None)
+    }
+
+    /// Creates an engine serving a trained system *with* an identity
+    /// store: sessions may switch into [`SessionMode::Enroll`] /
+    /// [`SessionMode::Identify`] and each such segment is resolved
+    /// against the store's gallery after inference. When telemetry is
+    /// on, the store's `store.*` instruments are registered in the
+    /// engine's shared registry.
+    pub fn with_store(
+        system: GesturePrint,
+        config: ServeConfig,
+        store: Arc<IdentityStore>,
+    ) -> Self {
+        Self::build(system, config, Some(store))
+    }
+
+    fn build(system: GesturePrint, config: ServeConfig, store: Option<Arc<IdentityStore>>) -> Self {
         let pool = WorkerPool::new(config.workers);
         let gate = Arc::new(Gate::new(config.pending_high_watermark));
         let preprocessor = Preprocessor::new(config.preprocessor.clone());
         let telemetry = config.telemetry.then(|| {
             let registry = Arc::new(Registry::new());
             pool.instrument(&registry, "serve.pool");
+            if let Some(store) = &store {
+                store.attach_telemetry(&registry);
+            }
             let stages = Arc::new(StageMetrics::register(&registry));
             EngineTelemetry { registry, stages }
         });
@@ -293,9 +342,46 @@ impl ServeEngine {
             next_seq: AtomicU64::new(0),
             next_span: AtomicU64::new(0),
             bus: Arc::new(EventBus::default()),
+            store,
+            modes: RwLock::new(HashMap::new()),
             telemetry,
             epoch: Instant::now(),
         }
+    }
+
+    /// The identity store this engine resolves identities through
+    /// (`None` for classify-only engines).
+    pub fn store(&self) -> Option<&Arc<IdentityStore>> {
+        self.store.as_ref()
+    }
+
+    /// Switches a live session's segment-handling mode. Returns `false`
+    /// (and changes nothing) when the session is not live, or when a
+    /// non-[`SessionMode::Classify`] mode is requested on an engine
+    /// without an identity store.
+    pub fn set_session_mode(&self, id: SessionId, mode: SessionMode) -> bool {
+        if self.session(id).is_none() {
+            return false;
+        }
+        if mode != SessionMode::Classify && self.store.is_none() {
+            return false;
+        }
+        self.modes
+            .write()
+            .expect("mode registry poisoned")
+            .insert(id, mode);
+        true
+    }
+
+    /// The session's current mode ([`SessionMode::Classify`] for
+    /// sessions that never switched, or unknown ids).
+    pub fn session_mode(&self, id: SessionId) -> SessionMode {
+        self.modes
+            .read()
+            .expect("mode registry poisoned")
+            .get(&id)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// The trained system being served.
@@ -552,6 +638,12 @@ impl ServeEngine {
             .expect("session registry poisoned")
             .remove(&id);
         let Some(session) = session else { return 0 };
+        // Segments already enqueued carry their mode snapshot; the
+        // session's mode entry itself dies with the session.
+        self.modes
+            .write()
+            .expect("mode registry poisoned")
+            .remove(&id);
         // A segment flushed by stream end is "ingested" by the close
         // itself — it still gets a span for its trip through the queue.
         let span = self.mint_span();
@@ -611,6 +703,7 @@ impl ServeEngine {
             sample: LabeledSample::from_sample(sample, 0, 0),
             detected: now,
             enqueued: now,
+            mode: self.session_mode(id),
         };
         self.bus.record_enqueued(id);
         // Collect under the lock, dispatch after releasing it: dispatch
@@ -650,6 +743,7 @@ impl ServeEngine {
         let system = self.system.clone();
         let bus = self.bus.clone();
         let gate = self.gate.clone();
+        let store = self.store.clone();
         let stages = self.telemetry.as_ref().map(|t| t.stages.clone());
         self.pool.spawn(move || {
             // Guard: if inference panics, release the batch's gate
@@ -691,6 +785,24 @@ impl ServeEngine {
             let infer_done = infer_start.map(|start| (start.elapsed(), Instant::now()));
             for (job, inference) in batch.iter().zip(inferences) {
                 guard.remaining -= 1;
+                // Identity resolution happens on the worker, after
+                // inference: the embedding is tapped from the fusion
+                // feature of the identifier the predicted gesture
+                // routes to, then enrolled or matched open-set.
+                let identity = resolve_identity(&system, store.as_deref(), job, &inference);
+                if matches!(identity, Some(IdentityOutcome::Enrolled { .. })) {
+                    bus.record_enrolled(job.session);
+                }
+                // Stage clocks are recorded *before* the publish: the
+                // publish is what releases `wait_idle`, so anything
+                // recorded after it races a stats() reader.
+                if let (Some(stages), Some((infer_elapsed, done_at))) = (&stages, &infer_done) {
+                    stages.inference.record_duration(*infer_elapsed);
+                    // Publish delay includes waiting behind this
+                    // batch's earlier results — the real delay this
+                    // result saw between inference end and its event.
+                    stages.publish.record_duration(done_at.elapsed());
+                }
                 // Gate weight releases *before* the publish: once
                 // `wait_idle` observes every result, the gate is
                 // provably back to zero (`drain` relies on this).
@@ -701,15 +813,9 @@ impl ServeEngine {
                     span: job.span,
                     segment: job.segment,
                     inference,
+                    identity,
                     latency: job.detected.elapsed(),
                 });
-                if let (Some(stages), Some((infer_elapsed, done_at))) = (&stages, &infer_done) {
-                    stages.inference.record_duration(*infer_elapsed);
-                    // Publish delay includes waiting behind this
-                    // batch's earlier results — the real delay this
-                    // result saw between inference end and its event.
-                    stages.publish.record_duration(done_at.elapsed());
-                }
             }
         });
     }
@@ -826,5 +932,45 @@ impl ServeEngine {
             .gauge("serve.sessions.live")
             .set(self.session_count() as i64);
         Some(t.registry.snapshot())
+    }
+}
+
+/// Resolves one job's identity against the store, per its mode
+/// snapshot. Returns `None` for classify jobs, engines without a
+/// store, or systems whose identifier exposes no fusion embedding
+/// (non-GesIDNet models); enrollment failures (e.g. an embedding
+/// dimension that no longer matches the gallery) also resolve to
+/// `None` rather than poisoning the batch.
+fn resolve_identity(
+    system: &GesturePrint,
+    store: Option<&IdentityStore>,
+    job: &SegmentJob,
+    inference: &gestureprint_core::Inference,
+) -> Option<IdentityOutcome> {
+    let store = store?;
+    if job.mode == SessionMode::Classify {
+        return None;
+    }
+    let embedding = system.embedding_for_gesture(&job.sample, inference.gesture)?;
+    match &job.mode {
+        SessionMode::Classify => None,
+        SessionMode::Enroll(user) => {
+            store
+                .enroll(user, &embedding)
+                .ok()
+                .map(|receipt| IdentityOutcome::Enrolled {
+                    user: receipt.user,
+                    samples: receipt.samples,
+                })
+        }
+        SessionMode::Identify => Some(match store.identify(&embedding) {
+            Identification::Accepted(m) => IdentityOutcome::Identified {
+                user: m.user,
+                distance: m.distance,
+            },
+            Identification::Rejected(nearest) => IdentityOutcome::Unknown {
+                distance: nearest.map(|m| m.distance),
+            },
+        }),
     }
 }

@@ -79,8 +79,12 @@ pub mod bus;
 pub mod engine;
 pub mod session;
 
-pub use bus::{ServeEvent, ServeStats, SessionStats, StageBreakdown};
-pub use engine::{Admission, AdmissionConfig, RejectReason, ServeConfig, ServeEngine};
+pub use bus::{IdentityOutcome, ServeEvent, ServeStats, SessionStats, StageBreakdown};
+pub use engine::{Admission, AdmissionConfig, RejectReason, ServeConfig, ServeEngine, SessionMode};
+// The identity store is co-owned with callers (enrollment tooling,
+// gp-net fronts); re-exported so they can construct one without
+// naming gp-store directly.
+pub use gp_store::{IdentityStore, RegistryConfig};
 // The observability layer is shared with gp-net and gp-runtime;
 // re-exported so serving callers can name snapshot/histogram types.
 pub use gp_telemetry::{Histogram, Registry, SpanId, TelemetrySnapshot};

@@ -175,6 +175,66 @@ fn telemetry_fixture_still_loads() {
     assert_eq!(snap, fixture_telemetry_snapshot());
 }
 
+/// The deterministic gallery the identity fixtures are built from — a
+/// two-user gallery with hand-picked embeddings and a finite calibrated
+/// threshold, so regeneration is byte-stable across machines.
+fn fixture_gallery() -> gp_store::EmbeddingGallery {
+    let mut gallery = gp_store::EmbeddingGallery::new();
+    // Two samples per user so the persisted state exercises the running
+    // sum (count > 1), not just single-enrollment templates.
+    gallery.enroll("ada", &[0.25, -1.5, 3.0, 0.0]).unwrap();
+    gallery.enroll("ada", &[0.75, -0.5, 2.0, 1.0]).unwrap();
+    gallery.enroll("bob", &[-4.0, 2.25, 0.5, -1.0]).unwrap();
+    gallery.enroll("bob", &[-3.0, 1.75, 1.5, -2.0]).unwrap();
+    gallery.set_threshold(1.8125); // exactly representable: stable text
+    gallery
+}
+
+#[test]
+fn gallery_fixture_still_loads() {
+    use gp_store::{EmbeddingGallery, Identification};
+    // The fixture is committed in both artifact formats: the JSON
+    // envelope (human-diffable) and the binary envelope (what the store
+    // registry persists by default for galleries).
+    for name in ["gallery_v1.json", "gallery_v1.bin"] {
+        let bytes = read_fixture(name);
+        let artifact = Artifact::from_bytes(&bytes).expect("envelope parses");
+        assert!(
+            artifact.schema_version <= SCHEMA_VERSION,
+            "fixture from the future? regenerate it"
+        );
+        assert!(artifact.expect_kind(kinds::GALLERY).is_ok());
+
+        let gallery = EmbeddingGallery::decode(&artifact.payload).expect("gallery decodes");
+        assert_eq!(gallery.users(), 2);
+        assert_eq!(gallery.samples(), 4);
+        assert_eq!(gallery.dim(), 4);
+        // Centroids reconstruct exactly — the sums persist as raw f64
+        // bytes, so no decimal round-trip loss is tolerated.
+        assert_eq!(
+            gallery.entry("ada").expect("ada enrolled").centroid(),
+            vec![0.5, -1.0, 2.5, 0.5]
+        );
+        // Open-set behaviour survives persistence: a probe on ada's
+        // centroid is accepted, a far-away probe is rejected by the
+        // stored threshold.
+        assert_eq!(gallery.identify(&[0.5, -1.0, 2.5, 0.5]).user(), Some("ada"));
+        assert!(matches!(
+            gallery.identify(&[50.0, 50.0, 50.0, 50.0]),
+            Identification::Rejected(Some(_))
+        ));
+
+        // Anti-drift: decode → encode must be the identity (see model
+        // fixture docs), and both formats carry the same payload.
+        assert_eq!(
+            gallery.encode(),
+            artifact.payload,
+            "gallery payload schema drifted; regenerate fixtures deliberately"
+        );
+        assert_eq!(gallery, fixture_gallery());
+    }
+}
+
 #[test]
 fn baseline_fixture_still_parses() {
     let text = String::from_utf8(read_fixture("baseline_v1.json")).expect("utf8");
@@ -224,6 +284,15 @@ fn regenerate_golden_fixtures() {
     std::fs::write(
         fixture_path("telemetry_v1.json"),
         Artifact::new(kinds::TELEMETRY, fixture_telemetry_snapshot().encode()).to_bytes(),
+    )
+    .unwrap();
+
+    use gestureprint_core::artifact::ArtifactFormat;
+    let gallery = Artifact::new(kinds::GALLERY, fixture_gallery().encode());
+    std::fs::write(fixture_path("gallery_v1.json"), gallery.to_bytes()).unwrap();
+    std::fs::write(
+        fixture_path("gallery_v1.bin"),
+        gallery.into_bytes_with(ArtifactFormat::Binary),
     )
     .unwrap();
 

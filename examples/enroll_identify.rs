@@ -1,0 +1,225 @@
+//! Identity over the socket front: enrollment, calibration, and
+//! open-set identification against a persistent gallery.
+//!
+//! Spawns a `gp-net` server whose engine carries a `gp-store`
+//! [`IdentityStore`], then walks the full identity lifecycle over real
+//! loopback TCP:
+//!
+//! 1. **Enroll** — two users stream one gesture recording each in
+//!    enrollment mode; every completed segment's embedding joins their
+//!    gallery template.
+//! 2. **Calibrate** — a labeled probe split (the enrolled users plus a
+//!    stranger) sets the acceptance threshold at a target false-accept
+//!    rate via the gp-eval ROC.
+//! 3. **Identify** — an enrolled user replaying their recording is
+//!    identified within the threshold; the stranger is rejected
+//!    open-set ("nobody I know"), not misattributed.
+//!
+//! The gallery persists through the store's artifact registry, and the
+//! `store.*` telemetry rides the same wire as the serving metrics.
+//!
+//! ```sh
+//! cargo run --release --example enroll_identify
+//! ```
+
+use gestureprint::datasets::{presets, Scale};
+use gestureprint::radar::Environment;
+use gestureprint::serve::{ServeConfig, ServeEngine, SessionMode};
+use gestureprint::store::{IdentityStore, RegistryConfig};
+use gp_net::{IdentityOutcome, NetClient, NetConfig, NetListener, NetServer};
+use gp_testkit::{stream_capture, toy_system, GestureStream};
+use std::sync::Arc;
+
+const MAX_FRAME: usize = 1 << 20;
+/// Target false-accept rate for threshold calibration.
+const TARGET_FAR: f64 = 0.05;
+
+/// One single-gesture recording by cohort user `user` — one gesture per
+/// stream keeps every embedding in one identifier's fusion space.
+fn recording(user: usize, seed: u64) -> GestureStream {
+    stream_capture(
+        &presets::gestureprint(Environment::Office, Scale::Small),
+        user,
+        &[12],
+        seed,
+    )
+}
+
+/// Streams a recording over an established client connection and
+/// returns the session report from a graceful close.
+fn stream_over(mut client: NetClient, stream: &GestureStream) -> gp_net::SessionReport {
+    for frame in &stream.frames {
+        client.send_frame(frame).expect("send frame");
+    }
+    client.close().expect("graceful close")
+}
+
+/// Serve-path embeddings for probe streams: each stream is enrolled
+/// into a scratch store by an in-process engine, and its template
+/// centroid *is* the embedding the socket server would compute.
+fn serve_embeddings(dir: &std::path::Path, streams: &[&GestureStream]) -> Vec<Vec<f32>> {
+    let scratch =
+        Arc::new(IdentityStore::open(dir, RegistryConfig::default()).expect("open scratch store"));
+    let engine = ServeEngine::with_store(toy_system(), ServeConfig::default(), scratch.clone());
+    for (k, stream) in streams.iter().enumerate() {
+        let session = engine.open_session();
+        assert!(engine.set_session_mode(session, SessionMode::Enroll(format!("probe-{k}"))));
+        for frame in &stream.frames {
+            engine.push_frame(session, frame.clone());
+        }
+        engine.close_session(session);
+    }
+    engine.drain();
+    let gallery = scratch.gallery_snapshot();
+    (0..streams.len())
+        .map(|k| {
+            gallery
+                .entry(&format!("probe-{k}"))
+                .expect("probe enrolled")
+                .centroid()
+        })
+        .collect()
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("gp-enroll-identify-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("scratch")).expect("store dirs");
+
+    let store = Arc::new(
+        IdentityStore::open(dir.join("store"), RegistryConfig::default())
+            .expect("open identity store"),
+    );
+    let engine = Arc::new(ServeEngine::with_store(
+        toy_system(),
+        ServeConfig::default(),
+        store.clone(),
+    ));
+    let listener = NetListener::bind_tcp("127.0.0.1:0").expect("bind loopback");
+    let server =
+        NetServer::spawn(engine.clone(), listener, NetConfig::default()).expect("spawn server");
+    let addr = server.local_addr().expect("tcp address");
+    println!(
+        "gp-net identity server on {addr} (gallery at {})\n",
+        dir.join("store").display()
+    );
+
+    // ── Phase 1: enrollment over the wire ────────────────────────────
+    let users = [("alice", 0usize, 21u64), ("bob", 1, 22)];
+    let mut streams = Vec::new();
+    for &(name, user, seed) in &users {
+        let stream = recording(user, seed);
+        let mut client = NetClient::connect_tcp(addr, MAX_FRAME).expect("connect");
+        client.enroll(name).expect("enroll ack");
+        let report = stream_over(client, &stream);
+        for r in &report.results {
+            if let Some(IdentityOutcome::Enrolled { user, samples }) = &r.identity {
+                println!(
+                    "enroll {user}: frames [{:>3}, {:>3}) → gesture {} ({samples} template sample{})",
+                    r.start,
+                    r.end,
+                    r.gesture,
+                    if *samples == 1 { "" } else { "s" },
+                );
+            }
+        }
+        assert_eq!(report.ledger.enrolled, report.results.len() as u64);
+        streams.push(stream);
+    }
+    println!(
+        "gallery: {} users, {} samples, threshold {} (uncalibrated = closed-set)\n",
+        store.users(),
+        store.samples(),
+        store.threshold(),
+    );
+
+    // ── Phase 2: threshold calibration at a target FAR ───────────────
+    // Probe split: the enrolled users' own recordings (genuine) plus
+    // two recordings by mallory, who never enrolled (impostor).
+    let mallory = [recording(2, 23), recording(2, 29)];
+    let probe_streams: Vec<&GestureStream> = streams.iter().chain(mallory.iter()).collect();
+    let embeddings = serve_embeddings(&dir.join("scratch"), &probe_streams);
+    let probes: Vec<(String, Vec<f32>)> = embeddings
+        .iter()
+        .enumerate()
+        .map(|(k, e)| {
+            let label = users.get(k).map_or("mallory", |(name, ..)| name);
+            (label.to_string(), e.clone())
+        })
+        .collect();
+    let summary = store.calibrate("enroll-identify-demo", &probes, TARGET_FAR);
+    println!(
+        "calibrated on {} probes ({} genuine / {} impostor pairs): \
+         threshold {:.4} at FAR ≤ {TARGET_FAR} (EER {:.3})\n",
+        probes.len(),
+        summary.positives,
+        summary.negatives,
+        store.threshold(),
+        summary.eer,
+    );
+
+    // ── Phase 3: open-set identification over the wire ───────────────
+    for (&(name, ..), stream) in users.iter().zip(&streams) {
+        let mut client = NetClient::connect_tcp(addr, MAX_FRAME).expect("connect");
+        client.identify_mode().expect("switch to identify");
+        let report = stream_over(client, stream);
+        for r in &report.results {
+            match &r.identity {
+                Some(IdentityOutcome::Identified { user, distance }) => {
+                    println!(
+                        "identify: gesture {} by {user} (distance {distance:.4})",
+                        r.gesture
+                    );
+                    assert_eq!(user, name, "an enrolled user must match their template");
+                }
+                other => panic!("{name} must be identified, got {other:?}"),
+            }
+        }
+    }
+
+    let mut client = NetClient::connect_tcp(addr, MAX_FRAME).expect("connect");
+    client.identify_mode().expect("switch to identify");
+    let report = stream_over(client, &mallory[1]);
+    for r in &report.results {
+        match &r.identity {
+            Some(IdentityOutcome::Unknown { distance }) => {
+                println!(
+                    "identify: gesture {} by UNKNOWN (nearest distance {:.4} > threshold)",
+                    r.gesture,
+                    distance.expect("populated gallery reports the nearest distance"),
+                );
+            }
+            other => panic!("a stranger must be rejected open-set, got {other:?}"),
+        }
+    }
+
+    // The calibrated gallery outlives the process: one publish writes a
+    // versioned `gestureprint.gallery` artifact through the registry
+    // (atomic tempfile + rename, versioned retention).
+    let version = store.persist().expect("persist gallery");
+    println!("\ngallery persisted as artifact version {version}");
+
+    // ── Store telemetry rides the same wire as serving metrics ───────
+    let mut observer = NetClient::connect_tcp(addr, MAX_FRAME).expect("connect observer");
+    let snapshot = observer.query_stats().expect("stats over the wire");
+    observer.close().expect("close observer");
+    println!("\nidentity-store metrics (queried over the socket):");
+    for (name, value) in snapshot
+        .counters
+        .iter()
+        .filter(|(n, _)| n.starts_with("store."))
+    {
+        println!("  {name:<28} {value}");
+    }
+    for (name, value) in snapshot
+        .gauges
+        .iter()
+        .filter(|(n, _)| n.starts_with("store."))
+    {
+        println!("  {name:<28} {value}");
+    }
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("\ndone: enrolled → calibrated → identified, stranger rejected open-set");
+}

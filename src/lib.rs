@@ -49,4 +49,5 @@ pub use gp_pointcloud as pointcloud;
 pub use gp_radar as radar;
 pub use gp_runtime as runtime;
 pub use gp_serve as serve;
+pub use gp_store as store;
 pub use gp_telemetry as telemetry;
