@@ -32,6 +32,7 @@ use crate::train::{ModelKind, TrainedModel};
 use gp_codec::{binary, json, Decode, DecodeError, Encode, Value};
 use gp_models::features::FeatureConfig;
 use gp_nn::serialize::{load_params, save_params, LoadParamsError};
+use gp_rd::RdFeatureConfig;
 
 /// The envelope schema version this build reads and writes.
 pub const SCHEMA_VERSION: u32 = 1;
@@ -277,6 +278,10 @@ pub struct ModelArtifact {
     pub classes: usize,
     /// Feature encoding the model was trained with.
     pub feature: FeatureConfig,
+    /// RD feature encoding (meaningful for RD architectures; emitted
+    /// only for them, so point-cloud artifacts stay byte-identical to
+    /// the pre-RD schema).
+    pub rd_feature: RdFeatureConfig,
     /// Seed of the deterministic per-sample encoding.
     pub encode_seed: u64,
     /// `gp_nn::serialize` flat weight stream.
@@ -290,20 +295,27 @@ impl ModelArtifact {
             kind: model.kind(),
             classes: model.classes(),
             feature: model.feature().clone(),
+            rd_feature: model.rd_feature().clone(),
             encode_seed: model.encode_seed(),
             weights: save_params(model.model_ref()).to_vec(),
         }
     }
 
     /// Rebuilds the model: architecture from the declared
-    /// `(kind, classes, feature)`, weights from the stream.
+    /// `(kind, classes, feature)`, weights from the stream. RD kinds
+    /// rebuild through the RD shell ([`TrainedModel::untrained_rd`]);
+    /// everything else through the point-cloud shell.
     ///
     /// # Errors
     ///
     /// [`ArtifactError::Params`] when the stream does not match the
     /// declared architecture (truncated, corrupt, or mislabeled).
     pub fn into_model(&self) -> Result<TrainedModel, ArtifactError> {
-        let mut model = TrainedModel::untrained(self.kind, self.classes, self.feature.clone());
+        let mut model = if self.kind.is_rd() {
+            TrainedModel::untrained_rd(self.classes, self.rd_feature.clone())
+        } else {
+            TrainedModel::untrained(self.kind, self.classes, self.feature.clone())
+        };
         model.set_encode_seed(self.encode_seed);
         load_params(model.model_mut(), &self.weights)?;
         Ok(model)
@@ -314,13 +326,17 @@ impl ModelArtifact {
     /// Consuming form of [`Encode::encode`]: moves the weight stream
     /// into the value instead of cloning it.
     pub fn into_value(self) -> Value {
-        Value::record([
+        let mut fields = vec![
             ("kind", self.kind.encode()),
             ("classes", self.classes.encode()),
             ("feature", self.feature.encode()),
             ("encode_seed", self.encode_seed.encode()),
             ("weights", Value::Bytes(self.weights)),
-        ])
+        ];
+        if self.kind.is_rd() {
+            fields.push(("rd_feature", self.rd_feature.encode()));
+        }
+        Value::record(fields)
     }
 }
 
@@ -336,6 +352,7 @@ impl Decode for ModelArtifact {
             kind: value.get("kind")?,
             classes: value.get("classes")?,
             feature: value.get("feature")?,
+            rd_feature: value.get_or("rd_feature", RdFeatureConfig::default())?,
             encode_seed: value.get("encode_seed")?,
             weights: value.field("weights")?.as_bytes()?.to_vec(),
         })
@@ -450,6 +467,16 @@ impl GesturePrint {
                 bad.classes()
             )));
         }
+        if let Some(bad) = identifiers
+            .iter()
+            .find(|m| m.backend() != gesture_model.backend())
+        {
+            return Err(ArtifactError::Malformed(format!(
+                "identifier backend {:?} disagrees with gesture model backend {:?}",
+                bad.backend(),
+                gesture_model.backend()
+            )));
+        }
         Ok(GesturePrint::from_parts(
             gesture_model,
             identifiers,
@@ -523,7 +550,7 @@ mod tests {
     fn model_artifact_roundtrips_all_kinds_from_bytes_alone() {
         let samples = toy_samples(3);
         let pairs: Vec<(&LabeledSample, usize)> = samples.iter().map(|s| (s, s.user)).collect();
-        for kind in ModelKind::ALL {
+        for kind in ModelKind::ALL.into_iter().filter(|k| !k.is_rd()) {
             let model = train_classifier(&pairs, 2, &quick(kind));
             let bytes = model.save_artifact();
             let restored = TrainedModel::load_artifact(&bytes)
@@ -537,6 +564,123 @@ mod tests {
                     "{} prediction drifted across the artifact round trip",
                     kind.name()
                 );
+            }
+        }
+    }
+
+    /// RD toy world mirroring the system tests.
+    fn toy_rd_samples(reps: usize) -> Vec<gp_rd::RdLabeledSample> {
+        let cfg = gp_rd::RdConfig::default();
+        let mut out = Vec::new();
+        for gesture in 0..2usize {
+            for user in 0..2usize {
+                for rep in 0..reps {
+                    let d = if user == 0 { 4 } else { 12 };
+                    let r0 = if gesture == 0 { 10 } else { 36 };
+                    let frames: Vec<gp_rd::RdFrame> = (0..6)
+                        .map(|i| {
+                            let mut f = gp_rd::RdFrame::zeros(&cfg, i as f64 * 0.1);
+                            f.power[d * cfg.range_bins + r0 + (rep + i) % 4] = 40.0 + rep as f64;
+                            f
+                        })
+                        .collect();
+                    out.push(gp_rd::RdLabeledSample {
+                        frames,
+                        duration_frames: 6,
+                        gesture,
+                        user,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn quick_rd() -> TrainConfig {
+        TrainConfig {
+            model: ModelKind::RdNet,
+            epochs: 4,
+            augment: None,
+            seed: 1234,
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn rd_model_artifact_roundtrips_both_formats() {
+        use crate::train::train_rd_classifier;
+        let samples = toy_rd_samples(3);
+        let pairs: Vec<(&gp_rd::RdLabeledSample, usize)> =
+            samples.iter().map(|s| (s, s.user)).collect();
+        let model = train_rd_classifier(&pairs, 2, &quick_rd());
+        for format in [ArtifactFormat::Json, ArtifactFormat::Binary] {
+            let bytes = model.save_artifact_with(format);
+            let restored =
+                TrainedModel::load_artifact(&bytes).unwrap_or_else(|e| panic!("{format:?}: {e}"));
+            assert_eq!(restored.kind(), ModelKind::RdNet);
+            assert_eq!(restored.rd_feature(), model.rd_feature());
+            for s in &samples {
+                assert_eq!(
+                    model.probabilities_rd(s),
+                    restored.probabilities_rd(s),
+                    "{format:?} RD prediction drifted across the round trip"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rd_artifact_carries_its_feature_config() {
+        use crate::train::train_rd_classifier;
+        let samples = toy_rd_samples(2);
+        let pairs: Vec<(&gp_rd::RdLabeledSample, usize)> =
+            samples.iter().map(|s| (s, s.user)).collect();
+        let cfg = TrainConfig {
+            rd_feature: Some(RdFeatureConfig {
+                max_frames: 12,
+                ..RdFeatureConfig::default()
+            }),
+            ..quick_rd()
+        };
+        let model = train_rd_classifier(&pairs, 2, &cfg);
+        let restored = TrainedModel::load_artifact(&model.save_artifact()).unwrap();
+        assert_eq!(restored.rd_feature().max_frames, 12);
+        // Point-cloud artifacts must not grow the new field: the
+        // golden-fixture compat gate depends on byte-stable payloads.
+        let samples = toy_samples(2);
+        let pairs: Vec<(&LabeledSample, usize)> = samples.iter().map(|s| (s, s.user)).collect();
+        let point = train_classifier(&pairs, 2, &quick(ModelKind::PointNet));
+        let payload = ModelArtifact::from_model(&point).into_value();
+        assert!(payload
+            .as_map()
+            .unwrap()
+            .iter()
+            .all(|(k, _)| k != "rd_feature"));
+    }
+
+    #[test]
+    fn rd_system_artifact_roundtrips() {
+        let samples = toy_rd_samples(3);
+        let refs: Vec<&gp_rd::RdLabeledSample> = samples.iter().collect();
+        for mode in [IdentificationMode::Serialized, IdentificationMode::Parallel] {
+            let system = GesturePrint::train_rd(
+                &refs,
+                2,
+                2,
+                &GesturePrintConfig {
+                    mode,
+                    train: quick_rd(),
+                    threads: 2,
+                },
+            );
+            let bytes = system.save_artifact_with(ArtifactFormat::Binary);
+            let restored = GesturePrint::load_artifact(&bytes).expect("load RD system");
+            assert_eq!(
+                restored.backend(),
+                crate::train::SensingBackend::RangeDoppler
+            );
+            for s in &samples {
+                assert_eq!(system.infer_rd(s), restored.infer_rd(s), "{mode:?}");
             }
         }
     }

@@ -48,4 +48,7 @@ pub use artifact::{Artifact, ArtifactError, ArtifactFormat, ModelArtifact, SCHEM
 pub use crossval::kfold_reports;
 pub use report::{classification_report, ClassificationReport};
 pub use system::{GesturePrint, GesturePrintConfig, IdentificationMode, Inference};
-pub use train::{train_classifier, ModelKind, TrainConfig, TrainedModel};
+pub use train::{
+    train_classifier, train_rd_classifier, ModelKind, SampleRef, SensingBackend, TrainConfig,
+    TrainedModel,
+};

@@ -1,8 +1,11 @@
 //! The full GesturePrint system: gesture recognition + user
 //! identification in serialized or parallel mode (paper §IV-C).
 
-use crate::train::{train_classifier, TrainConfig, TrainedModel};
+use crate::train::{
+    train_classifier, train_rd_classifier, SensingBackend, TrainConfig, TrainedModel,
+};
 use gp_pipeline::LabeledSample;
+use gp_rd::RdLabeledSample;
 use gp_runtime::WorkerPool;
 
 /// Runtime identification mode (paper §IV-C).
@@ -178,6 +181,66 @@ impl GesturePrint {
         }
     }
 
+    /// Trains a range-Doppler system — the RD counterpart of
+    /// [`GesturePrint::train`], with the same serialized/parallel
+    /// identifier structure, per-gesture seed offsets, and epoch
+    /// scaling, driven by [`train_rd_classifier`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty, labels exceed the class counts, or
+    /// `config.train.model` is not an RD architecture.
+    pub fn train_rd(
+        samples: &[&RdLabeledSample],
+        gestures: usize,
+        users: usize,
+        config: &GesturePrintConfig,
+    ) -> Self {
+        assert!(!samples.is_empty(), "cannot train on an empty sample set");
+        let gesture_pairs: Vec<(&RdLabeledSample, usize)> =
+            samples.iter().map(|s| (*s, s.gesture)).collect();
+        let gesture_model = train_rd_classifier(&gesture_pairs, gestures, &config.train);
+
+        let identifiers = match config.mode {
+            IdentificationMode::Parallel => {
+                let user_pairs: Vec<(&RdLabeledSample, usize)> =
+                    samples.iter().map(|s| (*s, s.user)).collect();
+                vec![train_rd_classifier(&user_pairs, users, &config.train)]
+            }
+            IdentificationMode::Serialized => {
+                let mut groups: Vec<Vec<(&RdLabeledSample, usize)>> = vec![Vec::new(); gestures];
+                for s in samples {
+                    groups[s.gesture].push((*s, s.user));
+                }
+                let all_pairs: Vec<(&RdLabeledSample, usize)> =
+                    samples.iter().map(|s| (*s, s.user)).collect();
+
+                let train_cfg = &config.train;
+                let pool = WorkerPool::new(config.threads);
+                pool.scope_map((0..gestures).collect(), |_, g| {
+                    let pairs: &[(&RdLabeledSample, usize)] = if groups[g].is_empty() {
+                        &all_pairs
+                    } else {
+                        &groups[g]
+                    };
+                    let mut cfg = train_cfg.clone();
+                    cfg.seed = cfg.seed.wrapping_add(g as u64 * 0x1009);
+                    let ratio = (samples.len() as f64 / pairs.len().max(1) as f64).min(3.0);
+                    cfg.epochs = ((cfg.epochs as f64) * ratio).round() as usize;
+                    train_rd_classifier(pairs, users, &cfg)
+                })
+            }
+        };
+
+        GesturePrint {
+            gesture_model,
+            identifiers,
+            mode: config.mode,
+            gestures,
+            users,
+        }
+    }
+
     /// Reassembles a system from already-trained parts (the artifact
     /// loader's constructor; see [`crate::artifact`]).
     pub(crate) fn from_parts(
@@ -205,6 +268,12 @@ impl GesturePrint {
     /// The identification mode.
     pub fn mode(&self) -> IdentificationMode {
         self.mode
+    }
+
+    /// The sensing representation this system consumes — every model in
+    /// the system shares the gesture model's backend.
+    pub fn backend(&self) -> SensingBackend {
+        self.gesture_model.backend()
     }
 
     /// Gesture class count.
@@ -242,6 +311,11 @@ impl GesturePrint {
         self.gesture_model.predict(sample)
     }
 
+    /// Recognises the gesture of an RD sample only.
+    pub fn recognize_rd(&self, sample: &RdLabeledSample) -> usize {
+        self.gesture_model.predict_rd(sample)
+    }
+
     /// Full inference: gesture, then user via the mode's identifier.
     pub fn infer(&self, sample: &LabeledSample) -> Inference {
         let gesture_probs = self.gesture_model.probabilities(sample);
@@ -255,6 +329,29 @@ impl GesturePrint {
             gesture_probs,
             user_probs,
         }
+    }
+
+    /// Full inference over an RD sample — identical two-stage dispatch
+    /// as [`GesturePrint::infer`], on the RD backend.
+    pub fn infer_rd(&self, sample: &RdLabeledSample) -> Inference {
+        let gesture_probs = self.gesture_model.probabilities_rd(sample);
+        let gesture = argmax_f64(&gesture_probs);
+        let identifier = self.identifier_for(gesture);
+        let user_probs = identifier.probabilities_rd(sample);
+        let user = argmax_f64(&user_probs);
+        Inference {
+            gesture,
+            user,
+            gesture_probs,
+            user_probs,
+        }
+    }
+
+    /// Batched RD inference. RdNet forwards sample-at-a-time, so this
+    /// maps [`GesturePrint::infer_rd`]; it exists so the serving
+    /// executor has one batched entry per backend.
+    pub fn infer_rd_batch(&self, samples: &[&RdLabeledSample]) -> Vec<Inference> {
+        samples.iter().map(|s| self.infer_rd(s)).collect()
     }
 
     /// Batched inference over many samples — the serving path's entry
@@ -322,6 +419,41 @@ impl GesturePrint {
         gesture: usize,
     ) -> Option<Vec<f32>> {
         self.identifier_for(gesture).embedding(sample)
+    }
+
+    /// The RD identification embedding for a caller-recognised gesture —
+    /// the RD counterpart of [`GesturePrint::embedding_for_gesture`].
+    pub fn embedding_rd_for_gesture(
+        &self,
+        sample: &RdLabeledSample,
+        gesture: usize,
+    ) -> Option<Vec<f32>> {
+        Some(self.identifier_for(gesture).embedding_rd(sample))
+    }
+
+    /// Ensemble inference: runs this (point-cloud) system unless the
+    /// segment's cloud is sparse — fewer than `min_points` detected
+    /// points, the regime where CFAR detection starves (e.g. near-radial
+    /// vertical pats) — in which case the co-trained `rd` system infers
+    /// from the raw range-Doppler frames instead. Returns the inference
+    /// and the backend that produced it.
+    ///
+    /// Both systems must be trained on the same label spaces; this is
+    /// the fallback policy the serving layer applies per segment.
+    pub fn infer_with_rd_fallback(
+        &self,
+        sample: &LabeledSample,
+        rd: &GesturePrint,
+        rd_sample: &RdLabeledSample,
+        min_points: usize,
+    ) -> (Inference, SensingBackend) {
+        debug_assert_eq!(self.backend(), SensingBackend::PointCloud);
+        debug_assert_eq!(rd.backend(), SensingBackend::RangeDoppler);
+        if sample.cloud.len() < min_points {
+            (rd.infer_rd(rd_sample), SensingBackend::RangeDoppler)
+        } else {
+            (self.infer(sample), SensingBackend::PointCloud)
+        }
     }
 
     /// Open-set inference: rejects samples whose identity confidence is
@@ -536,6 +668,157 @@ mod tests {
         config.train.model = ModelKind::PointNet;
         let system = GesturePrint::train(&refs, 2, 2, &config);
         assert_eq!(system.embedding(&samples[0]), None);
+    }
+
+    /// 2 gestures × 2 users RD toy world: gesture controls the range
+    /// column band, user controls which side of zero Doppler the energy
+    /// sits on.
+    fn toy_rd_samples(reps: usize) -> Vec<RdLabeledSample> {
+        let cfg = gp_rd::RdConfig::default();
+        let mut out = Vec::new();
+        for gesture in 0..2usize {
+            for user in 0..2usize {
+                for rep in 0..reps {
+                    let d = if user == 0 { 4 } else { 12 };
+                    let r0 = if gesture == 0 { 10 } else { 36 };
+                    let frames: Vec<gp_rd::RdFrame> = (0..8)
+                        .map(|i| {
+                            let mut f = gp_rd::RdFrame::zeros(&cfg, i as f64 * 0.1);
+                            let r = r0 + (rep + i) % 4;
+                            f.power[d * cfg.range_bins + r] = 40.0 + rep as f64;
+                            f.power[(d + 1) * cfg.range_bins + r] = 20.0;
+                            f
+                        })
+                        .collect();
+                    out.push(RdLabeledSample {
+                        frames,
+                        duration_frames: 8,
+                        gesture,
+                        user,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn quick_rd_config(mode: IdentificationMode) -> GesturePrintConfig {
+        GesturePrintConfig {
+            mode,
+            train: TrainConfig {
+                model: ModelKind::RdNet,
+                epochs: 12,
+                learning_rate: 5e-3,
+                augment: None,
+                ..TrainConfig::default()
+            },
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn rd_system_learns_both_tasks() {
+        let samples = toy_rd_samples(6);
+        let refs: Vec<&RdLabeledSample> = samples.iter().collect();
+        let system = GesturePrint::train_rd(
+            &refs,
+            2,
+            2,
+            &quick_rd_config(IdentificationMode::Serialized),
+        );
+        assert_eq!(system.backend(), crate::train::SensingBackend::RangeDoppler);
+        let mut g_ok = 0;
+        let mut u_ok = 0;
+        for s in &samples {
+            let out = system.infer_rd(s);
+            if out.gesture == s.gesture {
+                g_ok += 1;
+            }
+            if out.user == s.user {
+                u_ok += 1;
+            }
+        }
+        assert!(g_ok >= 20, "RD gesture recognition weak: {g_ok}/24");
+        assert!(u_ok >= 20, "RD user identification weak: {u_ok}/24");
+        // Embeddings exist on the RD path (RdNet always has a fusion tap).
+        let e = system
+            .embedding_rd_for_gesture(&samples[0], system.recognize_rd(&samples[0]))
+            .unwrap();
+        assert_eq!(e.len(), 48);
+    }
+
+    #[test]
+    fn rd_batched_matches_sequential() {
+        let samples = toy_rd_samples(3);
+        let refs: Vec<&RdLabeledSample> = samples.iter().collect();
+        let system =
+            GesturePrint::train_rd(&refs, 2, 2, &quick_rd_config(IdentificationMode::Parallel));
+        let batched = system.infer_rd_batch(&refs);
+        for (i, s) in samples.iter().enumerate() {
+            assert_eq!(batched[i], system.infer_rd(s), "sample {i}");
+        }
+    }
+
+    #[test]
+    fn sparse_cloud_recovers_through_rd_fallback() {
+        // The acceptance scenario: a near-radial gesture ('table'-like)
+        // yields a starved point cloud whose few points carry the wrong
+        // user's geometry, while the RD frames keep the user's Doppler
+        // signature. Point-cloud-only misses; the ensemble recovers.
+        let samples = toy_samples(6);
+        let refs: Vec<&LabeledSample> = samples.iter().collect();
+        let point_system =
+            GesturePrint::train(&refs, 2, 2, &quick_config(IdentificationMode::Serialized));
+        let rd_samples = toy_rd_samples(6);
+        let rd_refs: Vec<&RdLabeledSample> = rd_samples.iter().collect();
+        let rd_system = GesturePrint::train_rd(
+            &rd_refs,
+            2,
+            2,
+            &quick_rd_config(IdentificationMode::Serialized),
+        );
+
+        // Sparse capture of user 1: detection collapsed to three points
+        // that sit at user 0's lateral offset — the identity cue is gone
+        // from the cloud but intact in the RD sample.
+        let sparse_cloud: PointCloud = (0..3)
+            .map(|i| {
+                let t = i as f64 * 0.3;
+                Point::new(Vec3::new(-0.3 + t.sin() * 0.35, 1.2, 1.0), 0.5, 14.0)
+            })
+            .collect();
+        let sparse = LabeledSample {
+            cloud: sparse_cloud.clone(),
+            frame_clouds: vec![sparse_cloud; 4],
+            duration_frames: 18,
+            gesture: 0,
+            user: 1,
+        };
+        let rd_of_sparse = rd_samples
+            .iter()
+            .find(|s| s.gesture == 0 && s.user == 1)
+            .unwrap();
+
+        let point_only = point_system.infer(&sparse);
+        assert_ne!(
+            point_only.user, 1,
+            "sparse cloud should mislead the point path"
+        );
+
+        let (ensemble, backend) =
+            point_system.infer_with_rd_fallback(&sparse, &rd_system, rd_of_sparse, 10);
+        assert_eq!(backend, crate::train::SensingBackend::RangeDoppler);
+        assert_eq!(ensemble.user, 1, "RD fallback should recover the user");
+
+        // Dense segments stay on the point path.
+        let dense = samples
+            .iter()
+            .find(|s| s.gesture == 0 && s.user == 1)
+            .unwrap();
+        let rd_dense = rd_of_sparse;
+        let (out, backend) = point_system.infer_with_rd_fallback(dense, &rd_system, rd_dense, 10);
+        assert_eq!(backend, crate::train::SensingBackend::PointCloud);
+        assert_eq!(out, point_system.infer(dense));
     }
 
     #[test]

@@ -270,7 +270,10 @@ pub mod primitives {
     }
 
     /// Repeated patting: rest → up/down `taps` times between `hi` and `lo`
-    /// → rest.
+    /// → rest. The forearm pivots at the elbow, so the downstroke swings
+    /// the hand slightly forward and the upstroke pulls it back — the
+    /// elevation change induces a radial component, keeping vertical pats
+    /// visible to a radar that only resolves radial velocity.
     pub fn pat(hi: Vec3, lo: Vec3, taps: usize) -> HandPath {
         let taps = taps.max(1);
         let mut keyframes = vec![Keyframe {
@@ -280,7 +283,8 @@ pub mod primitives {
         let steps = taps * 2;
         for s in 0..=steps {
             let frac = s as f64 / steps as f64;
-            let offset = if s % 2 == 0 { hi } else { lo };
+            let mut offset = if s % 2 == 0 { hi } else { lo };
+            offset.y += if s % 2 == 0 { -0.05 } else { 0.05 };
             keyframes.push(Keyframe {
                 t: 0.18 + 0.64 * frac,
                 offset,
@@ -428,13 +432,35 @@ mod tests {
         let mut saw_lo = false;
         for i in 0..=100 {
             let p = path.sample(i as f64 / 100.0);
-            if p.distance(hi) < 0.02 {
+            // The elbow arc shifts the extremes forward/back in y; the
+            // pat levels are defined by x and z.
+            if (p.z - hi.z).abs() < 0.02 && (p.x - hi.x).abs() < 0.02 {
                 saw_hi = true;
             }
-            if p.distance(lo) < 0.02 {
+            if (p.z - lo.z).abs() < 0.02 && (p.x - lo.x).abs() < 0.02 {
                 saw_lo = true;
             }
         }
         assert!(saw_hi && saw_lo);
+    }
+
+    #[test]
+    fn pat_strokes_carry_forward_arc() {
+        let hi = Vec3::new(0.1, 0.5, 0.1);
+        let lo = Vec3::new(0.1, 0.5, -0.1);
+        let path = primitives::pat(hi, lo, 2);
+        let mut y_min = f64::INFINITY;
+        let mut y_max = f64::NEG_INFINITY;
+        for i in 0..=100 {
+            let t = 0.2 + 0.6 * i as f64 / 100.0;
+            let y = path.sample(t).y;
+            y_min = y_min.min(y);
+            y_max = y_max.max(y);
+        }
+        assert!(
+            y_max - y_min > 0.08,
+            "pat needs a radial (y) component: span {}",
+            y_max - y_min
+        );
     }
 }

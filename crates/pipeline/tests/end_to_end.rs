@@ -85,10 +85,7 @@ fn walker_behind_user_is_removed() {
 #[test]
 fn different_gestures_give_different_durations() {
     // 'away' (2.2 s) vs 'zigzag' (2.8 s): mean segment lengths over a few
-    // repetitions must reflect the difference (paper Fig. 13). 'zigzag'
-    // rather than the similarly long 'table' because the latter's vertical
-    // pats carry almost no radial velocity, so its detected segments are
-    // clutter-filter fragments rather than the full gesture.
+    // repetitions must reflect the difference (paper Fig. 13).
     let pre = Preprocessor::new(PreprocessorConfig::default());
     let mean_duration = |gesture: usize| -> f64 {
         let mut total = 0usize;
@@ -109,6 +106,36 @@ fn different_gestures_give_different_durations() {
         db > da,
         "'zigzag' ({db:.1}) should outlast 'away' ({da:.1}) on average"
     );
+}
+
+#[test]
+fn vertical_pat_survives_clutter_filtering() {
+    // 'table' is almost purely vertical patting. Its radial velocity comes
+    // only from the elbow-pivot arc in the pat primitive; without it the
+    // clutter filter shreds the gesture into sub-second fragments. Guard
+    // that each capture yields one dominant segment covering most of the
+    // gesture rather than clutter-filter confetti.
+    let pre = Preprocessor::new(PreprocessorConfig::default());
+    for seed in 7..10 {
+        let (perf, frames) = capture(0, 13, seed);
+        let (gs, ge) = perf.gesture_interval();
+        let truth_frames = (ge - gs) * 10.0;
+        let samples = pre.process(&frames);
+        let dominant = samples
+            .iter()
+            .map(|s| s.duration_frames)
+            .max()
+            .unwrap_or_else(|| panic!("no 'table' segment for seed {seed}"));
+        assert!(
+            dominant as f64 > 0.6 * truth_frames,
+            "seed {seed}: dominant segment {dominant} frames vs gesture {truth_frames:.0}"
+        );
+        assert!(
+            samples.len() <= 2,
+            "seed {seed}: fragmented into {} segments",
+            samples.len()
+        );
+    }
 }
 
 #[test]

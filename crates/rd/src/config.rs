@@ -1,0 +1,217 @@
+//! Range-Doppler chain configuration.
+
+use gp_dsp::window::WindowKind;
+use gp_dsp::CfarConfig;
+
+/// Configuration of the range-Doppler synthesis and detection chain.
+///
+/// Mirrors the FMCW parameters the point-cloud simulator uses
+/// (`gp-radar`'s defaults), but sized for a map the conv path can chew
+/// through in tier-1 time: 64 range bins × 16 Doppler bins at 10 fps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RdConfig {
+    /// Fast-time samples per chirp = range FFT length (power of two).
+    pub range_bins: usize,
+    /// Chirps per frame = Doppler FFT length (power of two, even).
+    pub doppler_bins: usize,
+    /// Range bin width (m).
+    pub range_resolution: f64,
+    /// Maximum unambiguous radial velocity (m/s); Doppler bins span
+    /// `[-max_velocity, +max_velocity)`.
+    pub max_velocity: f64,
+    /// Frames per second.
+    pub frame_rate: f64,
+    /// Radar mount height above the floor (m).
+    pub mount_height: f64,
+    /// Window applied before both FFT passes.
+    pub window: WindowKind,
+    /// Returned amplitude scale (matches `gp-radar`'s `amplitude_k`).
+    pub amplitude_k: f64,
+    /// Standard deviation of the complex thermal noise per sample.
+    pub noise_sigma: f64,
+    /// Slow-time mean subtraction (moving-target indication) before the
+    /// Doppler FFT, removing returns from static clutter.
+    pub mti: bool,
+    /// CFAR detector for the 2-D map.
+    pub cfar: CfarConfig,
+}
+
+impl Default for RdConfig {
+    fn default() -> Self {
+        RdConfig {
+            range_bins: 64,
+            doppler_bins: 16,
+            range_resolution: 0.04,
+            max_velocity: 2.7,
+            frame_rate: 10.0,
+            mount_height: 1.25,
+            window: WindowKind::Hann,
+            amplitude_k: 10.5,
+            noise_sigma: 0.05,
+            mti: true,
+            cfar: CfarConfig {
+                guard_cells: 1,
+                training_cells: 4,
+                threshold_factor: 8.0,
+            },
+        }
+    }
+}
+
+impl RdConfig {
+    /// Velocity bin width (m/s).
+    pub fn velocity_resolution(&self) -> f64 {
+        2.0 * self.max_velocity / self.doppler_bins as f64
+    }
+
+    /// Frame interval (s).
+    pub fn frame_interval(&self) -> f64 {
+        1.0 / self.frame_rate
+    }
+
+    /// Maximum representable range (m).
+    pub fn max_range(&self) -> f64 {
+        self.range_resolution * self.range_bins as f64
+    }
+
+    /// The signed velocity (m/s) at the centre of Doppler row `row` of a
+    /// shifted map (zero velocity on row `doppler_bins / 2`).
+    pub fn row_velocity(&self, row: usize) -> f64 {
+        (row as f64 - self.doppler_bins as f64 / 2.0) * self.velocity_resolution()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.range_bins.is_power_of_two() {
+            return Err(format!(
+                "range_bins must be a power of two: {}",
+                self.range_bins
+            ));
+        }
+        if !self.doppler_bins.is_power_of_two() || self.doppler_bins < 2 {
+            return Err(format!(
+                "doppler_bins must be an even power of two: {}",
+                self.doppler_bins
+            ));
+        }
+        if self.range_resolution <= 0.0 || self.max_velocity <= 0.0 || self.frame_rate <= 0.0 {
+            return Err("resolutions and frame rate must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+fn window_tag(w: WindowKind) -> &'static str {
+    match w {
+        WindowKind::Rectangular => "rectangular",
+        WindowKind::Hann => "hann",
+        WindowKind::Hamming => "hamming",
+        WindowKind::Blackman => "blackman",
+    }
+}
+
+fn window_from_tag(tag: &str) -> Result<WindowKind, gp_codec::DecodeError> {
+    match tag {
+        "rectangular" => Ok(WindowKind::Rectangular),
+        "hann" => Ok(WindowKind::Hann),
+        "hamming" => Ok(WindowKind::Hamming),
+        "blackman" => Ok(WindowKind::Blackman),
+        other => Err(gp_codec::DecodeError::new(format!(
+            "unknown window kind '{other}'"
+        ))),
+    }
+}
+
+impl gp_codec::Encode for RdConfig {
+    fn encode(&self) -> gp_codec::Value {
+        gp_codec::Value::record([
+            ("range_bins", self.range_bins.encode()),
+            ("doppler_bins", self.doppler_bins.encode()),
+            ("range_resolution", self.range_resolution.encode()),
+            ("max_velocity", self.max_velocity.encode()),
+            ("frame_rate", self.frame_rate.encode()),
+            ("mount_height", self.mount_height.encode()),
+            (
+                "window",
+                gp_codec::Value::Str(window_tag(self.window).to_owned()),
+            ),
+            ("amplitude_k", self.amplitude_k.encode()),
+            ("noise_sigma", self.noise_sigma.encode()),
+            ("mti", self.mti.encode()),
+            ("cfar_guard", self.cfar.guard_cells.encode()),
+            ("cfar_training", self.cfar.training_cells.encode()),
+            ("cfar_threshold", self.cfar.threshold_factor.encode()),
+        ])
+    }
+}
+
+impl gp_codec::Decode for RdConfig {
+    fn decode(value: &gp_codec::Value) -> Result<Self, gp_codec::DecodeError> {
+        Ok(RdConfig {
+            range_bins: value.get("range_bins")?,
+            doppler_bins: value.get("doppler_bins")?,
+            range_resolution: value.get("range_resolution")?,
+            max_velocity: value.get("max_velocity")?,
+            frame_rate: value.get("frame_rate")?,
+            mount_height: value.get("mount_height")?,
+            window: window_from_tag(value.get::<String>("window")?.as_str())?,
+            amplitude_k: value.get("amplitude_k")?,
+            noise_sigma: value.get("noise_sigma")?,
+            mti: value.get("mti")?,
+            cfar: CfarConfig {
+                guard_cells: value.get("cfar_guard")?,
+                training_cells: value.get("cfar_training")?,
+                threshold_factor: value.get("cfar_threshold")?,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_codec::{Decode, Encode};
+
+    #[test]
+    fn default_validates() {
+        assert!(RdConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn bad_shapes_rejected() {
+        let mut cfg = RdConfig::default();
+        cfg.range_bins = 60;
+        assert!(cfg.validate().is_err());
+        let mut cfg = RdConfig::default();
+        cfg.doppler_bins = 1;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let cfg = RdConfig {
+            window: WindowKind::Blackman,
+            mti: false,
+            ..RdConfig::default()
+        };
+        let back = RdConfig::decode(&cfg.encode()).expect("roundtrip");
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn row_velocity_centres_on_zero() {
+        let cfg = RdConfig::default();
+        assert_eq!(cfg.row_velocity(cfg.doppler_bins / 2), 0.0);
+        assert!(cfg.row_velocity(0) < 0.0);
+        assert!(
+            (cfg.row_velocity(cfg.doppler_bins - 1)
+                - (cfg.max_velocity - cfg.velocity_resolution()))
+            .abs()
+                < 1e-9
+        );
+    }
+}

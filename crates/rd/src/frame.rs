@@ -1,0 +1,114 @@
+//! Range-Doppler power frames and CFAR detection masks.
+
+use crate::config::RdConfig;
+use gp_dsp::cfar::cfar_2d;
+
+/// One processed radar frame: a Doppler × range power map.
+///
+/// Rows are Doppler bins after `fft_shift` (zero velocity on the centre
+/// row, negative velocities above it), columns are range bins. Power is
+/// linear (`|X|²`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RdFrame {
+    /// Capture time of the frame (s).
+    pub timestamp: f64,
+    /// Doppler rows.
+    pub doppler_bins: usize,
+    /// Range columns.
+    pub range_bins: usize,
+    /// Row-major `doppler_bins × range_bins` linear power.
+    pub power: Vec<f64>,
+}
+
+impl RdFrame {
+    /// An all-zero frame of the configured shape.
+    pub fn zeros(config: &RdConfig, timestamp: f64) -> Self {
+        RdFrame {
+            timestamp,
+            doppler_bins: config.doppler_bins,
+            range_bins: config.range_bins,
+            power: vec![0.0; config.doppler_bins * config.range_bins],
+        }
+    }
+
+    /// Map shape `(doppler_bins, range_bins)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.doppler_bins, self.range_bins)
+    }
+
+    /// Power of cell `(doppler_row, range_col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn at(&self, doppler_row: usize, range_col: usize) -> f64 {
+        assert!(doppler_row < self.doppler_bins && range_col < self.range_bins);
+        self.power[doppler_row * self.range_bins + range_col]
+    }
+
+    /// Total linear power over the map.
+    pub fn total_power(&self) -> f64 {
+        self.power.iter().sum()
+    }
+
+    /// The `(doppler_row, range_col)` of the strongest cell.
+    pub fn peak(&self) -> (usize, usize) {
+        let mut best = 0usize;
+        for (i, &p) in self.power.iter().enumerate() {
+            if p > self.power[best] {
+                best = i;
+            }
+        }
+        (best / self.range_bins, best % self.range_bins)
+    }
+
+    /// Runs the configured 2-D CFAR over the map, returning a boolean
+    /// detection mask in row-major map order. Deterministic: equal maps
+    /// give equal masks.
+    pub fn detection_mask(&self, config: &RdConfig) -> Vec<bool> {
+        let mut mask = vec![false; self.power.len()];
+        for det in cfar_2d(
+            &self.power,
+            self.doppler_bins,
+            self.range_bins,
+            &config.cfar,
+        ) {
+            mask[det.index.0 * self.range_bins + det.index.1] = true;
+        }
+        mask
+    }
+
+    /// Number of CFAR detections in the map.
+    pub fn detection_count(&self, config: &RdConfig) -> usize {
+        self.detection_mask(config).iter().filter(|&&d| d).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_shape_and_peak() {
+        let cfg = RdConfig::default();
+        let mut f = RdFrame::zeros(&cfg, 0.3);
+        assert_eq!(f.shape(), (16, 64));
+        assert_eq!(f.total_power(), 0.0);
+        f.power[5 * 64 + 30] = 2.0;
+        assert_eq!(f.peak(), (5, 30));
+        assert_eq!(f.at(5, 30), 2.0);
+    }
+
+    #[test]
+    fn mask_flags_isolated_peak() {
+        let cfg = RdConfig::default();
+        let mut f = RdFrame::zeros(&cfg, 0.0);
+        for p in f.power.iter_mut() {
+            *p = 1.0;
+        }
+        f.power[7 * 64 + 12] = 500.0;
+        let mask = f.detection_mask(&cfg);
+        assert!(mask[7 * 64 + 12]);
+        assert_eq!(f.detection_count(&cfg), 1);
+    }
+}

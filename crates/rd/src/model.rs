@@ -1,0 +1,295 @@
+//! `RdNet` — the conv+recurrent classifier for the range-Doppler
+//! backend.
+//!
+//! Two branches over one [`RdInput`]: a two-stage 3×3-conv / 2×2-pool
+//! stack on the time-aggregated log-power map, and an LSTM over the
+//! per-frame summary sequence. Their 32-wide codes are concatenated and
+//! fused through a 48-wide ReLU layer (the embedding tap) before the
+//! class head — the same fuse-then-classify shape as `GesIDNet` on the
+//! point-cloud side.
+
+use crate::features::{RdInput, RD_SEQUENCE_FEATURES};
+use gp_nn::conv::{maxpool2x2, maxpool2x2_backward};
+use gp_nn::{softmax_cross_entropy, Conv2d, Linear, Lstm, Matrix, Parameterized, Relu};
+use rand::Rng;
+
+/// Width of each branch code entering the fusion layer.
+const BRANCH_WIDTH: usize = 32;
+/// Width of the fused embedding.
+const FUSED_WIDTH: usize = 48;
+
+/// Conv+recurrent range-Doppler classifier.
+#[derive(Debug, Clone)]
+pub struct RdNet {
+    classes: usize,
+    map_shape: (usize, usize),
+    conv1: Conv2d,
+    conv2: Conv2d,
+    map_fc: Linear,
+    lstm: Lstm,
+    fuse: Linear,
+    head: Linear,
+}
+
+struct RdTrace {
+    c1: Vec<f32>,
+    a1: Vec<f32>,
+    p1: Vec<f32>,
+    arg1: Vec<usize>,
+    c2: Vec<f32>,
+    a2: Vec<f32>,
+    p2: Vec<f32>,
+    arg2: Vec<usize>,
+    map_pre: Matrix,
+    lstm_trace: gp_nn::lstm::LstmTrace,
+    concat: Matrix,
+    fuse_pre: Matrix,
+    fuse_act: Matrix,
+    logits: Vec<f32>,
+}
+
+impl RdNet {
+    /// Creates the model for maps of `map_shape` (doppler, range). Both
+    /// dimensions must be divisible by 4 (two pooling stages).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is not divisible by 4.
+    pub fn new<R: Rng>(classes: usize, map_shape: (usize, usize), rng: &mut R) -> Self {
+        assert!(
+            map_shape.0 % 4 == 0 && map_shape.1 % 4 == 0,
+            "map shape must be divisible by 4"
+        );
+        let flat = 12 * (map_shape.0 / 4) * (map_shape.1 / 4);
+        RdNet {
+            classes,
+            map_shape,
+            conv1: Conv2d::new(1, 6, rng),
+            conv2: Conv2d::new(6, 12, rng),
+            map_fc: Linear::new(flat, BRANCH_WIDTH, rng),
+            lstm: Lstm::new(RD_SEQUENCE_FEATURES, BRANCH_WIDTH, rng),
+            fuse: Linear::new(2 * BRANCH_WIDTH, FUSED_WIDTH, rng),
+            head: Linear::new(FUSED_WIDTH, classes, rng),
+        }
+    }
+
+    /// Number of output classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Map shape the conv branch expects.
+    pub fn map_shape(&self) -> (usize, usize) {
+        self.map_shape
+    }
+
+    /// Model name for telemetry and reports.
+    pub fn name(&self) -> &'static str {
+        "RdNet"
+    }
+
+    fn forward(&self, input: &RdInput) -> RdTrace {
+        let (h, w) = self.map_shape;
+        assert_eq!(input.map.len(), h * w, "map size mismatch");
+
+        let c1 = self.conv1.forward(&input.map, h, w);
+        let a1: Vec<f32> = c1.iter().map(|v| v.max(0.0)).collect();
+        let (p1, arg1) = maxpool2x2(&a1, 6, h, w);
+        let (h2, w2) = (h / 2, w / 2);
+        let c2 = self.conv2.forward(&p1, h2, w2);
+        let a2: Vec<f32> = c2.iter().map(|v| v.max(0.0)).collect();
+        let (p2, arg2) = maxpool2x2(&a2, 12, h2, w2);
+        let map_pre = self.map_fc.forward(&Matrix::from_rows(&[p2.clone()]));
+        let map_act = Relu.forward(&map_pre);
+
+        let (lstm_h, lstm_trace) = self.lstm.forward(&input.sequence);
+
+        let mut joined = map_act.row(0).to_vec();
+        joined.extend_from_slice(&lstm_h);
+        let concat = Matrix::from_rows(&[joined]);
+        let fuse_pre = self.fuse.forward(&concat);
+        let fuse_act = Relu.forward(&fuse_pre);
+        let logits = self.head.forward(&fuse_act).row(0).to_vec();
+
+        RdTrace {
+            c1,
+            a1,
+            p1,
+            arg1,
+            c2,
+            a2,
+            p2,
+            arg2,
+            map_pre,
+            lstm_trace,
+            concat,
+            fuse_pre,
+            fuse_act,
+            logits,
+        }
+    }
+
+    /// Class scores for one encoded sample.
+    pub fn logits(&self, input: &RdInput) -> Vec<f32> {
+        self.forward(input).logits
+    }
+
+    /// The fused 48-wide embedding (the identification feature vector).
+    pub fn embedding(&self, input: &RdInput) -> Vec<f32> {
+        self.forward(input).fuse_act.row(0).to_vec()
+    }
+
+    /// One forward/backward pass accumulating gradients; returns the
+    /// sample loss. Pair with an external `Adam` step as for the point
+    /// models.
+    pub fn train_step(&mut self, input: &RdInput, label: usize) -> f32 {
+        let (h, w) = self.map_shape;
+        let (h2, w2) = (h / 2, w / 2);
+        let t = self.forward(input);
+        let (loss, grad) = softmax_cross_entropy(&t.logits, label);
+
+        let g = Matrix::from_rows(&[grad]);
+        let g = self.head.backward(&t.fuse_act, &g);
+        let g = Relu.backward(&t.fuse_pre, &g);
+        let dconcat = self.fuse.backward(&t.concat, &g);
+
+        // Split the joint gradient back into the two branches.
+        let row = dconcat.row(0);
+        let dmap_act = row[..BRANCH_WIDTH].to_vec();
+        let dlstm_h = row[BRANCH_WIDTH..].to_vec();
+
+        // Recurrent branch.
+        self.lstm.backward(&t.lstm_trace, &dlstm_h);
+
+        // Conv branch.
+        let g = Relu.backward(&t.map_pre, &Matrix::from_rows(&[dmap_act]));
+        let dflat = self
+            .map_fc
+            .backward(&Matrix::from_rows(&[t.p2.clone()]), &g);
+        let da2 = maxpool2x2_backward(dflat.row(0), &t.arg2, t.a2.len());
+        let dc2: Vec<f32> = da2
+            .iter()
+            .zip(t.c2.iter())
+            .map(|(g, &c)| if c > 0.0 { *g } else { 0.0 })
+            .collect();
+        let dp1 = self.conv2.backward(&t.p1, &dc2, h2, w2);
+        let da1 = maxpool2x2_backward(&dp1, &t.arg1, t.a1.len());
+        let dc1: Vec<f32> = da1
+            .iter()
+            .zip(t.c1.iter())
+            .map(|(g, &c)| if c > 0.0 { *g } else { 0.0 })
+            .collect();
+        let _ = self.conv1.backward(&input.map, &dc1, h, w);
+        loss
+    }
+}
+
+impl Parameterized for RdNet {
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        self.conv1.for_each_param(f);
+        self.conv2.for_each_param(f);
+        self.map_fc.for_each_param(f);
+        self.lstm.for_each_param(f);
+        self.fuse.for_each_param(f);
+        self.head.for_each_param(f);
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&[f32])) {
+        self.conv1.visit_params(f);
+        self.conv2.visit_params(f);
+        self.map_fc.visit_params(f);
+        self.lstm.visit_params(f);
+        self.fuse.visit_params(f);
+        self.head.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::RdFeatureConfig;
+    use gp_nn::{argmax, Adam};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Hand-built input with class-dependent map and sequence content.
+    fn toy_input(label: usize, jitter: u64) -> RdInput {
+        let cfg = RdFeatureConfig::default();
+        let (md, mr) = cfg.map_shape;
+        let mut map = vec![0.0f32; md * mr];
+        // Class 0: energy high in the map (negative Doppler); class 1:
+        // low. Jitter shifts the range column slightly.
+        let d: usize = if label == 0 { 3 } else { 12 };
+        let r = 8 + (jitter as usize % 3);
+        for dd in d.saturating_sub(1)..=(d + 1) {
+            for rr in r - 1..=r + 1 {
+                map[dd * mr + rr] = 2.0 + (jitter % 5) as f32 * 0.1;
+            }
+        }
+        let sign = if label == 0 { -1.0 } else { 1.0 };
+        let sequence = (0..6)
+            .map(|i| {
+                let mut f = vec![0.2f32; RD_SEQUENCE_FEATURES];
+                f[2] = sign * (0.5 + 0.05 * (i + jitter as usize % 2) as f32);
+                f
+            })
+            .collect();
+        RdInput {
+            map,
+            map_shape: cfg.map_shape,
+            sequence,
+        }
+    }
+
+    #[test]
+    fn shapes_and_taps() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = RdNet::new(5, (16, 24), &mut rng);
+        let input = toy_input(0, 1);
+        assert_eq!(model.logits(&input).len(), 5);
+        assert_eq!(model.embedding(&input).len(), FUSED_WIDTH);
+        assert_eq!(model.classes(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by 4")]
+    fn rejects_bad_map_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        RdNet::new(2, (15, 24), &mut rng);
+    }
+
+    #[test]
+    fn learns_toy_split() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut model = RdNet::new(2, (16, 24), &mut rng);
+        let data: Vec<(RdInput, usize)> = (0..8)
+            .map(|i| (toy_input(i % 2, i as u64), i % 2))
+            .collect();
+        let mut adam = Adam::new(5e-3);
+        for _ in 0..40 {
+            for (x, y) in &data {
+                model.train_step(x, *y);
+                adam.begin_step();
+                model.for_each_param(&mut |p, g| adam.update(p, g));
+            }
+        }
+        let correct = data
+            .iter()
+            .filter(|(x, y)| argmax(&model.logits(x)) == *y)
+            .count();
+        assert!(correct >= 7, "RdNet: {correct}/8");
+    }
+
+    #[test]
+    fn param_count_is_stable() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = RdNet::new(3, (16, 24), &mut rng);
+        let mut n = 0usize;
+        model.visit_params(&mut |p| n += p.len());
+        // conv1 + conv2 + map_fc + lstm + fuse + head, all non-empty.
+        assert!(n > 10_000, "param count {n}");
+        let mut again = 0usize;
+        model.visit_params(&mut |p| again += p.len());
+        assert_eq!(n, again);
+    }
+}

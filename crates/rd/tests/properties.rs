@@ -1,0 +1,124 @@
+//! Property tests for the range-Doppler chain: the DSP identities and
+//! determinism guarantees the synthesis/feature path relies on.
+//!
+//! * **Parseval** — the windowed FFT the synthesizer runs over every
+//!   chirp and range bin conserves energy: `Σ|x_w[n]|² = (1/N)Σ|X[k]|²`
+//!   for every window kind in the catalogue.
+//! * **CFAR determinism** — equal maps give equal detection masks, on
+//!   repeated runs and on clones (the mask is a pure function of the
+//!   power map).
+//! * **Thread-count bit-equality** — `extract_all` returns bit-identical
+//!   `RdInput`s for 1 and N extraction threads, in input order. The
+//!   serving engine's determinism tests build on this.
+
+use gp_dsp::fft::fft_in_place;
+use gp_dsp::window::{apply_window, WindowKind};
+use gp_dsp::Complex;
+use gp_rd::{extract_all, RdConfig, RdFeatureConfig, RdFrame, RdLabeledSample};
+use proptest::prelude::*;
+
+/// A bounded complex sample: large enough to exercise the dynamic
+/// range, small enough that N=64 sums stay well inside f64.
+fn complex_sample() -> impl Strategy<Value = Complex> {
+    (-1e3..1e3f64, -1e3..1e3f64).prop_map(|(re, im)| Complex::new(re, im))
+}
+
+/// A small power map (8 Doppler × 16 range) as one RdFrame.
+fn power_frame() -> impl Strategy<Value = (RdConfig, RdFrame)> {
+    prop::collection::vec(0.0..1e4f64, 8 * 16).prop_map(|power| {
+        let cfg = RdConfig {
+            doppler_bins: 8,
+            range_bins: 16,
+            ..RdConfig::default()
+        };
+        let mut frame = RdFrame::zeros(&cfg, 0.0);
+        frame.power = power;
+        (cfg, frame)
+    })
+}
+
+/// A short burst of small frames for feature extraction.
+fn frame_burst() -> impl Strategy<Value = Vec<RdFrame>> {
+    prop::collection::vec(prop::collection::vec(0.0..1e4f64, 8 * 16), 4..12).prop_map(|maps| {
+        let cfg = RdConfig {
+            doppler_bins: 8,
+            range_bins: 16,
+            ..RdConfig::default()
+        };
+        maps.into_iter()
+            .enumerate()
+            .map(|(i, power)| {
+                let mut frame = RdFrame::zeros(&cfg, i as f64 * 0.1);
+                frame.power = power;
+                frame
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn windowed_fft_conserves_energy(
+        samples in prop::collection::vec(complex_sample(), 64),
+        window_index in 0usize..4,
+    ) {
+        let window = [
+            WindowKind::Rectangular,
+            WindowKind::Hann,
+            WindowKind::Hamming,
+            WindowKind::Blackman,
+        ][window_index];
+        let n = samples.len();
+        let mut data = samples;
+        // The exact per-chirp path the synthesizer runs: window, then
+        // in-place FFT.
+        apply_window(&mut data, &window.coefficients(n));
+        let time_energy: f64 = data.iter().map(|z| z.norm_sqr()).sum();
+        fft_in_place(&mut data);
+        let freq_energy: f64 = data.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        // Relative tolerance: both sums are O(n · amplitude²).
+        let scale = time_energy.max(1.0);
+        prop_assert!(
+            (time_energy - freq_energy).abs() <= 1e-9 * scale,
+            "Parseval violated for {window:?}: time {time_energy} vs freq {freq_energy}"
+        );
+    }
+
+    #[test]
+    fn cfar_mask_is_deterministic(map in power_frame()) {
+        let (cfg, frame) = map;
+        let first = frame.detection_mask(&cfg);
+        prop_assert_eq!(&first, &frame.detection_mask(&cfg), "repeat run diverged");
+        let clone = frame.clone();
+        prop_assert_eq!(&first, &clone.detection_mask(&cfg), "clone diverged");
+        prop_assert_eq!(
+            frame.detection_count(&cfg),
+            first.iter().filter(|&&d| d).count()
+        );
+    }
+
+    #[test]
+    fn extract_all_is_bit_identical_across_thread_counts(
+        bursts in prop::collection::vec(frame_burst(), 1..5),
+    ) {
+        let samples: Vec<RdLabeledSample> = bursts
+            .iter()
+            .enumerate()
+            .map(|(i, frames)| {
+                RdLabeledSample::from_segment(frames, 0, frames.len(), i % 3, i % 2)
+            })
+            .collect();
+        let refs: Vec<&RdLabeledSample> = samples.iter().collect();
+        let config = RdFeatureConfig::default();
+        let single = extract_all(&refs, &config, 1);
+        prop_assert_eq!(single.len(), refs.len());
+        for threads in [2usize, 4, 7] {
+            let multi = extract_all(&refs, &config, threads);
+            // RdInput is f32 data compared exactly: bit-identical, in
+            // input order.
+            prop_assert_eq!(&single, &multi, "extract_all diverged at {} threads", threads);
+        }
+    }
+}

@@ -10,7 +10,7 @@
 //! sessions' samples silently overwrote earlier ones.
 
 use crate::session::SessionId;
-use gestureprint_core::Inference;
+use gestureprint_core::{Inference, SensingBackend};
 use gp_pipeline::GestureSegment;
 use gp_telemetry::{Histogram, SpanId};
 use std::collections::BTreeMap;
@@ -30,6 +30,10 @@ pub struct ServeEvent {
     pub span: SpanId,
     /// Segment boundaries in the session's absolute frame indices.
     pub segment: GestureSegment,
+    /// Which sensing backend inferred this segment — range-Doppler for
+    /// RD sessions and for sparse point-cloud segments the hybrid
+    /// fallback re-routed.
+    pub backend: SensingBackend,
     /// The two-task inference result (gesture + user + probabilities).
     pub inference: Inference,
     /// What the identity store did with this segment — `None` for
@@ -562,6 +566,7 @@ mod tests {
                         start: i as usize,
                         end: i as usize + 1,
                     },
+                    backend: SensingBackend::PointCloud,
                     inference: Inference {
                         gesture: 0,
                         user: 0,

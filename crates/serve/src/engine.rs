@@ -15,15 +15,16 @@
 //! even that.
 
 use crate::bus::{EventBus, IdentityOutcome, ServeEvent, ServeStats, StageBreakdown};
-use crate::session::{Session, SessionId};
-use gestureprint_core::GesturePrint;
+use crate::session::{ClosedSegment, Session, SessionId};
+use gestureprint_core::{GesturePrint, Inference, SensingBackend};
 use gp_pipeline::{
-    GestureSegment, LabeledSample, OnlineSegmenter, Preprocessor, PreprocessorConfig,
+    GestureSample, GestureSegment, LabeledSample, OnlineSegmenter, Preprocessor, PreprocessorConfig,
 };
 use gp_radar::Frame;
+use gp_rd::{OnlineRdSegmenter, RdFrame, RdLabeledSample, RdSegment, RdSegmentConfig};
 use gp_runtime::{Gate, TokenBucket, WorkerPool};
 use gp_store::{Identification, IdentityStore};
-use gp_telemetry::{AtomicHistogram, Registry, SpanId, TelemetrySnapshot};
+use gp_telemetry::{AtomicHistogram, Counter, Registry, SpanId, TelemetrySnapshot};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -111,6 +112,17 @@ pub struct ServeConfig {
     /// smoke in `gp-bench` pins the cost at < 5% of throughput. Off
     /// disables all stage clocks and the registry itself.
     pub telemetry: bool,
+    /// Segmentation thresholds for sessions opened in range-Doppler
+    /// mode ([`ServeEngine::open_rd_session`]).
+    pub rd_segmenter: RdSegmentConfig,
+    /// Sparse-cloud fallback threshold for hybrid sessions driven with
+    /// [`ServeEngine::push_paired_frame`]: a closed point-cloud segment
+    /// whose sample was rejected by noise canceling, or whose cloud has
+    /// fewer than this many points, is re-routed to the range-Doppler
+    /// backend instead (counted in `serve.rd.fallback`). `None` (the
+    /// default) disables the fallback — paired RD frames are buffered
+    /// but never dispatched.
+    pub rd_fallback_min_points: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -123,6 +135,8 @@ impl Default for ServeConfig {
             retain_closed_sessions: 1024,
             admission: None,
             telemetry: true,
+            rd_segmenter: RdSegmentConfig::default(),
+            rd_fallback_min_points: None,
         }
     }
 }
@@ -151,6 +165,12 @@ impl gp_codec::Encode for ServeConfig {
         if !self.telemetry {
             fields.push(("telemetry", self.telemetry.encode()));
         }
+        if self.rd_segmenter != RdSegmentConfig::default() {
+            fields.push(("rd_segmenter", self.rd_segmenter.encode()));
+        }
+        if let Some(min_points) = self.rd_fallback_min_points {
+            fields.push(("rd_fallback_min_points", min_points.encode()));
+        }
         gp_codec::Value::record(fields)
     }
 }
@@ -165,6 +185,8 @@ impl gp_codec::Decode for ServeConfig {
             retain_closed_sessions: value.get("retain_closed_sessions")?,
             admission: value.get_or("admission", None)?,
             telemetry: value.get_or("telemetry", true)?,
+            rd_segmenter: value.get_or("rd_segmenter", RdSegmentConfig::default())?,
+            rd_fallback_min_points: value.get_or("rd_fallback_min_points", None)?,
         })
     }
 }
@@ -216,16 +238,33 @@ pub enum SessionMode {
     Identify,
 }
 
+/// The representation-specific half of a [`SegmentJob`]: which backend
+/// infers it, with the matching segment and sample types.
+enum JobPayload {
+    /// A point-cloud segment for [`GesturePrint::infer_batch`]. Labels
+    /// are inference-ignored placeholders (`0, 0`): the serving path
+    /// classifies unlabeled live segments.
+    Point {
+        segment: GestureSegment,
+        sample: LabeledSample,
+    },
+    /// A range-Doppler segment for [`GesturePrint::infer_rd_batch`] —
+    /// from an RD session, or re-routed from a sparse point-cloud
+    /// segment by the hybrid fallback (counted in `serve.rd.fallback`
+    /// at enqueue).
+    Rd {
+        segment: RdSegment,
+        sample: RdLabeledSample,
+    },
+}
+
 /// One preprocessed segment waiting for (or undergoing) inference.
 struct SegmentJob {
     session: SessionId,
     seq: u64,
     /// Span of the frame that closed this segment (minted at ingest).
     span: SpanId,
-    segment: GestureSegment,
-    /// Labels are inference-ignored placeholders (`0, 0`): the serving
-    /// path classifies unlabeled live segments.
-    sample: LabeledSample,
+    payload: JobPayload,
     detected: Instant,
     /// When the job entered the batch queue — the clock behind the
     /// `queue_wait` stage histogram.
@@ -256,11 +295,33 @@ impl StageMetrics {
     }
 }
 
+/// Range-Doppler path counters: frames into RD/hybrid sessions,
+/// segments routed to the RD backend, results it published, and how
+/// many of those segments were sparse point-cloud fallbacks.
+struct RdMetrics {
+    frames: Arc<Counter>,
+    segments: Arc<Counter>,
+    results: Arc<Counter>,
+    fallback: Arc<Counter>,
+}
+
+impl RdMetrics {
+    fn register(registry: &Registry) -> RdMetrics {
+        RdMetrics {
+            frames: registry.counter("serve.rd.frames"),
+            segments: registry.counter("serve.rd.segments"),
+            results: registry.counter("serve.rd.results"),
+            fallback: registry.counter("serve.rd.fallback"),
+        }
+    }
+}
+
 /// The engine's telemetry half: the shared registry every subsystem
 /// publishes into, plus the engine's own stage histograms.
 struct EngineTelemetry {
     registry: Arc<Registry>,
     stages: Arc<StageMetrics>,
+    rd: Arc<RdMetrics>,
 }
 
 /// The streaming multi-session inference engine.
@@ -271,6 +332,9 @@ struct EngineTelemetry {
 /// segment closes.
 pub struct ServeEngine {
     system: Arc<GesturePrint>,
+    /// The range-Doppler system, when this engine serves RD or hybrid
+    /// sessions ([`ServeEngine::with_rd_system`]).
+    rd_system: Option<Arc<GesturePrint>>,
     config: ServeConfig,
     preprocessor: Preprocessor,
     pool: WorkerPool,
@@ -318,6 +382,12 @@ impl ServeEngine {
     }
 
     fn build(system: GesturePrint, config: ServeConfig, store: Option<Arc<IdentityStore>>) -> Self {
+        assert_eq!(
+            system.backend(),
+            SensingBackend::PointCloud,
+            "the engine's primary system serves point clouds; attach a \
+             range-Doppler system with ServeEngine::with_rd_system"
+        );
         let pool = WorkerPool::new(config.workers);
         let gate = Arc::new(Gate::new(config.pending_high_watermark));
         let preprocessor = Preprocessor::new(config.preprocessor.clone());
@@ -328,10 +398,16 @@ impl ServeEngine {
                 store.attach_telemetry(&registry);
             }
             let stages = Arc::new(StageMetrics::register(&registry));
-            EngineTelemetry { registry, stages }
+            let rd = Arc::new(RdMetrics::register(&registry));
+            EngineTelemetry {
+                registry,
+                stages,
+                rd,
+            }
         });
         ServeEngine {
             system: Arc::new(system),
+            rd_system: None,
             config,
             preprocessor,
             pool,
@@ -347,6 +423,32 @@ impl ServeEngine {
             telemetry,
             epoch: Instant::now(),
         }
+    }
+
+    /// Attaches a trained range-Doppler system, enabling
+    /// [`ServeEngine::open_rd_session`] /
+    /// [`ServeEngine::push_rd_frame`] and the hybrid sparse-cloud
+    /// fallback ([`ServeEngine::push_paired_frame`]). Consumed-builder
+    /// style: call between construction and first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rd`'s backend is not
+    /// [`SensingBackend::RangeDoppler`].
+    pub fn with_rd_system(mut self, rd: GesturePrint) -> Self {
+        assert_eq!(
+            rd.backend(),
+            SensingBackend::RangeDoppler,
+            "with_rd_system requires a system trained on the range-Doppler backend"
+        );
+        self.rd_system = Some(Arc::new(rd));
+        self
+    }
+
+    /// The attached range-Doppler system (`None` for point-cloud-only
+    /// engines).
+    pub fn rd_system(&self) -> Option<&Arc<GesturePrint>> {
+        self.rd_system.as_ref()
     }
 
     /// The identity store this engine resolves identities through
@@ -417,15 +519,57 @@ impl ServeEngine {
     /// (`None` = unlimited), overriding [`ServeConfig::admission`] —
     /// the hook for weighted tenants.
     pub fn open_session_with(&self, admission: Option<AdmissionConfig>) -> SessionId {
-        let id = SessionId(self.next_session.fetch_add(1, Ordering::Relaxed));
         let segmenter = OnlineSegmenter::new(self.config.preprocessor.segmenter.clone());
         let budget = admission.map(|a| a.bucket());
+        self.register(Session::new_point(segmenter, budget))
+    }
+
+    /// Opens a new stream session in range-Doppler mode (with the
+    /// engine's default admission budget): the session segments
+    /// [`RdFrame`] streams pushed via [`ServeEngine::push_rd_frame`]
+    /// and its segments infer through the attached RD system.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the engine has no range-Doppler system
+    /// ([`ServeEngine::with_rd_system`]).
+    pub fn open_rd_session(&self) -> SessionId {
+        self.open_rd_session_with(self.config.admission)
+    }
+
+    /// Opens a range-Doppler session with an explicit admission budget
+    /// (`None` = unlimited) — the RD counterpart of
+    /// [`ServeEngine::open_session_with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the engine has no range-Doppler system.
+    pub fn open_rd_session_with(&self, admission: Option<AdmissionConfig>) -> SessionId {
+        assert!(
+            self.rd_system.is_some(),
+            "open_rd_session on an engine without an RD system (ServeEngine::with_rd_system)"
+        );
+        let segmenter = OnlineRdSegmenter::new(self.config.rd_segmenter.clone());
+        let budget = admission.map(|a| a.bucket());
+        self.register(Session::new_rd(segmenter, budget))
+    }
+
+    fn register(&self, session: Session) -> SessionId {
+        let id = SessionId(self.next_session.fetch_add(1, Ordering::Relaxed));
         self.sessions
             .write()
             .expect("session registry poisoned")
-            .insert(id, Arc::new(Mutex::new(Session::new(segmenter, budget))));
+            .insert(id, Arc::new(Mutex::new(session)));
         self.bus.register_session(id);
         id
+    }
+
+    /// The sensing modality a live session was opened with (`None` for
+    /// closed or unknown ids).
+    pub fn session_backend(&self, id: SessionId) -> Option<SensingBackend> {
+        let session = self.session(id)?;
+        let backend = session.lock().expect("session poisoned").backend();
+        Some(backend)
     }
 
     /// Live session count.
@@ -493,6 +637,80 @@ impl ServeEngine {
 
     fn mint_span(&self) -> SpanId {
         SpanId(self.next_span.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Feeds one range-Doppler frame into an RD session; returns the
+    /// number of segments this frame completed (0 or 1) — the RD
+    /// counterpart of [`ServeEngine::push_frame`], sharing the same
+    /// span clocks (`admission_wait`/`segmentation`) and executor path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a live session, or was not opened in
+    /// range-Doppler mode.
+    pub fn push_rd_frame(&self, id: SessionId, frame: RdFrame) -> usize {
+        let session = self
+            .session(id)
+            .unwrap_or_else(|| panic!("push_rd_frame on unknown {id}"));
+        if let Some(t) = &self.telemetry {
+            t.rd.frames.inc();
+        }
+        let span = self.mint_span();
+        let ingest = self.telemetry.as_ref().map(|t| (t, Instant::now()));
+        let completed = {
+            let mut session = session.lock().expect("session poisoned");
+            let seg_start = ingest.as_ref().map(|(t, start)| {
+                t.stages.admission_wait.record_duration(start.elapsed());
+                Instant::now()
+            });
+            let completed = session.push_rd(frame);
+            if let (Some((t, _)), Some(seg_start)) = (&ingest, seg_start) {
+                t.stages.segmentation.record_duration(seg_start.elapsed());
+            }
+            completed.map(|c| (c, self.next_seq.fetch_add(1, Ordering::Relaxed)))
+        };
+        self.record_completed(id, completed, span)
+    }
+
+    /// Feeds one point-cloud frame *plus* the aligned range-Doppler
+    /// frame into a hybrid session. The point path segments and infers
+    /// exactly as [`ServeEngine::push_frame`]; the RD frames shadow the
+    /// point buffer so that when a closed segment's cloud is sparse
+    /// (see [`ServeConfig::rd_fallback_min_points`]) the segment is
+    /// re-routed to the range-Doppler backend instead of the unreliable
+    /// point path. The two streams must be paired from the session's
+    /// first frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a live point-cloud session, if earlier
+    /// frames were pushed unpaired, or if the engine has no RD system.
+    pub fn push_paired_frame(&self, id: SessionId, frame: Frame, rd: RdFrame) -> usize {
+        assert!(
+            self.rd_system.is_some(),
+            "push_paired_frame requires an RD system (ServeEngine::with_rd_system)"
+        );
+        let session = self
+            .session(id)
+            .unwrap_or_else(|| panic!("push_paired_frame on unknown {id}"));
+        if let Some(t) = &self.telemetry {
+            t.rd.frames.inc();
+        }
+        let span = self.mint_span();
+        let ingest = self.telemetry.as_ref().map(|t| (t, Instant::now()));
+        let completed = {
+            let mut session = session.lock().expect("session poisoned");
+            let seg_start = ingest.as_ref().map(|(t, start)| {
+                t.stages.admission_wait.record_duration(start.elapsed());
+                Instant::now()
+            });
+            let completed = session.push_paired(frame, rd, &self.preprocessor);
+            if let (Some((t, _)), Some(seg_start)) = (&ingest, seg_start) {
+                t.stages.segmentation.record_duration(seg_start.elapsed());
+            }
+            completed.map(|c| (c, self.next_seq.fetch_add(1, Ordering::Relaxed)))
+        };
+        self.record_completed(id, completed, span)
     }
 
     /// Load-shedding variant of [`ServeEngine::push_frame`]: a frame
@@ -667,40 +885,78 @@ impl ServeEngine {
     }
 
     /// Accounts for a possibly-closed segment: records it, and enqueues
-    /// its sample for inference when noise canceling kept one.
+    /// a job for whichever backend should infer it — the point path
+    /// when noise canceling kept a sample, the RD path for RD sessions
+    /// and for sparse hybrid segments the fallback re-routes.
     fn record_completed(
         &self,
         id: SessionId,
-        completed: Option<((GestureSegment, Option<gp_pipeline::GestureSample>), u64)>,
+        completed: Option<(ClosedSegment, u64)>,
         span: SpanId,
     ) -> usize {
-        match completed {
-            Some(((segment, sample), seq)) => {
-                self.bus.record_segment(id);
-                if let Some(sample) = sample {
-                    self.enqueue(id, segment, sample, seq, span);
+        let Some((closed, seq)) = completed else {
+            return 0;
+        };
+        self.bus.record_segment(id);
+        match closed {
+            ClosedSegment::Point(segment, sample, rd_window) => {
+                if let Some(rd_sample) = self.take_rd_fallback(&sample, rd_window) {
+                    if let Some(t) = &self.telemetry {
+                        t.rd.fallback.inc();
+                        t.rd.segments.inc();
+                    }
+                    let payload = JobPayload::Rd {
+                        segment: RdSegment {
+                            start: segment.start,
+                            end: segment.end,
+                        },
+                        sample: rd_sample,
+                    };
+                    self.enqueue(id, payload, seq, span);
+                } else if let Some(sample) = sample {
+                    let payload = JobPayload::Point {
+                        segment,
+                        sample: LabeledSample::from_sample(sample, 0, 0),
+                    };
+                    self.enqueue(id, payload, seq, span);
                 }
-                1
             }
-            None => 0,
+            ClosedSegment::Rd(segment, sample) => {
+                if let Some(t) = &self.telemetry {
+                    t.rd.segments.inc();
+                }
+                let payload = JobPayload::Rd { segment, sample };
+                self.enqueue(id, payload, seq, span);
+            }
         }
+        1
     }
 
-    fn enqueue(
+    /// The hybrid fallback decision: hand back the RD window when the
+    /// fallback is configured, the session is paired, and the point
+    /// sample is missing (noise-canceling reject) or too sparse.
+    fn take_rd_fallback(
         &self,
-        id: SessionId,
-        segment: GestureSegment,
-        sample: gp_pipeline::GestureSample,
-        seq: u64,
-        span: SpanId,
-    ) {
+        sample: &Option<GestureSample>,
+        rd_window: Option<RdLabeledSample>,
+    ) -> Option<RdLabeledSample> {
+        let min_points = self.config.rd_fallback_min_points?;
+        let rd = rd_window?;
+        debug_assert!(self.rd_system.is_some(), "paired push without an RD system");
+        let sparse = match sample {
+            None => true,
+            Some(sample) => sample.cloud.len() < min_points,
+        };
+        sparse.then_some(rd)
+    }
+
+    fn enqueue(&self, id: SessionId, payload: JobPayload, seq: u64, span: SpanId) {
         let now = Instant::now();
         let job = SegmentJob {
             session: id,
             seq,
             span,
-            segment,
-            sample: LabeledSample::from_sample(sample, 0, 0),
+            payload,
             detected: now,
             enqueued: now,
             mode: self.session_mode(id),
@@ -741,10 +997,12 @@ impl ServeEngine {
         self.gate.acquire(batch.len());
         self.bus.add_in_flight(batch.len());
         let system = self.system.clone();
+        let rd_system = self.rd_system.clone();
         let bus = self.bus.clone();
         let gate = self.gate.clone();
         let store = self.store.clone();
         let stages = self.telemetry.as_ref().map(|t| t.stages.clone());
+        let rd_metrics = self.telemetry.as_ref().map(|t| t.rd.clone());
         self.pool.spawn(move || {
             // Guard: if inference panics, release the batch's gate
             // weight and in-flight slots so neither blocked producers
@@ -777,19 +1035,59 @@ impl ServeEngine {
                         .record_duration(claimed.saturating_duration_since(job.enqueued));
                 }
             }
-            let samples: Vec<&LabeledSample> = batch.iter().map(|j| &j.sample).collect();
+            // Partition by backend: one batched call per system, then
+            // results are stitched back into batch order — so a mixed
+            // batch still publishes per-job in `(session, seq)` order.
+            let mut point_refs: Vec<&LabeledSample> = Vec::new();
+            let mut point_at: Vec<usize> = Vec::new();
+            let mut rd_refs: Vec<&RdLabeledSample> = Vec::new();
+            let mut rd_at: Vec<usize> = Vec::new();
+            for (i, job) in batch.iter().enumerate() {
+                match &job.payload {
+                    JobPayload::Point { sample, .. } => {
+                        point_at.push(i);
+                        point_refs.push(sample);
+                    }
+                    JobPayload::Rd { sample, .. } => {
+                        rd_at.push(i);
+                        rd_refs.push(sample);
+                    }
+                }
+            }
             let infer_start = stages.as_ref().map(|_| Instant::now());
-            let inferences = system.infer_batch(&samples);
+            let mut inferences: Vec<Option<Inference>> = (0..batch.len()).map(|_| None).collect();
+            if !point_refs.is_empty() {
+                for (&i, inference) in point_at.iter().zip(system.infer_batch(&point_refs)) {
+                    inferences[i] = Some(inference);
+                }
+            }
+            if !rd_refs.is_empty() {
+                let rd_system = rd_system
+                    .as_ref()
+                    .expect("RD job enqueued without an RD system");
+                for (&i, inference) in rd_at.iter().zip(rd_system.infer_rd_batch(&rd_refs)) {
+                    inferences[i] = Some(inference);
+                }
+            }
             // Every result in the batch experienced the whole batch's
             // inference time — that is its latency, not an N-th share.
             let infer_done = infer_start.map(|start| (start.elapsed(), Instant::now()));
+            let inferences = inferences
+                .into_iter()
+                .map(|i| i.expect("every job in the batch was inferred"));
             for (job, inference) in batch.iter().zip(inferences) {
                 guard.remaining -= 1;
                 // Identity resolution happens on the worker, after
                 // inference: the embedding is tapped from the fusion
                 // feature of the identifier the predicted gesture
                 // routes to, then enrolled or matched open-set.
-                let identity = resolve_identity(&system, store.as_deref(), job, &inference);
+                let identity = resolve_identity(
+                    &system,
+                    rd_system.as_deref(),
+                    store.as_deref(),
+                    job,
+                    &inference,
+                );
                 if matches!(identity, Some(IdentityOutcome::Enrolled { .. })) {
                     bus.record_enrolled(job.session);
                 }
@@ -803,6 +1101,24 @@ impl ServeEngine {
                     // result saw between inference end and its event.
                     stages.publish.record_duration(done_at.elapsed());
                 }
+                let (segment, backend) = match &job.payload {
+                    JobPayload::Point { segment, .. } => (*segment, SensingBackend::PointCloud),
+                    JobPayload::Rd { segment, .. } => (
+                        // RD segments share the point type's frame-index
+                        // semantics, so events stay representation-
+                        // agnostic downstream.
+                        GestureSegment {
+                            start: segment.start,
+                            end: segment.end,
+                        },
+                        SensingBackend::RangeDoppler,
+                    ),
+                };
+                if backend == SensingBackend::RangeDoppler {
+                    if let Some(rd) = &rd_metrics {
+                        rd.results.inc();
+                    }
+                }
                 // Gate weight releases *before* the publish: once
                 // `wait_idle` observes every result, the gate is
                 // provably back to zero (`drain` relies on this).
@@ -811,7 +1127,8 @@ impl ServeEngine {
                     session: job.session,
                     seq: job.seq,
                     span: job.span,
-                    segment: job.segment,
+                    segment,
+                    backend,
                     inference,
                     identity,
                     latency: job.detected.elapsed(),
@@ -940,18 +1257,29 @@ impl ServeEngine {
 /// store, or systems whose identifier exposes no fusion embedding
 /// (non-GesIDNet models); enrollment failures (e.g. an embedding
 /// dimension that no longer matches the gallery) also resolve to
-/// `None` rather than poisoning the batch.
+/// `None` rather than poisoning the batch. The embedding comes from
+/// whichever backend inferred the job, so an RD gallery and a
+/// point-cloud gallery never mix (their dimensions differ and the
+/// store's dimension check rejects a crossover).
 fn resolve_identity(
     system: &GesturePrint,
+    rd_system: Option<&GesturePrint>,
     store: Option<&IdentityStore>,
     job: &SegmentJob,
-    inference: &gestureprint_core::Inference,
+    inference: &Inference,
 ) -> Option<IdentityOutcome> {
     let store = store?;
     if job.mode == SessionMode::Classify {
         return None;
     }
-    let embedding = system.embedding_for_gesture(&job.sample, inference.gesture)?;
+    let embedding = match &job.payload {
+        JobPayload::Point { sample, .. } => {
+            system.embedding_for_gesture(sample, inference.gesture)?
+        }
+        JobPayload::Rd { sample, .. } => {
+            rd_system?.embedding_rd_for_gesture(sample, inference.gesture)?
+        }
+    };
     match &job.mode {
         SessionMode::Classify => None,
         SessionMode::Enroll(user) => {

@@ -35,6 +35,18 @@
 //!   segments flow out with per-session frame/segment/result counters
 //!   and segment-to-result latency percentiles (p50/p99), backed by
 //!   mergeable `gp_telemetry` histograms.
+//! * **Backend-agnostic sessions** — a session declares its sensing
+//!   modality at open: [`ServeEngine::open_session`] streams point
+//!   clouds, [`ServeEngine::open_rd_session`] streams range-Doppler
+//!   frames through [`gp_rd::OnlineRdSegmenter`] and infers them on
+//!   the engine's attached RD system
+//!   ([`ServeEngine::with_rd_system`]). Mixed batches partition by
+//!   backend and publish in the same `(session, seq)` order. Hybrid
+//!   sessions ([`ServeEngine::push_paired_frame`]) buffer both
+//!   representations and re-route a sparse point-cloud segment to the
+//!   RD backend ([`ServeConfig::rd_fallback_min_points`]) — the
+//!   ensemble/fallback policy for gestures whose near-zero radial
+//!   velocity fragments the point cloud.
 //! * **Observability** — with [`ServeConfig::telemetry`] on (the
 //!   default), every frame's span is timed through the five pipeline
 //!   stages (admission-wait → segmentation → queue-wait → inference →
@@ -81,6 +93,14 @@ pub mod session;
 
 pub use bus::{IdentityOutcome, ServeEvent, ServeStats, SessionStats, StageBreakdown};
 pub use engine::{Admission, AdmissionConfig, RejectReason, ServeConfig, ServeEngine, SessionMode};
+// Sessions are representation-agnostic: a session declares its sensing
+// backend at open (`open_session` = point cloud, `open_rd_session` =
+// range-Doppler) and every event reports which backend inferred it.
+pub use gestureprint_core::SensingBackend;
+// The RD frame/segmenter types flow through `push_rd_frame` and
+// `ServeConfig::rd_segmenter`; re-exported so serving callers can
+// construct them without naming gp-rd directly.
+pub use gp_rd::{RdFrame, RdSegmentConfig};
 // The identity store is co-owned with callers (enrollment tooling,
 // gp-net fronts); re-exported so they can construct one without
 // naming gp-store directly.

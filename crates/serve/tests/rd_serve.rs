@@ -1,0 +1,318 @@
+//! End-to-end range-Doppler serving: the acceptance path for the
+//! backend-agnostic engine.
+//!
+//! * `rd_sessions_classify_held_out_captures_above_chance` trains the
+//!   conv/LSTM RD model on *synthesized* range-Doppler frames (the
+//!   same kinematic ground truth as the point-cloud simulator), streams
+//!   held-out captures through `ServeEngine` sessions opened in RD
+//!   mode, and checks both tasks beat chance.
+//! * The hybrid tests drive one session with paired point+RD frames
+//!   and show the sparse-cloud fallback re-routing a segment to the RD
+//!   backend.
+
+use gestureprint_core::{
+    GesturePrint, GesturePrintConfig, IdentificationMode, ModelKind, TrainConfig,
+};
+use gp_pointcloud::{Point, PointCloud, Vec3};
+use gp_radar::Frame;
+use gp_rd::{RdConfig, RdFrame, RdLabeledSample};
+use gp_serve::{SensingBackend, ServeConfig, ServeEngine, ServeEvent};
+use gp_testkit::{rd_capture, rd_sample, toy_rd_system, toy_system};
+
+/// The two ASL gestures of the serving cohort, remapped to classes
+/// 0/1. 'Push' (12) is strongly radial; 'wave' (3) sweeps laterally —
+/// distinct Doppler signatures.
+const GESTURES: [usize; 2] = [12, 3];
+const USERS: usize = 2;
+const TRAIN_REPS: u64 = 4;
+
+/// Trains an RD system on synthesized captures (dominant-segmented,
+/// labels remapped to the cohort's class ids).
+fn trained_rd_system() -> GesturePrint {
+    let mut samples: Vec<RdLabeledSample> = Vec::new();
+    for (class, &gesture) in GESTURES.iter().enumerate() {
+        for user in 0..USERS {
+            for rep in 0..TRAIN_REPS {
+                let mut sample = rd_sample(user, gesture, rep);
+                sample.gesture = class;
+                samples.push(sample);
+            }
+        }
+    }
+    let refs: Vec<&RdLabeledSample> = samples.iter().collect();
+    GesturePrint::train_rd(
+        &refs,
+        GESTURES.len(),
+        USERS,
+        &GesturePrintConfig {
+            mode: IdentificationMode::Serialized,
+            train: TrainConfig {
+                model: ModelKind::RdNet,
+                epochs: 12,
+                learning_rate: 5e-3,
+                augment: None,
+                ..TrainConfig::default()
+            },
+            threads: 2,
+        },
+    )
+}
+
+/// Streams one capture through its own RD session and returns the
+/// session's events (the longest segment is the gesture).
+fn serve_capture(engine: &ServeEngine, frames: &[RdFrame]) -> Vec<ServeEvent> {
+    let session = engine.open_rd_session();
+    assert_eq!(
+        engine.session_backend(session),
+        Some(SensingBackend::RangeDoppler)
+    );
+    for frame in frames {
+        engine.push_rd_frame(session, frame.clone());
+    }
+    engine.close_session(session);
+    engine
+        .drain()
+        .into_iter()
+        .filter(|e| e.session == session)
+        .collect()
+}
+
+#[test]
+fn rd_sessions_classify_held_out_captures_above_chance() {
+    let engine =
+        ServeEngine::new(toy_system(), ServeConfig::default()).with_rd_system(trained_rd_system());
+    let mut total = 0usize;
+    let mut gesture_correct = 0usize;
+    let mut user_correct = 0usize;
+    for (class, &gesture) in GESTURES.iter().enumerate() {
+        for user in 0..USERS {
+            for rep in [20u64, 21] {
+                let (_, frames) = rd_capture(user, gesture, rep);
+                let events = serve_capture(&engine, &frames);
+                let event = events
+                    .iter()
+                    .max_by_key(|e| e.segment.len())
+                    .expect("held-out capture must segment and publish");
+                assert_eq!(event.backend, SensingBackend::RangeDoppler);
+                total += 1;
+                gesture_correct += usize::from(event.inference.gesture == class);
+                user_correct += usize::from(event.inference.user == user);
+            }
+        }
+    }
+    assert_eq!(total, 8);
+    // Chance is 1/2 on both tasks (2 gestures, 2 users).
+    assert!(
+        gesture_correct > total / 2,
+        "gesture accuracy at or below chance: {gesture_correct}/{total}"
+    );
+    assert!(
+        user_correct > total / 2,
+        "user accuracy at or below chance: {user_correct}/{total}"
+    );
+
+    // The engine's RD telemetry saw every frame and every result.
+    let registry = engine.registry().expect("telemetry on by default");
+    assert!(registry.counter("serve.rd.frames").get() > 0);
+    assert_eq!(registry.counter("serve.rd.fallback").get(), 0);
+    assert_eq!(
+        registry.counter("serve.rd.results").get(),
+        registry.counter("serve.rd.segments").get()
+    );
+}
+
+#[test]
+fn rd_predictions_deterministic_across_worker_counts() {
+    let (_, frames) = rd_capture(0, GESTURES[0], 33);
+    let replay = |workers: usize, max_batch: usize| -> Vec<ServeEvent> {
+        let engine = ServeEngine::new(
+            toy_system(),
+            ServeConfig {
+                workers,
+                max_batch,
+                ..ServeConfig::default()
+            },
+        )
+        .with_rd_system(toy_rd_system());
+        serve_capture(&engine, &frames)
+    };
+    let single = replay(1, 1);
+    assert!(!single.is_empty(), "capture should publish RD results");
+    for (workers, max_batch) in [(4, 1), (1, 8), (4, 3)] {
+        let multi = replay(workers, max_batch);
+        assert_eq!(single.len(), multi.len());
+        for (a, b) in single.iter().zip(&multi) {
+            assert_eq!(a.segment, b.segment);
+            assert_eq!(a.backend, b.backend);
+            assert_eq!(
+                a.inference, b.inference,
+                "RD prediction differs with {workers} workers / batch {max_batch}"
+            );
+        }
+    }
+}
+
+/// A point frame with `points` detections (the serve session tests'
+/// burst pattern).
+fn point_frame(i: usize, points: usize) -> Frame {
+    let cloud: PointCloud = (0..points)
+        .map(|k| Point::new(Vec3::new(k as f64 * 0.05, 1.2, 1.0), 0.4, 15.0))
+        .collect();
+    Frame::new(i as f64 * 0.1, cloud)
+}
+
+/// An RD frame shaped like the toy RD cohort's gesture-1/user-1 cell,
+/// active only inside the paired point burst.
+fn paired_rd_frame(cfg: &RdConfig, i: usize, active: bool) -> RdFrame {
+    let mut f = RdFrame::zeros(cfg, i as f64 * 0.1);
+    if active {
+        f.power[12 * cfg.range_bins + 36 + i % 4] = 45.0;
+        f.power[13 * cfg.range_bins + 36 + i % 4] = 25.0;
+    }
+    f
+}
+
+/// Drives one hybrid session with paired pushes and returns its single
+/// event plus the engine (for counter assertions).
+fn replay_paired(min_points: Option<usize>) -> (ServeEngine, Vec<ServeEvent>) {
+    let engine = ServeEngine::new(
+        toy_system(),
+        ServeConfig {
+            workers: 1,
+            rd_fallback_min_points: min_points,
+            ..ServeConfig::default()
+        },
+    )
+    .with_rd_system(toy_rd_system());
+    let cfg = RdConfig::default();
+    let session = engine.open_session();
+    for i in 0..70 {
+        let burst = (20..45).contains(&i);
+        let points = if burst { 14 } else { 1 };
+        engine.push_paired_frame(
+            session,
+            point_frame(i, points),
+            paired_rd_frame(&cfg, i, burst),
+        );
+    }
+    engine.close_session(session);
+    let events = engine.drain();
+    (engine, events)
+}
+
+#[test]
+fn sparse_hybrid_segment_falls_back_to_rd_backend() {
+    // An impossible point threshold makes every segment "sparse": the
+    // closed segment must re-route to the RD backend.
+    let (engine, events) = replay_paired(Some(10_000));
+    assert_eq!(events.len(), 1, "one burst, one result");
+    assert_eq!(events[0].backend, SensingBackend::RangeDoppler);
+    let registry = engine.registry().expect("telemetry on by default");
+    assert_eq!(registry.counter("serve.rd.fallback").get(), 1);
+    assert_eq!(registry.counter("serve.rd.segments").get(), 1);
+    assert_eq!(registry.counter("serve.rd.results").get(), 1);
+    assert_eq!(registry.counter("serve.rd.frames").get(), 70);
+}
+
+#[test]
+fn dense_hybrid_segment_stays_on_point_backend() {
+    // With the fallback disabled the same paired stream classifies
+    // through the point path — RD frames are buffered but never
+    // dispatched.
+    let (engine, events) = replay_paired(None);
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].backend, SensingBackend::PointCloud);
+    let registry = engine.registry().expect("telemetry on by default");
+    assert_eq!(registry.counter("serve.rd.fallback").get(), 0);
+    assert_eq!(registry.counter("serve.rd.results").get(), 0);
+    // A generous threshold the burst's 14-point clouds satisfy: still
+    // the point path.
+    let (_, events) = replay_paired(Some(3));
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].backend, SensingBackend::PointCloud);
+}
+
+#[test]
+fn mixed_point_and_rd_sessions_share_the_executor() {
+    // One engine, one drain: a point session and an RD session land in
+    // the same micro-batch queue and both publish, each through its own
+    // backend.
+    let engine = ServeEngine::new(
+        toy_system(),
+        ServeConfig {
+            workers: 2,
+            max_batch: 8,
+            ..ServeConfig::default()
+        },
+    )
+    .with_rd_system(toy_rd_system());
+    let cfg = RdConfig::default();
+    let point_session = engine.open_session();
+    let rd_session = engine.open_rd_session();
+    assert_eq!(
+        engine.session_backend(point_session),
+        Some(SensingBackend::PointCloud)
+    );
+    for i in 0..70 {
+        let burst = (20..45).contains(&i);
+        engine.push_frame(point_session, point_frame(i, if burst { 14 } else { 1 }));
+        engine.push_rd_frame(rd_session, paired_rd_frame(&cfg, i, burst));
+    }
+    engine.close_session(point_session);
+    engine.close_session(rd_session);
+    let events = engine.drain();
+    assert_eq!(events.len(), 2);
+    let by_session = |s| {
+        events
+            .iter()
+            .find(|e| e.session == s)
+            .expect("each session publishes")
+    };
+    assert_eq!(
+        by_session(point_session).backend,
+        SensingBackend::PointCloud
+    );
+    assert_eq!(by_session(rd_session).backend, SensingBackend::RangeDoppler);
+}
+
+#[test]
+#[should_panic(expected = "without an RD system")]
+fn rd_session_requires_an_rd_system() {
+    let engine = ServeEngine::new(toy_system(), ServeConfig::default());
+    engine.open_rd_session();
+}
+
+#[test]
+#[should_panic(expected = "range-Doppler frame pushed into a point-cloud session")]
+fn rd_frames_into_point_session_panic() {
+    let engine =
+        ServeEngine::new(toy_system(), ServeConfig::default()).with_rd_system(toy_rd_system());
+    let session = engine.open_session();
+    engine.push_rd_frame(session, RdFrame::zeros(&RdConfig::default(), 0.0));
+}
+
+#[test]
+fn serve_config_encoding_is_stable_without_rd_fields() {
+    use gp_codec::{Decode, Encode};
+    // Pre-RD configs re-encode without the additive fields (golden
+    // byte-stability), and configs carrying them roundtrip.
+    let default = ServeConfig::default();
+    let encoded = gp_codec::to_json(&default.encode()).expect("json");
+    assert!(
+        !encoded.contains("rd_segmenter"),
+        "additive field leaked: {encoded}"
+    );
+    assert!(!encoded.contains("rd_fallback_min_points"));
+    let custom = ServeConfig {
+        rd_fallback_min_points: Some(7),
+        rd_segmenter: gp_serve::RdSegmentConfig {
+            min_frames: 6,
+            ..gp_serve::RdSegmentConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let decoded = ServeConfig::decode(&custom.encode()).expect("roundtrip");
+    assert_eq!(decoded, custom);
+    let redecoded = ServeConfig::decode(&default.encode()).expect("default roundtrip");
+    assert_eq!(redecoded, default);
+}

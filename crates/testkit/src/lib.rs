@@ -229,6 +229,97 @@ pub fn toy_labeled_samples(reps: usize) -> Vec<LabeledSample> {
     out
 }
 
+/// Captures one performance as range-Doppler frames with the `gp-rd`
+/// synthesizer — the RD counterpart of [`capture`]: same kinematic
+/// ground truth, same seeding convention.
+pub fn rd_capture(
+    user: usize,
+    gesture: usize,
+    rep_seed: u64,
+) -> (Performance, Vec<gp_rd::RdFrame>) {
+    let perf = performance(user, gesture, CANONICAL_DISTANCE, rep_seed);
+    let synth = gp_rd::RdSynthesizer::new(gp_rd::RdConfig::default(), rep_seed ^ 0xF00D);
+    let frames = synth.synthesize(&perf);
+    (perf, frames)
+}
+
+/// Captures, segments, and labels one RD performance: the dominant
+/// detected segment of [`rd_capture`] as an [`gp_rd::RdLabeledSample`].
+///
+/// # Panics
+///
+/// Panics if RD segmentation finds no activity (would indicate a
+/// synthesis or segmentation regression).
+pub fn rd_sample(user: usize, gesture: usize, rep_seed: u64) -> gp_rd::RdLabeledSample {
+    let (_, frames) = rd_capture(user, gesture, rep_seed);
+    let seg = gp_rd::dominant_segment(&frames, &gp_rd::RdSegmentConfig::default())
+        .expect("RD capture must segment");
+    gp_rd::RdLabeledSample::from_segment(&frames, seg.start, seg.end, gesture, user)
+}
+
+/// The RD counterpart of [`toy_labeled_samples`]: a hand-built
+/// 2-gesture × 2-user RD cohort (gesture controls the range band, user
+/// controls the Doppler side and spread). Learnable in milliseconds.
+pub fn toy_rd_samples(reps: usize) -> Vec<gp_rd::RdLabeledSample> {
+    let cfg = gp_rd::RdConfig::default();
+    let mut out = Vec::new();
+    for gesture in 0..2usize {
+        for user in 0..2usize {
+            for rep in 0..reps {
+                let d = if user == 0 { 4 } else { 12 };
+                let r0 = if gesture == 0 { 10 } else { 36 };
+                let frames: Vec<gp_rd::RdFrame> = (0..8)
+                    .map(|i| {
+                        let mut f = gp_rd::RdFrame::zeros(&cfg, i as f64 * 0.1);
+                        let r = r0 + (rep + i) % 4;
+                        f.power[d * cfg.range_bins + r] = 40.0 + rep as f64;
+                        f.power[(d + 1) * cfg.range_bins + r] = 20.0 + user as f64 * 5.0;
+                        f
+                    })
+                    .collect();
+                out.push(gp_rd::RdLabeledSample {
+                    frames,
+                    duration_frames: 8,
+                    gesture,
+                    user,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// A short RD training schedule for tier-1 tests.
+pub fn quick_rd_train() -> TrainConfig {
+    TrainConfig {
+        model: ModelKind::RdNet,
+        epochs: 10,
+        learning_rate: 5e-3,
+        augment: None,
+        ..TrainConfig::default()
+    }
+}
+
+/// A range-Doppler [`GesturePrint`] trained on [`toy_rd_samples`] in
+/// milliseconds — the RD counterpart of [`toy_system`].
+pub fn toy_rd_system() -> GesturePrint {
+    let samples = toy_rd_samples(4);
+    let refs: Vec<&gp_rd::RdLabeledSample> = samples.iter().collect();
+    GesturePrint::train_rd(
+        &refs,
+        2,
+        2,
+        &GesturePrintConfig {
+            mode: IdentificationMode::Serialized,
+            train: TrainConfig {
+                epochs: 8,
+                ..quick_rd_train()
+            },
+            threads: 2,
+        },
+    )
+}
+
 /// A [`GesturePrint`] system trained on [`toy_labeled_samples`] in
 /// milliseconds (2 gestures × 2 users, 8 epochs, serialized mode).
 /// Predictions on real captures are arbitrary but deterministic.
@@ -306,6 +397,21 @@ mod tests {
         let b = toy_system();
         for s in &samples {
             assert_eq!(a.infer(s), b.infer(s));
+        }
+    }
+
+    #[test]
+    fn rd_fixtures_are_deterministic_and_segment() {
+        let a = rd_sample(0, CANONICAL_GESTURE, 3);
+        let b = rd_sample(0, CANONICAL_GESTURE, 3);
+        assert_eq!(a, b);
+        assert!(a.duration_frames >= 4);
+
+        let samples = toy_rd_samples(2);
+        let x = toy_rd_system();
+        let y = toy_rd_system();
+        for s in &samples {
+            assert_eq!(x.infer_rd(s), y.infer_rd(s));
         }
     }
 }

@@ -13,13 +13,14 @@
 
 use gestureprint_core::artifact::{kinds, Artifact, ModelArtifact, SCHEMA_VERSION};
 use gestureprint_core::{
-    classification_report, train_classifier, ClassificationReport, ModelKind, TrainConfig,
-    TrainedModel,
+    classification_report, train_classifier, train_rd_classifier, ClassificationReport, ModelKind,
+    TrainConfig, TrainedModel,
 };
 use gp_codec::{Decode, Encode, Value};
 use gp_models::features::FeatureConfig;
 use gp_pipeline::LabeledSample;
-use gp_testkit::toy_labeled_samples;
+use gp_rd::RdLabeledSample;
+use gp_testkit::{quick_rd_train, toy_labeled_samples, toy_rd_samples};
 use std::path::{Path, PathBuf};
 
 fn fixture_path(name: &str) -> PathBuf {
@@ -91,6 +92,63 @@ fn model_fixture_still_loads() {
         reencoded, artifact.payload,
         "model payload schema drifted; regenerate fixtures deliberately"
     );
+}
+
+/// The exact configuration the RD model fixture was trained with.
+/// Changing this requires regenerating the fixtures.
+fn fixture_rd_train_config() -> TrainConfig {
+    TrainConfig {
+        epochs: 6,
+        seed: 42,
+        ..quick_rd_train()
+    }
+}
+
+fn train_fixture_rd_model() -> TrainedModel {
+    let samples = toy_rd_samples(3);
+    let pairs: Vec<(&RdLabeledSample, usize)> = samples.iter().map(|s| (s, s.user)).collect();
+    train_rd_classifier(&pairs, 2, &fixture_rd_train_config())
+}
+
+#[test]
+fn rd_model_fixture_still_loads() {
+    // Committed in both envelope formats — the RD backend's schema
+    // compatibility gate, mirroring the point-cloud model fixture.
+    for name in ["rd_model_v1.json", "rd_model_v1.bin"] {
+        let bytes = read_fixture(name);
+        let artifact = Artifact::from_bytes(&bytes).expect("envelope parses");
+        assert!(
+            artifact.schema_version <= SCHEMA_VERSION,
+            "fixture from the future? regenerate it"
+        );
+        assert!(artifact.expect_kind(kinds::MODEL).is_ok());
+
+        let model =
+            TrainedModel::load_artifact(&bytes).expect("RD model reconstructs from bytes alone");
+        assert_eq!(model.kind(), ModelKind::RdNet);
+        assert_eq!(model.classes(), 2);
+        for s in &toy_rd_samples(3) {
+            let p = model.probabilities_rd(s);
+            assert_eq!(p.len(), 2);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-6, "{p:?}");
+        }
+
+        // Anti-drift: decode → encode must be the identity (see the
+        // point-cloud model fixture docs). The RD payload additionally
+        // carries the rd_feature field, which must survive unchanged.
+        let decoded = ModelArtifact::decode(&artifact.payload).expect("payload decodes");
+        assert_eq!(
+            decoded.clone().encode(),
+            artifact.payload,
+            "RD model payload schema drifted; regenerate fixtures deliberately"
+        );
+        assert!(artifact
+            .payload
+            .as_map()
+            .unwrap()
+            .iter()
+            .any(|(k, _)| k == "rd_feature"));
+    }
 }
 
 #[test]
@@ -173,6 +231,66 @@ fn telemetry_fixture_still_loads() {
     // And the current encoder still produces these exact bytes for the
     // fixture's snapshot — byte-stable serialization, both directions.
     assert_eq!(snap, fixture_telemetry_snapshot());
+}
+
+/// The deterministic snapshot the RD telemetry fixture is built from —
+/// the counters and stage histograms the RD serving path exports
+/// (`serve.rd.*` alongside the shared `serve.stage.*` scheme), with
+/// fixed values so regeneration is byte-stable across machines.
+fn fixture_rd_telemetry_snapshot() -> gp_telemetry::TelemetrySnapshot {
+    use gp_telemetry::{Histogram, TelemetrySnapshot};
+    let mut snap = TelemetrySnapshot::new();
+    snap.counters.insert("serve.rd.frames".into(), 1_200);
+    snap.counters.insert("serve.rd.segments".into(), 14);
+    snap.counters.insert("serve.rd.results".into(), 14);
+    snap.counters.insert("serve.rd.fallback".into(), 3);
+    snap.gauges.insert("serve.sessions.live".into(), 2);
+    let mut inference = Histogram::new();
+    for v in [2_100u64, 2_400, 2_650, 3_000, 4_800, 61_000] {
+        inference.record(v);
+    }
+    snap.histograms
+        .insert("serve.stage.inference".into(), inference);
+    let mut segmentation = Histogram::new();
+    for v in [140u64, 150, 165, 180] {
+        segmentation.record(v);
+    }
+    snap.histograms
+        .insert("serve.stage.segmentation".into(), segmentation);
+    snap.attrs
+        .insert("backend".into(), Value::Str("range_doppler".into()));
+    snap
+}
+
+#[test]
+fn rd_telemetry_fixture_still_loads() {
+    use gp_telemetry::{TelemetrySnapshot, TELEMETRY_SCHEMA_VERSION};
+    for name in ["rd_telemetry_v1.json", "rd_telemetry_v1.bin"] {
+        let bytes = read_fixture(name);
+        let artifact = Artifact::from_bytes(&bytes).expect("envelope parses");
+        assert!(artifact.expect_kind(kinds::TELEMETRY).is_ok());
+        let snap = TelemetrySnapshot::decode(&artifact.payload).expect("snapshot decodes");
+        assert!(
+            snap.schema_version <= TELEMETRY_SCHEMA_VERSION,
+            "fixture from the future? regenerate it"
+        );
+        assert_eq!(snap.counters["serve.rd.segments"], 14);
+        let inference = snap
+            .histograms
+            .get("serve.stage.inference")
+            .expect("stage histogram present");
+        assert_eq!(inference.count(), 6);
+        assert_eq!(inference.percentile(100.0), Some(61_000));
+
+        // Anti-drift: decode → encode must be the identity (see the
+        // point-cloud telemetry fixture docs).
+        assert_eq!(
+            snap.encode(),
+            artifact.payload,
+            "RD telemetry snapshot schema drifted; regenerate fixtures deliberately"
+        );
+        assert_eq!(snap, fixture_rd_telemetry_snapshot());
+    }
 }
 
 /// The deterministic gallery the identity fixtures are built from — a
@@ -288,6 +406,26 @@ fn regenerate_golden_fixtures() {
     .unwrap();
 
     use gestureprint_core::artifact::ArtifactFormat;
+    let rd_model = train_fixture_rd_model();
+    std::fs::write(fixture_path("rd_model_v1.json"), rd_model.save_artifact()).unwrap();
+    std::fs::write(
+        fixture_path("rd_model_v1.bin"),
+        rd_model.save_artifact_with(ArtifactFormat::Binary),
+    )
+    .unwrap();
+
+    let rd_telemetry = Artifact::new(kinds::TELEMETRY, fixture_rd_telemetry_snapshot().encode());
+    std::fs::write(
+        fixture_path("rd_telemetry_v1.json"),
+        rd_telemetry.to_bytes(),
+    )
+    .unwrap();
+    std::fs::write(
+        fixture_path("rd_telemetry_v1.bin"),
+        rd_telemetry.into_bytes_with(ArtifactFormat::Binary),
+    )
+    .unwrap();
+
     let gallery = Artifact::new(kinds::GALLERY, fixture_gallery().encode());
     std::fs::write(fixture_path("gallery_v1.json"), gallery.to_bytes()).unwrap();
     std::fs::write(

@@ -47,6 +47,7 @@ pub use gp_nn as nn;
 pub use gp_pipeline as pipeline;
 pub use gp_pointcloud as pointcloud;
 pub use gp_radar as radar;
+pub use gp_rd as rd;
 pub use gp_runtime as runtime;
 pub use gp_serve as serve;
 pub use gp_store as store;
